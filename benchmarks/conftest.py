@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and the experiment report helper.
+
+Every experiment benchmark prints the rows/series it reproduces (the
+paper's table or claim) AND persists them under ``benchmarks/results/`` so
+``bench_output.txt`` and the results directory both carry the evidence.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(experiment_id: str, lines: list[str]) -> None:
+    """Print an experiment's reproduced rows and persist them."""
+    banner = f"===== {experiment_id} ====="
+    text = "\n".join([banner, *lines, ""])
+    # pytest captures stdout; write to stderr too so -s isn't required for
+    # the terminal, and persist to the results directory regardless.
+    print(text)
+    print(text, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+
+
+@pytest.fixture
+def fresh_gallery():
+    """A deterministic in-memory Gallery per benchmark."""
+    from repro import build_gallery
+    from repro.core import ManualClock, SeededIdFactory
+
+    return build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(1234))

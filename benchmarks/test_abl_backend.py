@@ -1,0 +1,94 @@
+"""ABL-BACKEND — Section 3.5 ablation: metadata-store backends.
+
+Gallery's hybrid storage uses a relational database for metadata because
+it needs indexed, flexible queries.  This ablation compares the in-memory
+dict-backed store against the SQLite (MySQL stand-in) store on ingest
+throughput and indexed query latency, and verifies that both return
+identical query results — backend choice is an operational decision, not
+a semantic one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro import build_gallery
+from repro.core import ManualClock, SeededIdFactory
+
+N_INSTANCES = 2_000
+N_CITIES = 50
+
+
+def populate(backend: str):
+    gallery = build_gallery(
+        metadata_backend=backend,
+        clock=ManualClock(),
+        id_factory=SeededIdFactory(13),
+    )
+    gallery.create_model("marketplace", "demand_forecast")
+    started = time.perf_counter()
+    for index in range(N_INSTANCES):
+        instance = gallery.upload_model(
+            "marketplace",
+            "demand_forecast",
+            blob=b"m" * 32,
+            metadata={
+                "model_name": "linear_regression",
+                "city": f"city-{index % N_CITIES:03d}",
+            },
+        )
+        gallery.insert_metric(instance.instance_id, "mape", (index % 20) / 100)
+    ingest_seconds = time.perf_counter() - started
+    return gallery, ingest_seconds
+
+
+def city_query(gallery):
+    return gallery.model_query(
+        [
+            {"field": "city", "operator": "equal", "value": "city-007"},
+            {"field": "metricName", "operator": "equal", "value": "mape"},
+            {"field": "metricValue", "operator": "smaller_than", "value": 0.15},
+        ]
+    )
+
+
+def test_backend_ablation(benchmark):
+    memory_gallery, memory_ingest = populate("memory")
+    sqlite_gallery, sqlite_ingest = populate("sqlite")
+
+    memory_hits = city_query(memory_gallery)
+    sqlite_hits = city_query(sqlite_gallery)
+    assert [h.instance_id for h in memory_hits] == [
+        h.instance_id for h in sqlite_hits
+    ], "backends must agree on query results"
+    assert len(memory_hits) > 0
+
+    def timed(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    memory_query_s = timed(lambda: city_query(memory_gallery))
+    sqlite_query_s = timed(lambda: city_query(sqlite_gallery))
+
+    benchmark(lambda: city_query(sqlite_gallery))
+
+    report(
+        "ABL-BACKEND_metadata_store",
+        [
+            f"population: {N_INSTANCES} instances + metrics, {N_CITIES} cities",
+            "",
+            f"{'backend':<10}{'ingest inst/s':>15}{'indexed query ms':>18}",
+            f"{'memory':<10}{N_INSTANCES / memory_ingest:>15.0f}{memory_query_s * 1e3:>18.3f}",
+            f"{'sqlite':<10}{N_INSTANCES / sqlite_ingest:>15.0f}{sqlite_query_s * 1e3:>18.3f}",
+            "",
+            f"query results identical across backends ({len(memory_hits)} hits).",
+            "the relational backend trades ingest throughput for durability and",
+            "cross-process access (the CLI and rehydration tests rely on it).",
+        ],
+    )

@@ -1,0 +1,110 @@
+"""EXP-C1-ALERT — Section 4.2: health alerts on unplanned events.
+
+"These alerts have proven useful in the case of unplanned events (e.g.,
+public transit outages) that cause unexpected spikes in demand, and gives
+engineers or ops an opportunity to intervene."
+
+A deployed model serves a city; at a random-looking hour a transit outage
+multiplies demand (unscheduled — no event flag).  The health monitor
+streams hourly production MAPE into a drift detector wired to an alert
+action rule.  The reproduction target: the alert fires *during* the outage
+window (small detection lag), and never fires on the outage-free control
+run.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import build_gallery
+from repro.core import DriftDetector, ManualClock, SeededIdFactory
+from repro.forecasting import (
+    CityProfile,
+    FeatureSpec,
+    ForecastingPipeline,
+    HOURS_PER_WEEK,
+    ModelSpecification,
+    add_unplanned_outage,
+    build_dataset,
+    generate_city_demand,
+)
+from repro.forecasting.models import RidgeRegression, deserialize
+from repro.rules import RuleEngine, action_rule
+
+TRAIN_HOURS = 4 * HOURS_PER_WEEK
+TOTAL_HOURS = 5 * HOURS_PER_WEEK
+OUTAGE_START = TRAIN_HOURS + 60
+OUTAGE_HOURS = 8
+
+SPEC = FeatureSpec(lags=(1, 2, 3, 24, 168), rolling_windows=(6,))
+
+
+def serve_with_monitoring(with_outage: bool):
+    profile = CityProfile(name="alert-city", base_demand=150.0, noise_level=0.04)
+    if with_outage:
+        profile = add_unplanned_outage(
+            profile, start=OUTAGE_START, duration=OUTAGE_HOURS, multiplier=2.5
+        )
+    series = generate_city_demand(profile, hours=TOTAL_HOURS, seed=31)
+
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(30))
+    pipeline = ForecastingPipeline(gallery)
+    spec = ModelSpecification("ridge", lambda: RidgeRegression(), SPEC)
+    trained = pipeline.train_city(series, spec, train_hours=TRAIN_HOURS)
+    instance_id = trained.instance.instance_id
+
+    engine = RuleEngine(gallery, clock=ManualClock(), bus=gallery.bus)
+    engine.register(
+        action_rule(
+            uuid="health-alert",
+            team="forecasting",
+            given='city == "alert-city"',
+            when="metrics.hourly_ape > 0.5",
+            actions=["alert"],
+        )
+    )
+
+    model = deserialize(gallery.load_instance_blob(instance_id))
+    dataset = build_dataset(series.values, SPEC)
+    row_of_hour = {hour: i for i, hour in enumerate(dataset.hour_index)}
+    detector = DriftDetector(baseline_window=24, recent_window=3, ratio_threshold=3.0, patience=1)
+
+    alert_hour = None
+    for hour in range(TRAIN_HOURS, TOTAL_HOURS):
+        row = row_of_hour[hour]
+        predicted = float(model.predict(dataset.features[row: row + 1])[0])
+        actual = float(series.values[hour])
+        ape = abs(actual - predicted) / max(actual, 1e-9)
+        detector.observe(ape)
+        gallery.insert_metric(
+            instance_id, "hourly_ape", ape, scope="Production",
+            metadata={"hour": hour},
+        )
+        fired = engine.drain()
+        if fired and alert_hour is None:
+            alert_hour = hour
+    return alert_hour
+
+
+def test_unplanned_outage_alerts(benchmark):
+    alert_hour = serve_with_monitoring(with_outage=True)
+    control_alert = serve_with_monitoring(with_outage=False)
+
+    assert alert_hour is not None, "outage must raise an alert"
+    lag = alert_hour - OUTAGE_START
+    assert 0 <= lag < OUTAGE_HOURS, "alert fires during the outage window"
+    assert control_alert is None, "no false alert without an outage"
+
+    benchmark(lambda: serve_with_monitoring(with_outage=False))
+
+    report(
+        "EXP-C1-ALERT_health_alerts",
+        [
+            f"outage window: hours {OUTAGE_START}..{OUTAGE_START + OUTAGE_HOURS}",
+            f"alert fired at hour: {alert_hour} (detection lag {lag}h)",
+            f"control run (no outage): alerts fired = {0 if control_alert is None else 1}",
+            "",
+            "shape vs paper: unplanned demand spike detected while ongoing,",
+            "giving ops a window to intervene; no false alarms in steady state.",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""EXP-F5-7 — Figures 5-7: dependency tracking and version propagation.
+
+Replays the paper's worked example exactly (same model names, same version
+numbers) and asserts every cell.  The benchmark times a propagation wave
+through a 200-model layered DAG to show the mechanism scales past the
+5-model figure.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import DependencyGraph
+
+
+def figure_sequence():
+    graph = DependencyGraph()
+    rows = []
+    for model, version in [("B", "2.0"), ("C", "3.0"), ("A", "4.0"), ("X", "7.0"), ("Y", "8.0")]:
+        graph.add_model(model, version)
+    for downstream, upstream in [("A", "B"), ("A", "C"), ("X", "A"), ("Y", "A")]:
+        graph.add_dependency(downstream, upstream, bump=False)
+    rows.append(("Figure 5 (initial)", snapshot(graph)))
+
+    graph.record_instance_update("B")
+    rows.append(("Figure 6 (B 2.0->2.1)", snapshot(graph)))
+
+    graph.add_model("D", "1.0")
+    graph.add_dependency("A", "D")
+    rows.append(("Figure 7 (add dep D)", snapshot(graph)))
+    return graph, rows
+
+
+def snapshot(graph):
+    return {m: str(graph.latest_version(m)) for m in graph.models()}
+
+
+EXPECTED = {
+    "Figure 5 (initial)": {"A": "4.0", "B": "2.0", "C": "3.0", "X": "7.0", "Y": "8.0"},
+    "Figure 6 (B 2.0->2.1)": {"A": "4.1", "B": "2.1", "C": "3.0", "X": "7.1", "Y": "8.1"},
+    "Figure 7 (add dep D)": {
+        "A": "4.2", "B": "2.1", "C": "3.0", "D": "1.0", "X": "7.2", "Y": "8.2",
+    },
+}
+
+
+def test_figures_5_to_7_exact(benchmark):
+    graph, rows = figure_sequence()
+    for label, snap in rows:
+        assert snap == EXPECTED[label], label
+    # production stays pinned at the Figure 5 versions throughout
+    assert str(graph.production_version("A")) == "4.0"
+    assert str(graph.production_version("X")) == "7.0"
+
+    # benchmark: propagation through a 200-model, 4-layer DAG
+    def propagate_large():
+        big = DependencyGraph()
+        layers = 4
+        width = 50
+        for layer in range(layers):
+            for i in range(width):
+                big.add_model(f"L{layer}-{i}")
+        for layer in range(1, layers):
+            for i in range(width):
+                big.add_dependency(f"L{layer}-{i}", f"L{layer - 1}-{i % width}", bump=False)
+                big.add_dependency(
+                    f"L{layer}-{i}", f"L{layer - 1}-{(i + 1) % width}", bump=False
+                )
+        return len(big.record_instance_update("L0-0"))
+
+    touched = benchmark(propagate_large)
+    assert touched > 1
+
+    lines = []
+    for label, snap in rows:
+        cells = "  ".join(f"{m}:{v}" for m, v in sorted(snap.items()))
+        lines.append(f"{label:<24} {cells}")
+    lines.append("")
+    lines.append("production pinned at Figure-5 versions until owner promotes: OK")
+    lines.append(f"scale check: one update in a 200-model DAG touched {touched} models")
+    report("EXP-F5-7_dependency_propagation", lines)

@@ -1,0 +1,126 @@
+"""Case 1 (Section 4.2): managing a per-city forecasting fleet.
+
+Builds a heterogeneous fleet of cities, trains base and event-aware models
+for each, lets the rule engine gate deployments, serves two weeks with
+rule-driven dynamic model switching, and retrains only the city whose
+drift detector fires.
+
+Run:  python examples/forecasting_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gallery
+from repro.core import DriftDetector
+from repro.forecasting import (
+    EventSwitchingController,
+    FeatureSpec,
+    ForecastingPipeline,
+    HOURS_PER_WEEK,
+    ModelCache,
+    ModelSpecification,
+    Switchboard,
+    build_city_fleet,
+    generate_city_demand,
+    simulate_serving,
+)
+from repro.forecasting.models import RidgeRegression
+from repro.rules import RuleEngine, RuleRepository, action_rule
+
+N_CITIES = 4
+TOTAL_WEEKS = 8
+TRAIN_WEEKS = 6
+
+
+def main() -> None:
+    gallery = build_gallery()
+    engine = RuleEngine(gallery, bus=gallery.bus)
+    pipeline = ForecastingPipeline(gallery)
+
+    # -- deploy gate, checked into the reviewed rule repo --------------------
+    repo = RuleRepository()
+    gate = action_rule(
+        uuid="deploy-gate",
+        team="forecasting",
+        given='model_domain == "demand"',
+        when="metrics.bias <= 0.1 and metrics.bias >= -0.1 and metrics.mape < 0.3",
+        actions=["deploy"],
+        description="auto-deploy instances within the bias/MAPE gate",
+    )
+    repo.check_in("alice", "bob", "add deploy gate", [gate])
+    engine.sync_from_repo(repo)
+
+    # -- train the fleet ------------------------------------------------------
+    profiles = build_city_fleet(
+        N_CITIES, hours=TOTAL_WEEKS * HOURS_PER_WEEK, seed=8, holiday_every_weeks=2
+    )
+    fleet = [
+        generate_city_demand(profile, hours=TOTAL_WEEKS * HOURS_PER_WEEK, seed=i)
+        for i, profile in enumerate(profiles)
+    ]
+    base_spec = ModelSpecification(
+        "ridge_base", lambda: RidgeRegression(), FeatureSpec(event_flag=False)
+    )
+    event_spec = ModelSpecification(
+        "ridge_event", lambda: RidgeRegression(), FeatureSpec(event_flag=True)
+    )
+    train_hours = TRAIN_WEEKS * HOURS_PER_WEEK
+    trained = pipeline.train_fleet(fleet, [base_spec, event_spec], train_hours=train_hours)
+    deployed = engine.drain()
+    print(
+        f"trained {len(trained)} instances across {N_CITIES} cities; "
+        f"rule engine auto-deployed {len(deployed)} of them"
+    )
+
+    # -- serve with rule-driven event switching --------------------------------
+    switchboard = Switchboard()
+    controller = EventSwitchingController(gallery, engine, switchboard)
+    cache = ModelCache(gallery)
+    print(f"\n{'city':<10}{'static MAPE':>12}{'dynamic MAPE':>14}{'event improv.':>15}{'switches':>10}")
+    for series in fleet:
+        base = trained[(series.city, "ridge_base")]
+        event = trained[(series.city, "ridge_event")]
+        specs = {
+            base.instance.instance_id: base_spec.feature_spec,
+            event.instance.instance_id: event_spec.feature_spec,
+        }
+        static = simulate_serving(
+            series, lambda h, e: base.instance.instance_id, cache, specs,
+            train_hours, len(series.values),
+        )
+        dynamic = simulate_serving(
+            series,
+            lambda h, e, c=series.city: controller.tick(c, h, e),
+            cache, specs, train_hours, len(series.values),
+        )
+        if static.event_hours and dynamic.event_hours:
+            improvement = 1 - dynamic.event_hours["mape"] / static.event_hours["mape"]
+            note = f"{improvement:>14.1%}"
+        else:
+            note = f"{'no events':>14}"
+        print(
+            f"{series.city:<10}{static.overall['mape']:>12.4f}"
+            f"{dynamic.overall['mape']:>14.4f}{note}"
+            f"{switchboard.switch_count(series.city):>10}"
+        )
+
+    # -- drift-gated retraining ------------------------------------------------
+    detector = DriftDetector(baseline_window=5, recent_window=3, ratio_threshold=1.8, patience=2)
+    drifting = fleet[0]
+    print(f"\nstreaming production error for {drifting.city} with a simulated regime change...")
+    for error in [0.08] * 8 + [0.25] * 5:  # post-deploy degradation
+        report = detector.observe(error)
+    if report.detected:
+        retrained = pipeline.train_city(drifting, base_spec)
+        print(
+            f"drift detected (ratio {report.degradation_ratio:.2f}); retrained "
+            f"{drifting.city} -> instance {retrained.instance.instance_id[:8]}..."
+        )
+    print(
+        f"\ntotal training compute: {pipeline.stats.fits} fits, "
+        f"{pipeline.stats.compute_units:,} row-units"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Model health in production (Section 3.6) end to end.
+
+A deployed model serves a city whose market regime shifts mid-flight.  The
+health monitor sweeps Gallery, derives drift/skew signals, the rule engine
+reacts (alert + retrain), a challenger shadow-deploys against the champion
+and is promoted once it consistently wins, and the deprecation sweeper
+retires the old champion.
+
+Run:  python examples/model_health_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gallery
+from repro.core import DriftDetector
+from repro.core.records import MetricScope
+from repro.forecasting import (
+    CityProfile,
+    FeatureSpec,
+    ForecastingPipeline,
+    HOURS_PER_WEEK,
+    ModelSpecification,
+    add_unplanned_outage,
+    build_dataset,
+    generate_city_demand,
+)
+from repro.forecasting.models import RidgeRegression, deserialize
+from repro.monitoring import (
+    DeprecationPolicy,
+    DeprecationSweeper,
+    HealthMonitor,
+    MonitorConfig,
+    ShadowDeployment,
+    ShadowState,
+    register_promote_action,
+)
+from repro.rules import RuleEngine, action_rule
+
+SPEC = ModelSpecification(
+    "ridge", lambda: RidgeRegression(), FeatureSpec(lags=(168,), rolling_windows=(), calendar=True)
+)
+TRAIN_HOURS = 4 * HOURS_PER_WEEK
+TOTAL_HOURS = 7 * HOURS_PER_WEEK
+SHIFT_HOUR = TRAIN_HOURS + 72
+
+
+def main() -> None:
+    # a city whose demand level permanently shifts after deployment
+    profile = add_unplanned_outage(
+        CityProfile(name="drifty", base_demand=140.0, noise_level=0.04),
+        start=SHIFT_HOUR,
+        duration=TOTAL_HOURS - SHIFT_HOUR,
+        multiplier=1.4,
+    )
+    series = generate_city_demand(profile, hours=TOTAL_HOURS, seed=17)
+
+    gallery = build_gallery()
+    pipeline = ForecastingPipeline(gallery)
+    champion = pipeline.train_city(series, SPEC, train_hours=TRAIN_HOURS)
+    champion_id = champion.instance.instance_id
+    print(f"champion deployed: {champion_id[:8]}... "
+          f"(validation MAPE {champion.validation_metrics['mape']:.3f})")
+
+    engine = RuleEngine(gallery, bus=gallery.bus)
+    engine.register(
+        action_rule(
+            uuid="retrain-on-drift",
+            team="forecasting",
+            given="true",
+            when='metrics["drift_ratio:mape"] > 1.8',
+            actions=["retrain", "alert"],
+        )
+    )
+    monitor = HealthMonitor(
+        gallery,
+        MonitorConfig(
+            watch_metrics=("mape",),
+            detector_factory=lambda: DriftDetector(
+                baseline_window=5, recent_window=3, ratio_threshold=1.8, patience=2
+            ),
+        ),
+    )
+
+    # serve daily, stream production MAPE, sweep the monitor
+    model = deserialize(gallery.load_instance_blob(champion_id))
+    dataset = build_dataset(series.values, SPEC.feature_spec)
+    row_of_hour = {hour: i for i, hour in enumerate(dataset.hour_index)}
+    drift_day = None
+    for day_start in range(TRAIN_HOURS, TOTAL_HOURS, 24):
+        rows = [row_of_hour[h] for h in range(day_start, day_start + 24) if h in row_of_hour]
+        predicted = model.predict(dataset.features[rows])
+        actual = dataset.targets[rows]
+        daily_mape = float((abs(actual - predicted) / abs(actual).clip(min=1e-9)).mean())
+        gallery.insert_metric(champion_id, "mape", daily_mape, scope=MetricScope.PRODUCTION)
+        snapshot = monitor.sweep([champion_id])[0]
+        engine.drain()
+        if snapshot.drifting_metrics and drift_day is None:
+            drift_day = (day_start - TRAIN_HOURS) // 24
+    print(f"regime shift at serving day {(SHIFT_HOUR - TRAIN_HOURS) // 24}; "
+          f"monitor flagged drift on day {drift_day}")
+    print(f"rule engine fired: {[c.action for batch in [] for c in batch] or [c.instance_id[:8] for c in engine.actions.sent('retrain')]} retrain request(s), "
+          f"{len(monitor.alerts.of_kind('drift'))} drift alert(s)")
+
+    # retrain on the full (post-shift) history -> challenger
+    challenger = pipeline.train_city(series, SPEC, train_hours=TOTAL_HOURS)
+    challenger_id = challenger.instance.instance_id
+    print(f"challenger trained on post-shift data: {challenger_id[:8]}...")
+
+    # shadow-deploy the challenger; promote after 3 consecutive wins
+    serving = {"drifty": champion_id}
+    register_promote_action(engine.actions, serving)
+    shadow = ShadowDeployment(
+        gallery, engine.actions, champion_id, challenger_id, patience=3
+    )
+    challenger_model = deserialize(gallery.load_instance_blob(challenger_id))
+    window = 0
+    for day_start in range(SHIFT_HOUR, TOTAL_HOURS - 24, 24):
+        rows = [row_of_hour[h] for h in range(day_start, day_start + 24) if h in row_of_hour]
+        actual = dataset.targets[rows]
+        champ_mape = float((abs(actual - model.predict(dataset.features[rows])) / actual).mean())
+        chall_mape = float(
+            (abs(actual - challenger_model.predict(dataset.features[rows])) / actual).mean()
+        )
+        result = shadow.observe_window(champ_mape, chall_mape)
+        window += 1
+        if result.state is not ShadowState.RUNNING:
+            break
+    print(f"shadow deployment: {shadow.state.value} after {window} windows; "
+          f"now serving {serving['drifty'][:8]}...")
+
+    # after promotion both models keep reporting production metrics for a
+    # few windows (the old champion is still measured while it drains)
+    for day_start in range(TOTAL_HOURS - 72, TOTAL_HOURS - 24, 24):
+        rows = [row_of_hour[h] for h in range(day_start, day_start + 24) if h in row_of_hour]
+        actual = dataset.targets[rows]
+        gallery.insert_metric(
+            champion_id,
+            "mape",
+            float((abs(actual - model.predict(dataset.features[rows])) / actual).mean()),
+            scope=MetricScope.PRODUCTION,
+        )
+        gallery.insert_metric(
+            challenger_id,
+            "mape",
+            float(
+                (abs(actual - challenger_model.predict(dataset.features[rows])) / actual).mean()
+            ),
+            scope=MetricScope.PRODUCTION,
+        )
+
+    # the deprecation sweeper retires the consistently-beaten old champion
+    sweeper = DeprecationSweeper(
+        gallery, DeprecationPolicy(metric="mape", patience=2, margin=0.1)
+    )
+    outcomes = [sweeper.sweep() for _ in range(2)]
+    retired = [iid for outcome in outcomes for iid in outcome.deprecated]
+    print(f"deprecation sweeper retired: {[iid[:8] + '...' for iid in retired]}")
+    print(f"old champion deprecated: {gallery.get_instance(champion_id).deprecated}")
+
+
+if __name__ == "__main__":
+    main()

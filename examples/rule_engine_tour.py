@@ -1,0 +1,116 @@
+"""A tour of the orchestration rule engine (Section 3.7).
+
+Authors the paper's two rule templates (Listings 1 and 2), pushes them
+through the git-style reviewed rule repository, and exercises both
+Figure 8 client paths: a direct model-selection query and an event-driven
+action rule firing a deployment callback.
+
+Run:  python examples/rule_engine_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gallery
+from repro.rules import (
+    RuleEngine,
+    RuleRepository,
+    action_rule,
+    selection_rule,
+)
+
+
+def main() -> None:
+    gallery = build_gallery()
+    engine = RuleEngine(gallery, bus=gallery.bus)
+
+    # -- author rules (the paper's Listings 1 and 2) -------------------------
+    select_freshest = selection_rule(
+        uuid="316b3ab4-select-freshest",
+        team="forecasting",
+        given='model_name == "linear_regression" and model_domain == "UberX"',
+        when="metrics.mae < 5",
+        selection="a.created_time > b.created_time",
+        description="serve the freshest linear regression within the MAE gate",
+    )
+    deploy_gate = action_rule(
+        uuid="4365754a-deploy-gate",
+        team="forecasting",
+        given='model_domain == "UberX" and model_name == "random_forest"',
+        when="metrics.bias <= 0.1 and metrics.bias >= -0.1",
+        actions=[{"action": "deploy"}],
+        description="deploy random forests whose bias is within +-0.1",
+    )
+    print("authored rules:")
+    print(select_freshest.to_json())
+
+    # -- check them into the reviewed repository ------------------------------
+    repo = RuleRepository()
+    request = repo.propose(
+        author="alice",
+        message="forecasting champion + deploy gate",
+        changes={
+            f"forecasting/{rule.uuid}.json": rule.to_json()
+            for rule in (select_freshest, deploy_gate)
+        },
+    )
+    commit = repo.approve(request.request_id, reviewer="bob")
+    print(f"\ncommit #{commit.commit_id} merged (author={commit.author}, reviewer={commit.reviewer})")
+    engine.sync_from_repo(repo)
+
+    # -- a bad rule never reaches production ----------------------------------
+    try:
+        repo.propose("mallory", "oops", {"forecasting/broken.json": '{"team": "forecasting"}'})
+    except Exception as exc:
+        print(f"validation gate rejected a malformed rule: {type(exc).__name__}")
+
+    # -- populate the registry -----------------------------------------------
+    gallery.create_model("marketplace", "demand_lr", owner="forecasting")
+    gallery.create_model("marketplace", "demand_rf", owner="forecasting")
+    stale = gallery.upload_model(
+        "marketplace", "demand_lr", blob=b"lr-old",
+        metadata={"model_name": "linear_regression", "model_domain": "UberX"},
+    )
+    gallery.insert_metric(stale.instance_id, "mae", 3.1)
+    fresh = gallery.upload_model(
+        "marketplace", "demand_lr", blob=b"lr-new",
+        metadata={"model_name": "linear_regression", "model_domain": "UberX"},
+    )
+    gallery.insert_metric(fresh.instance_id, "mae", 3.4)
+    noisy = gallery.upload_model(
+        "marketplace", "demand_lr", blob=b"lr-noisy",
+        metadata={"model_name": "linear_regression", "model_domain": "UberX"},
+    )
+    gallery.insert_metric(noisy.instance_id, "mae", 40.0)
+
+    # -- Client 1 (Figure 8): direct selection query ---------------------------
+    result = engine.select(select_freshest)
+    chosen = "fresh" if result.instance_id == fresh.instance_id else "unexpected"
+    print(
+        f"\nselection rule considered {result.candidates_considered} candidates, "
+        f"{result.candidates_eligible} eligible; champion = the {chosen} instance"
+    )
+
+    # -- Client 2 (Figure 8): metric update triggers the action rule -----------
+    candidate = gallery.upload_model(
+        "marketplace", "demand_rf", blob=b"rf-v1",
+        metadata={"model_name": "random_forest", "model_domain": "UberX"},
+    )
+    gallery.insert_metric(candidate.instance_id, "bias", 0.03)
+    fired = engine.drain()
+    print(f"action rule fired {len(fired)} callback(s): "
+          f"{[f.context.action for f in fired]}")
+    print(f"deploy outbox: {[c.instance_id[:8] + '...' for c in engine.actions.sent('deploy')]}")
+
+    # an instance outside the gate does not deploy
+    rejected = gallery.upload_model(
+        "marketplace", "demand_rf", blob=b"rf-biased",
+        metadata={"model_name": "random_forest", "model_domain": "UberX"},
+    )
+    gallery.insert_metric(rejected.instance_id, "bias", 0.4)
+    print(f"biased instance fired {len(engine.drain())} callbacks (gate held)")
+
+    print(f"\nengine stats: {engine.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Case 2 (Section 4.3): decoupling model training from the simulator.
+
+Runs the agent-based marketplace simulation twice — once training the
+demand forecaster inside the run (the pre-Gallery platform) and once
+instantiating a Gallery-stored instance — and prints the resource bill
+for each, reproducing the shape of the paper's "8GB memory and one hour
+CPU time per simulation" saving.
+
+Run:  python examples/simulation_decoupling.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gallery
+from repro.forecasting import CityProfile, FeatureSpec, generate_city_demand
+from repro.forecasting.models import RidgeRegression
+from repro.simulation import (
+    MarketplaceConfig,
+    run_coupled,
+    run_decoupled,
+    train_offline_model,
+)
+
+SPEC = FeatureSpec(lags=(1, 2, 3, 24), rolling_windows=(6,), calendar=True)
+SIM_HOURS = 24 * 7
+
+
+def main() -> None:
+    profile = CityProfile(name="sim-city", base_demand=70.0)
+    historical = generate_city_demand(profile, hours=24 * 7 * 4, seed=41).values
+    live = generate_city_demand(profile, hours=SIM_HOURS, seed=42).values
+    config = MarketplaceConfig(n_drivers=35)
+
+    print("running COUPLED simulation (model trained inside the run)...")
+    coupled = run_coupled(
+        live, config, lambda: RidgeRegression(), SPEC,
+        hours=SIM_HOURS, seed=5, retrain_every_hours=24, expansion_rows=400,
+    )
+
+    print("training the forecaster OFFLINE and storing it in Gallery...")
+    gallery = build_gallery()
+    instance_id = train_offline_model(
+        gallery, historical, lambda: RidgeRegression(), SPEC
+    )
+    instance = gallery.get_instance(instance_id)
+    print(f"  stored instance {instance_id[:8]}... at {instance.blob_location[:24]}...")
+
+    print("running DECOUPLED simulation (instance fetched from Gallery)...")
+    decoupled = run_decoupled(
+        gallery, instance_id, live, config, SPEC, hours=SIM_HOURS, seed=5
+    )
+
+    print(f"\n{'mode':<11}{'trips':>8}{'completion':>12}{'peak buf MB':>13}"
+          f"{'train cpu s':>13}{'fits':>6}")
+    for run in (coupled, decoupled):
+        r, m = run.resources, run.marketplace
+        print(
+            f"{run.mode:<11}{m.trips_completed:>8}{m.completion_rate:>12.3f}"
+            f"{r.peak_buffer_bytes / 1e6:>13.2f}{r.training_cpu_s:>13.3f}{r.fits:>6}"
+        )
+
+    ratio = coupled.resources.peak_buffer_bytes / max(
+        decoupled.resources.peak_buffer_bytes, 1
+    )
+    print(
+        f"\ndecoupling kept the marketplace outcomes while using {ratio:,.0f}x less"
+        f"\nmodel memory and zero in-run training CPU — the paper's Case 2 shape."
+        f"\nModel developers now iterate offline and the simulator just fetches"
+        f"\nthe latest instance from Gallery."
+    )
+
+
+if __name__ == "__main__":
+    main()

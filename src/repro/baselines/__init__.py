@@ -1,0 +1,47 @@
+"""Baselines: Table 1 comparison systems, pre-Gallery manual ops, semver."""
+
+from repro.baselines.capabilities import (
+    Capability,
+    CapabilityRow,
+    feature_matrix,
+    probe,
+    render_matrix,
+)
+from repro.baselines.manual_ops import (
+    Actor,
+    DeploymentLedger,
+    GALLERY_DEPLOYMENT_STEPS,
+    MANUAL_DAILY_STEPS,
+    MANUAL_DEPLOYMENT_STEPS,
+    WorkflowCost,
+    WorkflowStep,
+    cost_of,
+)
+from repro.baselines.semver_registry import (
+    FleetVersioningReport,
+    SemverFleetRegistry,
+    UuidFleetRegistry,
+)
+from repro.baselines.systems import GalleryAdapter, MiniRegistry, table1_systems
+
+__all__ = [
+    "Actor",
+    "Capability",
+    "CapabilityRow",
+    "DeploymentLedger",
+    "FleetVersioningReport",
+    "GALLERY_DEPLOYMENT_STEPS",
+    "GalleryAdapter",
+    "MANUAL_DAILY_STEPS",
+    "MANUAL_DEPLOYMENT_STEPS",
+    "MiniRegistry",
+    "SemverFleetRegistry",
+    "UuidFleetRegistry",
+    "WorkflowCost",
+    "WorkflowStep",
+    "cost_of",
+    "feature_matrix",
+    "probe",
+    "render_matrix",
+    "table1_systems",
+]

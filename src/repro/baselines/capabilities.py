@@ -1,0 +1,116 @@
+"""Capability model for the Table 1 feature comparison.
+
+Table 1 of the paper compares model-management systems along seven feature
+axes: Saving, Loading, Metadata, Searching, Serving, Metrics, and
+Orchestration.  Rather than hard-coding the table, EXP-T1 regenerates it by
+**probing**: every comparison system in :mod:`repro.baselines.systems`
+implements the subset of the common registry protocol its real counterpart
+supports, and :func:`probe` exercises each operation to discover what works.
+
+A capability counts as present only when the operation actually runs — a
+method that raises :class:`NotImplementedError` probes as absent, so the
+matrix reflects behaviour, not signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+
+class Capability(str, Enum):
+    """The seven feature axes of Table 1."""
+
+    SAVING = "Saving"
+    LOADING = "Loading"
+    METADATA = "Metadata"
+    SEARCHING = "Searching"
+    SERVING = "Serving"
+    METRICS = "Metrics"
+    ORCHESTRATION = "Orchestration"
+
+
+@runtime_checkable
+class RegistrySystem(Protocol):
+    """The common protocol every comparison system partially implements.
+
+    Each method mirrors one Table 1 axis.  Systems raise
+    ``NotImplementedError`` for axes their real counterpart lacks.
+    """
+
+    name: str
+
+    def save_model(self, name: str, blob: bytes) -> str: ...
+    def load_model(self, ref: str) -> bytes: ...
+    def set_metadata(self, ref: str, metadata: Mapping[str, Any]) -> None: ...
+    def search(self, field: str, value: Any) -> list[str]: ...
+    def serve(self, ref: str) -> Any: ...
+    def record_metric(self, ref: str, name: str, value: float) -> None: ...
+    def orchestrate(self, rule: Mapping[str, Any]) -> Any: ...
+
+
+@dataclass(frozen=True, slots=True)
+class CapabilityRow:
+    """One row of the regenerated Table 1."""
+
+    system: str
+    flags: Mapping[Capability, bool]
+
+    def as_yn(self) -> dict[str, str]:
+        return {cap.value: ("Y" if self.flags[cap] else "N") for cap in Capability}
+
+
+def probe(system: RegistrySystem) -> CapabilityRow:
+    """Exercise every axis of *system* and record what actually works."""
+    flags: dict[Capability, bool] = {}
+    ref: str | None = None
+
+    def attempt(capability: Capability, operation) -> None:
+        try:
+            operation()
+        except NotImplementedError:
+            flags[capability] = False
+        else:
+            flags[capability] = True
+
+    def _save() -> None:
+        nonlocal ref
+        ref = system.save_model("probe-model", b"probe-bytes")
+
+    attempt(Capability.SAVING, _save)
+    probe_ref = ref or "probe-ref"
+    attempt(Capability.LOADING, lambda: system.load_model(probe_ref))
+    attempt(
+        Capability.METADATA,
+        lambda: system.set_metadata(probe_ref, {"owner": "probe"}),
+    )
+    attempt(Capability.SEARCHING, lambda: system.search("owner", "probe"))
+    attempt(Capability.SERVING, lambda: system.serve(probe_ref))
+    attempt(Capability.METRICS, lambda: system.record_metric(probe_ref, "mape", 0.1))
+    attempt(
+        Capability.ORCHESTRATION,
+        lambda: system.orchestrate({"WHEN": "metrics.mape < 0.2", "action": "deploy"}),
+    )
+    return CapabilityRow(system=system.name, flags=flags)
+
+
+def feature_matrix(systems: list[RegistrySystem]) -> list[CapabilityRow]:
+    """Probe every system; rows come back in input order (Table 1 order)."""
+    return [probe(system) for system in systems]
+
+
+def render_matrix(rows: list[CapabilityRow]) -> str:
+    """Render the matrix as the paper's table."""
+    header = ["Systems"] + [cap.value for cap in Capability]
+    widths = [max(len(header[0]), max(len(r.system) for r in rows))] + [
+        max(len(h), 1) for h in header[1:]
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        yn = row.as_yn()
+        cells = [row.system.ljust(widths[0])] + [
+            yn[cap.value].ljust(w) for cap, w in zip(Capability, widths[1:])
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Pre-Gallery manual operations cost model (Sections 1, 4, 4.2).
+
+The paper quantifies the before/after:
+
+* "For about 100 models, engineers and data scientists spent 1-2 hours a
+  day manipulating files on HDFS and Git, measuring performance and
+  triggering model retraining."
+* "Gallery's model management solution ... has reduced model deployment
+  from two hours of engineering work per model to 0."
+
+This module models the *manual* workflow as an explicit step list with
+per-step engineer-minute costs (calibrated so a full deployment lands near
+the paper's two hours), and the *Gallery* workflow as the same outcomes
+driven by the rule engine — counting how many steps still need a human.
+EXP-C1-DEPLOY runs both over a fleet and reports engineer hours per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+
+class Actor(str, Enum):
+    ENGINEER = "engineer"
+    AUTOMATION = "automation"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowStep:
+    """One unit of deployment work: who does it and how long it takes."""
+
+    name: str
+    actor: Actor
+    minutes: float
+
+    def __post_init__(self) -> None:
+        if self.minutes < 0:
+            raise ValueError("step minutes must be non-negative")
+
+
+#: The manual per-model deployment workflow the paper describes: files on
+#: HDFS and Git, hand-checked metrics, hand-rolled versioning, config pushes.
+MANUAL_DEPLOYMENT_STEPS: tuple[WorkflowStep, ...] = (
+    WorkflowStep("locate previous model files on HDFS", Actor.ENGINEER, 10.0),
+    WorkflowStep("copy new model blob to HDFS path", Actor.ENGINEER, 10.0),
+    WorkflowStep("hand-check evaluation metrics", Actor.ENGINEER, 20.0),
+    WorkflowStep("decide semantic version bump", Actor.ENGINEER, 10.0),
+    WorkflowStep("update version file in Git + review", Actor.ENGINEER, 25.0),
+    WorkflowStep("edit serving config for new path", Actor.ENGINEER, 15.0),
+    WorkflowStep("push config + restart serving", Actor.ENGINEER, 15.0),
+    WorkflowStep("verify serving picked up the model", Actor.ENGINEER, 15.0),
+)
+
+#: The same outcomes under Gallery: upload + metrics happen inside the
+#: training pipeline; gating, champion selection, and the serving config
+#: change are rule-engine actions (Section 4.2: "reduced ... to 0").
+GALLERY_DEPLOYMENT_STEPS: tuple[WorkflowStep, ...] = (
+    WorkflowStep("pipeline uploads blob + metadata", Actor.AUTOMATION, 0.1),
+    WorkflowStep("pipeline records validation metrics", Actor.AUTOMATION, 0.1),
+    WorkflowStep("action rule gates on metrics", Actor.AUTOMATION, 0.1),
+    WorkflowStep("deploy action updates serving config", Actor.AUTOMATION, 0.1),
+)
+
+#: Daily care-and-feeding per ~100 manually managed models (Section 4:
+#: "1-2 hours a day manipulating files ... measuring performance and
+#: triggering model retraining").
+MANUAL_DAILY_STEPS: tuple[WorkflowStep, ...] = (
+    WorkflowStep("scan HDFS/Git for stale models", Actor.ENGINEER, 25.0),
+    WorkflowStep("pull and eyeball performance dashboards", Actor.ENGINEER, 30.0),
+    WorkflowStep("decide which cities to retrain", Actor.ENGINEER, 20.0),
+    WorkflowStep("kick off and babysit retraining jobs", Actor.ENGINEER, 15.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowCost:
+    """Aggregated cost of executing a workflow once."""
+
+    engineer_minutes: float
+    automation_minutes: float
+    engineer_steps: int
+    automation_steps: int
+
+    @property
+    def engineer_hours(self) -> float:
+        return self.engineer_minutes / 60.0
+
+
+def cost_of(steps: Sequence[WorkflowStep]) -> WorkflowCost:
+    engineer = [s for s in steps if s.actor is Actor.ENGINEER]
+    automation = [s for s in steps if s.actor is Actor.AUTOMATION]
+    return WorkflowCost(
+        engineer_minutes=sum(s.minutes for s in engineer),
+        automation_minutes=sum(s.minutes for s in automation),
+        engineer_steps=len(engineer),
+        automation_steps=len(automation),
+    )
+
+
+@dataclass
+class DeploymentLedger:
+    """Accumulates deployment costs over a fleet (EXP-C1-DEPLOY)."""
+
+    workflow: Sequence[WorkflowStep]
+    deployments: int = 0
+    total: WorkflowCost = field(
+        default_factory=lambda: WorkflowCost(0.0, 0.0, 0, 0)
+    )
+
+    def deploy(self, n_models: int = 1) -> WorkflowCost:
+        """Record *n_models* deployments; returns the per-model cost."""
+        per_model = cost_of(self.workflow)
+        self.deployments += n_models
+        self.total = WorkflowCost(
+            engineer_minutes=self.total.engineer_minutes
+            + per_model.engineer_minutes * n_models,
+            automation_minutes=self.total.automation_minutes
+            + per_model.automation_minutes * n_models,
+            engineer_steps=self.total.engineer_steps
+            + per_model.engineer_steps * n_models,
+            automation_steps=self.total.automation_steps
+            + per_model.automation_steps * n_models,
+        )
+        return per_model
+
+    @property
+    def engineer_hours_per_model(self) -> float:
+        if self.deployments == 0:
+            return 0.0
+        return self.total.engineer_minutes / 60.0 / self.deployments

@@ -1,0 +1,168 @@
+"""The pre-Gallery semantic-versioning registry and its breakdown
+(Section 3.4.1).
+
+The paper: semantic versioning "works well when we have one simple
+forecasting model for a handful of cities.  However, it is not manageable
+when we build and launch multiple forecasting models for hundreds of
+cities ... The basic semantic versioning schema also loses meaning because
+cities are no longer aligned against the same versions."
+
+:class:`SemverFleetRegistry` replays a fleet's retraining history under
+per-city semantic versions and measures the breakdown:
+
+* **alignment** — the fraction of cities sitting on the fleet's modal
+  version (1.0 = the version string still means one thing);
+* **ambiguous versions** — version strings that refer to *different
+  artifacts* in different cities (the same "1.3.10" is a different model in
+  SF than in NYC);
+* **distinct version strings** an engineer must reason about.
+
+:class:`UuidFleetRegistry` replays the same history under Gallery's scheme:
+every artifact gets a unique id, base version ids carry the meaning, and
+ambiguity is structurally impossible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.ids import IdFactory, random_uuid
+from repro.core.versioning import SemanticVersion
+from repro.errors import NotFoundError
+
+
+@dataclass(frozen=True, slots=True)
+class FleetVersioningReport:
+    """Breakdown metrics after replaying a retraining history."""
+
+    scheme: str
+    cities: int
+    distinct_versions: int
+    alignment: float
+    ambiguous_versions: int
+    manual_decisions: int
+
+
+class SemverFleetRegistry:
+    """Per-city semantic versions with the paper's bump rules."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, SemanticVersion] = {}
+        #: version-string -> set of artifact ids it refers to, across cities
+        self._artifacts_by_version: dict[str, set[str]] = {}
+        self._artifact_counter = 0
+        self.manual_decisions = 0
+
+    def launch(self, city: str) -> str:
+        """Register a city at 1.0.0."""
+        self._versions[city] = SemanticVersion(1, 0, 0)
+        return self._record_artifact(city)
+
+    def retrain(self, city: str) -> str:
+        """Patch bump: retrained on new data (one manual decision)."""
+        self._bump(city, "patch")
+        return self._record_artifact(city)
+
+    def change_features(self, city: str) -> str:
+        """Minor bump: feature/hyperparameter change."""
+        self._bump(city, "minor")
+        return self._record_artifact(city)
+
+    def change_architecture(self, city: str) -> str:
+        """Major bump: new model architecture."""
+        self._bump(city, "major")
+        return self._record_artifact(city)
+
+    def version_of(self, city: str) -> str:
+        try:
+            return str(self._versions[city])
+        except KeyError:
+            raise NotFoundError(f"city {city!r} not launched") from None
+
+    def _bump(self, city: str, kind: str) -> None:
+        version = self._versions.get(city)
+        if version is None:
+            raise NotFoundError(f"city {city!r} not launched")
+        # Every bump is a human choosing which component to increment —
+        # that is the "manual decision" cost the paper calls unmanageable.
+        self.manual_decisions += 1
+        if kind == "patch":
+            self._versions[city] = version.bump_patch()
+        elif kind == "minor":
+            self._versions[city] = version.bump_minor()
+        else:
+            self._versions[city] = version.bump_major()
+
+    def _record_artifact(self, city: str) -> str:
+        self._artifact_counter += 1
+        artifact_id = f"artifact-{self._artifact_counter:06d}"
+        version = str(self._versions[city])
+        self._artifacts_by_version.setdefault(version, set()).add(artifact_id)
+        return artifact_id
+
+    def report(self) -> FleetVersioningReport:
+        versions = [str(v) for v in self._versions.values()]
+        counts = Counter(versions)
+        modal = counts.most_common(1)[0][1] if counts else 0
+        ambiguous = sum(
+            1
+            for artifacts in self._artifacts_by_version.values()
+            if len(artifacts) > 1
+        )
+        return FleetVersioningReport(
+            scheme="semantic",
+            cities=len(self._versions),
+            distinct_versions=len(set(versions)),
+            alignment=modal / len(versions) if versions else 1.0,
+            ambiguous_versions=ambiguous,
+            manual_decisions=self.manual_decisions,
+        )
+
+
+class UuidFleetRegistry:
+    """Gallery's scheme: UUID per artifact, base version id per problem."""
+
+    def __init__(self, id_factory: IdFactory | None = None) -> None:
+        self._new_id = id_factory or random_uuid
+        self._instances_by_city: dict[str, list[str]] = {}
+        self._all_ids: set[str] = set()
+        self.manual_decisions = 0  # structurally zero: no bump choices exist
+
+    def launch(self, city: str) -> str:
+        return self._record(city)
+
+    def retrain(self, city: str) -> str:
+        return self._record(city)
+
+    def change_features(self, city: str) -> str:
+        return self._record(city)
+
+    def change_architecture(self, city: str) -> str:
+        return self._record(city)
+
+    def version_of(self, city: str) -> str:
+        try:
+            return self._instances_by_city[city][-1]
+        except (KeyError, IndexError):
+            raise NotFoundError(f"city {city!r} not launched") from None
+
+    def _record(self, city: str) -> str:
+        instance_id = self._new_id()
+        assert instance_id not in self._all_ids, "UUID collision"
+        self._all_ids.add(instance_id)
+        self._instances_by_city.setdefault(city, []).append(instance_id)
+        return instance_id
+
+    def report(self) -> FleetVersioningReport:
+        cities = len(self._instances_by_city)
+        return FleetVersioningReport(
+            scheme="uuid",
+            cities=cities,
+            distinct_versions=len(self._all_ids),
+            # Identity is per-artifact, so "alignment" is trivially perfect:
+            # the meaning lives in the base version id, not the string.
+            alignment=1.0,
+            ambiguous_versions=0,
+            manual_decisions=self.manual_decisions,
+        )

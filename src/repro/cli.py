@@ -1,0 +1,279 @@
+"""Command-line interface for a durable, on-disk Gallery.
+
+The paper's users reach Gallery through Thrift clients from "their own
+modeling environment and language of their choice"; for an open-source
+release the lowest-friction environment is the shell.  The CLI operates a
+SQLite + filesystem-backed Gallery rooted at ``--data-dir``:
+
+.. code-block:: console
+
+    $ gallery --data-dir ./g create-model example-project supply_rejection --owner you
+    $ gallery --data-dir ./g upload example-project supply_rejection model.bin \
+          --meta model_name="Random Forest" --meta city="New York City"
+    $ gallery --data-dir ./g metric <instance-id> bias 0.05 --scope Validation
+    $ gallery --data-dir ./g query modelName:equal:"Random Forest" \
+          metricName:equal:bias metricValue:smaller_than:0.25
+    $ gallery --data-dir ./g fetch <instance-id> restored.bin
+    $ gallery --data-dir ./g lineage supply_rejection
+    $ gallery --data-dir ./g audit
+
+All output is JSON (one document per invocation) so the CLI composes with
+``jq``-style tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro import build_gallery
+from repro.core.registry import Gallery
+from repro.errors import GalleryError
+
+
+def _open_gallery(data_dir: str) -> Gallery:
+    path = Path(data_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return build_gallery(
+        metadata_backend="sqlite", blob_backend="fs", data_dir=path
+    )
+
+
+def _parse_meta(pairs: Sequence[str]) -> dict[str, Any]:
+    """Parse repeated ``--meta key=value`` flags; values parse as JSON when
+    possible (so ``--meta random_seed=7`` stores an int) else as strings."""
+    metadata: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--meta expects key=value, got {pair!r}")
+        try:
+            metadata[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            metadata[key] = raw
+    return metadata
+
+
+def _parse_constraint(text: str) -> dict[str, Any]:
+    """Parse ``field:operator:value``; value parses as JSON when possible."""
+    parts = text.split(":", 2)
+    if len(parts) != 3:
+        raise SystemExit(f"constraint must be field:operator:value, got {text!r}")
+    field, operator, raw = parts
+    try:
+        value: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return {"field": field, "operator": operator, "value": value}
+
+
+def _emit(document: Any) -> None:
+    json.dump(document, sys.stdout, indent=2, sort_keys=True, default=str)
+    sys.stdout.write("\n")
+
+
+# -- subcommand implementations ------------------------------------------------
+
+
+def _cmd_create_model(gallery: Gallery, args: argparse.Namespace) -> Any:
+    model = gallery.create_model(
+        project=args.project,
+        base_version_id=args.base_version_id,
+        owner=args.owner,
+        description=args.description,
+        metadata=_parse_meta(args.meta),
+    )
+    return model.to_dict()
+
+
+def _cmd_upload(gallery: Gallery, args: argparse.Namespace) -> Any:
+    blob = Path(args.blob_file).read_bytes()
+    instance = gallery.upload_model(
+        project=args.project,
+        base_version_id=args.base_version_id,
+        blob=blob,
+        metadata=_parse_meta(args.meta),
+        parent_instance_id=args.parent,
+    )
+    return instance.to_dict()
+
+
+def _cmd_metric(gallery: Gallery, args: argparse.Namespace) -> Any:
+    record = gallery.insert_metric(
+        args.instance_id, args.name, args.value, scope=args.scope
+    )
+    return record.to_dict()
+
+
+def _cmd_query(gallery: Gallery, args: argparse.Namespace) -> Any:
+    constraints = [_parse_constraint(c) for c in args.constraints]
+    hits = gallery.model_query(constraints, include_deprecated=args.include_deprecated)
+    return [hit.to_dict() for hit in hits]
+
+
+def _cmd_models(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return [model.to_dict() for model in gallery.models(args.include_deprecated)]
+
+
+def _cmd_get_instance(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return gallery.get_instance(args.instance_id).to_dict()
+
+
+def _cmd_fetch(gallery: Gallery, args: argparse.Namespace) -> Any:
+    blob = gallery.load_instance_blob(args.instance_id)
+    Path(args.out_file).write_bytes(blob)
+    return {"instance_id": args.instance_id, "bytes": len(blob), "path": args.out_file}
+
+
+def _cmd_lineage(gallery: Gallery, args: argparse.Namespace) -> Any:
+    entries = gallery.lineage.lineage(args.base_version_id)
+    return [
+        {
+            "instance_id": entry.instance_id,
+            "created_time": entry.created_time,
+            "parent_instance_id": entry.parent_instance_id,
+        }
+        for entry in entries
+    ]
+
+
+def _cmd_metrics(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return [record.to_dict() for record in gallery.metrics_of(args.instance_id)]
+
+
+def _cmd_health(gallery: Gallery, args: argparse.Namespace) -> Any:
+    report = gallery.instance_health(args.instance_id)
+    return {
+        "instance_id": report.instance_id,
+        "healthy": report.healthy,
+        "completeness_score": report.completeness.score,
+        "missing": list(report.completeness.missing),
+        "scopes_reporting": list(report.scopes_reporting),
+        "issues": list(report.issues),
+    }
+
+
+def _cmd_deprecate(gallery: Gallery, args: argparse.Namespace) -> Any:
+    if args.model:
+        return gallery.deprecate_model(args.target).to_dict()
+    return gallery.deprecate_instance(args.target).to_dict()
+
+
+def _cmd_audit(gallery: Gallery, args: argparse.Namespace) -> Any:
+    report = gallery.dal.audit_consistency()
+    return {
+        "consistent": report.consistent,
+        "orphan_blobs": list(report.orphan_blobs),
+        "dangling_instances": list(report.dangling_instances),
+        "summary": gallery.dal.storage_summary(),
+    }
+
+
+def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
+    removed = gallery.dal.collect_orphan_blobs()
+    return {"removed_orphan_blobs": removed}
+
+
+# -- parser ---------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gallery",
+        description="Operate an on-disk Gallery model registry.",
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=".gallery",
+        help="directory holding the SQLite metadata store and blob tree",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    create = commands.add_parser("create-model", help="register a model")
+    create.add_argument("project")
+    create.add_argument("base_version_id")
+    create.add_argument("--owner", default="")
+    create.add_argument("--description", default="")
+    create.add_argument("--meta", action="append", default=[])
+    create.set_defaults(handler=_cmd_create_model)
+
+    upload = commands.add_parser("upload", help="upload a trained instance blob")
+    upload.add_argument("project")
+    upload.add_argument("base_version_id")
+    upload.add_argument("blob_file")
+    upload.add_argument("--meta", action="append", default=[])
+    upload.add_argument("--parent", default=None)
+    upload.set_defaults(handler=_cmd_upload)
+
+    metric = commands.add_parser("metric", help="record a performance metric")
+    metric.add_argument("instance_id")
+    metric.add_argument("name")
+    metric.add_argument("value", type=float)
+    metric.add_argument("--scope", default="Validation")
+    metric.set_defaults(handler=_cmd_metric)
+
+    query = commands.add_parser("query", help="constraint search (Listing 5)")
+    query.add_argument("constraints", nargs="*", metavar="field:op:value")
+    query.add_argument("--include-deprecated", action="store_true")
+    query.set_defaults(handler=_cmd_query)
+
+    models = commands.add_parser("models", help="list registered models")
+    models.add_argument("--include-deprecated", action="store_true")
+    models.set_defaults(handler=_cmd_models)
+
+    get_instance = commands.add_parser("get-instance", help="show one instance")
+    get_instance.add_argument("instance_id")
+    get_instance.set_defaults(handler=_cmd_get_instance)
+
+    fetch = commands.add_parser("fetch", help="download an instance blob")
+    fetch.add_argument("instance_id")
+    fetch.add_argument("out_file")
+    fetch.set_defaults(handler=_cmd_fetch)
+
+    lineage = commands.add_parser("lineage", help="instances of a base version id")
+    lineage.add_argument("base_version_id")
+    lineage.set_defaults(handler=_cmd_lineage)
+
+    metrics = commands.add_parser("metrics", help="metrics of an instance")
+    metrics.add_argument("instance_id")
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    health = commands.add_parser("health", help="model-health report")
+    health.add_argument("instance_id")
+    health.set_defaults(handler=_cmd_health)
+
+    deprecate = commands.add_parser("deprecate", help="flag an instance or model")
+    deprecate.add_argument("target")
+    deprecate.add_argument("--model", action="store_true", help="target is a model id")
+    deprecate.set_defaults(handler=_cmd_deprecate)
+
+    audit = commands.add_parser("audit", help="storage consistency audit")
+    audit.set_defaults(handler=_cmd_audit)
+
+    gc = commands.add_parser("gc", help="collect orphan blobs")
+    gc.set_defaults(handler=_cmd_gc)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    gallery = _open_gallery(args.data_dir)
+    try:
+        result = args.handler(gallery, args)
+    except GalleryError as exc:
+        _emit({"error": type(exc).__name__, "message": str(exc)})
+        return 1
+    except FileNotFoundError as exc:
+        _emit({"error": "FileNotFoundError", "message": str(exc)})
+        return 1
+    _emit(result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

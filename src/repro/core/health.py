@@ -1,0 +1,296 @@
+"""Model health: completeness, lifecycle performance, drift, and skew
+(Section 3.6).
+
+The paper defines two categories of model-health metrics:
+
+1. **Information completeness** — does the instance carry enough metadata to
+   be reproduced, and is its performance being recorded at all?  Implemented
+   by :func:`health_report`, which combines the metadata conventions of
+   :mod:`repro.core.metadata` with metric presence per lifecycle scope.
+2. **Holistic performance across lifecycle stages** — training, validation,
+   and production values of the same metric, from which Gallery derives two
+   insights the paper names explicitly:
+
+   * **Production skew** (:func:`production_skew`): the gap between offline
+     (training/validation) and online (production) performance.
+   * **Model drift** (:class:`DriftDetector`): sustained degradation of a
+     production metric over time, which "once detected, triggers model
+     re-training via Gallery rule engine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.metadata import CompletenessReport, completeness
+from repro.core.records import MetricRecord, MetricScope
+from repro.errors import ValidationError
+
+# ---------------------------------------------------------------------------
+# Lifecycle performance view
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PerformanceView:
+    """Latest value of each metric name at each lifecycle scope."""
+
+    by_scope: Mapping[str, Mapping[str, float]]
+
+    def value(self, name: str, scope: MetricScope | str) -> float | None:
+        scope = MetricScope.parse(scope)
+        return self.by_scope.get(scope.value, {}).get(name)
+
+    def scopes_with(self, name: str) -> list[str]:
+        return sorted(
+            scope for scope, metrics in self.by_scope.items() if name in metrics
+        )
+
+
+def performance_view(metrics: Iterable[MetricRecord]) -> PerformanceView:
+    """Fold metric records into latest-per-(scope, name) values."""
+    latest: dict[str, dict[str, tuple[float, float]]] = {}
+    for record in metrics:
+        scope_map = latest.setdefault(record.scope.value, {})
+        current = scope_map.get(record.name)
+        if current is None or record.created_time >= current[0]:
+            scope_map[record.name] = (record.created_time, record.value)
+    return PerformanceView(
+        by_scope={
+            scope: {name: value for name, (_, value) in names.items()}
+            for scope, names in latest.items()
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Health report (completeness category)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class HealthReport:
+    """Combined health picture for one model instance."""
+
+    instance_id: str
+    completeness: CompletenessReport
+    scopes_reporting: tuple[str, ...]
+    healthy: bool
+    issues: tuple[str, ...]
+
+
+def health_report(
+    instance_id: str,
+    metadata: Mapping[str, object],
+    metrics: Iterable[MetricRecord],
+    required_scopes: Sequence[MetricScope] = (
+        MetricScope.VALIDATION,
+        MetricScope.PRODUCTION,
+    ),
+) -> HealthReport:
+    """Score an instance against the paper's health standards.
+
+    An instance is healthy when its reproducibility metadata is complete and
+    every required lifecycle scope has at least one metric recorded.
+    """
+    report = completeness(metadata)
+    view = performance_view(metrics)
+    scopes_reporting = tuple(sorted(view.by_scope))
+    issues: list[str] = []
+    if not report.reproducible:
+        issues.append(
+            "missing reproducibility metadata: " + ", ".join(report.missing)
+        )
+    for scope in required_scopes:
+        if scope.value not in view.by_scope:
+            issues.append(f"no metrics recorded at scope {scope.value}")
+    return HealthReport(
+        instance_id=instance_id,
+        completeness=report,
+        scopes_reporting=scopes_reporting,
+        healthy=not issues,
+        issues=tuple(issues),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Production skew
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SkewReport:
+    """Offline-vs-online gap for one metric (Section 3.6)."""
+
+    metric_name: str
+    offline_value: float
+    online_value: float
+    absolute_skew: float
+    relative_skew: float
+    skewed: bool
+
+
+def production_skew(
+    metrics: Iterable[MetricRecord],
+    metric_name: str,
+    relative_threshold: float = 0.25,
+    offline_scope: MetricScope = MetricScope.VALIDATION,
+) -> SkewReport | None:
+    """Compare *metric_name* between an offline scope and production.
+
+    Returns None when either side has not reported the metric.  The skew is
+    flagged when the relative gap exceeds *relative_threshold* — e.g. a model
+    validating at MAPE 0.10 but serving at MAPE 0.14 has 40% relative skew.
+    """
+    view = performance_view(metrics)
+    offline = view.value(metric_name, offline_scope)
+    online = view.value(metric_name, MetricScope.PRODUCTION)
+    if offline is None or online is None:
+        return None
+    absolute = online - offline
+    denominator = abs(offline) if offline != 0 else 1.0
+    relative = abs(absolute) / denominator
+    return SkewReport(
+        metric_name=metric_name,
+        offline_value=offline,
+        online_value=online,
+        absolute_skew=absolute,
+        relative_skew=relative,
+        skewed=relative > relative_threshold,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model drift
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DriftReport:
+    """Outcome of a drift check over a production metric series."""
+
+    detected: bool
+    baseline_mean: float
+    recent_mean: float
+    degradation_ratio: float
+    observations: int
+    detected_at: int | None = None
+
+
+class DriftDetector:
+    """Windowed degradation detector for a "higher is worse" metric.
+
+    The detector keeps a **baseline window** (the first ``baseline_window``
+    observations, normally collected right after deployment when the model is
+    known-good) and compares the rolling mean of the most recent
+    ``recent_window`` observations against it.  Drift is declared when the
+    recent mean exceeds ``ratio_threshold`` x baseline mean for
+    ``patience`` consecutive observations — single bad readings (one noisy
+    evaluation window) do not trigger retraining.
+
+    For "higher is better" metrics pass ``higher_is_worse=False`` and the
+    comparison inverts.
+    """
+
+    def __init__(
+        self,
+        baseline_window: int = 12,
+        recent_window: int = 6,
+        ratio_threshold: float = 1.5,
+        patience: int = 2,
+        higher_is_worse: bool = True,
+    ) -> None:
+        if baseline_window < 1 or recent_window < 1:
+            raise ValidationError("windows must be at least 1 observation")
+        if ratio_threshold <= 0:
+            raise ValidationError("ratio_threshold must be positive")
+        if patience < 1:
+            raise ValidationError("patience must be at least 1")
+        self._baseline_window = baseline_window
+        self._recent_window = recent_window
+        self._ratio_threshold = ratio_threshold
+        self._patience = patience
+        self._higher_is_worse = higher_is_worse
+        self._values: list[float] = []
+        self._breaches = 0
+        self._detected_at: int | None = None
+
+    def observe(self, value: float) -> DriftReport:
+        """Add one production observation and return the current verdict."""
+        self._values.append(float(value))
+        report = self._evaluate()
+        if report.detected and self._detected_at is None:
+            self._detected_at = len(self._values) - 1
+        return report
+
+    def observe_many(self, values: Iterable[float]) -> DriftReport:
+        report = self._evaluate()
+        for value in values:
+            report = self.observe(value)
+        return report
+
+    def reset(self) -> None:
+        """Forget everything — used after a retrain deploys a fresh instance."""
+        self._values.clear()
+        self._breaches = 0
+        self._detected_at = None
+
+    def _evaluate(self) -> DriftReport:
+        n = len(self._values)
+        if n < self._baseline_window + self._recent_window:
+            baseline = fmean(self._values[: self._baseline_window]) if self._values else 0.0
+            return DriftReport(
+                detected=self._detected_at is not None,
+                baseline_mean=baseline,
+                recent_mean=baseline,
+                degradation_ratio=1.0,
+                observations=n,
+                detected_at=self._detected_at,
+            )
+        baseline = fmean(self._values[: self._baseline_window])
+        recent = fmean(self._values[-self._recent_window:])
+        if self._higher_is_worse:
+            ratio = recent / baseline if baseline > 0 else float("inf")
+        else:
+            ratio = baseline / recent if recent > 0 else float("inf")
+        if ratio > self._ratio_threshold:
+            self._breaches += 1
+        else:
+            self._breaches = 0
+        detected = self._breaches >= self._patience or self._detected_at is not None
+        return DriftReport(
+            detected=detected,
+            baseline_mean=baseline,
+            recent_mean=recent,
+            degradation_ratio=ratio,
+            observations=n,
+            detected_at=self._detected_at,
+        )
+
+
+@dataclass
+class AlertSink:
+    """Collects health alerts; the default target of monitoring hooks.
+
+    EXP-C1-ALERT measures detection lead time off this sink's records.
+    """
+
+    alerts: list[dict[str, object]] = field(default_factory=list)
+
+    def emit(self, instance_id: str, kind: str, detail: str, timestamp: float = 0.0) -> None:
+        self.alerts.append(
+            {
+                "instance_id": instance_id,
+                "kind": kind,
+                "detail": detail,
+                "timestamp": timestamp,
+            }
+        )
+
+    def of_kind(self, kind: str) -> list[dict[str, object]]:
+        return [a for a in self.alerts if a["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.alerts)

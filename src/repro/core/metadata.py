@@ -1,0 +1,132 @@
+"""Standard metadata fields, naming conventions, and completeness scoring.
+
+Section 3.3.4: Gallery "provide[s] a standard set of metadata fields and
+naming conventions to unify the characteristics of a model over a production
+system", and Section 3.6 defines *information completeness* — whether a model
+instance carries enough metadata to be reproduced — as the first category of
+model-health metrics.
+
+Nothing here is mandatory at write time (Gallery is agnostic: users push
+whatever metadata they have), but the health subsystem scores instances
+against these conventions and the search layer indexes the standard fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+# ---------------------------------------------------------------------------
+# Standard field names (the paper's examples, Listings 3-5 and Section 3.3.4)
+# ---------------------------------------------------------------------------
+
+#: Fields identifying what the model is and who answers for it.
+IDENTITY_FIELDS = (
+    "model_name",       # e.g. "Random Forest", "linear_regression"
+    "model_type",       # serialization framework, e.g. "SparkML"
+    "model_domain",     # business domain, e.g. "UberX"
+    "owner",            # owning engineer or team
+    "team",             # owning org unit
+    "city",             # spatial shard (Section 2: per-city training)
+)
+
+#: Fields required to *reproduce* a model instance (Section 6.2).
+REPRODUCIBILITY_FIELDS = (
+    "training_data_path",     # location + version of the training set
+    "training_data_version",
+    "training_framework",     # e.g. "numpy-ridge-1.0"
+    "training_code_pointer",  # commit/revision of the training code
+    "hyperparameters",        # mapping of hyperparameter name -> value
+    "features",               # ordered feature list
+    "random_seed",            # RNG seed used in training
+)
+
+#: Fields describing how the instance is served.
+SERVING_FIELDS = (
+    "serving_endpoint",
+    "serving_environment",    # e.g. "production", "staging"
+)
+
+STANDARD_FIELDS = IDENTITY_FIELDS + REPRODUCIBILITY_FIELDS + SERVING_FIELDS
+
+#: Standard fields the search layer indexes for constraint queries.
+INDEXED_FIELDS = (
+    "model_name",
+    "model_type",
+    "model_domain",
+    "city",
+    "team",
+    "serving_environment",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CompletenessReport:
+    """Result of scoring a metadata document against the conventions.
+
+    ``score`` is the fraction of reproducibility fields present (the paper's
+    completeness SLA cares about reproducibility above all); ``missing``
+    lists absent reproducibility fields and ``present`` the populated standard
+    fields of any category.
+    """
+
+    score: float
+    present: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    @property
+    def reproducible(self) -> bool:
+        """True when every reproducibility field is populated."""
+        return not self.missing
+
+
+def completeness(metadata: Mapping[str, Any]) -> CompletenessReport:
+    """Score *metadata* for information completeness (Section 3.6).
+
+    A field counts as present when it exists and is neither ``None`` nor an
+    empty string/collection.
+    """
+    present = tuple(
+        name for name in STANDARD_FIELDS if _is_populated(metadata.get(name))
+    )
+    missing = tuple(
+        name
+        for name in REPRODUCIBILITY_FIELDS
+        if not _is_populated(metadata.get(name))
+    )
+    total = len(REPRODUCIBILITY_FIELDS)
+    score = (total - len(missing)) / total
+    return CompletenessReport(score=score, present=present, missing=missing)
+
+
+def _is_populated(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, str):
+        return bool(value.strip())
+    if isinstance(value, (list, tuple, dict, set)):
+        return len(value) > 0
+    return True
+
+
+def merge_metadata(
+    base: Mapping[str, Any], overrides: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Merge two metadata documents, with *overrides* winning on conflict.
+
+    Used when a pipeline stamps standard fields onto user-supplied metadata
+    without clobbering values the user set explicitly.
+    """
+    merged = dict(base)
+    merged.update(overrides)
+    return merged
+
+
+def validate_field_names(names: Iterable[str]) -> list[str]:
+    """Return the subset of *names* that are standard fields.
+
+    Useful for warning users when a query references a field that will never
+    be indexed (e.g. a typo like ``"model_nmae"``).
+    """
+    standard = set(STANDARD_FIELDS)
+    return [name for name in names if name in standard]

@@ -1,0 +1,667 @@
+"""The Gallery registry: the system facade (Sections 3 and 4.1).
+
+:class:`Gallery` ties every subsystem together behind the API surface shown
+in the paper's Listings 3–5:
+
+* ``create_model`` / ``upload_model`` — register a model and upload trained
+  instances (blob + metadata) under a base version id;
+* ``insert_metric`` — record performance measurements;
+* ``model_query`` — constraint search over metadata and metrics;
+* ``load_instance_blob`` — fetch the serialized model for serving;
+* dependency registration and automatic version propagation;
+* deprecation flags (never deletion) and lifecycle-stage tracking;
+* an event bus that the orchestration rule engine subscribes to.
+
+The registry also implements the rule engine's ``CandidateSource`` protocol,
+so a :class:`repro.rules.engine.RuleEngine` can be pointed directly at it.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+
+from dataclasses import replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.clock import Clock, SYSTEM_CLOCK
+from repro.core.dependencies import DependencyGraph, PropagationEvent
+from repro.core.health import DriftDetector, HealthReport, health_report
+from repro.core.ids import IdFactory, random_uuid
+from repro.core.lifecycle import LifecycleStage, LifecycleTracker
+from repro.core.records import MetricRecord, MetricScope, Model, ModelInstance
+from repro.core.search import ConstraintSet, Constraint, flatten_instance_document
+from repro.core.versioning import LineageTracker
+from repro.errors import (
+    DeprecatedModelError,
+    GalleryError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.rules.engine import CandidateDocument
+from repro.rules.events import Event, EventBus, EventKind
+from repro.store.dal import DataAccessLayer
+
+#: Environment -> preferred metric scope when assembling rule contexts.
+_ENVIRONMENT_SCOPE = {
+    "production": MetricScope.PRODUCTION,
+    "staging": MetricScope.VALIDATION,
+    "validation": MetricScope.VALIDATION,
+    "training": MetricScope.TRAINING,
+}
+
+
+
+def _locked(method):
+    """Serialize a mutating registry method on the instance write lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._write_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class Gallery:
+    """The model lifecycle management system."""
+
+    def __init__(
+        self,
+        dal: DataAccessLayer,
+        clock: Clock | None = None,
+        id_factory: IdFactory | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
+        self._dal = dal
+        self._clock = clock or SYSTEM_CLOCK
+        self._new_id = id_factory or random_uuid
+        #: serializes mutating operations: the TCP service is threaded, and
+        #: upload/metric/deprecate are read-modify-write across several
+        #: in-memory indexes (lineage, dependency graph, lifecycle).
+        self._write_lock = threading.RLock()
+        self.bus = bus or EventBus()
+        self.dependencies = DependencyGraph()
+        self.lineage = LineageTracker()
+        self.lifecycle = LifecycleTracker()
+        #: (project, base_version_id) -> model_id for Listing-3 style lookups.
+        self._model_by_base: dict[tuple[str, str], str] = {}
+        self._rehydrate()
+
+    def _rehydrate(self) -> None:
+        """Rebuild in-memory indexes from a durable metadata store.
+
+        The registry object is stateless relative to storage (Section 4:
+        Gallery is "a stateless microservice"): a fresh front-end over an
+        existing SQLite/filesystem deployment reconstructs the coordinate
+        map, lineage, dependency graph, and lifecycle stages from the
+        records themselves.  Two bounded simplifications: production
+        dependency versions rehydrate to the latest recorded instance
+        version (the pinned-version audit trail lives in the event log of
+        the session that made the changes), and lifecycle history collapses
+        to the current stage.
+        """
+        from repro.core.versioning import InstanceVersion
+
+        models = list(self._dal.metadata.iter_models())
+        if not models:
+            return
+        for model in models:
+            coordinate = (model.project, model.base_version_id)
+            # evolution chains share coordinates; the head of the chain (the
+            # record without a next pointer) owns the lookup.
+            if coordinate not in self._model_by_base or model.next_model_id is None:
+                self._model_by_base[coordinate] = model.model_id
+            self.dependencies.add_model(model.model_id)
+        for model in models:
+            for upstream_id in model.upstream_model_ids:
+                try:
+                    self.dependencies.add_dependency(
+                        model.model_id, upstream_id, bump=False
+                    )
+                except GalleryError:
+                    continue  # tolerate pointers to missing/duplicated edges
+        instances = sorted(
+            self._dal.metadata.iter_instances(),
+            key=lambda record: (record.created_time, record.instance_id),
+        )
+        latest_version: dict[str, InstanceVersion] = {}
+        for record in instances:
+            parent = record.parent_instance_id
+            if parent is not None and parent not in self.lineage:
+                parent = None  # parent purged or in another deployment
+            self.lineage.record(
+                base_version_id=record.base_version_id,
+                instance_id=record.instance_id,
+                created_time=record.created_time,
+                parent_instance_id=parent,
+            )
+            self.lifecycle.register(
+                record.instance_id,
+                stage=(
+                    LifecycleStage.DEPRECATED
+                    if record.deprecated
+                    else LifecycleStage.EVALUATION
+                ),
+                timestamp=record.created_time,
+                reason="rehydrated from storage",
+            )
+            if record.instance_version:
+                try:
+                    version = InstanceVersion.parse(record.instance_version)
+                except GalleryError:
+                    continue
+                current = latest_version.get(record.model_id)
+                if current is None or version > current:
+                    latest_version[record.model_id] = version
+        for model_id, version in latest_version.items():
+            try:
+                self.dependencies.promote(model_id, version)
+            except GalleryError:
+                # the stored instance version is ahead of the graph's
+                # initial 1.0 state: fast-forward by recording updates
+                node = self.dependencies._nodes[model_id]  # noqa: SLF001
+                node.latest = version
+                node.production = version
+
+    @property
+    def dal(self) -> DataAccessLayer:
+        return self._dal
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+
+    @_locked
+    def create_model(
+        self,
+        project: str,
+        base_version_id: str,
+        owner: str = "",
+        description: str = "",
+        metadata: Mapping[str, Any] | None = None,
+        upstream_model_ids: Sequence[str] = (),
+        model_id: str | None = None,
+    ) -> Model:
+        """Register a new model under a base version id (Listing 3).
+
+        Dependencies named in *upstream_model_ids* are wired at registration
+        time without version bumps (Section 3.4.2 / Figure 5).
+        """
+        key = (project, base_version_id)
+        if key in self._model_by_base:
+            raise ValidationError(
+                f"project {project!r} already has base version {base_version_id!r}"
+            )
+        model = Model(
+            model_id=model_id or self._new_id(),
+            project=project,
+            base_version_id=base_version_id,
+            owner=owner,
+            description=description,
+            created_time=self._clock.now(),
+            upstream_model_ids=tuple(upstream_model_ids),
+        )
+        if metadata:
+            model = replace(model, metadata=dict(metadata))
+        self._dal.save_model(model)
+        self._model_by_base[key] = model.model_id
+        self.dependencies.add_model(model.model_id)
+        for upstream_id in upstream_model_ids:
+            self.dependencies.add_dependency(model.model_id, upstream_id, bump=False)
+            self._mirror_dependency_pointers(model.model_id, upstream_id)
+        self.bus.publish(
+            Event(
+                kind=EventKind.MODEL_CREATED,
+                timestamp=self._clock.now(),
+                model_id=model.model_id,
+            )
+        )
+        return self.get_model(model.model_id)
+
+    def get_model(self, model_id: str) -> Model:
+        return self._dal.metadata.get_model(model_id)
+
+    def find_model(self, project: str, base_version_id: str) -> Model:
+        """Resolve a model by its human-meaningful coordinates."""
+        model_id = self._model_by_base.get((project, base_version_id))
+        if model_id is None:
+            raise NotFoundError(
+                f"no model for project {project!r}, base {base_version_id!r}"
+            )
+        return self.get_model(model_id)
+
+    def models(self, include_deprecated: bool = False) -> list[Model]:
+        return [
+            m
+            for m in self._dal.metadata.iter_models()
+            if include_deprecated or not m.deprecated
+        ]
+
+    @_locked
+    def evolve_model(
+        self,
+        old_model_id: str,
+        description: str = "",
+        metadata: Mapping[str, Any] | None = None,
+        model_id: str | None = None,
+    ) -> Model:
+        """Register the successor of a redesigned model (Section 3.3.1).
+
+        The successor shares the project but gets its own base version id
+        suffix is NOT invented — the caller keeps the same base version id,
+        the evolution is tracked via previous/next pointers, and the
+        dependency graph records a model-level (major) version change.
+        """
+        old = self.get_model(old_model_id)
+        if old.next_model_id is not None:
+            raise ValidationError(
+                f"model {old_model_id!r} already has a successor"
+            )
+        new_id = model_id or self._new_id()
+        successor = old.evolved(
+            new_id,
+            description=description or old.description,
+            created_time=self._clock.now(),
+            metadata=dict(metadata) if metadata else dict(old.metadata),
+            deprecated=False,
+        )
+        self._dal.save_model(successor)
+        self._dal.metadata.replace_model(old.with_next(new_id))
+        # The successor inherits the coordinate lookup and the dependency
+        # wiring of its predecessor.
+        self._model_by_base[(old.project, old.base_version_id)] = new_id
+        self.dependencies.add_model(new_id)
+        for upstream_id in old.upstream_model_ids:
+            self.dependencies.add_dependency(new_id, upstream_id, bump=False)
+        self.dependencies.record_model_change(new_id)
+        self.bus.publish(
+            Event(
+                kind=EventKind.MODEL_CREATED,
+                timestamp=self._clock.now(),
+                model_id=new_id,
+            )
+        )
+        return self.get_model(new_id)
+
+    @_locked
+    def deprecate_model(self, model_id: str) -> Model:
+        """Flag a model (and none of its data) as deprecated (Section 3.7)."""
+        model = self.get_model(model_id)
+        if model.deprecated:
+            return model
+        self._dal.metadata.replace_model(model.deprecate())
+        return self.get_model(model_id)
+
+    # ------------------------------------------------------------------
+    # Dependencies (Section 3.4.2)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def add_dependency(
+        self, downstream_id: str, upstream_id: str
+    ) -> list[PropagationEvent]:
+        """Add a dependency to a live model; propagates version bumps."""
+        events = self.dependencies.add_dependency(downstream_id, upstream_id)
+        self._mirror_dependency_pointers(downstream_id, upstream_id)
+        return events
+
+    def _mirror_dependency_pointers(self, downstream_id: str, upstream_id: str) -> None:
+        """Persist upstream/downstream pointers onto the model records."""
+        down = self.get_model(downstream_id)
+        if upstream_id not in down.upstream_model_ids:
+            self._dal.metadata.replace_model(
+                replace(
+                    down,
+                    upstream_model_ids=down.upstream_model_ids + (upstream_id,),
+                )
+            )
+        up = self.get_model(upstream_id)
+        if downstream_id not in up.downstream_model_ids:
+            self._dal.metadata.replace_model(
+                replace(
+                    up,
+                    downstream_model_ids=up.downstream_model_ids + (downstream_id,),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Model instances (Listing 3)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def upload_model(
+        self,
+        project: str,
+        base_version_id: str,
+        blob: bytes,
+        metadata: Mapping[str, Any] | None = None,
+        parent_instance_id: str | None = None,
+        instance_id: str | None = None,
+        initial_stage: LifecycleStage | str = LifecycleStage.EVALUATION,
+    ) -> ModelInstance:
+        """Upload a trained model instance (the paper's ``uploadModel``).
+
+        The blob is written first; only after it is durably stored is the
+        instance metadata inserted (Section 3.5).  The instance enters the
+        lineage of its base version id, the dependency graph records an
+        instance update (propagating minor bumps downstream), and an
+        INSTANCE_CREATED event fires for the rule engine.
+        """
+        model = self.find_model(project, base_version_id)
+        if model.deprecated:
+            raise DeprecatedModelError(
+                f"model {model.model_id!r} is deprecated; register a new model"
+            )
+        created = self._clock.now()
+        instance = ModelInstance(
+            instance_id=instance_id or self._new_id(),
+            model_id=model.model_id,
+            base_version_id=base_version_id,
+            parent_instance_id=parent_instance_id,
+            created_time=created,
+            metadata=dict(metadata) if metadata else {},
+        )
+        events = self.dependencies.record_instance_update(model.model_id)
+        instance = replace(
+            instance,
+            instance_version=str(self.dependencies.latest_version(model.model_id)),
+        )
+        stored = self._dal.save_instance(instance, blob)
+        self.lineage.record(
+            base_version_id=base_version_id,
+            instance_id=stored.instance_id,
+            created_time=created,
+            parent_instance_id=parent_instance_id,
+        )
+        self.lifecycle.register(
+            stored.instance_id, stage=initial_stage, timestamp=created
+        )
+        del events  # audit trail lives on self.dependencies.events()
+        self.bus.publish(
+            Event(
+                kind=EventKind.INSTANCE_CREATED,
+                timestamp=created,
+                model_id=model.model_id,
+                instance_id=stored.instance_id,
+            )
+        )
+        return stored
+
+    def get_instance(self, instance_id: str) -> ModelInstance:
+        return self._dal.metadata.get_instance(instance_id)
+
+    def load_instance_blob(self, instance_id: str) -> bytes:
+        """Fetch the serialized model for serving (cache-assisted)."""
+        return self._dal.load_blob(instance_id)
+
+    def instances_of(
+        self, base_version_id: str, include_deprecated: bool = False
+    ) -> list[ModelInstance]:
+        """All instances of a base version id, oldest first (Figure 4)."""
+        instances = self._dal.metadata.instances_of_base_version(base_version_id)
+        instances.sort(key=lambda i: i.created_time)
+        if include_deprecated:
+            return instances
+        return [i for i in instances if not i.deprecated]
+
+    def latest_instance(self, base_version_id: str) -> ModelInstance:
+        instances = self.instances_of(base_version_id)
+        if not instances:
+            raise NotFoundError(
+                f"no live instances for base version {base_version_id!r}"
+            )
+        return instances[-1]
+
+    @_locked
+    def mark_deployed(self, instance_id: str, reason: str = "deployed") -> None:
+        """Advance an instance's lifecycle stage to DEPLOYED (Figure 1).
+
+        Typically invoked from a ``deploy`` callback action, so the rule
+        engine is what moves models between stages (Section 3.1's
+        automation principle).
+        """
+        self.lifecycle.transition(
+            instance_id,
+            LifecycleStage.DEPLOYED,
+            timestamp=self._clock.now(),
+            reason=reason,
+        )
+
+    @_locked
+    def deprecate_instance(self, instance_id: str) -> ModelInstance:
+        """Flag an instance as deprecated; it stays fetchable by id."""
+        instance = self.get_instance(instance_id)
+        if instance.deprecated:
+            return instance
+        self._dal.metadata.replace_instance(instance.deprecate())
+        if instance_id in self.lifecycle:
+            current = self.lifecycle.stage_of(instance_id)
+            if current is not LifecycleStage.DEPRECATED:
+                self.lifecycle.transition(
+                    instance_id,
+                    LifecycleStage.DEPRECATED,
+                    timestamp=self._clock.now(),
+                    reason="deprecated via registry",
+                )
+        self.bus.publish(
+            Event(
+                kind=EventKind.INSTANCE_DEPRECATED,
+                timestamp=self._clock.now(),
+                model_id=instance.model_id,
+                instance_id=instance_id,
+            )
+        )
+        return self.get_instance(instance_id)
+
+    # ------------------------------------------------------------------
+    # Metrics (Listing 4)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def insert_metric(
+        self,
+        instance_id: str,
+        name: str,
+        value: float,
+        scope: MetricScope | str = MetricScope.VALIDATION,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> MetricRecord:
+        """Record one performance measurement for an instance."""
+        self.get_instance(instance_id)  # must exist
+        metric = MetricRecord(
+            metric_id=self._new_id(),
+            instance_id=instance_id,
+            name=name,
+            value=value,
+            scope=scope,
+            created_time=self._clock.now(),
+            metadata=dict(metadata) if metadata else {},
+        )
+        self._dal.save_metric(metric)
+        self.bus.publish(
+            Event(
+                kind=EventKind.METRIC_UPDATED,
+                timestamp=metric.created_time,
+                instance_id=instance_id,
+                metric_name=name,
+                payload={"value": metric.value, "scope": metric.scope.value},
+            )
+        )
+        return metric
+
+    def insert_metrics(
+        self,
+        instance_id: str,
+        values: Mapping[str, float],
+        scope: MetricScope | str = MetricScope.VALIDATION,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> list[MetricRecord]:
+        """Record a ``<metric>:<value>`` blob as a batch (Section 3.3.3)."""
+        batch_id = self._new_id()
+        merged = dict(metadata) if metadata else {}
+        merged["batch_id"] = batch_id
+        return [
+            self.insert_metric(instance_id, name, value, scope=scope, metadata=merged)
+            for name, value in values.items()
+        ]
+
+    def metrics_of(self, instance_id: str) -> list[MetricRecord]:
+        return self._dal.metadata.metrics_of_instance(instance_id)
+
+    def metric_history(
+        self,
+        instance_id: str,
+        name: str,
+        scope: MetricScope | str | None = None,
+    ) -> list[MetricRecord]:
+        """Time-ordered history of one metric for an instance.
+
+        This is the series the health subsystem feeds into drift detection
+        (Section 3.6: "how their model behaves over time").
+        """
+        if scope is not None:
+            scope = MetricScope.parse(scope)
+        records = [
+            record
+            for record in self.metrics_of(instance_id)
+            if record.name == name and (scope is None or record.scope is scope)
+        ]
+        records.sort(key=lambda r: (r.created_time, r.metric_id))
+        return records
+
+    def latest_metric(
+        self,
+        instance_id: str,
+        name: str,
+        scope: MetricScope | str | None = None,
+    ) -> float | None:
+        """Latest value of one metric, or None when never reported."""
+        history = self.metric_history(instance_id, name, scope=scope)
+        return history[-1].value if history else None
+
+    # ------------------------------------------------------------------
+    # Search (Listing 5)
+    # ------------------------------------------------------------------
+
+    def model_query(
+        self,
+        constraints: Iterable[Constraint | Mapping[str, Any]],
+        include_deprecated: bool = False,
+    ) -> list[ModelInstance]:
+        """Constraint search over instances, metadata, and metrics.
+
+        Equality constraints on indexed fields narrow the scan through the
+        metadata store's indexes before full constraint matching runs.
+        """
+        constraint_set = ConstraintSet(constraints)
+        candidates = self._narrow_candidates(constraint_set)
+        results: list[ModelInstance] = []
+        for instance in candidates:
+            if instance.deprecated and not include_deprecated:
+                continue
+            document = self._document_for(instance)
+            metrics = [m.to_dict() for m in self.metrics_of(instance.instance_id)]
+            if constraint_set.matches(document, metrics):
+                results.append(instance)
+        results.sort(key=lambda i: (i.created_time, i.instance_id))
+        return results
+
+    def _narrow_candidates(self, constraint_set: ConstraintSet) -> list[ModelInstance]:
+        from repro.core.metadata import INDEXED_FIELDS
+        from repro.core.search import Operator
+
+        for constraint in constraint_set.document_constraints:
+            field_name = constraint.resolved_field
+            if constraint.operator is Operator.EQUAL:
+                if field_name in INDEXED_FIELDS:
+                    return self._dal.metadata.find_instances_by_field(
+                        field_name, constraint.value
+                    )
+                if field_name == "base_version_id":
+                    return self._dal.metadata.instances_of_base_version(
+                        constraint.value
+                    )
+                if field_name == "model_id":
+                    return self._dal.metadata.instances_of_model(constraint.value)
+        return list(self._dal.metadata.iter_instances())
+
+    def _document_for(self, instance: ModelInstance) -> dict[str, Any]:
+        try:
+            model = self.get_model(instance.model_id).to_dict()
+        except NotFoundError:
+            model = None
+        return flatten_instance_document(instance.to_dict(), model)
+
+    # ------------------------------------------------------------------
+    # Rule-engine integration (CandidateSource protocol)
+    # ------------------------------------------------------------------
+
+    def candidate_documents(
+        self, environment: str, instance_id: str | None = None
+    ) -> list[CandidateDocument]:
+        """Assemble rule-evaluation contexts (Section 3.7.1).
+
+        Each live instance contributes its flattened document plus a
+        ``metrics`` mapping holding the latest value per metric name.  Values
+        measured at the scope matching *environment* are preferred; names
+        only measured at other scopes fall back to their overall latest value
+        (a freshly trained instance has no production metrics yet, but deploy
+        rules still need to read its validation metrics).
+        """
+        if instance_id is not None:
+            try:
+                instances = [self.get_instance(instance_id)]
+            except NotFoundError:
+                return []
+        else:
+            instances = list(self._dal.metadata.iter_instances())
+        preferred_scope = _ENVIRONMENT_SCOPE.get(environment.lower())
+        documents: list[CandidateDocument] = []
+        for instance in instances:
+            if instance.deprecated:
+                continue
+            document = self._document_for(instance)
+            document["metrics"] = self._latest_metrics(
+                instance.instance_id, preferred_scope
+            )
+            documents.append(
+                CandidateDocument(instance_id=instance.instance_id, document=document)
+            )
+        documents.sort(key=lambda d: d.instance_id)
+        return documents
+
+    def _latest_metrics(
+        self, instance_id: str, preferred_scope: MetricScope | None
+    ) -> dict[str, float]:
+        latest_any: dict[str, tuple[float, float]] = {}
+        latest_scoped: dict[str, tuple[float, float]] = {}
+        for record in self.metrics_of(instance_id):
+            stamp = (record.created_time, record.value)
+            if record.name not in latest_any or stamp[0] >= latest_any[record.name][0]:
+                latest_any[record.name] = stamp
+            if preferred_scope is not None and record.scope is preferred_scope:
+                if (
+                    record.name not in latest_scoped
+                    or stamp[0] >= latest_scoped[record.name][0]
+                ):
+                    latest_scoped[record.name] = stamp
+        merged = {name: value for name, (_, value) in latest_any.items()}
+        merged.update({name: value for name, (_, value) in latest_scoped.items()})
+        return merged
+
+    # ------------------------------------------------------------------
+    # Health (Section 3.6)
+    # ------------------------------------------------------------------
+
+    def instance_health(self, instance_id: str) -> HealthReport:
+        instance = self.get_instance(instance_id)
+        return health_report(
+            instance_id=instance_id,
+            metadata=instance.metadata,
+            metrics=self.metrics_of(instance_id),
+        )
+
+    def drift_detector(self, **kwargs: Any) -> DriftDetector:
+        """Convenience constructor so apps need only the registry import."""
+        return DriftDetector(**kwargs)

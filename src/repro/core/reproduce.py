@@ -1,0 +1,153 @@
+"""Model reproducibility (Section 6.2).
+
+"Users need the ability to recreate models or replay history in order to
+understand their production flows and debug performance."  Gallery stores
+the metadata needed to re-run training — training-data pointer and version,
+framework, code pointer, hyperparameters, seed — and this module is the
+replay harness on top of it:
+
+* a :class:`TrainerRegistry` maps ``training_code_pointer`` values to
+  trainer callables, the same way the paper's pipelines are resolvable from
+  their recorded code pointers;
+* :func:`reproduce_instance` re-runs the trainer with the instance's
+  recorded metadata, uploads the result as a sibling instance, and compares
+  blobs and metrics.
+
+Exact bit-identity is reported but **not required** (Section 3.3.2: "it is
+not always possible to generate exactly the same model instance due to the
+randomness introduced in training"); the meaningful verdict is metric
+agreement within a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.metadata import completeness
+from repro.core.records import MetricScope, ModelInstance
+from repro.core.registry import Gallery
+from repro.errors import NotFoundError, ValidationError
+
+#: A trainer re-runs training from recorded metadata, returning the
+#: serialized model blob and its evaluation metrics.
+Trainer = Callable[[Mapping[str, object]], tuple[bytes, Mapping[str, float]]]
+
+
+class TrainerRegistry:
+    """Resolves ``training_code_pointer`` strings to trainer callables."""
+
+    def __init__(self) -> None:
+        self._trainers: dict[str, Trainer] = {}
+
+    def register(self, code_pointer: str, trainer: Trainer, replace: bool = False) -> None:
+        if not code_pointer:
+            raise ValidationError("code pointer must be non-empty")
+        if code_pointer in self._trainers and not replace:
+            raise ValidationError(f"trainer already registered for {code_pointer!r}")
+        self._trainers[code_pointer] = trainer
+
+    def resolve(self, code_pointer: str) -> Trainer:
+        try:
+            return self._trainers[code_pointer]
+        except KeyError:
+            raise NotFoundError(
+                f"no trainer registered for code pointer {code_pointer!r}"
+            ) from None
+
+    def __contains__(self, code_pointer: str) -> bool:
+        return code_pointer in self._trainers
+
+
+@dataclass(frozen=True, slots=True)
+class ReproducibilityReport:
+    """Verdict of one replay."""
+
+    original_instance_id: str
+    replayed_instance_id: str
+    blob_identical: bool
+    metric_deltas: Mapping[str, float]
+    max_relative_delta: float
+    reproduced: bool
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        verdict = "REPRODUCED" if self.reproduced else "DIVERGED"
+        return (
+            f"{verdict}: {self.original_instance_id} -> "
+            f"{self.replayed_instance_id} "
+            f"(blob identical: {self.blob_identical}, "
+            f"max metric delta: {self.max_relative_delta:.2%})"
+        )
+
+
+def reproduce_instance(
+    gallery: Gallery,
+    instance_id: str,
+    trainers: TrainerRegistry,
+    metric_tolerance: float = 0.05,
+    record_replay: bool = True,
+) -> ReproducibilityReport:
+    """Replay the training run of *instance_id* and compare outcomes.
+
+    Requires the instance's reproducibility metadata to be complete
+    (Section 3.6's first health category exists exactly to guarantee this
+    replay is possible).  The replayed model is registered as a new sibling
+    instance with ``replay_of`` metadata, honouring immutability.
+    """
+    original = gallery.get_instance(instance_id)
+    report = completeness(original.metadata)
+    if not report.reproducible:
+        raise ValidationError(
+            "instance is not reproducible; missing metadata: "
+            + ", ".join(report.missing)
+        )
+    trainer = trainers.resolve(str(original.metadata["training_code_pointer"]))
+    blob, metrics = trainer(original.metadata)
+
+    original_blob = gallery.load_instance_blob(instance_id)
+    blob_identical = blob == original_blob
+
+    original_metrics = _validation_metrics(gallery, original)
+    deltas: dict[str, float] = {}
+    for name, replayed_value in metrics.items():
+        recorded = original_metrics.get(name)
+        if recorded is None:
+            continue
+        denominator = max(abs(recorded), 1e-12)
+        deltas[name] = abs(replayed_value - recorded) / denominator
+    max_delta = max(deltas.values(), default=0.0)
+    reproduced = blob_identical or max_delta <= metric_tolerance
+
+    replayed_id = instance_id + "-replay"
+    if record_replay:
+        model = gallery.get_model(original.model_id)
+        replayed = gallery.upload_model(
+            project=model.project,
+            base_version_id=original.base_version_id,
+            blob=blob,
+            parent_instance_id=instance_id,
+            metadata={
+                **dict(original.metadata),
+                "replay_of": instance_id,
+            },
+        )
+        replayed_id = replayed.instance_id
+        gallery.insert_metrics(
+            replayed.instance_id, dict(metrics), scope=MetricScope.VALIDATION
+        )
+    return ReproducibilityReport(
+        original_instance_id=instance_id,
+        replayed_instance_id=replayed_id,
+        blob_identical=blob_identical,
+        metric_deltas=deltas,
+        max_relative_delta=max_delta,
+        reproduced=reproduced,
+    )
+
+
+def _validation_metrics(gallery: Gallery, instance: ModelInstance) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for record in gallery.metrics_of(instance.instance_id):
+        if record.scope is MetricScope.VALIDATION:
+            out[record.name] = record.value
+    return out

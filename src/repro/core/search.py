@@ -1,0 +1,224 @@
+"""Constraint-based model search (Section 3.5, Listing 5).
+
+The paper's search API takes a list of ``{field, operator, value}``
+constraints combined with AND semantics:
+
+.. code-block:: python
+
+    searchConstraint = [
+        {"field": "projectName", "operator": "equal", "value": "example-project"},
+        {"field": "metricName", "operator": "equal", "value": "bias"},
+        {"field": "metricValue", "operator": "smaller_than", "value": 0.25},
+    ]
+
+Constraints fall into two families:
+
+* **Document constraints** evaluate against a flattened view of a model
+  instance and its parent model (record fields plus metadata fields promoted
+  to the top level).
+* **Metric constraints** (``metricName`` / ``metricValue`` / ``metricScope``)
+  are *correlated*: the whole metric-constraint group must be satisfied by a
+  single metric record, so "name == bias AND value < 0.25" cannot be
+  satisfied by a bias of 0.5 plus an unrelated small metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ValidationError
+
+#: Search-field aliases: the paper's camelCase API names map onto record and
+#: standard-metadata field names.
+FIELD_ALIASES = {
+    "projectName": "project",
+    "modelName": "model_name",
+    "modelType": "model_type",
+    "modelDomain": "model_domain",
+    "baseVersionId": "base_version_id",
+    "instanceId": "instance_id",
+    "modelId": "model_id",
+    "createdTime": "created_time",
+}
+
+METRIC_FIELDS = {"metricName", "metricValue", "metricScope"}
+
+
+class Operator(str, Enum):
+    """Comparison operators accepted by the search API."""
+
+    EQUAL = "equal"
+    NOT_EQUAL = "not_equal"
+    SMALLER_THAN = "smaller_than"
+    SMALLER_EQUAL = "smaller_equal"
+    GREATER_THAN = "greater_than"
+    GREATER_EQUAL = "greater_equal"
+    CONTAINS = "contains"
+    IN = "in"
+    PREFIX = "prefix"
+
+    @classmethod
+    def parse(cls, value: "str | Operator") -> "Operator":
+        if isinstance(value, Operator):
+            return value
+        for member in cls:
+            if member.value == str(value):
+                return member
+        raise ValidationError(f"unknown search operator: {value!r}")
+
+
+def _compare(op: Operator, actual: Any, expected: Any) -> bool:
+    """Apply *op*; missing fields (actual is None) never match."""
+    if actual is None:
+        return False
+    if op is Operator.EQUAL:
+        return actual == expected
+    if op is Operator.NOT_EQUAL:
+        return actual != expected
+    if op is Operator.CONTAINS:
+        try:
+            return expected in actual
+        except TypeError:
+            return False
+    if op is Operator.IN:
+        try:
+            return actual in expected
+        except TypeError:
+            return False
+    if op is Operator.PREFIX:
+        return isinstance(actual, str) and actual.startswith(str(expected))
+    # Ordered comparisons: coerce both sides to float when possible so that
+    # "0.25" and 0.25 compare equal, matching a forgiving service boundary.
+    try:
+        left, right = float(actual), float(expected)
+    except (TypeError, ValueError):
+        if not isinstance(actual, type(expected)) and not isinstance(
+            expected, type(actual)
+        ):
+            return False
+        left, right = actual, expected
+    if op is Operator.SMALLER_THAN:
+        return left < right
+    if op is Operator.SMALLER_EQUAL:
+        return left <= right
+    if op is Operator.GREATER_THAN:
+        return left > right
+    if op is Operator.GREATER_EQUAL:
+        return left >= right
+    raise ValidationError(f"unhandled operator: {op}")  # pragma: no cover
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """One ``field <operator> value`` condition."""
+
+    field: str
+    operator: Operator
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.field:
+            raise ValidationError("constraint field must be non-empty")
+        object.__setattr__(self, "operator", Operator.parse(self.operator))
+
+    @property
+    def is_metric_constraint(self) -> bool:
+        return self.field in METRIC_FIELDS
+
+    @property
+    def resolved_field(self) -> str:
+        return FIELD_ALIASES.get(self.field, self.field)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "field": self.field,
+            "operator": self.operator.value,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Constraint":
+        try:
+            return cls(
+                field=data["field"],
+                operator=Operator.parse(data["operator"]),
+                value=data["value"],
+            )
+        except KeyError as exc:
+            raise ValidationError(f"constraint missing key: {exc}") from exc
+
+
+class ConstraintSet:
+    """An AND-combined group of constraints, split by family."""
+
+    def __init__(self, constraints: Iterable[Constraint | Mapping[str, Any]]) -> None:
+        parsed: list[Constraint] = []
+        for item in constraints:
+            if isinstance(item, Constraint):
+                parsed.append(item)
+            else:
+                parsed.append(Constraint.from_dict(item))
+        self._document = tuple(c for c in parsed if not c.is_metric_constraint)
+        self._metric = tuple(c for c in parsed if c.is_metric_constraint)
+
+    @property
+    def document_constraints(self) -> Sequence[Constraint]:
+        return self._document
+
+    @property
+    def metric_constraints(self) -> Sequence[Constraint]:
+        return self._metric
+
+    def __len__(self) -> int:
+        return len(self._document) + len(self._metric)
+
+    def matches_document(self, document: Mapping[str, Any]) -> bool:
+        """Evaluate the document constraints against a flattened record."""
+        return all(
+            _compare(c.operator, document.get(c.resolved_field), c.value)
+            for c in self._document
+        )
+
+    def matches_metrics(self, metrics: Iterable[Mapping[str, Any]]) -> bool:
+        """True when one metric record satisfies every metric constraint."""
+        if not self._metric:
+            return True
+        metric_field_map = {
+            "metricName": "name",
+            "metricValue": "value",
+            "metricScope": "scope",
+        }
+        for metric in metrics:
+            if all(
+                _compare(c.operator, metric.get(metric_field_map[c.field]), c.value)
+                for c in self._metric
+            ):
+                return True
+        return False
+
+    def matches(
+        self,
+        document: Mapping[str, Any],
+        metrics: Iterable[Mapping[str, Any]] = (),
+    ) -> bool:
+        return self.matches_document(document) and self.matches_metrics(metrics)
+
+
+def flatten_instance_document(
+    instance: Mapping[str, Any], model: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build the flattened search document for an instance.
+
+    Record fields are exposed directly; the parent model contributes
+    ``project`` and ``owner``; metadata keys of both records are promoted to
+    the top level (instance metadata wins on conflicts).
+    """
+    doc: dict[str, Any] = {}
+    if model is not None:
+        doc.update({k: v for k, v in model.items() if k != "metadata"})
+        doc.update(model.get("metadata") or {})
+    doc.update({k: v for k, v in instance.items() if k != "metadata"})
+    doc.update(instance.get("metadata") or {})
+    return doc

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the Gallery reproduction.
+
+Every error raised by the library derives from :class:`GalleryError` so
+applications can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure class.  The hierarchy mirrors the
+major subsystems of the paper: storage (Section 3.5), versioning (Section
+3.4), dependencies (Section 3.4.2), rules (Section 3.7) and the service layer
+(Section 4.1).
+"""
+
+from __future__ import annotations
+
+
+class GalleryError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(GalleryError):
+    """A record, metadata document, or rule failed validation."""
+
+
+class ImmutabilityError(GalleryError):
+    """An attempt was made to mutate an immutable model or instance.
+
+    The paper's first design principle (Section 3.1) is that models and model
+    instances are immutable: any update must create a new version.  Code paths
+    that would overwrite an existing record raise this error instead.
+    """
+
+
+class NotFoundError(GalleryError):
+    """A model, instance, metric, blob, or rule does not exist."""
+
+
+class DuplicateError(GalleryError):
+    """A record with the same identifier already exists."""
+
+
+class StorageError(GalleryError):
+    """Base class for storage-layer failures (Section 3.5)."""
+
+
+class BlobStoreError(StorageError):
+    """A blob read or write failed in the large-object store."""
+
+
+class MetadataStoreError(StorageError):
+    """A metadata read or write failed in the relational store."""
+
+
+class ConsistencyError(StorageError):
+    """The write-blob-first protocol detected an inconsistent record.
+
+    Section 3.5: blobs are always written before metadata, so metadata that
+    points at a missing blob indicates corruption rather than a normal
+    partial-failure state.
+    """
+
+
+class DependencyError(GalleryError):
+    """Base class for dependency-graph failures (Section 3.4.2)."""
+
+
+class DependencyCycleError(DependencyError):
+    """Adding a dependency would create a cycle in the model DAG."""
+
+
+class RuleError(GalleryError):
+    """Base class for rule-engine failures (Section 3.7)."""
+
+
+class RuleSyntaxError(RuleError):
+    """A rule expression could not be lexed or parsed."""
+
+
+class RuleEvaluationError(RuleError):
+    """A rule expression failed during evaluation."""
+
+
+class RuleReviewError(RuleError):
+    """A rule commit was rejected by the review/validation gate."""
+
+
+class ActionError(RuleError):
+    """A callback action failed or is not registered."""
+
+
+class ServiceError(GalleryError):
+    """Base class for service/wire-protocol failures (Section 4.1)."""
+
+
+class WireFormatError(ServiceError):
+    """A request or response could not be encoded or decoded."""
+
+
+class UnknownMethodError(ServiceError):
+    """The service was asked to dispatch a method it does not export."""
+
+
+class LifecycleError(GalleryError):
+    """An illegal lifecycle-stage transition was requested (Figure 1)."""
+
+
+class DeprecatedModelError(GalleryError):
+    """An operation targeted a deprecated model without opting in.
+
+    Section 3.7: deprecated models are flagged, not deleted; they are skipped
+    during fetching and searching unless the caller explicitly includes them.
+    """

@@ -1,0 +1,152 @@
+"""Forecast evaluation metrics and backtesting (Section 3.3.3).
+
+Implements the metric families the paper names — MAPE (the headline metric
+of the model-switching claim), MAE, bias, MSE/RMSE, R² — plus sMAPE, and a
+rolling-origin backtest harness used to produce the validation metrics that
+deploy rules gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValidationError(
+            f"shape mismatch: actual {actual.shape} vs predicted {predicted.shape}"
+        )
+    if actual.size == 0:
+        raise ValidationError("cannot evaluate empty arrays")
+    return actual, predicted
+
+
+def mae(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute error."""
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    return float(np.mean(np.abs(a - p)))
+
+
+def mse(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean squared error."""
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    return float(np.mean((a - p) ** 2))
+
+
+def rmse(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(actual, predicted)))
+
+
+def bias(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean signed error, normalised by the mean actual.
+
+    Matches the paper's deploy-gate usage (``metrics.bias <= 0.1 and
+    metrics.bias >= -0.1``): a dimensionless over/under-forecast fraction.
+    """
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    denominator = float(np.mean(np.abs(a)))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.mean(p - a) / denominator)
+
+
+def mape(actual: Sequence[float], predicted: Sequence[float], epsilon: float = 1e-9) -> float:
+    """Mean absolute percentage error (fraction, not percent)."""
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    return float(np.mean(np.abs(a - p) / np.maximum(np.abs(a), epsilon)))
+
+
+def smape(actual: Sequence[float], predicted: Sequence[float], epsilon: float = 1e-9) -> float:
+    """Symmetric MAPE (bounded in [0, 2])."""
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    denom = np.maximum((np.abs(a) + np.abs(p)) / 2.0, epsilon)
+    return float(np.mean(np.abs(a - p) / denom))
+
+
+def r2(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination."""
+    a, p = _validate(np.asarray(actual), np.asarray(predicted))
+    ss_res = float(np.sum((a - p) ** 2))
+    ss_tot = float(np.sum((a - a.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+#: The standard metric blob recorded into Gallery for a forecast evaluation.
+STANDARD_METRICS: Mapping[str, Callable[[Sequence[float], Sequence[float]], float]] = {
+    "mape": mape,
+    "smape": smape,
+    "mae": mae,
+    "rmse": rmse,
+    "bias": bias,
+    "r2": r2,
+}
+
+
+def evaluate_forecast(
+    actual: Sequence[float], predicted: Sequence[float]
+) -> dict[str, float]:
+    """Compute the full standard metric blob (Section 3.3.3 format)."""
+    return {name: fn(actual, predicted) for name, fn in STANDARD_METRICS.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class BacktestResult:
+    """Outcome of a rolling-origin backtest."""
+
+    metrics: Mapping[str, float]
+    predictions: np.ndarray
+    actuals: np.ndarray
+    folds: int
+
+
+def rolling_backtest(
+    fit_predict: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    features: np.ndarray,
+    targets: np.ndarray,
+    n_folds: int = 4,
+    min_train: int | None = None,
+) -> BacktestResult:
+    """Rolling-origin evaluation: train on [0, k), predict fold [k, k+w).
+
+    *fit_predict* receives (train_features, train_targets, test_features)
+    and returns test predictions — models stay black boxes, matching the
+    model-neutral principle.
+    """
+    n = len(targets)
+    if n_folds < 1:
+        raise ValidationError("n_folds must be >= 1")
+    if min_train is None:
+        min_train = n // (n_folds + 1)
+    if min_train < 1 or min_train >= n:
+        raise ValidationError("min_train out of range")
+    fold_size = (n - min_train) // n_folds
+    if fold_size < 1:
+        raise ValidationError("not enough data for the requested folds")
+    predictions: list[np.ndarray] = []
+    actuals: list[np.ndarray] = []
+    for fold in range(n_folds):
+        train_end = min_train + fold * fold_size
+        test_end = n if fold == n_folds - 1 else train_end + fold_size
+        predicted = fit_predict(
+            features[:train_end], targets[:train_end], features[train_end:test_end]
+        )
+        predictions.append(np.asarray(predicted, dtype=np.float64))
+        actuals.append(targets[train_end:test_end])
+    all_predictions = np.concatenate(predictions)
+    all_actuals = np.concatenate(actuals)
+    return BacktestResult(
+        metrics=evaluate_forecast(all_actuals, all_predictions),
+        predictions=all_predictions,
+        actuals=all_actuals,
+        folds=n_folds,
+    )

@@ -1,0 +1,145 @@
+"""Feature extraction for forecasting models.
+
+Turns an hourly demand series into a supervised-learning design matrix:
+lagged demand, rolling statistics, calendar encodings (hour-of-day and
+day-of-week as sin/cos pairs), and — for event-aware models — the scheduled
+event flag.  The feature list is recorded into Gallery metadata so instances
+stay reproducible (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.forecasting.workload import HOURS_PER_DAY, HOURS_PER_WEEK
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureSpec:
+    """Which features to build; doubles as the metadata-able description."""
+
+    lags: tuple[int, ...] = (1, 2, 3, 24, 48, 168)
+    rolling_windows: tuple[int, ...] = (6, 24)
+    calendar: bool = True
+    event_flag: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.lags:
+            raise ValueError("at least one lag is required")
+        if min(self.lags) < 1:
+            raise ValueError("lags must be >= 1")
+        object.__setattr__(self, "lags", tuple(sorted(self.lags)))
+        object.__setattr__(self, "rolling_windows", tuple(sorted(self.rolling_windows)))
+
+    @property
+    def min_history(self) -> int:
+        """Hours of history consumed before the first usable row."""
+        deepest = max(self.lags)
+        if self.rolling_windows:
+            deepest = max(deepest, max(self.rolling_windows))
+        return deepest
+
+    @property
+    def season_lag_column(self) -> int:
+        """Column index of the deepest lag — the seasonal-naive predictor."""
+        return len(self.lags) - 1
+
+    def feature_names(self) -> list[str]:
+        names = [f"lag_{lag}" for lag in self.lags]
+        names += [f"rolling_mean_{w}" for w in self.rolling_windows]
+        if self.calendar:
+            names += ["hod_sin", "hod_cos", "dow_sin", "dow_cos"]
+        if self.event_flag:
+            names.append("event_flag")
+        return names
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisedDataset:
+    """Design matrix + targets aligned to absolute hour indexes."""
+
+    features: np.ndarray      # shape (rows, n_features)
+    targets: np.ndarray       # shape (rows,)
+    hour_index: np.ndarray    # absolute hour of each row's target
+    feature_names: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def split(self, train_fraction: float) -> tuple["SupervisedDataset", "SupervisedDataset"]:
+        """Chronological train/validation split (never shuffled)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = int(len(self) * train_fraction)
+        return (
+            SupervisedDataset(
+                self.features[:cut],
+                self.targets[:cut],
+                self.hour_index[:cut],
+                self.feature_names,
+            ),
+            SupervisedDataset(
+                self.features[cut:],
+                self.targets[cut:],
+                self.hour_index[cut:],
+                self.feature_names,
+            ),
+        )
+
+
+def build_dataset(
+    values: Sequence[float] | np.ndarray,
+    spec: FeatureSpec,
+    event_flags: Sequence[float] | np.ndarray | None = None,
+    start_hour: int = 0,
+) -> SupervisedDataset:
+    """Build the one-step-ahead supervised dataset for a demand series.
+
+    Row ``i`` predicts ``values[t]`` from information available strictly
+    before ``t`` (lags, rolling stats) plus deterministic calendar/event
+    features of ``t`` itself — scheduled events are known in advance, so the
+    flag at prediction time is legitimate, matching the paper's
+    "models that include holiday/event features".
+    """
+    series = np.asarray(values, dtype=np.float64)
+    if event_flags is None:
+        flags = np.zeros_like(series)
+    else:
+        flags = np.asarray(event_flags, dtype=np.float64)
+        if flags.shape != series.shape:
+            raise ValueError("event_flags must align with values")
+    first = spec.min_history
+    if len(series) <= first:
+        raise ValueError(
+            f"series too short: need more than {first} hours, got {len(series)}"
+        )
+    rows = len(series) - first
+    columns: list[np.ndarray] = []
+    for lag in spec.lags:
+        columns.append(series[first - lag: len(series) - lag])
+    for window in spec.rolling_windows:
+        kernel = np.ones(window) / window
+        means = np.convolve(series, kernel, mode="full")[: len(series)]
+        # rolling mean over [t-window, t): shift so row t sees history only
+        columns.append(means[first - 1: len(series) - 1])
+    if spec.calendar:
+        t = np.arange(first, len(series), dtype=np.float64) + start_hour
+        columns.append(np.sin(2 * np.pi * t / HOURS_PER_DAY))
+        columns.append(np.cos(2 * np.pi * t / HOURS_PER_DAY))
+        columns.append(np.sin(2 * np.pi * t / HOURS_PER_WEEK))
+        columns.append(np.cos(2 * np.pi * t / HOURS_PER_WEEK))
+    if spec.event_flag:
+        columns.append(flags[first:])
+    features = np.column_stack(columns)
+    targets = series[first:]
+    hour_index = np.arange(first, len(series)) + start_hour
+    assert features.shape == (rows, len(spec.feature_names()))
+    return SupervisedDataset(
+        features=features,
+        targets=targets,
+        hour_index=hour_index,
+        feature_names=tuple(spec.feature_names()),
+    )

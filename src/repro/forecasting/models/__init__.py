@@ -1,0 +1,30 @@
+"""From-scratch forecasting model families (all serializable to blobs)."""
+
+from repro.forecasting.models.base import (
+    ForecastModel,
+    deserialize,
+    serialize,
+    validate_training_data,
+)
+from repro.forecasting.models.ensemble import GradientBoosting, RandomForest
+from repro.forecasting.models.linear import RidgeRegression
+from repro.forecasting.models.naive import (
+    ExponentialSmoothing,
+    MovingAverage,
+    SeasonalNaive,
+)
+from repro.forecasting.models.tree import RegressionTree
+
+__all__ = [
+    "ExponentialSmoothing",
+    "ForecastModel",
+    "GradientBoosting",
+    "MovingAverage",
+    "RandomForest",
+    "RegressionTree",
+    "RidgeRegression",
+    "SeasonalNaive",
+    "deserialize",
+    "serialize",
+    "validate_training_data",
+]

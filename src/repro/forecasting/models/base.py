@@ -1,0 +1,74 @@
+"""Forecast model interface and blob (de)serialization.
+
+Gallery treats model instances as opaque binary blobs (Section 3.3.2); the
+forecasting substrate honours that by serializing every model through
+:func:`serialize` / :func:`deserialize` before anything touches Gallery.
+The serialized form is a pickle of the model object — to Gallery it is
+uninterpreted bytes, exactly as SparkML/TF binaries are at Uber.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class ForecastModel(ABC):
+    """A one-step-ahead demand forecaster over a feature matrix."""
+
+    #: Short family name recorded into Gallery metadata (``model_name``).
+    family: str = "forecast"
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "ForecastModel":
+        """Fit in place and return self."""
+
+    @abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict one value per feature row."""
+
+    def hyperparameters(self) -> dict[str, Any]:
+        """Hyperparameters for Gallery reproducibility metadata."""
+        return {}
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise ValidationError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+
+
+def serialize(model: ForecastModel) -> bytes:
+    """Serialize a model to an opaque blob for Gallery."""
+    return pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize(blob: bytes) -> ForecastModel:
+    """Rebuild a model from a Gallery blob."""
+    model = pickle.loads(blob)
+    if not isinstance(model, ForecastModel):
+        raise ValidationError(
+            f"blob did not contain a ForecastModel (got {type(model).__name__})"
+        )
+    return model
+
+
+def validate_training_data(features: np.ndarray, targets: np.ndarray) -> None:
+    """Common shape/NaN checks shared by every model's fit()."""
+    if features.ndim != 2:
+        raise ValidationError(f"features must be 2-D, got shape {features.shape}")
+    if targets.ndim != 1:
+        raise ValidationError(f"targets must be 1-D, got shape {targets.shape}")
+    if len(features) != len(targets):
+        raise ValidationError(
+            f"row mismatch: {len(features)} feature rows, {len(targets)} targets"
+        )
+    if len(targets) == 0:
+        raise ValidationError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(features)) or not np.all(np.isfinite(targets)):
+        raise ValidationError("training data contains NaN or infinite values")

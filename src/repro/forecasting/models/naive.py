@@ -1,0 +1,124 @@
+"""Baseline heuristic forecasters.
+
+:class:`MovingAverage` is the paper's "heuristic model which uses the mean
+value of [the] last 5 minutes as the forecasts" (Section 3.7) transplanted
+to the hourly feature matrix: it predicts the rolling mean of the most
+recent observations.  "Stable and consistent, but may not always produce
+the best performance" — it anchors the champion-selection experiments.
+
+:class:`SeasonalNaive` predicts the value one season ago (lag-168 by
+default), the standard time-series baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.forecasting.models.base import ForecastModel, validate_training_data
+
+
+class MovingAverage(ForecastModel):
+    """Predicts the mean of the last *window* observations.
+
+    Expects the feature matrix built by :mod:`repro.forecasting.features`
+    and reads its ``lag_1 .. lag_k`` columns; ``window`` must not exceed the
+    number of consecutive unit lags available.
+    """
+
+    family = "moving_average"
+
+    def __init__(self, window: int = 3, lag_columns: tuple[int, ...] | None = None) -> None:
+        if window < 1:
+            raise ValidationError("window must be >= 1")
+        self._window = window
+        self._lag_columns = lag_columns
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MovingAverage":
+        validate_training_data(features, targets)
+        if self._lag_columns is None:
+            self._lag_columns = tuple(range(min(self._window, features.shape[1])))
+        if len(self._lag_columns) < self._window:
+            raise ValidationError(
+                f"need {self._window} lag columns, have {len(self._lag_columns)}"
+            )
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise ValidationError("MovingAverage must be fitted before predicting")
+        columns = list(self._lag_columns[: self._window])
+        return features[:, columns].mean(axis=1)
+
+    def hyperparameters(self) -> dict[str, Any]:
+        return {"window": self._window}
+
+
+class SeasonalNaive(ForecastModel):
+    """Predicts the value exactly one season ago (a single lag column)."""
+
+    family = "seasonal_naive"
+
+    def __init__(self, season_lag_column: int | None = None) -> None:
+        self._column = season_lag_column
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "SeasonalNaive":
+        validate_training_data(features, targets)
+        if self._column is None:
+            # by convention the deepest lag column is the seasonal one
+            self._column = features.shape[1] - 1
+        if not 0 <= self._column < features.shape[1]:
+            raise ValidationError(
+                f"season lag column {self._column} out of range "
+                f"for {features.shape[1]} features"
+            )
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise ValidationError("SeasonalNaive must be fitted before predicting")
+        return features[:, self._column].copy()
+
+    def hyperparameters(self) -> dict[str, Any]:
+        return {"season_lag_column": self._column}
+
+
+class ExponentialSmoothing(ForecastModel):
+    """Simple exponential smoothing over the unit-lag history columns.
+
+    Forms a geometrically-weighted average of the available consecutive
+    lags; with ``alpha`` near 1 it approaches lag-1 persistence, near 0 it
+    approaches a flat moving average.
+    """
+
+    family = "exponential_smoothing"
+
+    def __init__(self, alpha: float = 0.4, n_lags: int = 3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValidationError("alpha must be in (0, 1]")
+        if n_lags < 1:
+            raise ValidationError("n_lags must be >= 1")
+        self._alpha = alpha
+        self._n_lags = n_lags
+        self._weights: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "ExponentialSmoothing":
+        validate_training_data(features, targets)
+        k = min(self._n_lags, features.shape[1])
+        raw = np.array([self._alpha * (1 - self._alpha) ** i for i in range(k)])
+        self._weights = raw / raw.sum()
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("_weights")
+        k = len(self._weights)  # type: ignore[arg-type]
+        return features[:, :k] @ self._weights
+
+    def hyperparameters(self) -> dict[str, Any]:
+        return {"alpha": self._alpha, "n_lags": self._n_lags}

@@ -1,0 +1,268 @@
+"""Training pipelines wired into Gallery (Section 4.2).
+
+The Marketplace Forecasting workflow: per city, train candidate model
+instances, serialize them to blobs, upload them to Gallery with full
+reproducibility metadata, record validation metrics, and let rules decide
+deployment.  This module implements that loop and the selective-retraining
+logic ("we would like to retrain the models periodically if performance
+evaluation shows the need", Section 2).
+
+Compute accounting: every ``fit`` is charged ``len(training_rows)`` compute
+units so EXP-RETRAIN can compare retrain-all against drift-triggered
+retraining in workload-proportional terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.health import DriftDetector
+from repro.core.records import MetricScope, ModelInstance
+from repro.core.registry import Gallery
+from repro.errors import NotFoundError
+from repro.forecasting.evaluation import evaluate_forecast
+from repro.forecasting.features import FeatureSpec, SupervisedDataset, build_dataset
+from repro.forecasting.models.base import ForecastModel, serialize
+from repro.forecasting.workload import DemandSeries
+
+ModelFactory = Callable[[], ForecastModel]
+
+
+@dataclass(frozen=True, slots=True)
+class ModelSpecification:
+    """One trainable model family + its feature specification."""
+
+    name: str
+    factory: ModelFactory
+    feature_spec: FeatureSpec = field(default_factory=FeatureSpec)
+
+    def base_version_id(self, quantity: str = "demand") -> str:
+        """The Gallery base version id for this problem/model combination."""
+        return f"{quantity}_{self.name}"
+
+
+@dataclass
+class TrainingStats:
+    """Compute accounting for the retraining experiments."""
+
+    fits: int = 0
+    compute_units: int = 0  # sum of training-row counts
+
+    def charge(self, rows: int) -> None:
+        self.fits += 1
+        self.compute_units += rows
+
+
+@dataclass(frozen=True, slots=True)
+class TrainedInstance:
+    """A trained, registered city model."""
+
+    instance: ModelInstance
+    city: str
+    spec_name: str
+    validation_metrics: Mapping[str, float]
+
+
+class ForecastingPipeline:
+    """Train/evaluate/register per-city forecasting instances in Gallery."""
+
+    def __init__(
+        self,
+        gallery: Gallery,
+        project: str = "marketplace-forecasting",
+        team: str = "forecasting",
+        train_fraction: float = 0.8,
+    ) -> None:
+        self._gallery = gallery
+        self._project = project
+        self._team = team
+        self._train_fraction = train_fraction
+        self.stats = TrainingStats()
+
+    @property
+    def gallery(self) -> Gallery:
+        return self._gallery
+
+    @property
+    def project(self) -> str:
+        return self._project
+
+    # -- model registration ------------------------------------------------------
+
+    def ensure_model(self, spec: ModelSpecification, quantity: str = "demand") -> str:
+        """Create the Gallery model for *spec* if missing; return its id."""
+        base = spec.base_version_id(quantity)
+        try:
+            model = self._gallery.find_model(self._project, base)
+        except NotFoundError:
+            model = self._gallery.create_model(
+                project=self._project,
+                base_version_id=base,
+                owner=self._team,
+                description=f"{quantity} forecasting with {spec.name}",
+                metadata={"team": self._team, "quantity": quantity},
+            )
+        return model.model_id
+
+    # -- training -------------------------------------------------------------
+
+    def train_city(
+        self,
+        series: DemandSeries,
+        spec: ModelSpecification,
+        quantity: str = "demand",
+        train_hours: int | None = None,
+        record_metrics: bool = True,
+    ) -> TrainedInstance:
+        """Train one (city, model) instance and register it in Gallery.
+
+        The uploaded instance carries the full reproducibility metadata set
+        of Section 6.2: feature list, hyperparameters, training-data pointer
+        (the city + window), framework tag, and the seed-bearing
+        hyperparameters of stochastic models.
+        """
+        self.ensure_model(spec, quantity)
+        values = series.values if train_hours is None else series.values[:train_hours]
+        flags = (
+            series.event_flags
+            if train_hours is None
+            else series.event_flags[:train_hours]
+        )
+        dataset = build_dataset(values, spec.feature_spec, event_flags=flags)
+        train, validation = dataset.split(self._train_fraction)
+        model = spec.factory()
+        model.fit(train.features, train.targets)
+        self.stats.charge(len(train))
+        predictions = model.predict(validation.features)
+        metrics = evaluate_forecast(validation.targets, predictions)
+        metadata = {
+            "model_name": model.family,
+            "model_type": "repro-forecasting",
+            "model_domain": quantity,
+            "city": series.city,
+            "team": self._team,
+            "handles_events": spec.feature_spec.event_flag,
+            "features": list(spec.feature_spec.feature_names()),
+            "hyperparameters": model.hyperparameters(),
+            "training_framework": "repro.forecasting",
+            "training_code_pointer": f"repro.forecasting.pipeline:{spec.name}",
+            "training_data_path": f"synthetic://{series.city}/demand",
+            "training_data_version": f"hours-0-{len(values)}",
+            "random_seed": model.hyperparameters().get("seed", 0),
+        }
+        instance = self._gallery.upload_model(
+            project=self._project,
+            base_version_id=spec.base_version_id(quantity),
+            blob=serialize(model),
+            metadata=metadata,
+        )
+        if record_metrics:
+            self._gallery.insert_metrics(
+                instance.instance_id, metrics, scope=MetricScope.VALIDATION
+            )
+        return TrainedInstance(
+            instance=instance,
+            city=series.city,
+            spec_name=spec.name,
+            validation_metrics=metrics,
+        )
+
+    def train_fleet(
+        self,
+        fleet: Sequence[DemandSeries],
+        specs: Sequence[ModelSpecification],
+        quantity: str = "demand",
+        train_hours: int | None = None,
+    ) -> dict[tuple[str, str], TrainedInstance]:
+        """Train every (city, spec) combination; keys are (city, spec name)."""
+        out: dict[tuple[str, str], TrainedInstance] = {}
+        for series in fleet:
+            for spec in specs:
+                trained = self.train_city(
+                    series, spec, quantity=quantity, train_hours=train_hours
+                )
+                out[(series.city, spec.name)] = trained
+        return out
+
+    # -- selective retraining (Section 2 / EXP-RETRAIN) --------------------------------
+
+
+#: Resolves a (training_data_path, training_data_version) pointer back to
+#: the training series: values and event flags.  Real deployments back this
+#: with the data warehouse; tests back it with the synthetic generator.
+DataResolver = Callable[[str, str], tuple[np.ndarray, np.ndarray | None]]
+
+
+def make_trainer(
+    spec: ModelSpecification,
+    data_resolver: DataResolver,
+    train_fraction: float = 0.8,
+):
+    """Build a replayable trainer for the reproducibility service.
+
+    The returned callable matches :data:`repro.core.reproduce.Trainer`: it
+    re-runs exactly what :meth:`ForecastingPipeline.train_city` did, reading
+    the training data through *data_resolver* from the pointers recorded in
+    the instance metadata (Section 6.2).
+    """
+
+    def _trainer(metadata) -> tuple[bytes, dict[str, float]]:
+        values, flags = data_resolver(
+            str(metadata["training_data_path"]),
+            str(metadata["training_data_version"]),
+        )
+        dataset = build_dataset(values, spec.feature_spec, event_flags=flags)
+        train, validation = dataset.split(train_fraction)
+        model = spec.factory()
+        model.fit(train.features, train.targets)
+        metrics = evaluate_forecast(
+            validation.targets, model.predict(validation.features)
+        )
+        return serialize(model), metrics
+
+    return _trainer
+
+
+@dataclass
+class RetrainingMonitor:
+    """Drift-gated retraining over a fleet of deployed city models.
+
+    One :class:`DriftDetector` per city watches its production error stream;
+    only cities whose detector fires are retrained ("we do not want to
+    retrain models for all the cities if one city performs poorly").
+    """
+
+    pipeline: ForecastingPipeline
+    detector_factory: Callable[[], DriftDetector] = field(
+        default_factory=lambda: (lambda: DriftDetector())
+    )
+    detectors: dict[str, DriftDetector] = field(default_factory=dict)
+    retrained_cities: list[str] = field(default_factory=list)
+
+    def observe(self, city: str, production_error: float) -> bool:
+        """Feed one production error reading; True when drift was detected."""
+        detector = self.detectors.get(city)
+        if detector is None:
+            detector = self.detector_factory()
+            self.detectors[city] = detector
+        return detector.observe(production_error).detected
+
+    def retrain(
+        self,
+        series: DemandSeries,
+        spec: ModelSpecification,
+        quantity: str = "demand",
+        train_hours: int | None = None,
+    ) -> TrainedInstance:
+        """Retrain one drifted city and reset its detector."""
+        trained = self.pipeline.train_city(
+            series, spec, quantity=quantity, train_hours=train_hours
+        )
+        detector = self.detectors.get(series.city)
+        if detector is not None:
+            detector.reset()
+        self.retrained_cities.append(series.city)
+        return trained

@@ -1,0 +1,255 @@
+"""Synthetic per-city demand workloads (Sections 2 and 4.2).
+
+The paper's Marketplace Forecasting team predicts supply/demand per city;
+cities differ in scale, growth stage, seasonality, and event sensitivity,
+and real demand contains holidays and unplanned shocks (public-transit
+outages) that event-aware models handle better.  Production traces are not
+available, so this generator synthesizes hourly demand series with exactly
+the structure those experiments need:
+
+* base level + growth trend (cities at different growth stages);
+* daily and weekly multiplicative seasonality with per-city phase/strength;
+* **scheduled events** (holidays) that scale demand over known windows;
+* **unplanned events** (outage spikes) at unannounced times;
+* optional **regime drift**: the seasonal pattern slowly morphs, degrading
+  models trained on old data (the drift-retraining experiments);
+* multiplicative noise.
+
+Everything is seeded and reproducible; a city's series is a pure function
+of its :class:`CityProfile` and the global seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+HOURS_PER_WEEK = 24 * 7
+
+
+@dataclass(frozen=True, slots=True)
+class EventWindow:
+    """A demand-shifting event: [start, end) hour indexes and a multiplier."""
+
+    start: int
+    end: int
+    multiplier: float
+    name: str = "event"
+    scheduled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("event end must be after start")
+        if self.multiplier <= 0:
+            raise ValueError("event multiplier must be positive")
+
+    def covers(self, hour: int) -> bool:
+        return self.start <= hour < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class CityProfile:
+    """Static characteristics of one simulated city."""
+
+    name: str
+    base_demand: float = 100.0
+    growth_per_week: float = 0.01        # compounding weekly growth rate
+    daily_strength: float = 0.35         # amplitude of the daily cycle
+    weekly_strength: float = 0.20        # amplitude of the weekly cycle
+    daily_phase: float = 0.0             # shifts the rush hours
+    noise_level: float = 0.05            # multiplicative noise sigma
+    drift_per_week: float = 0.0          # regime drift: phase shift per week
+    events: tuple[EventWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_demand <= 0:
+            raise ValueError("base_demand must be positive")
+        if self.noise_level < 0:
+            raise ValueError("noise_level must be non-negative")
+        object.__setattr__(self, "events", tuple(self.events))
+
+
+@dataclass(frozen=True, slots=True)
+class DemandSeries:
+    """A generated hourly demand series plus its ground-truth structure."""
+
+    city: str
+    values: np.ndarray                   # shape (hours,)
+    event_flags: np.ndarray              # 1.0 where any scheduled event covers
+    events: tuple[EventWindow, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def window(self, start: int, end: int) -> np.ndarray:
+        return self.values[start:end]
+
+    def hours_in_events(self, scheduled: bool | None = None) -> list[int]:
+        hours: list[int] = []
+        for event in self.events:
+            if scheduled is not None and event.scheduled is not scheduled:
+                continue
+            hours.extend(range(event.start, min(event.end, len(self.values))))
+        return sorted(set(hours))
+
+
+def generate_city_demand(
+    profile: CityProfile,
+    hours: int,
+    seed: int = 0,
+) -> DemandSeries:
+    """Generate *hours* of demand for one city.
+
+    Demand at hour ``t`` is::
+
+        base * growth(t) * daily(t) * weekly(t) * events(t) * noise(t)
+
+    where ``daily`` drifts in phase when ``drift_per_week`` is non-zero —
+    models fitted on the original phase gradually mispredict rush hours,
+    which is exactly the "statistical properties ... change over time"
+    definition of model drift in Section 3.6.
+    """
+    rng = np.random.default_rng(_stable_seed(profile.name, seed))
+    t = np.arange(hours, dtype=np.float64)
+    weeks = t / HOURS_PER_WEEK
+
+    growth = np.power(1.0 + profile.growth_per_week, weeks)
+
+    drifted_phase = profile.daily_phase + profile.drift_per_week * weeks
+    daily = 1.0 + profile.daily_strength * np.sin(
+        2.0 * math.pi * (t / HOURS_PER_DAY) + drifted_phase
+    )
+    weekly = 1.0 + profile.weekly_strength * np.sin(
+        2.0 * math.pi * (t / HOURS_PER_WEEK)
+    )
+
+    event_multiplier = np.ones(hours)
+    event_flags = np.zeros(hours)
+    for event in profile.events:
+        start = max(event.start, 0)
+        end = min(event.end, hours)
+        if start >= end:
+            continue
+        event_multiplier[start:end] *= event.multiplier
+        if event.scheduled:
+            event_flags[start:end] = 1.0
+
+    noise = rng.lognormal(mean=0.0, sigma=profile.noise_level, size=hours)
+
+    values = profile.base_demand * growth * daily * weekly * event_multiplier * noise
+    values = np.maximum(values, 0.0)
+    return DemandSeries(
+        city=profile.name,
+        values=values,
+        event_flags=event_flags,
+        events=profile.events,
+    )
+
+
+def _stable_seed(name: str, seed: int) -> int:
+    """Mix the city name into the seed without Python's salted hash()."""
+    acc = seed & 0xFFFFFFFF
+    for ch in name:
+        acc = (acc * 1000003 + ord(ch)) & 0xFFFFFFFF
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Fleet construction helpers
+# ---------------------------------------------------------------------------
+
+#: City archetypes spanning Uber's "different growth stages" (Section 2).
+_ARCHETYPES = (
+    # (base_demand, growth, daily_strength, weekly_strength, noise)
+    (400.0, 0.002, 0.45, 0.25, 0.04),  # mature megacity
+    (150.0, 0.010, 0.35, 0.20, 0.06),  # established city
+    (60.0, 0.030, 0.30, 0.15, 0.09),   # growth-stage city
+    (20.0, 0.060, 0.25, 0.10, 0.14),   # launch city
+)
+
+
+def build_city_fleet(
+    n_cities: int,
+    hours: int,
+    seed: int = 0,
+    holiday_every_weeks: int = 3,
+    holiday_multiplier: float = 1.6,
+    drift_fraction: float = 0.0,
+    drift_per_week: float = 0.25,
+) -> list[CityProfile]:
+    """Build a heterogeneous fleet of city profiles.
+
+    * every city gets periodic scheduled "holiday" events;
+    * the first ``drift_fraction`` of cities receive regime drift (used by
+      EXP-RETRAIN to make only a subset of cities degrade).
+    """
+    rng = np.random.default_rng(seed)
+    profiles: list[CityProfile] = []
+    n_drifting = int(round(n_cities * drift_fraction))
+    for i in range(n_cities):
+        base, growth, daily, weekly, noise = _ARCHETYPES[i % len(_ARCHETYPES)]
+        scale = float(rng.uniform(0.8, 1.2))
+        events = tuple(
+            EventWindow(
+                start=week * HOURS_PER_WEEK + HOURS_PER_DAY * 5,
+                end=week * HOURS_PER_WEEK + HOURS_PER_DAY * 6,
+                multiplier=holiday_multiplier,
+                name=f"holiday-w{week}",
+                scheduled=True,
+            )
+            for week in range(
+                holiday_every_weeks,
+                max(1, hours // HOURS_PER_WEEK),
+                holiday_every_weeks,
+            )
+        )
+        profiles.append(
+            CityProfile(
+                name=f"city-{i:03d}",
+                base_demand=base * scale,
+                growth_per_week=growth,
+                daily_strength=daily,
+                weekly_strength=weekly,
+                daily_phase=float(rng.uniform(0.0, 2.0 * math.pi)),
+                noise_level=noise,
+                drift_per_week=drift_per_week if i < n_drifting else 0.0,
+                events=events,
+            )
+        )
+    return profiles
+
+
+def add_unplanned_outage(
+    profile: CityProfile,
+    start: int,
+    duration: int = 6,
+    multiplier: float = 2.5,
+) -> CityProfile:
+    """Return a profile copy with an unplanned demand spike added.
+
+    Reproduces Section 4.2's "unplanned events (e.g., public transit
+    outages) that cause unexpected spikes in demand" for the health-alert
+    experiment.  The spike is *unscheduled*: event-aware models get no flag.
+    """
+    outage = EventWindow(
+        start=start,
+        end=start + duration,
+        multiplier=multiplier,
+        name="transit-outage",
+        scheduled=False,
+    )
+    return CityProfile(
+        name=profile.name,
+        base_demand=profile.base_demand,
+        growth_per_week=profile.growth_per_week,
+        daily_strength=profile.daily_strength,
+        weekly_strength=profile.weekly_strength,
+        daily_phase=profile.daily_phase,
+        noise_level=profile.noise_level,
+        drift_per_week=profile.drift_per_week,
+        events=profile.events + (outage,),
+    )

@@ -1,0 +1,31 @@
+"""Model health monitoring and lifecycle automation (Sections 3.6-3.7)."""
+
+from repro.monitoring.deprecation import (
+    DeprecationPolicy,
+    DeprecationSweeper,
+    SweepOutcome,
+)
+from repro.monitoring.monitor import (
+    HealthMonitor,
+    InstanceHealthSnapshot,
+    MonitorConfig,
+)
+from repro.monitoring.shadow import (
+    ShadowDeployment,
+    ShadowState,
+    WindowResult,
+    register_promote_action,
+)
+
+__all__ = [
+    "DeprecationPolicy",
+    "DeprecationSweeper",
+    "HealthMonitor",
+    "InstanceHealthSnapshot",
+    "MonitorConfig",
+    "ShadowDeployment",
+    "ShadowState",
+    "SweepOutcome",
+    "WindowResult",
+    "register_promote_action",
+]

@@ -1,0 +1,199 @@
+"""The Model Health monitor (Section 3.6).
+
+The paper's health subsystem derives insights from the raw metrics users
+push to Gallery — information completeness, **production skew** (offline vs
+online gap) and **model drift** (sustained online degradation) — and feeds
+the rule engine: "once detected, [drift] triggers model re-training via
+Gallery rule engine."
+
+:class:`HealthMonitor` implements that loop as a periodic sweep:
+
+1. read each live instance's metric history from Gallery;
+2. score completeness, compute skew, and advance a per-instance drift
+   detector over the production series;
+3. write the derived signals back as metrics (``drift_ratio:<name>``,
+   ``skew_ratio:<name>``) — which publishes METRIC_UPDATED events, so any
+   registered rules (alerting, retraining) fire through the normal path;
+4. emit human-facing alerts to an :class:`repro.core.health.AlertSink`.
+
+The monitor never interprets models and never takes actions itself — it
+only derives and publishes signals, keeping the action surface inside the
+reviewed rule repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.health import AlertSink, DriftDetector, production_skew
+from repro.core.metadata import completeness
+from repro.core.records import MetricScope
+from repro.core.registry import Gallery
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceHealthSnapshot:
+    """Outcome of one sweep for one instance."""
+
+    instance_id: str
+    completeness_score: float
+    reproducible: bool
+    skewed_metrics: tuple[str, ...]
+    drifting_metrics: tuple[str, ...]
+
+
+@dataclass
+class MonitorConfig:
+    """What the monitor watches and how sensitively."""
+
+    #: error metrics (higher is worse) to watch for drift and skew
+    watch_metrics: tuple[str, ...] = ("mape",)
+    skew_threshold: float = 0.25
+    detector_factory: Callable[[], DriftDetector] = field(
+        default_factory=lambda: (
+            lambda: DriftDetector(
+                baseline_window=5, recent_window=3, ratio_threshold=1.8, patience=2
+            )
+        )
+    )
+    #: alert when reproducibility metadata is incomplete
+    completeness_alerts: bool = True
+
+
+class HealthMonitor:
+    """Periodic health sweeps over the live instances of a Gallery."""
+
+    def __init__(
+        self,
+        gallery: Gallery,
+        config: MonitorConfig | None = None,
+        alerts: AlertSink | None = None,
+    ) -> None:
+        self._gallery = gallery
+        self._config = config or MonitorConfig()
+        self.alerts = alerts or AlertSink()
+        self._detectors: dict[tuple[str, str], DriftDetector] = {}
+        #: how many production observations each detector has consumed
+        self._consumed: dict[tuple[str, str], int] = {}
+        self._alerted: set[tuple[str, str, str]] = set()
+
+    # -- sweep ----------------------------------------------------------------
+
+    def sweep(
+        self, instance_ids: Iterable[str] | None = None
+    ) -> list[InstanceHealthSnapshot]:
+        """Run one monitoring pass; returns a snapshot per live instance."""
+        if instance_ids is None:
+            instances = [
+                record
+                for record in self._gallery.dal.metadata.iter_instances()
+                if not record.deprecated
+            ]
+        else:
+            instances = [self._gallery.get_instance(iid) for iid in instance_ids]
+        return [self._sweep_instance(record) for record in instances]
+
+    def _sweep_instance(self, record) -> InstanceHealthSnapshot:
+        instance_id = record.instance_id
+        report = completeness(record.metadata)
+        if (
+            self._config.completeness_alerts
+            and not report.reproducible
+            and self._alert_once(instance_id, "completeness", "")
+        ):
+            self.alerts.emit(
+                instance_id,
+                "completeness",
+                "missing reproducibility metadata: " + ", ".join(report.missing),
+            )
+
+        skewed: list[str] = []
+        drifting: list[str] = []
+        for name in self._config.watch_metrics:
+            if self._check_skew(instance_id, name):
+                skewed.append(name)
+            if self._check_drift(instance_id, name):
+                drifting.append(name)
+        return InstanceHealthSnapshot(
+            instance_id=instance_id,
+            completeness_score=report.score,
+            reproducible=report.reproducible,
+            skewed_metrics=tuple(skewed),
+            drifting_metrics=tuple(drifting),
+        )
+
+    # -- skew ---------------------------------------------------------------
+
+    def _check_skew(self, instance_id: str, name: str) -> bool:
+        report = production_skew(
+            self._gallery.metrics_of(instance_id),
+            name,
+            relative_threshold=self._config.skew_threshold,
+        )
+        if report is None:
+            return False
+        self._gallery.insert_metric(
+            instance_id,
+            f"skew_ratio:{name}",
+            report.relative_skew,
+            scope=MetricScope.PRODUCTION,
+            metadata={"derived_by": "health_monitor"},
+        )
+        if report.skewed and self._alert_once(instance_id, "skew", name):
+            self.alerts.emit(
+                instance_id,
+                "skew",
+                f"{name}: offline {report.offline_value:.4f} vs "
+                f"online {report.online_value:.4f} "
+                f"({report.relative_skew:.0%} relative skew)",
+            )
+        return report.skewed
+
+    # -- drift -----------------------------------------------------------------
+
+    def _check_drift(self, instance_id: str, name: str) -> bool:
+        key = (instance_id, name)
+        detector = self._detectors.get(key)
+        if detector is None:
+            detector = self._config.detector_factory()
+            self._detectors[key] = detector
+            self._consumed[key] = 0
+        history = self._gallery.metric_history(
+            instance_id, name, scope=MetricScope.PRODUCTION
+        )
+        fresh = history[self._consumed[key]:]
+        if not fresh:
+            return False
+        report = detector.observe_many(record.value for record in fresh)
+        self._consumed[key] = len(history)
+        self._gallery.insert_metric(
+            instance_id,
+            f"drift_ratio:{name}",
+            report.degradation_ratio,
+            scope=MetricScope.PRODUCTION,
+            metadata={"derived_by": "health_monitor"},
+        )
+        if report.detected and self._alert_once(instance_id, "drift", name):
+            self.alerts.emit(
+                instance_id,
+                "drift",
+                f"{name}: recent mean {report.recent_mean:.4f} is "
+                f"{report.degradation_ratio:.2f}x the deployment baseline",
+            )
+        return report.detected
+
+    def reset_instance(self, instance_id: str) -> None:
+        """Forget detector state after an instance is replaced/retrained."""
+        for key in [k for k in self._detectors if k[0] == instance_id]:
+            del self._detectors[key]
+            del self._consumed[key]
+        self._alerted = {a for a in self._alerted if a[0] != instance_id}
+
+    def _alert_once(self, instance_id: str, kind: str, name: str) -> bool:
+        """True the first time a given (instance, kind, metric) alerts."""
+        key = (instance_id, kind, name)
+        if key in self._alerted:
+            return False
+        self._alerted.add(key)
+        return True

@@ -1,0 +1,159 @@
+"""Champion/challenger shadow deployments.
+
+Section 3.7: "It is common to have multiple models and instances deployed
+in production and use rules to select the best performer for serving."
+The natural extension — and how Gallery users actually roll out risky new
+models — is a **shadow deployment**: the challenger scores every request
+alongside the champion, its metrics are recorded in Gallery, and a rule
+promotes it only after it has beaten the champion for ``patience``
+consecutive evaluation windows.
+
+:class:`ShadowDeployment` runs that loop on top of the registry and the
+callback action registry, so a promotion is exactly a production
+configuration change (the ``promote`` action), never a silent swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.records import MetricScope
+from repro.core.registry import Gallery
+from repro.errors import ValidationError
+from repro.rules.actions import ActionContext, ActionRegistry
+
+
+class ShadowState(str, Enum):
+    RUNNING = "running"
+    PROMOTED = "promoted"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True, slots=True)
+class WindowResult:
+    """One evaluation window's verdict."""
+
+    window_index: int
+    champion_value: float
+    challenger_value: float
+    challenger_wins: bool
+    state: ShadowState
+
+
+class ShadowDeployment:
+    """One champion/challenger pair, promoted through callback actions."""
+
+    def __init__(
+        self,
+        gallery: Gallery,
+        actions: ActionRegistry,
+        champion_id: str,
+        challenger_id: str,
+        metric: str = "mape",
+        higher_is_worse: bool = True,
+        min_margin: float = 0.02,
+        patience: int = 3,
+        max_windows: int = 20,
+    ) -> None:
+        if champion_id == challenger_id:
+            raise ValidationError("challenger must differ from champion")
+        if patience < 1 or max_windows < patience:
+            raise ValidationError("need 1 <= patience <= max_windows")
+        # both must exist and be live
+        for instance_id in (champion_id, challenger_id):
+            record = gallery.get_instance(instance_id)
+            if record.deprecated:
+                raise ValidationError(f"instance {instance_id!r} is deprecated")
+        self._gallery = gallery
+        self._actions = actions
+        self.champion_id = champion_id
+        self.challenger_id = challenger_id
+        self._metric = metric
+        self._higher_is_worse = higher_is_worse
+        self._min_margin = min_margin
+        self._patience = patience
+        self._max_windows = max_windows
+        self._wins = 0
+        self._windows = 0
+        self.state = ShadowState.RUNNING
+        self.history: list[WindowResult] = []
+
+    def observe_window(
+        self, champion_value: float, challenger_value: float
+    ) -> WindowResult:
+        """Record one evaluation window for both models.
+
+        Both values are written to Gallery (champion at Production scope,
+        challenger at Validation scope — it is not serving yet).  When the
+        challenger has won ``patience`` consecutive windows it is promoted
+        via the ``promote`` action; if it exhausts ``max_windows`` without
+        promotion the shadow is aborted.
+        """
+        if self.state is not ShadowState.RUNNING:
+            raise ValidationError(f"shadow deployment already {self.state.value}")
+        self._gallery.insert_metric(
+            self.champion_id, self._metric, champion_value,
+            scope=MetricScope.PRODUCTION,
+        )
+        self._gallery.insert_metric(
+            self.challenger_id, self._metric, challenger_value,
+            scope=MetricScope.VALIDATION,
+            metadata={"shadow_of": self.champion_id},
+        )
+        wins = self._beats(challenger_value, champion_value)
+        self._wins = self._wins + 1 if wins else 0
+        self._windows += 1
+        if self._wins >= self._patience:
+            self.state = ShadowState.PROMOTED
+            self._actions.execute(
+                ActionContext(
+                    rule_uuid=f"shadow:{self.challenger_id}",
+                    action="promote",
+                    params={"replaces": self.champion_id},
+                    instance_id=self.challenger_id,
+                    document={"metric": self._metric},
+                )
+            )
+        elif self._windows >= self._max_windows:
+            self.state = ShadowState.ABORTED
+        result = WindowResult(
+            window_index=self._windows - 1,
+            champion_value=champion_value,
+            challenger_value=challenger_value,
+            challenger_wins=wins,
+            state=self.state,
+        )
+        self.history.append(result)
+        return result
+
+    def _beats(self, challenger: float, champion: float) -> bool:
+        if self._higher_is_worse:
+            return challenger < champion * (1.0 - self._min_margin)
+        return challenger > champion * (1.0 + self._min_margin)
+
+    @property
+    def consecutive_wins(self) -> int:
+        return self._wins
+
+    @property
+    def windows_observed(self) -> int:
+        return self._windows
+
+
+def register_promote_action(actions: ActionRegistry, serving: dict[str, str]) -> None:
+    """Install a ``promote`` action that rewrites a serving map.
+
+    ``serving`` maps a slot name (e.g. a city) — or the replaced champion's
+    instance id — to the serving instance id; real deployments replace this
+    with their configuration push.
+    """
+
+    def _promote(context: ActionContext) -> str:
+        replaced = str(context.params.get("replaces", ""))
+        for slot, current in list(serving.items()):
+            if current == replaced:
+                serving[slot] = context.instance_id
+        return f"promoted {context.instance_id} over {replaced}"
+
+    actions.register("promote", _promote, replace=True)

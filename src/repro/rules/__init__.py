@@ -1,0 +1,40 @@
+"""Orchestration rule engine: expression language, rules, repo, engine."""
+
+from repro.rules.actions import ActionContext, ActionRegistry, ActionResult
+from repro.rules.engine import (
+    CandidateDocument,
+    CandidateSource,
+    EngineStats,
+    RuleEngine,
+    SelectionResult,
+    build_static_source,
+)
+from repro.rules.events import Event, EventBus, EventKind
+from repro.rules.lang import Expression
+from repro.rules.repo import ChangeRequest, Commit, RequestState, RuleRepository
+from repro.rules.rule import ActionSpec, Rule, RuleKind, action_rule, selection_rule
+
+__all__ = [
+    "ActionContext",
+    "ActionRegistry",
+    "ActionResult",
+    "ActionSpec",
+    "CandidateDocument",
+    "CandidateSource",
+    "ChangeRequest",
+    "Commit",
+    "EngineStats",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "Expression",
+    "RequestState",
+    "Rule",
+    "RuleEngine",
+    "RuleKind",
+    "RuleRepository",
+    "SelectionResult",
+    "action_rule",
+    "build_static_source",
+    "selection_rule",
+]

@@ -1,0 +1,103 @@
+"""Callback action registry (Section 3.7).
+
+The rule engine is framework-agnostic by delegating every side effect to a
+user-registered **callback action**: "we expect users to define callback
+functions that will be triggered by the rule engine".  A default set of
+common actions (alerting, email, deployment bookkeeping, retrain requests)
+ships with the registry, recording into in-memory outboxes so examples and
+tests can observe them; real deployments overwrite them with HTTP calls etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ActionError
+
+
+@dataclass(frozen=True, slots=True)
+class ActionContext:
+    """Everything an action callback receives when fired."""
+
+    rule_uuid: str
+    action: str
+    params: Mapping[str, Any]
+    instance_id: str
+    document: Mapping[str, Any]
+    timestamp: float = 0.0
+
+
+ActionCallback = Callable[[ActionContext], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class ActionResult:
+    """Record of one executed action (the engine's audit trail)."""
+
+    context: ActionContext
+    ok: bool
+    result: Any = None
+    error: str = ""
+
+
+class ActionRegistry:
+    """Named callback table with observable default actions."""
+
+    def __init__(self, include_defaults: bool = True) -> None:
+        self._actions: dict[str, ActionCallback] = {}
+        #: Outboxes written by the default actions, keyed by action name.
+        self.outbox: dict[str, list[ActionContext]] = {}
+        if include_defaults:
+            self._register_defaults()
+
+    def register(self, name: str, callback: ActionCallback, replace: bool = False) -> None:
+        """Register *callback* under *name*; set ``replace`` to override."""
+        if not name:
+            raise ActionError("action name must be non-empty")
+        if name in self._actions and not replace:
+            raise ActionError(f"action {name!r} already registered")
+        self._actions[name] = callback
+
+    def names(self) -> list[str]:
+        return sorted(self._actions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._actions
+
+    def execute(self, context: ActionContext) -> ActionResult:
+        """Run one action; failures are captured, never propagated.
+
+        A mis-registered or crashing callback must not take down the rule
+        engine (it orchestrates unrelated teams' models too), so errors are
+        folded into the :class:`ActionResult`.
+        """
+        callback = self._actions.get(context.action)
+        if callback is None:
+            return ActionResult(
+                context=context,
+                ok=False,
+                error=f"unknown action {context.action!r}",
+            )
+        try:
+            result = callback(context)
+        except Exception as exc:  # noqa: BLE001 - engine isolation boundary
+            return ActionResult(context=context, ok=False, error=str(exc))
+        return ActionResult(context=context, ok=True, result=result)
+
+    # -- default actions -----------------------------------------------------
+
+    def _record(self, name: str) -> ActionCallback:
+        def _callback(context: ActionContext) -> str:
+            self.outbox.setdefault(name, []).append(context)
+            return f"{name}:{context.instance_id}"
+
+        return _callback
+
+    def _register_defaults(self) -> None:
+        for name in ("alert", "email", "deploy", "retrain", "deprecate"):
+            self._actions[name] = self._record(name)
+
+    def sent(self, name: str) -> list[ActionContext]:
+        """Contexts captured by a default action's outbox."""
+        return list(self.outbox.get(name, []))

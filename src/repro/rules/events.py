@@ -1,0 +1,71 @@
+"""Event bus connecting registry mutations to the rule engine (Figure 8).
+
+Two trigger families exist in the paper: direct requests to the rule
+trigger, and updates to "any metadata or metrics specific in a registered
+rule".  The registry publishes :class:`Event` records onto an
+:class:`EventBus`; the rule engine subscribes and turns matching events into
+evaluation jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Mapping
+
+
+class EventKind(str, Enum):
+    MODEL_CREATED = "model_created"
+    INSTANCE_CREATED = "instance_created"
+    METRIC_UPDATED = "metric_updated"
+    METADATA_UPDATED = "metadata_updated"
+    INSTANCE_DEPRECATED = "instance_deprecated"
+    DIRECT_TRIGGER = "direct_trigger"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One observable change in Gallery state."""
+
+    kind: EventKind
+    timestamp: float = 0.0
+    model_id: str = ""
+    instance_id: str = ""
+    metric_name: str = ""
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", dict(self.payload))
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub.
+
+    Delivery is in-order and synchronous: determinism matters more here than
+    concurrency, because rules gate production deployments and the tests
+    must be able to assert exactly which evaluations an event caused.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+        self._history: list[Event] = []
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers = [s for s in self._subscribers if s is not subscriber]
+
+    def publish(self, event: Event) -> None:
+        self._history.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    def history(self) -> list[Event]:
+        return list(self._history)
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,61 @@
+"""The rule expression language (JEXL stand-in, Section 3.7.2).
+
+Public API:
+
+.. code-block:: python
+
+    from repro.rules.lang import Expression
+
+    expr = Expression.compile('metrics["r2"] >= 0.9 and model_domain == "UberX"')
+    expr.evaluate({"metrics": {"r2": 0.95}, "model_domain": "UberX"})  # -> True
+    expr.referenced_names()  # -> {"metrics", "model_domain"}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.rules.lang.ast import Node, referenced_names, walk
+from repro.rules.lang.evaluator import BUILTINS, evaluate
+from repro.rules.lang.lexer import tokenize
+from repro.rules.lang.parser import parse
+
+__all__ = [
+    "Expression",
+    "parse",
+    "tokenize",
+    "evaluate",
+    "walk",
+    "referenced_names",
+    "BUILTINS",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Expression:
+    """A compiled rule expression: source + AST, ready to evaluate."""
+
+    source: str
+    node: Node
+
+    @classmethod
+    def compile(cls, source: str) -> "Expression":
+        """Parse *source*; raises :class:`repro.errors.RuleSyntaxError`."""
+        return cls(source=source, node=parse(source))
+
+    def evaluate(self, context: Mapping[str, Any]) -> Any:
+        """Evaluate against *context*; raises RuleEvaluationError on bad data."""
+        return evaluate(self.node, context)
+
+    def evaluate_bool(self, context: Mapping[str, Any]) -> bool:
+        """Evaluate and coerce to bool (the WHEN-clause contract)."""
+        return bool(self.evaluate(context))
+
+    def referenced_names(self) -> set[str]:
+        """Root identifiers the expression reads (for trigger registration)."""
+        return referenced_names(self.node)
+
+    def unparse(self) -> str:
+        """Render the AST back to (normalised) source."""
+        return self.node.unparse()

@@ -1,0 +1,169 @@
+"""AST node types for the rule expression language.
+
+Nodes are frozen dataclasses; each knows how to render itself back to
+source (``unparse``), which powers round-trip property tests and readable
+rule diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Node = Union[
+    "Literal",
+    "Identifier",
+    "Unary",
+    "Binary",
+    "Ternary",
+    "Member",
+    "Index",
+    "Call",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A number, string, boolean, or null literal."""
+
+    value: object
+
+    def unparse(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Identifier:
+    """A bare name resolved against the evaluation context."""
+
+    name: str
+
+    def unparse(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    """Prefix operator: ``!``/``not`` or unary ``-``."""
+
+    op: str
+    operand: Node
+
+    def unparse(self) -> str:
+        spacer = " " if self.op == "not" else ""
+        return f"{self.op}{spacer}({self.operand.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    """Infix operator: comparisons, boolean and/or, arithmetic, ``in``."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Ternary:
+    """Conditional expression: ``cond ? then : otherwise`` (JEXL parity)."""
+
+    condition: Node
+    then: Node
+    otherwise: Node
+
+    def unparse(self) -> str:
+        return (
+            f"({self.condition.unparse()} ? {self.then.unparse()}"
+            f" : {self.otherwise.unparse()})"
+        )
+
+
+def _unparse_postfix_target(target: "Node") -> str:
+    """Render a postfix target, parenthesising low-precedence expressions.
+
+    ``Member(Unary("not", x), "bias")`` must render as ``(not (x)).bias``,
+    not ``not (x).bias`` — postfix binds tighter than any operator.
+    """
+    rendered = target.unparse()
+    if isinstance(target, (Unary, Binary)):
+        return f"({rendered})"
+    if isinstance(target, Literal) and rendered.startswith("-"):
+        # "-1.bias" would re-parse as -(1.bias); "(-1).bias" keeps the tree.
+        return f"({rendered})"
+    return rendered
+
+
+@dataclass(frozen=True, slots=True)
+class Member:
+    """Dotted member access, e.g. ``metrics.bias``."""
+
+    target: Node
+    attr: str
+
+    def unparse(self) -> str:
+        return f"{_unparse_postfix_target(self.target)}.{self.attr}"
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    """Bracket access, e.g. ``metrics["r2"]``."""
+
+    target: Node
+    index: Node
+
+    def unparse(self) -> str:
+        return f"{_unparse_postfix_target(self.target)}[{self.index.unparse()}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """Function call against the safe built-in table, e.g. ``abs(x)``."""
+
+    func: str
+    args: tuple[Node, ...]
+
+    def unparse(self) -> str:
+        rendered = ", ".join(arg.unparse() for arg in self.args)
+        return f"{self.func}({rendered})"
+
+
+def walk(node: Node):
+    """Yield *node* and all of its descendants (pre-order)."""
+    yield node
+    if isinstance(node, Unary):
+        yield from walk(node.operand)
+    elif isinstance(node, Binary):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, Ternary):
+        yield from walk(node.condition)
+        yield from walk(node.then)
+        yield from walk(node.otherwise)
+    elif isinstance(node, Member):
+        yield from walk(node.target)
+    elif isinstance(node, Index):
+        yield from walk(node.target)
+        yield from walk(node.index)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            yield from walk(arg)
+
+
+def referenced_names(node: Node) -> set[str]:
+    """All root identifiers an expression reads.
+
+    The rule engine uses this to know which metadata/metric updates should
+    trigger re-evaluation of a registered rule (Section 3.7.2: "updating any
+    metadata or metrics specific in a registered rule" fires the rule).
+    """
+    return {n.name for n in walk(node) if isinstance(n, Identifier)}

@@ -1,0 +1,208 @@
+"""Evaluator for rule expressions.
+
+Expressions evaluate against a **context**: a mapping of names to values,
+where values may be scalars, mappings (for ``metrics.bias`` /
+``metrics["r2"]``), or sequences.  The evaluator is total over well-typed
+inputs and fails loudly — :class:`RuleEvaluationError` — on type confusion,
+missing names, or division by zero, because rules gate production deploys
+and must never silently evaluate to a wrong answer.
+
+Missing-data semantics: looking up an absent *root name* or an absent member
+on ``null`` raises; looking up an absent **key of a present mapping** yields
+``null`` (rules routinely probe "has this metric been reported yet?").
+Comparisons against ``null`` are false except ``==``/``!=``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import RuleEvaluationError
+from repro.rules.lang.ast import (
+    Binary,
+    Call,
+    Identifier,
+    Index,
+    Literal,
+    Member,
+    Node,
+    Ternary,
+    Unary,
+)
+
+#: Safe built-in functions available to rule authors.
+BUILTINS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+    "round": round,
+    "float": float,
+    "int": int,
+}
+
+
+def evaluate(node: Node, context: Mapping[str, Any]) -> Any:
+    """Evaluate *node* against *context*."""
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Identifier):
+        if node.name not in context:
+            raise RuleEvaluationError(f"unknown name {node.name!r} in rule context")
+        return context[node.name]
+    if isinstance(node, Unary):
+        return _evaluate_unary(node, context)
+    if isinstance(node, Binary):
+        return _evaluate_binary(node, context)
+    if isinstance(node, Ternary):
+        if _truthy(evaluate(node.condition, context)):
+            return evaluate(node.then, context)
+        return evaluate(node.otherwise, context)
+    if isinstance(node, Member):
+        return _lookup(evaluate(node.target, context), node.attr, node)
+    if isinstance(node, Index):
+        key = evaluate(node.index, context)
+        return _lookup(evaluate(node.target, context), key, node)
+    if isinstance(node, Call):
+        return _evaluate_call(node, context)
+    raise RuleEvaluationError(f"cannot evaluate node {node!r}")  # pragma: no cover
+
+
+def _evaluate_unary(node: Unary, context: Mapping[str, Any]) -> Any:
+    value = evaluate(node.operand, context)
+    if node.op == "not":
+        return not _truthy(value)
+    if node.op == "-":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise RuleEvaluationError(f"cannot negate {type(value).__name__}")
+        return -value
+    raise RuleEvaluationError(f"unknown unary operator {node.op!r}")  # pragma: no cover
+
+
+def _evaluate_binary(node: Binary, context: Mapping[str, Any]) -> Any:
+    op = node.op
+    if op == "and":
+        left = evaluate(node.left, context)
+        if not _truthy(left):
+            return False
+        return _truthy(evaluate(node.right, context))
+    if op == "or":
+        left = evaluate(node.left, context)
+        if _truthy(left):
+            return True
+        return _truthy(evaluate(node.right, context))
+
+    left = evaluate(node.left, context)
+    right = evaluate(node.right, context)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "in":
+        try:
+            return left in right
+        except TypeError as exc:
+            raise RuleEvaluationError(
+                f"'in' requires a container on the right, got {type(right).__name__}"
+            ) from exc
+    if op in {"<", "<=", ">", ">="}:
+        return _ordered_compare(op, left, right)
+    if op in {"+", "-", "*", "/", "%"}:
+        return _arithmetic(op, left, right)
+    raise RuleEvaluationError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def _ordered_compare(op: str, left: Any, right: Any) -> bool:
+    # null never satisfies an ordered comparison (absent metric != passing).
+    if left is None or right is None:
+        return False
+    both_numbers = _is_number(left) and _is_number(right)
+    both_strings = isinstance(left, str) and isinstance(right, str)
+    if not (both_numbers or both_strings):
+        raise RuleEvaluationError(
+            f"cannot order-compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _arithmetic(op: str, left: Any, right: Any) -> Any:
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not (_is_number(left) and _is_number(right)):
+        raise RuleEvaluationError(
+            f"arithmetic needs numbers, got {type(left).__name__} "
+            f"and {type(right).__name__}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise RuleEvaluationError("division by zero in rule expression")
+        return left / right
+    if right == 0:
+        raise RuleEvaluationError("modulo by zero in rule expression")
+    return left % right
+
+
+def _evaluate_call(node: Call, context: Mapping[str, Any]) -> Any:
+    func = BUILTINS.get(node.func)
+    if func is None:
+        raise RuleEvaluationError(f"unknown function {node.func!r}")
+    args = [evaluate(arg, context) for arg in node.args]
+    try:
+        return func(*args)
+    except RuleEvaluationError:
+        raise
+    except Exception as exc:
+        raise RuleEvaluationError(f"{node.func}() failed: {exc}") from exc
+
+
+def _lookup(target: Any, key: Any, node: Node) -> Any:
+    if target is None:
+        raise RuleEvaluationError(f"cannot access {key!r} on null ({node.unparse()})")
+    if isinstance(target, Mapping):
+        try:
+            return target.get(key)
+        except TypeError as exc:  # unhashable key, e.g. metrics[[1]]
+            raise RuleEvaluationError(
+                f"unhashable key {key!r} in {node.unparse()}"
+            ) from exc
+    if isinstance(target, (list, tuple)) and isinstance(key, int):
+        try:
+            return target[key]
+        except IndexError as exc:
+            raise RuleEvaluationError(
+                f"index {key} out of range in {node.unparse()}"
+            ) from exc
+    # Attribute access on plain objects is deliberately NOT supported: rule
+    # contexts are data documents, and reaching into arbitrary Python objects
+    # would break the "rules are easy to understand and safe" requirement.
+    raise RuleEvaluationError(
+        f"cannot access {key!r} on {type(target).__name__} ({node.unparse()})"
+    )
+
+
+def _truthy(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, (str, list, tuple, dict)):
+        return len(value) > 0
+    return True
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,143 @@
+"""Lexer for the rule expression language."""
+
+from __future__ import annotations
+
+from repro.errors import RuleSyntaxError
+from repro.rules.lang.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR_OPS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+}
+
+_ONE_CHAR_OPS = {
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ".": TokenType.DOT,
+    ",": TokenType.COMMA,
+    "?": TokenType.QUESTION,
+    ":": TokenType.COLON,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex *source* into a token list ending with an EOF token.
+
+    Raises :class:`RuleSyntaxError` with the offending position on any
+    character the language does not recognise or on unterminated strings.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(_TWO_CHAR_OPS[two], two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            # A dot starting a number (".5") is part of the number literal.
+            if ch == "." and i + 1 < n and source[i + 1].isdigit():
+                token, i = _lex_number(source, i)
+                tokens.append(token)
+                continue
+            tokens.append(Token(_ONE_CHAR_OPS[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            token, i = _lex_number(source, i)
+            tokens.append(token)
+            continue
+        if ch in {"'", '"'}:
+            token, i = _lex_string(source, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token, i = _lex_identifier(source, i)
+            tokens.append(token)
+            continue
+        raise RuleSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _lex_number(source: str, start: int) -> tuple[Token, int]:
+    i = start
+    n = len(source)
+    seen_dot = False
+    while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+        if source[i] == ".":
+            # "1.e" style exponents are not supported; require digit after dot.
+            if i + 1 >= n or not source[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    # optional exponent
+    if i < n and source[i] in {"e", "E"}:
+        j = i + 1
+        if j < n and source[j] in {"+", "-"}:
+            j += 1
+        if j < n and source[j].isdigit():
+            i = j
+            while i < n and source[i].isdigit():
+                i += 1
+    text = source[start:i]
+    try:
+        value: object = int(text)
+    except ValueError:
+        try:
+            value = float(text)
+        except ValueError as exc:
+            raise RuleSyntaxError(f"bad number literal {text!r} at {start}") from exc
+    return Token(TokenType.NUMBER, text, start, value), i
+
+
+def _lex_string(source: str, start: int) -> tuple[Token, int]:
+    quote = source[start]
+    i = start + 1
+    n = len(source)
+    parts: list[str] = []
+    while i < n:
+        ch = source[i]
+        if ch == "\\" and i + 1 < n:
+            escape = source[i + 1]
+            mapping = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+            parts.append(mapping.get(escape, escape))
+            i += 2
+            continue
+        if ch == quote:
+            return (
+                Token(TokenType.STRING, source[start : i + 1], start, "".join(parts)),
+                i + 1,
+            )
+        parts.append(ch)
+        i += 1
+    raise RuleSyntaxError(f"unterminated string starting at position {start}")
+
+
+def _lex_identifier(source: str, start: int) -> tuple[Token, int]:
+    i = start
+    n = len(source)
+    while i < n and (source[i].isalnum() or source[i] == "_"):
+        i += 1
+    text = source[start:i]
+    token_type = KEYWORDS.get(text, TokenType.IDENTIFIER)
+    return Token(token_type, text, start, text), i

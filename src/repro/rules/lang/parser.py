@@ -1,0 +1,218 @@
+"""Pratt (top-down operator-precedence) parser for rule expressions.
+
+Grammar, loosest to tightest binding::
+
+    ternary     :=  or ( "?" ternary ":" ternary )?
+    or          :=  and ( ("||" | "or") and )*
+    and         :=  comparison ( ("&&" | "and") comparison )*
+    comparison  :=  additive ( ("=="|"!="|"<"|"<="|">"|">="|"in") additive )?
+    additive    :=  multiplicative ( ("+"|"-") multiplicative )*
+    multiplicative := unary ( ("*"|"/"|"%") unary )*
+    unary       :=  ("!" | "not" | "-") unary | postfix
+    postfix     :=  primary ( "." IDENT | "[" or "]" )*
+    primary     :=  NUMBER | STRING | true | false | null
+                 |  IDENT | IDENT "(" args ")" | "(" or ")"
+
+Comparisons are deliberately non-associative (``a < b < c`` is a syntax
+error) — chained comparisons in rule languages are a classic source of
+silently-wrong rules, and the paper's first rule-engine requirement is that
+rules be easy to understand.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuleSyntaxError
+from repro.rules.lang.ast import (
+    Binary,
+    Call,
+    Identifier,
+    Index,
+    Literal,
+    Member,
+    Node,
+    Ternary,
+    Unary,
+)
+from repro.rules.lang.lexer import tokenize
+from repro.rules.lang.tokens import Token, TokenType
+
+_COMPARISON_OPS = {
+    TokenType.EQ: "==",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+    TokenType.IN: "in",
+}
+
+_ADDITIVE_OPS = {TokenType.PLUS: "+", TokenType.MINUS: "-"}
+_MULTIPLICATIVE_OPS = {TokenType.STAR: "*", TokenType.SLASH: "/", TokenType.PERCENT: "%"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _match(self, *types: TokenType) -> Token | None:
+        if self._peek().type in types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._match(token_type)
+        if token is None:
+            actual = self._peek()
+            raise RuleSyntaxError(
+                f"expected {what} at position {actual.position}, "
+                f"got {actual.text!r}"
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._parse_ternary()
+        trailing = self._peek()
+        if trailing.type is not TokenType.EOF:
+            raise RuleSyntaxError(
+                f"unexpected trailing input {trailing.text!r} "
+                f"at position {trailing.position}"
+            )
+        return node
+
+    def _parse_ternary(self) -> Node:
+        condition = self._parse_or()
+        if self._match(TokenType.QUESTION):
+            then = self._parse_ternary()
+            self._expect(TokenType.COLON, "':' of conditional expression")
+            otherwise = self._parse_ternary()
+            return Ternary(condition, then, otherwise)
+        return condition
+
+    def _parse_or(self) -> Node:
+        node = self._parse_and()
+        while self._match(TokenType.OR):
+            node = Binary("or", node, self._parse_and())
+        return node
+
+    def _parse_and(self) -> Node:
+        node = self._parse_comparison()
+        while self._match(TokenType.AND):
+            node = Binary("and", node, self._parse_comparison())
+        return node
+
+    def _parse_comparison(self) -> Node:
+        node = self._parse_additive()
+        token = self._peek()
+        if token.type in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            node = Binary(_COMPARISON_OPS[token.type], node, right)
+            follow = self._peek()
+            if follow.type in _COMPARISON_OPS:
+                raise RuleSyntaxError(
+                    f"chained comparisons are not allowed "
+                    f"(at position {follow.position}); parenthesise and use 'and'"
+                )
+        return node
+
+    def _parse_additive(self) -> Node:
+        node = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type in _ADDITIVE_OPS:
+                self._advance()
+                node = Binary(
+                    _ADDITIVE_OPS[token.type], node, self._parse_multiplicative()
+                )
+            else:
+                return node
+
+    def _parse_multiplicative(self) -> Node:
+        node = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type in _MULTIPLICATIVE_OPS:
+                self._advance()
+                node = Binary(
+                    _MULTIPLICATIVE_OPS[token.type], node, self._parse_unary()
+                )
+            else:
+                return node
+
+    def _parse_unary(self) -> Node:
+        if self._match(TokenType.NOT):
+            return Unary("not", self._parse_unary())
+        if self._match(TokenType.MINUS):
+            operand = self._parse_unary()
+            # Constant-fold negative number literals so "-1" is Literal(-1):
+            # keeps unparse/parse a clean round trip and evaluation trivial.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return Unary("-", operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Node:
+        node = self._parse_primary()
+        while True:
+            if self._match(TokenType.DOT):
+                attr = self._expect(TokenType.IDENTIFIER, "member name")
+                node = Member(node, attr.text)
+            elif self._match(TokenType.LBRACKET):
+                index = self._parse_ternary()
+                self._expect(TokenType.RBRACKET, "']'")
+                node = Index(node, index)
+            else:
+                return node
+
+    def _parse_primary(self) -> Node:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            return Literal(token.value)
+        if token.type is TokenType.TRUE:
+            return Literal(True)
+        if token.type is TokenType.FALSE:
+            return Literal(False)
+        if token.type is TokenType.NULL:
+            return Literal(None)
+        if token.type is TokenType.IDENTIFIER:
+            if self._match(TokenType.LPAREN):
+                args: list[Node] = []
+                if self._peek().type is not TokenType.RPAREN:
+                    args.append(self._parse_ternary())
+                    while self._match(TokenType.COMMA):
+                        args.append(self._parse_ternary())
+                self._expect(TokenType.RPAREN, "')'")
+                return Call(token.text, tuple(args))
+            return Identifier(token.text)
+        if token.type is TokenType.LPAREN:
+            node = self._parse_ternary()
+            self._expect(TokenType.RPAREN, "')'")
+            return node
+        raise RuleSyntaxError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+
+def parse(source: str) -> Node:
+    """Parse *source* into an AST; raises :class:`RuleSyntaxError`."""
+    if not source or not source.strip():
+        raise RuleSyntaxError("empty rule expression")
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,74 @@
+"""Token definitions for the rule expression language.
+
+Gallery's rules are written in JEXL (Section 3.7.2).  This reproduction
+implements a JEXL-like expression language from scratch; the token set below
+covers everything the paper's rule listings use (comparisons, boolean
+operators, member access like ``metrics.bias``, index access like
+``metrics["r2"]``) plus arithmetic and a few safe built-in functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    # literals / names
+    NUMBER = auto()
+    STRING = auto()
+    IDENTIFIER = auto()
+    TRUE = auto()
+    FALSE = auto()
+    NULL = auto()
+    # operators
+    EQ = auto()         # ==
+    NE = auto()         # !=
+    LT = auto()         # <
+    LE = auto()         # <=
+    GT = auto()         # >
+    GE = auto()         # >=
+    AND = auto()        # && / and
+    OR = auto()         # || / or
+    NOT = auto()        # ! / not
+    IN = auto()         # in
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    # structure
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    DOT = auto()
+    COMMA = auto()
+    QUESTION = auto()
+    COLON = auto()
+    EOF = auto()
+
+
+#: Keywords that lex as dedicated token types rather than identifiers.
+KEYWORDS = {
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "in": TokenType.IN,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexed token with its source position (for error messages)."""
+
+    type: TokenType
+    text: str
+    position: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"

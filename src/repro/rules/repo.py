@@ -1,0 +1,228 @@
+"""Git-style versioned rule repository (Section 3.7.2).
+
+The paper stores rules in a Git repository: users check rules into their
+team's directory, every change is version-controlled, a test framework
+validates each rule before it can affect production, and peer review is
+enforced.  This module reproduces those properties:
+
+* rules live at ``<team>/<name>.json`` paths;
+* every change goes through a :class:`ChangeRequest` that is **validated**
+  (JSON shape + expression compilation + team/path agreement) at proposal
+  time and must be **approved by a reviewer other than the author** before
+  it becomes a commit;
+* commits are append-only; any historical state can be reconstructed, and
+  per-path history is queryable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.core.clock import Clock, SYSTEM_CLOCK
+from repro.errors import NotFoundError, RuleReviewError, ValidationError
+from repro.rules.rule import Rule
+
+
+class RequestState(str, Enum):
+    OPEN = "open"
+    MERGED = "merged"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """One merged change: path -> rule JSON text (None means deletion)."""
+
+    commit_id: int
+    author: str
+    reviewer: str
+    message: str
+    timestamp: float
+    changes: Mapping[str, str | None]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "changes", dict(self.changes))
+
+
+@dataclass
+class ChangeRequest:
+    """A proposed rule change awaiting peer review."""
+
+    request_id: int
+    author: str
+    message: str
+    changes: dict[str, str | None]
+    state: RequestState = RequestState.OPEN
+    reviewer: str = ""
+    rejection_reason: str = ""
+
+
+class RuleRepository:
+    """Append-only, review-gated store of rule documents."""
+
+    def __init__(self, clock: Clock | None = None, require_review: bool = True) -> None:
+        self._clock = clock or SYSTEM_CLOCK
+        self._require_review = require_review
+        self._commits: list[Commit] = []
+        self._head: dict[str, str] = {}
+        self._requests: dict[int, ChangeRequest] = {}
+        self._next_request_id = 1
+
+    # -- change proposal -----------------------------------------------------
+
+    def propose(
+        self,
+        author: str,
+        message: str,
+        changes: Mapping[str, str | None],
+    ) -> ChangeRequest:
+        """Open a change request; validates every touched rule immediately.
+
+        This is the paper's "test framework to validate each rule before it
+        can impact production": a rule that fails to parse or whose team does
+        not match its directory never reaches review.
+        """
+        if not author:
+            raise ValidationError("change author must be non-empty")
+        if not changes:
+            raise ValidationError("change request must touch at least one path")
+        for path, content in changes.items():
+            self._validate_change(path, content)
+        request = ChangeRequest(
+            request_id=self._next_request_id,
+            author=author,
+            message=message,
+            changes=dict(changes),
+        )
+        self._requests[request.request_id] = request
+        self._next_request_id += 1
+        return request
+
+    def _validate_change(self, path: str, content: str | None) -> None:
+        team_dir, _, filename = path.rpartition("/")
+        if not team_dir or not filename.endswith(".json"):
+            raise ValidationError(
+                f"rule path must look like '<team>/<name>.json': {path!r}"
+            )
+        if content is None:
+            if path not in self._head:
+                raise NotFoundError(f"cannot delete {path!r}: not in repository")
+            return
+        rule = Rule.from_json(content)  # raises on bad JSON / bad expressions
+        if rule.team != team_dir:
+            raise ValidationError(
+                f"rule team {rule.team!r} must match its directory {team_dir!r}"
+            )
+
+    # -- review gate -----------------------------------------------------------
+
+    def approve(self, request_id: int, reviewer: str) -> Commit:
+        """Merge a change request; the reviewer must differ from the author."""
+        request = self._get_request(request_id)
+        if request.state is not RequestState.OPEN:
+            raise RuleReviewError(
+                f"change request {request_id} is {request.state.value}, not open"
+            )
+        if self._require_review and (not reviewer or reviewer == request.author):
+            raise RuleReviewError(
+                "peer review required: reviewer must be set and differ from author"
+            )
+        commit = Commit(
+            commit_id=len(self._commits) + 1,
+            author=request.author,
+            reviewer=reviewer,
+            message=request.message,
+            timestamp=self._clock.now(),
+            changes=request.changes,
+        )
+        self._apply(commit)
+        request.state = RequestState.MERGED
+        request.reviewer = reviewer
+        return commit
+
+    def reject(self, request_id: int, reviewer: str, reason: str = "") -> None:
+        request = self._get_request(request_id)
+        if request.state is not RequestState.OPEN:
+            raise RuleReviewError(
+                f"change request {request_id} is {request.state.value}, not open"
+            )
+        request.state = RequestState.REJECTED
+        request.reviewer = reviewer
+        request.rejection_reason = reason
+
+    def _get_request(self, request_id: int) -> ChangeRequest:
+        try:
+            return self._requests[request_id]
+        except KeyError:
+            raise NotFoundError(f"no change request {request_id}") from None
+
+    def _apply(self, commit: Commit) -> None:
+        self._commits.append(commit)
+        for path, content in commit.changes.items():
+            if content is None:
+                self._head.pop(path, None)
+            else:
+                self._head[path] = content
+
+    # -- reads ---------------------------------------------------------------
+
+    def paths(self, team: str | None = None) -> list[str]:
+        if team is None:
+            return sorted(self._head)
+        prefix = f"{team}/"
+        return sorted(p for p in self._head if p.startswith(prefix))
+
+    def read(self, path: str) -> str:
+        try:
+            return self._head[path]
+        except KeyError:
+            raise NotFoundError(f"no rule at {path!r}") from None
+
+    def rule_at(self, path: str) -> Rule:
+        """Compile and return the rule currently at *path*."""
+        return Rule.from_json(self.read(path))
+
+    def rules(self, team: str | None = None) -> list[Rule]:
+        """All compiled rules at HEAD, optionally scoped to one team."""
+        return [self.rule_at(path) for path in self.paths(team)]
+
+    def history(self, path: str) -> list[Commit]:
+        """Commits that touched *path*, oldest first."""
+        return [c for c in self._commits if path in c.changes]
+
+    def state_at(self, commit_id: int) -> dict[str, str]:
+        """Reconstruct the full rule tree as of *commit_id* (inclusive)."""
+        if commit_id < 0 or commit_id > len(self._commits):
+            raise NotFoundError(f"no commit {commit_id}")
+        state: dict[str, str] = {}
+        for commit in self._commits[:commit_id]:
+            for path, content in commit.changes.items():
+                if content is None:
+                    state.pop(path, None)
+                else:
+                    state[path] = content
+        return state
+
+    def commits(self) -> list[Commit]:
+        return list(self._commits)
+
+    def open_requests(self) -> list[ChangeRequest]:
+        return [r for r in self._requests.values() if r.state is RequestState.OPEN]
+
+    # -- convenience ----------------------------------------------------------
+
+    def check_in(
+        self,
+        author: str,
+        reviewer: str,
+        message: str,
+        rules: Iterable[Rule],
+    ) -> Commit:
+        """Propose-and-approve a batch of rules in one step."""
+        changes = {
+            f"{rule.team}/{rule.uuid}.json": rule.to_json() for rule in rules
+        }
+        request = self.propose(author=author, message=message, changes=changes)
+        return self.approve(request.request_id, reviewer=reviewer)

@@ -1,0 +1,254 @@
+"""Rule definitions: the Given/When/Then model (Section 3.7.1).
+
+Gallery supports two rule templates:
+
+* **Model selection rules** (Listing 1) — return the best model instance
+  among candidates: ``GIVEN`` scopes which instances are candidates, ``WHEN``
+  filters candidates on their metrics, and ``MODEL_SELECTION`` is a
+  comparator expression over two candidates bound as ``a`` and ``b`` that is
+  true when ``a`` should be preferred.
+* **Action rules** (Listing 2) — fire callbacks: when an instance matching
+  ``GIVEN`` satisfies ``WHEN``, every action in ``CALLBACK_ACTIONS`` is
+  executed.
+
+Rules serialize to/from the paper's JSON shape (``team``, ``uuid``, and a
+``rule`` object with upper-case clause keys; extra ``AND`` entries are folded
+into the preceding clause).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.rules.lang import Expression
+
+
+class RuleKind(str, Enum):
+    MODEL_SELECTION = "model_selection"
+    ACTION = "action"
+
+
+@dataclass(frozen=True, slots=True)
+class ActionSpec:
+    """One callback entry in CALLBACK_ACTIONS: an action name plus params."""
+
+    action: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.action:
+            raise ValidationError("action name must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"action": self.action}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any] | str) -> "ActionSpec":
+        if isinstance(data, str):
+            return cls(action=data)
+        return cls(action=data.get("action", ""), params=data.get("params", {}))
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A compiled Gallery rule."""
+
+    uuid: str
+    team: str
+    kind: RuleKind
+    given: Expression
+    when: Expression
+    environment: str = "production"
+    selection: Expression | None = None
+    actions: tuple[ActionSpec, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.uuid:
+            raise ValidationError("rule uuid must be non-empty")
+        if not self.team:
+            raise ValidationError("rule team must be non-empty")
+        if self.kind is RuleKind.MODEL_SELECTION and self.selection is None:
+            raise ValidationError("model selection rule needs MODEL_SELECTION clause")
+        if self.kind is RuleKind.ACTION and not self.actions:
+            raise ValidationError("action rule needs at least one CALLBACK_ACTION")
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    # -- trigger registration -------------------------------------------------
+
+    def referenced_names(self) -> set[str]:
+        """Every context name the rule reads — used for event triggering.
+
+        Section 3.7.2: "updating any metadata or metrics specific in a
+        registered rule" starts its evaluation.
+        """
+        names = self.given.referenced_names() | self.when.referenced_names()
+        if self.selection is not None:
+            names |= self.selection.referenced_names() - {"a", "b"}
+        return names
+
+    def watches_metrics(self) -> bool:
+        return "metrics" in self.referenced_names()
+
+    # -- evaluation helpers ---------------------------------------------------
+
+    def applies_to(self, document: Mapping[str, Any]) -> bool:
+        """Evaluate GIVEN against a candidate document."""
+        return bool(self.given.evaluate(document))
+
+    def condition_holds(self, document: Mapping[str, Any]) -> bool:
+        """Evaluate WHEN against a candidate document."""
+        return bool(self.when.evaluate(document))
+
+    def prefers(self, a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+        """True when candidate *a* beats candidate *b* (selection rules)."""
+        if self.selection is None:
+            raise ValidationError("not a selection rule")
+        return bool(self.selection.evaluate({"a": a, "b": b}))
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        rule_body: dict[str, Any] = {
+            "GIVEN": self.given.source,
+            "WHEN": self.when.source,
+            "ENVIRONMENT": self.environment,
+        }
+        if self.kind is RuleKind.MODEL_SELECTION:
+            rule_body["MODEL_SELECTION"] = (
+                self.selection.source if self.selection else ""
+            )
+        else:
+            rule_body["CALLBACK_ACTIONS"] = [a.to_dict() for a in self.actions]
+        out: dict[str, Any] = {
+            "team": self.team,
+            "uuid": self.uuid,
+            "rule": rule_body,
+        }
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Rule":
+        try:
+            body = data["rule"]
+        except KeyError:
+            raise ValidationError("rule document missing 'rule' object") from None
+        given_src = _join_and(body, "GIVEN")
+        when_src = _join_and(body, "WHEN")
+        if not given_src:
+            given_src = "true"
+        if not when_src:
+            when_src = "true"
+        selection_src = body.get("MODEL_SELECTION")
+        actions_raw = body.get("CALLBACK_ACTIONS", [])
+        if selection_src and actions_raw:
+            raise ValidationError(
+                "rule cannot have both MODEL_SELECTION and CALLBACK_ACTIONS"
+            )
+        kind = RuleKind.MODEL_SELECTION if selection_src else RuleKind.ACTION
+        return cls(
+            uuid=data.get("uuid", ""),
+            team=data.get("team", ""),
+            kind=kind,
+            given=Expression.compile(given_src),
+            when=Expression.compile(when_src),
+            environment=body.get("ENVIRONMENT", "production"),
+            selection=Expression.compile(selection_src) if selection_src else None,
+            actions=tuple(ActionSpec.from_dict(a) for a in actions_raw),
+            description=data.get("description", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Rule":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"rule document is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _join_and(body: Mapping[str, Any], clause: str) -> str:
+    """Fold the paper's ``"GIVEN": ..., "AND": ...`` style into one source.
+
+    Accepts either a plain string, or a list of conjunct strings, or the
+    clause plus ``<clause>_AND`` keys.
+    """
+    value = body.get(clause)
+    conjuncts: list[str] = []
+    if isinstance(value, str) and value.strip():
+        conjuncts.append(value.strip())
+    elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        conjuncts.extend(str(v).strip() for v in value if str(v).strip())
+    extra = body.get(f"{clause}_AND")
+    if isinstance(extra, str) and extra.strip():
+        conjuncts.append(extra.strip())
+    elif isinstance(extra, Sequence) and not isinstance(extra, (str, bytes)):
+        conjuncts.extend(str(v).strip() for v in extra if str(v).strip())
+    if not conjuncts:
+        return ""
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return " and ".join(f"({c})" for c in conjuncts)
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def selection_rule(
+    uuid: str,
+    team: str,
+    given: str,
+    when: str,
+    selection: str,
+    environment: str = "production",
+    description: str = "",
+) -> Rule:
+    """Build a model-selection rule from expression sources (Listing 1)."""
+    return Rule(
+        uuid=uuid,
+        team=team,
+        kind=RuleKind.MODEL_SELECTION,
+        given=Expression.compile(given),
+        when=Expression.compile(when),
+        environment=environment,
+        selection=Expression.compile(selection),
+        description=description,
+    )
+
+
+def action_rule(
+    uuid: str,
+    team: str,
+    given: str,
+    when: str,
+    actions: Sequence[ActionSpec | Mapping[str, Any] | str],
+    environment: str = "production",
+    description: str = "",
+) -> Rule:
+    """Build an action rule from expression sources (Listing 2)."""
+    return Rule(
+        uuid=uuid,
+        team=team,
+        kind=RuleKind.ACTION,
+        given=Expression.compile(given),
+        when=Expression.compile(when),
+        environment=environment,
+        actions=tuple(
+            a if isinstance(a, ActionSpec) else ActionSpec.from_dict(a)
+            for a in actions
+        ),
+        description=description,
+    )

@@ -1,0 +1,31 @@
+"""Service layer: wire protocol, stateless server, and client."""
+
+from repro.service.client import GalleryClient, InProcessTransport, connect_in_process
+from repro.service.server import GalleryService
+from repro.service.wire import (
+    Request,
+    Response,
+    decode_blob,
+    decode_request,
+    decode_response,
+    encode_blob,
+    encode_request,
+    encode_response,
+    error_response,
+)
+
+__all__ = [
+    "GalleryClient",
+    "GalleryService",
+    "InProcessTransport",
+    "Request",
+    "Response",
+    "connect_in_process",
+    "decode_blob",
+    "decode_request",
+    "decode_response",
+    "encode_blob",
+    "encode_request",
+    "encode_response",
+    "error_response",
+]

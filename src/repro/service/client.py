@@ -1,0 +1,210 @@
+"""Language-neutral Gallery client (Section 4.1).
+
+Mirrors the user workflow of Listings 3–5: create a model, upload a trained
+instance with metadata, record performance metrics, and query models by
+constraint.  The client is transport-agnostic — anything that maps a request
+frame (bytes) to a response frame (bytes) works; :class:`InProcessTransport`
+binds a client directly to a :class:`repro.service.server.GalleryService`
+for tests and single-process deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Protocol
+
+from repro.service import wire
+from repro.service.server import GalleryService
+
+Transport = Callable[[bytes], bytes]
+
+
+class InProcessTransport:
+    """Binds a client to a service instance without a network."""
+
+    def __init__(self, service: GalleryService) -> None:
+        self._service = service
+        self.frames_sent = 0
+
+    def __call__(self, data: bytes) -> bytes:
+        self.frames_sent += 1
+        return self._service.handle_frame(data)
+
+
+class GalleryClient:
+    """Typed wrapper over the wire protocol."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+        self._next_request_id = 1
+
+    def call(self, method: str, **params: Any) -> Any:
+        """Low-level escape hatch: invoke any service method by name."""
+        request = wire.Request(
+            method=method, params=params, request_id=self._next_request_id
+        )
+        self._next_request_id += 1
+        raw = self._transport(wire.encode_request(request))
+        response = wire.decode_response(raw)
+        return response.raise_if_error()
+
+    # -- Listing 3 -------------------------------------------------------------
+
+    def create_gallery_model(
+        self,
+        project: str,
+        base_version_id: str,
+        owner: str = "",
+        description: str = "",
+        metadata: Mapping[str, Any] | None = None,
+        upstream_model_ids: list[str] | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "createGalleryModel",
+            project=project,
+            base_version_id=base_version_id,
+            owner=owner,
+            description=description,
+            metadata=metadata,
+            upstream_model_ids=upstream_model_ids,
+        )
+
+    def upload_model(
+        self,
+        project: str,
+        base_version_id: str,
+        blob: bytes,
+        metadata: Mapping[str, Any] | None = None,
+        parent_instance_id: str | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "uploadModel",
+            project=project,
+            base_version_id=base_version_id,
+            blob=wire.encode_blob(blob),
+            metadata=metadata,
+            parent_instance_id=parent_instance_id,
+        )
+
+    # -- Listing 4 ---------------------------------------------------------------
+
+    def insert_model_instance_metric(
+        self,
+        instance_id: str,
+        name: str,
+        value: float,
+        scope: str = "Validation",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "insertModelInstanceMetric",
+            instance_id=instance_id,
+            name=name,
+            value=value,
+            scope=scope,
+            metadata=metadata,
+        )
+
+    def insert_model_instance_metrics(
+        self,
+        instance_id: str,
+        values: Mapping[str, float],
+        scope: str = "Validation",
+    ) -> list[dict[str, Any]]:
+        return self.call(
+            "insertModelInstanceMetrics",
+            instance_id=instance_id,
+            values=dict(values),
+            scope=scope,
+        )
+
+    # -- Listing 5 -----------------------------------------------------------------
+
+    def model_query(
+        self,
+        constraints: list[Mapping[str, Any]],
+        include_deprecated: bool = False,
+    ) -> list[dict[str, Any]]:
+        return self.call(
+            "modelQuery",
+            constraints=constraints,
+            include_deprecated=include_deprecated,
+        )
+
+    # -- fetching / serving ---------------------------------------------------------
+
+    def get_model(self, model_id: str) -> dict[str, Any]:
+        return self.call("getModel", model_id=model_id)
+
+    def get_model_instance(self, instance_id: str) -> dict[str, Any]:
+        return self.call("getModelInstance", instance_id=instance_id)
+
+    def load_model_blob(self, instance_id: str) -> bytes:
+        return wire.decode_blob(self.call("loadModelBlob", instance_id=instance_id))
+
+    def latest_instance(self, base_version_id: str) -> dict[str, Any]:
+        return self.call("latestInstance", base_version_id=base_version_id)
+
+    def instances_of(
+        self, base_version_id: str, include_deprecated: bool = False
+    ) -> list[dict[str, Any]]:
+        return self.call(
+            "instancesOf",
+            base_version_id=base_version_id,
+            include_deprecated=include_deprecated,
+        )
+
+    def metrics_of(self, instance_id: str) -> list[dict[str, Any]]:
+        return self.call("metricsOf", instance_id=instance_id)
+
+    # -- lifecycle / dependencies -----------------------------------------------------
+
+    def deprecate_model(self, model_id: str) -> dict[str, Any]:
+        return self.call("deprecateModel", model_id=model_id)
+
+    def deprecate_instance(self, instance_id: str) -> dict[str, Any]:
+        return self.call("deprecateInstance", instance_id=instance_id)
+
+    def add_dependency(self, downstream_id: str, upstream_id: str) -> list[dict[str, Any]]:
+        return self.call(
+            "addDependency", downstream_id=downstream_id, upstream_id=upstream_id
+        )
+
+    def upstream_of(self, model_id: str, transitive: bool = False) -> list[str]:
+        return self.call("upstreamOf", model_id=model_id, transitive=transitive)
+
+    def downstream_of(self, model_id: str, transitive: bool = False) -> list[str]:
+        return self.call("downstreamOf", model_id=model_id, transitive=transitive)
+
+    # -- health / rules -------------------------------------------------------------
+
+    def instance_health(self, instance_id: str) -> dict[str, Any]:
+        return self.call("instanceHealth", instance_id=instance_id)
+
+    def metric_history(
+        self, instance_id: str, name: str, scope: str | None = None
+    ) -> list[dict[str, Any]]:
+        return self.call(
+            "metricHistory", instance_id=instance_id, name=name, scope=scope
+        )
+
+    def lineage_of(self, base_version_id: str) -> list[dict[str, Any]]:
+        return self.call("lineageOf", base_version_id=base_version_id)
+
+    def audit_storage(self) -> dict[str, Any]:
+        return self.call("auditStorage")
+
+    def collect_orphans(self) -> list[str]:
+        return self.call("collectOrphans")
+
+    def select_model(self, rule: Mapping[str, Any]) -> dict[str, Any]:
+        return self.call("selectModel", rule=dict(rule))
+
+    def trigger_rule(self, rule_uuid: str) -> int:
+        return self.call("triggerRule", rule_uuid=rule_uuid)
+
+
+def connect_in_process(
+    service: GalleryService,
+) -> GalleryClient:
+    """Build a client wired straight to *service*."""
+    return GalleryClient(InProcessTransport(service))

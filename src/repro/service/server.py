@@ -1,0 +1,274 @@
+"""The stateless Gallery service (Sections 4 and 4.1).
+
+Gallery at Uber is "a stateless microservice ... horizontally scalable
+across different data centers": all state lives in the storage layer, and
+any number of service front-ends can dispatch API calls against it.
+:class:`GalleryService` is that front-end: a method table over a
+:class:`repro.core.registry.Gallery`, consuming wire-format requests and
+producing wire-format responses.
+
+Exceptions never escape the dispatcher — they are folded into structured
+error responses that clients re-raise as the original exception classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.registry import Gallery
+from repro.errors import UnknownMethodError, ValidationError
+from repro.rules.engine import RuleEngine
+from repro.rules.rule import Rule
+from repro.service import wire
+from repro.service.wire import Request, Response
+
+
+class GalleryService:
+    """Method-table dispatcher over a Gallery registry (+ optional engine)."""
+
+    def __init__(self, gallery: Gallery, engine: RuleEngine | None = None) -> None:
+        self._gallery = gallery
+        self._engine = engine
+        self._methods: dict[str, Callable[..., Any]] = {
+            # Listing 3
+            "createGalleryModel": self._create_model,
+            "uploadModel": self._upload_model,
+            # Listing 4
+            "insertModelInstanceMetric": self._insert_metric,
+            "insertModelInstanceMetrics": self._insert_metrics,
+            # Listing 5
+            "modelQuery": self._model_query,
+            # fetch / serve
+            "getModel": self._get_model,
+            "getModelInstance": self._get_instance,
+            "loadModelBlob": self._load_blob,
+            "latestInstance": self._latest_instance,
+            "instancesOf": self._instances_of,
+            "metricsOf": self._metrics_of,
+            # lifecycle / deprecation
+            "deprecateModel": self._deprecate_model,
+            "deprecateInstance": self._deprecate_instance,
+            # dependencies
+            "addDependency": self._add_dependency,
+            "upstreamOf": self._upstream_of,
+            "downstreamOf": self._downstream_of,
+            # health
+            "instanceHealth": self._instance_health,
+            "metricHistory": self._metric_history,
+            # lineage
+            "lineageOf": self._lineage_of,
+            # storage operations
+            "auditStorage": self._audit_storage,
+            "collectOrphans": self._collect_orphans,
+            # rule engine
+            "selectModel": self._select_model,
+            "triggerRule": self._trigger_rule,
+        }
+
+    # -- dispatch -------------------------------------------------------------
+
+    def methods(self) -> list[str]:
+        return sorted(self._methods)
+
+    def dispatch(self, request: Request) -> Response:
+        handler = self._methods.get(request.method)
+        if handler is None:
+            return wire.error_response(
+                UnknownMethodError(f"unknown method {request.method!r}"),
+                request.request_id,
+            )
+        try:
+            result = handler(**request.params)
+        except TypeError as exc:
+            # Bad parameter shapes surface as validation errors, not crashes.
+            return wire.error_response(
+                ValidationError(f"bad parameters for {request.method}: {exc}"),
+                request.request_id,
+            )
+        except Exception as exc:  # noqa: BLE001 - service isolation boundary
+            return wire.error_response(exc, request.request_id)
+        return Response(ok=True, result=result, request_id=request.request_id)
+
+    def handle_frame(self, data: bytes) -> bytes:
+        """Full wire round-trip: decode, dispatch, encode."""
+        try:
+            request = wire.decode_request(data)
+        except Exception as exc:  # noqa: BLE001
+            return wire.encode_response(wire.error_response(exc))
+        return wire.encode_response(self.dispatch(request))
+
+    # -- handlers -------------------------------------------------------------
+
+    def _create_model(
+        self,
+        project: str,
+        base_version_id: str,
+        owner: str = "",
+        description: str = "",
+        metadata: Mapping[str, Any] | None = None,
+        upstream_model_ids: list[str] | None = None,
+    ) -> dict[str, Any]:
+        model = self._gallery.create_model(
+            project=project,
+            base_version_id=base_version_id,
+            owner=owner,
+            description=description,
+            metadata=metadata,
+            upstream_model_ids=tuple(upstream_model_ids or ()),
+        )
+        return model.to_dict()
+
+    def _upload_model(
+        self,
+        project: str,
+        base_version_id: str,
+        blob: str,
+        metadata: Mapping[str, Any] | None = None,
+        parent_instance_id: str | None = None,
+    ) -> dict[str, Any]:
+        instance = self._gallery.upload_model(
+            project=project,
+            base_version_id=base_version_id,
+            blob=wire.decode_blob(blob),
+            metadata=metadata,
+            parent_instance_id=parent_instance_id,
+        )
+        return instance.to_dict()
+
+    def _insert_metric(
+        self,
+        instance_id: str,
+        name: str,
+        value: float,
+        scope: str = "Validation",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        metric = self._gallery.insert_metric(
+            instance_id, name, value, scope=scope, metadata=metadata
+        )
+        return metric.to_dict()
+
+    def _insert_metrics(
+        self,
+        instance_id: str,
+        values: Mapping[str, float],
+        scope: str = "Validation",
+    ) -> list[dict[str, Any]]:
+        records = self._gallery.insert_metrics(instance_id, values, scope=scope)
+        return [r.to_dict() for r in records]
+
+    def _model_query(
+        self,
+        constraints: list[Mapping[str, Any]],
+        include_deprecated: bool = False,
+    ) -> list[dict[str, Any]]:
+        instances = self._gallery.model_query(
+            constraints, include_deprecated=include_deprecated
+        )
+        return [i.to_dict() for i in instances]
+
+    def _get_model(self, model_id: str) -> dict[str, Any]:
+        return self._gallery.get_model(model_id).to_dict()
+
+    def _get_instance(self, instance_id: str) -> dict[str, Any]:
+        return self._gallery.get_instance(instance_id).to_dict()
+
+    def _load_blob(self, instance_id: str) -> str:
+        return wire.encode_blob(self._gallery.load_instance_blob(instance_id))
+
+    def _latest_instance(self, base_version_id: str) -> dict[str, Any]:
+        return self._gallery.latest_instance(base_version_id).to_dict()
+
+    def _instances_of(
+        self, base_version_id: str, include_deprecated: bool = False
+    ) -> list[dict[str, Any]]:
+        instances = self._gallery.instances_of(
+            base_version_id, include_deprecated=include_deprecated
+        )
+        return [i.to_dict() for i in instances]
+
+    def _metrics_of(self, instance_id: str) -> list[dict[str, Any]]:
+        return [m.to_dict() for m in self._gallery.metrics_of(instance_id)]
+
+    def _deprecate_model(self, model_id: str) -> dict[str, Any]:
+        return self._gallery.deprecate_model(model_id).to_dict()
+
+    def _deprecate_instance(self, instance_id: str) -> dict[str, Any]:
+        return self._gallery.deprecate_instance(instance_id).to_dict()
+
+    def _add_dependency(self, downstream_id: str, upstream_id: str) -> list[dict[str, Any]]:
+        events = self._gallery.add_dependency(downstream_id, upstream_id)
+        return [
+            {
+                "model_id": e.model_id,
+                "old_version": str(e.old_version),
+                "new_version": str(e.new_version),
+                "cause": e.cause.value,
+            }
+            for e in events
+        ]
+
+    def _upstream_of(self, model_id: str, transitive: bool = False) -> list[str]:
+        return sorted(self._gallery.dependencies.upstream(model_id, transitive))
+
+    def _downstream_of(self, model_id: str, transitive: bool = False) -> list[str]:
+        return sorted(self._gallery.dependencies.downstream(model_id, transitive))
+
+    def _instance_health(self, instance_id: str) -> dict[str, Any]:
+        report = self._gallery.instance_health(instance_id)
+        return {
+            "instance_id": report.instance_id,
+            "healthy": report.healthy,
+            "issues": list(report.issues),
+            "completeness_score": report.completeness.score,
+            "scopes_reporting": list(report.scopes_reporting),
+        }
+
+    def _metric_history(
+        self, instance_id: str, name: str, scope: str | None = None
+    ) -> list[dict[str, Any]]:
+        records = self._gallery.metric_history(instance_id, name, scope=scope)
+        return [record.to_dict() for record in records]
+
+    def _lineage_of(self, base_version_id: str) -> list[dict[str, Any]]:
+        entries = self._gallery.lineage.lineage(base_version_id)
+        return [
+            {
+                "instance_id": entry.instance_id,
+                "created_time": entry.created_time,
+                "parent_instance_id": entry.parent_instance_id,
+            }
+            for entry in entries
+        ]
+
+    def _audit_storage(self) -> dict[str, Any]:
+        audit = self._gallery.dal.audit_consistency()
+        return {
+            "consistent": audit.consistent,
+            "orphan_blobs": list(audit.orphan_blobs),
+            "dangling_instances": list(audit.dangling_instances),
+            "summary": self._gallery.dal.storage_summary(),
+        }
+
+    def _collect_orphans(self) -> list[str]:
+        return self._gallery.dal.collect_orphan_blobs()
+
+    def _require_engine(self) -> RuleEngine:
+        if self._engine is None:
+            raise ValidationError("this service was built without a rule engine")
+        return self._engine
+
+    def _select_model(self, rule: Mapping[str, Any]) -> dict[str, Any]:
+        engine = self._require_engine()
+        result = engine.select(Rule.from_dict(rule))
+        return {
+            "rule_uuid": result.rule_uuid,
+            "instance_id": result.instance_id,
+            "candidates_considered": result.candidates_considered,
+            "candidates_eligible": result.candidates_eligible,
+        }
+
+    def _trigger_rule(self, rule_uuid: str) -> int:
+        engine = self._require_engine()
+        engine.trigger(rule_uuid)
+        return len(engine.drain())

@@ -1,0 +1,161 @@
+"""TCP transport for the Gallery service (Section 4.1/4).
+
+Gallery at Uber is "a stateless microservice ... horizontally scalable":
+clients talk to it over the network through Thrift.  This module carries
+the reproduction's wire frames over a real socket so the client/server pair
+is exercised across a byte stream, not just in process:
+
+* :class:`GalleryTcpServer` — a threaded server; each connection reads
+  length-prefixed request frames and writes response frames.  Stateless by
+  construction: all state lives behind the dispatched
+  :class:`repro.service.server.GalleryService`.
+* :class:`TcpTransport` — a client transport compatible with
+  :class:`repro.service.client.GalleryClient`.
+
+Framing is the same 8-byte big-endian length prefix as
+:mod:`repro.service.wire`; the stream reader tolerates arbitrary packet
+fragmentation.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+
+from repro.errors import ServiceError, WireFormatError
+from repro.service.server import GalleryService
+
+_LENGTH = struct.Struct(">Q")
+#: Upper bound on a single frame; protects the server from bogus prefixes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly *count* bytes, or None on orderly EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count:
+                return None  # clean close between frames
+            raise WireFormatError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes | None:
+    """Read one full frame (prefix + body) or None on orderly EOF."""
+    prefix = _read_exactly(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(f"frame of {length} bytes exceeds the limit")
+    body = _read_exactly(sock, length)
+    if body is None:
+        raise WireFormatError("connection closed before frame body")
+    return prefix + body
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via client calls
+        service: GalleryService = self.server.gallery_service  # type: ignore[attr-defined]
+        while True:
+            try:
+                frame = read_frame(self.request)
+            except (WireFormatError, OSError):
+                return
+            if frame is None:
+                return
+            response = service.handle_frame(frame)
+            try:
+                self.request.sendall(response)
+            except OSError:
+                return
+
+
+class _ThreadedServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class GalleryTcpServer:
+    """Serves a :class:`GalleryService` on a TCP port, in a daemon thread."""
+
+    def __init__(self, service: GalleryService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = _ThreadedServer((host, port), _ConnectionHandler)
+        self._server.gallery_service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "GalleryTcpServer":
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="gallery-tcp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "GalleryTcpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class TcpTransport:
+    """Client-side transport: one persistent connection, frame in/frame out."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._address = (host, port)
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self._address, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def __call__(self, data: bytes) -> bytes:
+        sock = self._connect()
+        try:
+            sock.sendall(data)
+            frame = read_frame(sock)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"transport failure: {exc}") from exc
+        if frame is None:
+            self.close()
+            raise ServiceError("server closed the connection")
+        return frame
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,159 @@
+"""Wire format for the Gallery service (Section 4.1).
+
+Uber exposes Gallery through Thrift with language-specific clients.  This
+reproduction keeps the same shape — typed request/response structs, a binary
+framing, and language-neutral payloads — using length-prefixed JSON frames:
+
+* a frame is ``<8-byte big-endian length><utf-8 JSON body>``;
+* requests carry ``method`` + ``params``; responses carry either ``result``
+  or a structured ``error`` (type name + message) so clients can re-raise
+  the right exception class;
+* binary blobs cross the wire base64-encoded (JSON is text-only).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro import errors
+from repro.errors import WireFormatError
+
+_LENGTH = struct.Struct(">Q")
+
+#: Error type names the wire protocol can round-trip back into exceptions.
+_ERROR_TYPES = {
+    name: getattr(errors, name)
+    for name in dir(errors)
+    if isinstance(getattr(errors, name), type)
+    and issubclass(getattr(errors, name), Exception)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One RPC request: a method name and keyword parameters."""
+
+    method: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise WireFormatError("request method must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One RPC response: a result, or an error type + message."""
+
+    ok: bool
+    result: Any = None
+    error_type: str = ""
+    error_message: str = ""
+    request_id: int = 0
+
+    def raise_if_error(self) -> Any:
+        """Return the result, or re-raise the error as its original class."""
+        if self.ok:
+            return self.result
+        exc_class = _ERROR_TYPES.get(self.error_type, errors.ServiceError)
+        raise exc_class(self.error_message)
+
+
+def encode_request(request: Request) -> bytes:
+    body = {
+        "method": request.method,
+        "params": request.params,
+        "request_id": request.request_id,
+    }
+    return _frame(body)
+
+
+def decode_request(data: bytes) -> Request:
+    body = _unframe(data)
+    try:
+        return Request(
+            method=body["method"],
+            params=body.get("params", {}),
+            request_id=body.get("request_id", 0),
+        )
+    except KeyError as exc:
+        raise WireFormatError(f"request frame missing key: {exc}") from exc
+
+
+def encode_response(response: Response) -> bytes:
+    body = {
+        "ok": response.ok,
+        "result": response.result,
+        "error_type": response.error_type,
+        "error_message": response.error_message,
+        "request_id": response.request_id,
+    }
+    return _frame(body)
+
+
+def decode_response(data: bytes) -> Response:
+    body = _unframe(data)
+    try:
+        return Response(
+            ok=body["ok"],
+            result=body.get("result"),
+            error_type=body.get("error_type", ""),
+            error_message=body.get("error_message", ""),
+            request_id=body.get("request_id", 0),
+        )
+    except KeyError as exc:
+        raise WireFormatError(f"response frame missing key: {exc}") from exc
+
+
+def error_response(exc: Exception, request_id: int = 0) -> Response:
+    """Fold an exception into a wire error response."""
+    return Response(
+        ok=False,
+        error_type=type(exc).__name__,
+        error_message=str(exc),
+        request_id=request_id,
+    )
+
+
+def _frame(body: Mapping[str, Any]) -> bytes:
+    try:
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"body is not JSON-serializable: {exc}") from exc
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def _unframe(data: bytes) -> dict[str, Any]:
+    if len(data) < _LENGTH.size:
+        raise WireFormatError("frame shorter than length prefix")
+    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
+    payload = data[_LENGTH.size:]
+    if len(payload) != length:
+        raise WireFormatError(
+            f"frame length mismatch: header says {length}, got {len(payload)}"
+        )
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise WireFormatError("frame body must be a JSON object")
+    return body
+
+
+def encode_blob(data: bytes) -> str:
+    """Base64-encode a binary blob for JSON transport."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise WireFormatError(f"invalid base64 blob: {exc}") from exc

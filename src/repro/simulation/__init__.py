@@ -1,0 +1,36 @@
+"""Marketplace Simulation platform substrate (the paper's Case 2, Section 4.3)."""
+
+from repro.simulation.des import EventQueue, Simulator
+from repro.simulation.marketplace import (
+    ConstantForecaster,
+    CurveForecaster,
+    Marketplace,
+    MarketplaceConfig,
+    MarketplaceMetrics,
+)
+from repro.simulation.platform import (
+    GalleryForecaster,
+    OnlineTrainedForecaster,
+    ResourceReport,
+    SimulationRun,
+    run_coupled,
+    run_decoupled,
+    train_offline_model,
+)
+
+__all__ = [
+    "ConstantForecaster",
+    "CurveForecaster",
+    "EventQueue",
+    "GalleryForecaster",
+    "Marketplace",
+    "MarketplaceConfig",
+    "MarketplaceMetrics",
+    "OnlineTrainedForecaster",
+    "ResourceReport",
+    "SimulationRun",
+    "Simulator",
+    "run_coupled",
+    "run_decoupled",
+    "train_offline_model",
+]

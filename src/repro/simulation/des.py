@@ -1,0 +1,133 @@
+"""Discrete-event simulation core (Section 4.3).
+
+The Marketplace Simulation platform is "an agent-based discrete event
+simulator".  This module is the engine under it: a priority event queue,
+a simulation clock, named RNG streams (so adding randomness to one agent
+type never perturbs another), and counters.
+
+The core is deliberately callback-based — an event is a (time, sequence,
+callback) triple — because the marketplace layer above composes naturally
+out of small handlers (rider arrival, match attempt, trip completion) and
+the heap gives deterministic total ordering via the sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Min-heap of scheduled events with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: EventCallback) -> _ScheduledEvent:
+        event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> _ScheduledEvent | None:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Simulator:
+    """The simulation kernel: clock + event queue + RNG streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._seed = seed
+        self._streams: dict[str, np.random.Generator] = {}
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A named RNG stream, created deterministically on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            mixed = (self._seed * 1_000_003 + _name_hash(name)) & 0xFFFFFFFF
+            generator = np.random.default_rng(mixed)
+            self._streams[name] = generator
+        return generator
+
+    def schedule(self, delay: float, callback: EventCallback) -> _ScheduledEvent:
+        """Schedule *callback* to run *delay* time units from now."""
+        if delay < 0:
+            raise ValidationError("cannot schedule events in the past")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> _ScheduledEvent:
+        if time < self._now:
+            raise ValidationError("cannot schedule events in the past")
+        return self._queue.push(time, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        event.cancelled = True
+
+    def run_until(self, end_time: float) -> None:
+        """Process events with time <= end_time; clock lands on end_time."""
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+        self._now = max(self._now, end_time)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded against runaway schedules)."""
+        for _ in range(max_events):
+            event = self._queue.pop()
+            if event is None:
+                return
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+        raise ValidationError(f"simulation exceeded {max_events} events")
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+def _name_hash(name: str) -> int:
+    acc = 0
+    for ch in name:
+        acc = (acc * 131 + ord(ch)) & 0xFFFFFFFF
+    return acc

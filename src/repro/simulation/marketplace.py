@@ -1,0 +1,221 @@
+"""Agent-based marketplace simulation (Section 4.3).
+
+A simulated world of riders and driver-partners on the DES core:
+
+* riders arrive as a non-homogeneous Poisson process driven by an hourly
+  demand curve (the same synthetic workloads the forecasting case uses);
+* idle drivers are matched FIFO to waiting riders; riders abandon after a
+  patience timeout;
+* trip durations are lognormal; finished drivers return to the idle pool;
+* a **surge pricing policy** multiplies the base fare when a demand
+  forecast exceeds available supply — this is where an ML model enters the
+  simulation loop, and is the hook the decoupling experiment (Case 2)
+  exercises: the forecaster can be *trained inside the run* or *fetched
+  from Gallery*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.simulation.des import Simulator
+
+HOURS = 1.0
+MINUTES = 1.0 / 60.0
+
+
+class DemandForecaster(Protocol):
+    """The model slot in the simulator: forecast next-hour demand."""
+
+    def forecast(self, hour: int) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class MarketplaceConfig:
+    """Static parameters of one simulated marketplace."""
+
+    n_drivers: int = 60
+    rider_patience_min: float = 8.0       # minutes before abandonment
+    mean_trip_min: float = 18.0           # lognormal mean trip duration
+    trip_sigma: float = 0.35
+    base_fare: float = 10.0
+    surge_threshold: float = 1.1          # forecast/supply ratio to trigger surge
+    max_surge: float = 2.5
+    #: demand price-sensitivity: P(request | surge) = surge ** -elasticity.
+    #: 0 disables balking (riders ignore price); ~1-2 is a plausible range.
+    price_elasticity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_drivers < 1:
+            raise ValidationError("need at least one driver")
+        if self.rider_patience_min <= 0 or self.mean_trip_min <= 0:
+            raise ValidationError("durations must be positive")
+        if self.price_elasticity < 0:
+            raise ValidationError("price_elasticity must be non-negative")
+
+
+@dataclass
+class MarketplaceMetrics:
+    """Aggregated outcomes of one run."""
+
+    riders_arrived: int = 0
+    trips_completed: int = 0
+    riders_abandoned: int = 0
+    riders_balked: int = 0  # priced out by surge before requesting
+    total_wait_min: float = 0.0
+    total_revenue: float = 0.0
+    surge_hours: int = 0
+
+    @property
+    def completion_rate(self) -> float:
+        return self.trips_completed / self.riders_arrived if self.riders_arrived else 0.0
+
+    @property
+    def mean_wait_min(self) -> float:
+        return self.total_wait_min / self.trips_completed if self.trips_completed else 0.0
+
+
+@dataclass
+class _Rider:
+    rider_id: int
+    arrived_at: float
+    abandoned: bool = False
+
+
+class Marketplace:
+    """One city's simulated marketplace on a DES kernel."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: MarketplaceConfig,
+        demand_per_hour: np.ndarray,
+        forecaster: DemandForecaster,
+    ) -> None:
+        self._sim = simulator
+        self._config = config
+        self._demand = np.asarray(demand_per_hour, dtype=np.float64)
+        if len(self._demand) == 0:
+            raise ValidationError("demand curve must be non-empty")
+        self._forecaster = forecaster
+        self._idle_drivers = config.n_drivers
+        self._waiting: list[_Rider] = []
+        self._next_rider_id = 0
+        self._surge = 1.0
+        self.metrics = MarketplaceMetrics()
+        #: (hour, actual_arrivals) pairs — the training data a coupled
+        #: platform accumulates in memory (Section 4.3's cost).
+        self.hourly_arrivals: list[tuple[int, int]] = []
+        self._arrivals_this_hour = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first arrival and the hourly pricing tick."""
+        self._schedule_next_arrival()
+        self._sim.schedule(1.0 * HOURS, self._hourly_tick)
+
+    def run(self, hours: float) -> MarketplaceMetrics:
+        self.start()
+        self._sim.run_until(hours)
+        return self.metrics
+
+    # -- arrival process ------------------------------------------------------------
+
+    def _rate_at(self, time: float) -> float:
+        hour = min(int(time), len(self._demand) - 1)
+        return max(self._demand[hour], 1e-9)
+
+    def _schedule_next_arrival(self) -> None:
+        rate = self._rate_at(self._sim.now)
+        gap = self._sim.stream("arrivals").exponential(1.0 / rate)
+        self._sim.schedule(gap, self._rider_arrives)
+
+    def _rider_arrives(self) -> None:
+        self.metrics.riders_arrived += 1
+        self._arrivals_this_hour += 1
+        if self._surge > 1.0 and self._config.price_elasticity > 0:
+            accept_probability = self._surge ** (-self._config.price_elasticity)
+            if self._sim.stream("balking").random() > accept_probability:
+                self.metrics.riders_balked += 1
+                self._schedule_next_arrival()
+                return
+        rider = _Rider(rider_id=self._next_rider_id, arrived_at=self._sim.now)
+        self._next_rider_id += 1
+        self._waiting.append(rider)
+        self._sim.schedule(
+            self._config.rider_patience_min * MINUTES,
+            lambda r=rider: self._maybe_abandon(r),
+        )
+        self._try_match()
+        self._schedule_next_arrival()
+
+    def _maybe_abandon(self, rider: _Rider) -> None:
+        if rider in self._waiting:
+            self._waiting.remove(rider)
+            rider.abandoned = True
+            self.metrics.riders_abandoned += 1
+
+    # -- matching + trips -----------------------------------------------------------
+
+    def _try_match(self) -> None:
+        while self._idle_drivers > 0 and self._waiting:
+            rider = self._waiting.pop(0)
+            self._idle_drivers -= 1
+            wait_min = (self._sim.now - rider.arrived_at) / MINUTES
+            self.metrics.total_wait_min += wait_min
+            self.metrics.trips_completed += 1
+            self.metrics.total_revenue += self._config.base_fare * self._surge
+            duration = self._sim.stream("trips").lognormal(
+                mean=np.log(self._config.mean_trip_min), sigma=self._config.trip_sigma
+            )
+            self._sim.schedule(duration * MINUTES, self._trip_ends)
+
+    def _trip_ends(self) -> None:
+        self._idle_drivers += 1
+        self._try_match()
+
+    # -- pricing (the ML model in the loop) ----------------------------------------
+
+    def _hourly_tick(self) -> None:
+        hour = int(self._sim.now) - 1
+        self.hourly_arrivals.append((hour, self._arrivals_this_hour))
+        self._arrivals_this_hour = 0
+        next_hour = int(self._sim.now)
+        forecast = max(self._forecaster.forecast(next_hour), 0.0)
+        # capacity proxy: trips/hour the fleet can complete
+        capacity = self._config.n_drivers * (60.0 / self._config.mean_trip_min)
+        ratio = forecast / max(capacity, 1e-9)
+        if ratio > self._config.surge_threshold:
+            self._surge = min(self._config.max_surge, ratio)
+            self.metrics.surge_hours += 1
+        else:
+            self._surge = 1.0
+        if next_hour < len(self._demand):
+            self._sim.schedule(1.0 * HOURS, self._hourly_tick)
+
+
+class ConstantForecaster:
+    """Trivial forecaster: a fixed demand level (the null model)."""
+
+    def __init__(self, level: float) -> None:
+        self._level = level
+
+    def forecast(self, hour: int) -> float:
+        return self._level
+
+
+class CurveForecaster:
+    """Oracle-ish forecaster reading a (possibly stale) demand curve."""
+
+    def __init__(self, curve: np.ndarray) -> None:
+        self._curve = np.asarray(curve, dtype=np.float64)
+
+    def forecast(self, hour: int) -> float:
+        if len(self._curve) == 0:
+            return 0.0
+        return float(self._curve[min(hour, len(self._curve) - 1)])

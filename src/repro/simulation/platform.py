@@ -1,0 +1,324 @@
+"""The Marketplace Simulation platform, coupled vs. decoupled (Section 4.3).
+
+Before Gallery, "ML developers implemented models directly in the simulator
+and trained them on the fly as the simulator ran" — every run paid the
+training CPU and held the training buffers in the simulator's memory.
+Gallery "enabled the platform to decouple model training and serving":
+offline processes store instances in Gallery, and the simulation backend
+instantiates them on demand.  The paper credits the decoupling with saving
+"an estimated 8GB memory and one hour CPU time per simulation".
+
+This module reproduces both modes over the same marketplace:
+
+* **coupled** — an :class:`OnlineTrainedForecaster` accumulates trip-level
+  training rows inside the run and refits its model on a schedule; peak
+  buffer bytes and training CPU seconds are measured.
+* **decoupled** — the forecaster is trained once offline, uploaded to
+  Gallery, and the run fetches the blob; only a bounded recent-history
+  deque stays in simulator memory.
+
+Absolute numbers are scaled to laptop size; the *shape* (decoupled uses a
+small fraction of the memory and near-zero in-run training CPU) is the
+reproduction target of EXP-C2-SIM.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.records import MetricScope
+from repro.core.registry import Gallery
+from repro.errors import ValidationError
+from repro.forecasting.evaluation import evaluate_forecast
+from repro.forecasting.features import FeatureSpec, build_dataset
+from repro.forecasting.models.base import ForecastModel, deserialize, serialize
+from repro.simulation.des import Simulator
+from repro.simulation.marketplace import (
+    Marketplace,
+    MarketplaceConfig,
+    MarketplaceMetrics,
+)
+
+ModelFactory = Callable[[], ForecastModel]
+
+
+@dataclass
+class ResourceReport:
+    """Resource accounting for one simulation run (EXP-C2-SIM)."""
+
+    peak_buffer_bytes: int = 0
+    training_cpu_s: float = 0.0
+    fits: int = 0
+    wall_time_s: float = 0.0
+    events_processed: int = 0
+    blob_fetches: int = 0
+
+
+class _HistoryForecaster:
+    """Shared machinery: forecast from the observed arrival history.
+
+    Keeps a bounded deque of recent hourly arrivals — enough to build one
+    feature row — and delegates the prediction to whatever model the
+    subclass provides.  Before enough history exists, falls back to the
+    trailing mean (the heuristic model of Section 3.7).
+    """
+
+    def __init__(self, spec: FeatureSpec) -> None:
+        self._spec = spec
+        self._history: deque[float] = deque(maxlen=spec.min_history + 1)
+
+    def observe(self, arrivals: float) -> None:
+        self._history.append(float(arrivals))
+
+    def _model(self) -> ForecastModel | None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def forecast(self, hour: int) -> float:
+        history = list(self._history)
+        model = self._model()
+        if model is None or len(history) < self._spec.min_history + 1:
+            if not history:
+                return 0.0
+            return float(np.mean(history[-3:]))
+        dataset = build_dataset(history, self._spec, start_hour=hour - len(history))
+        prediction = float(model.predict(dataset.features[-1:])[0])
+        return max(prediction, 0.0)
+
+
+class OnlineTrainedForecaster(_HistoryForecaster):
+    """Coupled mode: train inside the simulation run.
+
+    Every ``retrain_every_hours`` the forecaster expands its full arrival
+    history into a trip-level training buffer (``expansion_rows`` rows per
+    observed hour — the stand-in for raw trip records) and refits the model.
+    The buffer stays allocated between retrains, exactly the memory the
+    paper says the simulator was carrying.
+    """
+
+    def __init__(
+        self,
+        factory: ModelFactory,
+        spec: FeatureSpec,
+        report: ResourceReport,
+        retrain_every_hours: int = 24,
+        expansion_rows: int = 200,
+    ) -> None:
+        super().__init__(spec)
+        if retrain_every_hours < 1:
+            raise ValidationError("retrain_every_hours must be >= 1")
+        self._factory = factory
+        self._report = report
+        self._retrain_every = retrain_every_hours
+        self._expansion = expansion_rows
+        self._full_history: list[float] = []
+        self._trained: ForecastModel | None = None
+        self._buffer: np.ndarray | None = None
+        self._hours_since_fit = 0
+
+    def observe(self, arrivals: float) -> None:
+        super().observe(arrivals)
+        self._full_history.append(float(arrivals))
+        self._hours_since_fit += 1
+        if self._hours_since_fit >= self._retrain_every:
+            self._retrain()
+            self._hours_since_fit = 0
+
+    def _retrain(self) -> None:
+        if len(self._full_history) < self._spec.min_history + 8:
+            return
+        started = time.perf_counter()
+        dataset = build_dataset(self._full_history, self._spec)
+        # Expand to trip-level rows: each hourly observation stands for many
+        # raw trip records; the buffer is real memory held by the simulator.
+        rows = np.repeat(dataset.features, self._expansion, axis=0)
+        targets = np.repeat(dataset.targets, self._expansion)
+        self._buffer = rows  # retained until the next retrain
+        model = self._factory()
+        model.fit(rows, targets)
+        self._trained = model
+        self._report.training_cpu_s += time.perf_counter() - started
+        self._report.fits += 1
+        buffer_bytes = rows.nbytes + targets.nbytes
+        self._report.peak_buffer_bytes = max(
+            self._report.peak_buffer_bytes, buffer_bytes
+        )
+
+    def _model(self) -> ForecastModel | None:
+        return self._trained
+
+
+class GalleryForecaster(_HistoryForecaster):
+    """Decoupled mode: serve a pre-trained instance fetched from Gallery."""
+
+    def __init__(
+        self,
+        gallery: Gallery,
+        instance_id: str,
+        spec: FeatureSpec,
+        report: ResourceReport,
+    ) -> None:
+        super().__init__(spec)
+        self._model_obj = deserialize(gallery.load_instance_blob(instance_id))
+        report.blob_fetches += 1
+        # The only steady-state memory is the recent-history deque.
+        report.peak_buffer_bytes = max(
+            report.peak_buffer_bytes, (spec.min_history + 1) * 8
+        )
+
+    def _model(self) -> ForecastModel | None:
+        return self._model_obj
+
+
+# ---------------------------------------------------------------------------
+# Offline training (the process Gallery decouples from the simulator)
+# ---------------------------------------------------------------------------
+
+
+def train_offline_model(
+    gallery: Gallery,
+    historical_curve: np.ndarray,
+    factory: ModelFactory,
+    spec: FeatureSpec,
+    project: str = "marketplace-simulation",
+    base_version_id: str = "sim_demand_forecaster",
+    city: str = "sim-city",
+) -> str:
+    """Train a forecaster offline and register it in Gallery.
+
+    Returns the instance id the simulation backend should instantiate.
+    This is the "offline processes can store reusable model instances into
+    Gallery" half of the decoupling.
+    """
+    try:
+        gallery.find_model(project, base_version_id)
+    except Exception:
+        gallery.create_model(
+            project=project,
+            base_version_id=base_version_id,
+            owner="simulation",
+            description="offline-trained demand forecaster for the simulator",
+            metadata={"team": "simulation"},
+        )
+    dataset = build_dataset(np.asarray(historical_curve, dtype=np.float64), spec)
+    train, validation = dataset.split(0.8)
+    model = factory()
+    model.fit(train.features, train.targets)
+    metrics = evaluate_forecast(
+        validation.targets, model.predict(validation.features)
+    )
+    instance = gallery.upload_model(
+        project=project,
+        base_version_id=base_version_id,
+        blob=serialize(model),
+        metadata={
+            "model_name": model.family,
+            "model_type": "repro-forecasting",
+            "model_domain": "simulation",
+            "city": city,
+            "team": "simulation",
+            "features": list(spec.feature_names()),
+            "hyperparameters": model.hyperparameters(),
+            "training_framework": "repro.forecasting",
+            "training_code_pointer": "repro.simulation.platform:train_offline_model",
+            "training_data_path": f"synthetic://{city}/historical",
+            "training_data_version": f"hours-0-{len(historical_curve)}",
+            "random_seed": model.hyperparameters().get("seed", 0),
+        },
+    )
+    gallery.insert_metrics(instance.instance_id, metrics, scope=MetricScope.VALIDATION)
+    return instance.instance_id
+
+
+# ---------------------------------------------------------------------------
+# Platform entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationRun:
+    """Everything one platform run produces."""
+
+    mode: str
+    marketplace: MarketplaceMetrics
+    resources: ResourceReport
+
+
+def run_coupled(
+    demand_curve: np.ndarray,
+    config: MarketplaceConfig,
+    factory: ModelFactory,
+    spec: FeatureSpec,
+    hours: int,
+    seed: int = 0,
+    retrain_every_hours: int = 24,
+    expansion_rows: int = 200,
+) -> SimulationRun:
+    """Run the pre-Gallery platform: model trained inside the simulation."""
+    report = ResourceReport()
+    forecaster = OnlineTrainedForecaster(
+        factory,
+        spec,
+        report,
+        retrain_every_hours=retrain_every_hours,
+        expansion_rows=expansion_rows,
+    )
+    metrics = _run(demand_curve, config, forecaster, hours, seed, report)
+    return SimulationRun(mode="coupled", marketplace=metrics, resources=report)
+
+
+def run_decoupled(
+    gallery: Gallery,
+    instance_id: str,
+    demand_curve: np.ndarray,
+    config: MarketplaceConfig,
+    spec: FeatureSpec,
+    hours: int,
+    seed: int = 0,
+) -> SimulationRun:
+    """Run the Gallery-backed platform: instantiate a stored model."""
+    report = ResourceReport()
+    forecaster = GalleryForecaster(gallery, instance_id, spec, report)
+    metrics = _run(demand_curve, config, forecaster, hours, seed, report)
+    return SimulationRun(mode="decoupled", marketplace=metrics, resources=report)
+
+
+class _ObservingForecaster:
+    """Feeds hourly arrivals back into the wrapped forecaster."""
+
+    def __init__(self, inner: _HistoryForecaster, marketplace_ref: list[Marketplace]) -> None:
+        self._inner = inner
+        self._marketplace_ref = marketplace_ref
+        self._seen = 0
+
+    def forecast(self, hour: int) -> float:
+        marketplace = self._marketplace_ref[0]
+        while self._seen < len(marketplace.hourly_arrivals):
+            _, arrivals = marketplace.hourly_arrivals[self._seen]
+            self._inner.observe(arrivals)
+            self._seen += 1
+        return self._inner.forecast(hour)
+
+
+def _run(
+    demand_curve: np.ndarray,
+    config: MarketplaceConfig,
+    forecaster: _HistoryForecaster,
+    hours: int,
+    seed: int,
+    report: ResourceReport,
+) -> MarketplaceMetrics:
+    started = time.perf_counter()
+    simulator = Simulator(seed=seed)
+    marketplace_ref: list[Marketplace] = []
+    observing = _ObservingForecaster(forecaster, marketplace_ref)
+    marketplace = Marketplace(simulator, config, demand_curve, observing)
+    marketplace_ref.append(marketplace)
+    metrics = marketplace.run(hours)
+    report.wall_time_s = time.perf_counter() - started
+    report.events_processed = simulator.events_processed
+    return metrics

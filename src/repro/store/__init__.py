@@ -1,0 +1,33 @@
+"""Storage substrate: blob stores, metadata stores, cache, and the DAL."""
+
+from repro.store.blob import (
+    BlobStore,
+    FaultInjectingBlobStore,
+    FaultPlan,
+    FilesystemBlobStore,
+    InMemoryBlobStore,
+    content_address,
+)
+from repro.store.cache import CacheStats, LRUBlobCache
+from repro.store.dal import ConsistencyReport, DataAccessLayer
+from repro.store.metadata_store import (
+    InMemoryMetadataStore,
+    MetadataStore,
+    SQLiteMetadataStore,
+)
+
+__all__ = [
+    "BlobStore",
+    "CacheStats",
+    "ConsistencyReport",
+    "DataAccessLayer",
+    "FaultInjectingBlobStore",
+    "FaultPlan",
+    "FilesystemBlobStore",
+    "InMemoryBlobStore",
+    "InMemoryMetadataStore",
+    "LRUBlobCache",
+    "MetadataStore",
+    "SQLiteMetadataStore",
+    "content_address",
+]

@@ -1,0 +1,254 @@
+"""Blob storage for model-instance binaries (Section 3.5).
+
+Gallery treats every model instance as an uninterpreted binary blob and
+stores it in a large-object store (S3 or HDFS at Uber); only the *location*
+string is kept in the relational metadata store.  This module provides that
+contract:
+
+* :class:`BlobStore` — the abstract put/get/exists/delete interface.
+* :class:`InMemoryBlobStore` — dict-backed, for tests and benchmarks.
+* :class:`FilesystemBlobStore` — the S3/HDFS stand-in: content-addressed
+  (SHA-256) files under a sharded directory tree, so identical blobs dedupe
+  and locations are tamper-evident.
+* :class:`FaultInjectingBlobStore` — a wrapper that injects deterministic
+  write/read failures and accounts simulated latency, used by the
+  write-blob-first consistency experiment (EXP-STORE) and the cache ablation
+  (ABL-CACHE).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import BlobStoreError, NotFoundError
+
+
+@dataclass
+class BlobStoreStats:
+    """Operation counters and simulated-latency accounting."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    simulated_latency_s: float = 0.0
+
+
+class BlobStore(ABC):
+    """Abstract blob store: opaque bytes in, location string out."""
+
+    def __init__(self) -> None:
+        self.stats = BlobStoreStats()
+
+    @abstractmethod
+    def put(self, data: bytes, hint: str = "") -> str:
+        """Store *data* and return its location.
+
+        *hint* is a human-readable tag (e.g. the instance id) that backends
+        may embed in the location for debuggability; it carries no semantics.
+        """
+
+    @abstractmethod
+    def get(self, location: str) -> bytes:
+        """Fetch the blob at *location*; raises :class:`NotFoundError`."""
+
+    @abstractmethod
+    def exists(self, location: str) -> bool:
+        """True when a blob is present at *location*."""
+
+    @abstractmethod
+    def delete(self, location: str) -> None:
+        """Remove the blob at *location* (used only by orphan GC)."""
+
+    @abstractmethod
+    def locations(self) -> list[str]:
+        """Every stored location (for consistency audits)."""
+
+
+def content_address(data: bytes) -> str:
+    """SHA-256 content address used by the filesystem backend."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class InMemoryBlobStore(BlobStore):
+    """Dict-backed blob store for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blobs: dict[str, bytes] = {}
+        self._counter = 0
+
+    def put(self, data: bytes, hint: str = "") -> str:
+        if not isinstance(data, bytes):
+            raise BlobStoreError(f"blob data must be bytes, got {type(data).__name__}")
+        self._counter += 1
+        suffix = f"-{hint}" if hint else ""
+        location = f"mem://blobs/{self._counter:08d}{suffix}"
+        self._blobs[location] = data
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        return location
+
+    def get(self, location: str) -> bytes:
+        try:
+            data = self._blobs[location]
+        except KeyError:
+            raise NotFoundError(f"no blob at {location!r}") from None
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def exists(self, location: str) -> bool:
+        return location in self._blobs
+
+    def delete(self, location: str) -> None:
+        if location not in self._blobs:
+            raise NotFoundError(f"no blob at {location!r}")
+        del self._blobs[location]
+        self.stats.deletes += 1
+
+    def locations(self) -> list[str]:
+        return sorted(self._blobs)
+
+
+class FilesystemBlobStore(BlobStore):
+    """Content-addressed filesystem store standing in for S3/HDFS.
+
+    Blobs live at ``root/<aa>/<bb>/<sha256>`` where ``aa``/``bb`` are the
+    first two byte pairs of the digest, keeping directories small at scale.
+    Identical payloads share one file (write-once semantics make this safe),
+    and reads verify the digest so corruption is detected rather than served.
+    """
+
+    SCHEME = "fs://"
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        super().__init__()
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, digest: str) -> Path:
+        return self._root / digest[:2] / digest[2:4] / digest
+
+    def put(self, data: bytes, hint: str = "") -> str:
+        if not isinstance(data, bytes):
+            raise BlobStoreError(f"blob data must be bytes, got {type(data).__name__}")
+        digest = content_address(data)
+        path = self._path_for(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            try:
+                tmp.write_bytes(data)
+                os.replace(tmp, path)  # atomic publish
+            except OSError as exc:
+                raise BlobStoreError(f"failed to write blob: {exc}") from exc
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        return f"{self.SCHEME}{digest}"
+
+    def _digest_of(self, location: str) -> str:
+        if not location.startswith(self.SCHEME):
+            raise BlobStoreError(f"not a filesystem blob location: {location!r}")
+        return location[len(self.SCHEME):]
+
+    def get(self, location: str) -> bytes:
+        digest = self._digest_of(location)
+        path = self._path_for(digest)
+        if not path.exists():
+            raise NotFoundError(f"no blob at {location!r}")
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise BlobStoreError(f"failed to read blob: {exc}") from exc
+        if content_address(data) != digest:
+            raise BlobStoreError(f"blob at {location!r} failed integrity check")
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def exists(self, location: str) -> bool:
+        try:
+            return self._path_for(self._digest_of(location)).exists()
+        except BlobStoreError:
+            return False
+
+    def delete(self, location: str) -> None:
+        digest = self._digest_of(location)
+        path = self._path_for(digest)
+        if not path.exists():
+            raise NotFoundError(f"no blob at {location!r}")
+        path.unlink()
+        self.stats.deletes += 1
+
+    def locations(self) -> list[str]:
+        out = []
+        for path in self._root.glob("*/*/*"):
+            if path.is_file() and not path.suffix:
+                out.append(f"{self.SCHEME}{path.name}")
+        return sorted(out)
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic failure schedule for a wrapped blob store.
+
+    ``fail_puts`` / ``fail_gets`` hold 1-based operation ordinals that must
+    raise; e.g. ``fail_puts={2}`` makes the second put fail.  Latencies are
+    accounted (not slept) so experiments stay fast and reproducible.
+    """
+
+    fail_puts: set[int] = field(default_factory=set)
+    fail_gets: set[int] = field(default_factory=set)
+    put_latency_s: float = 0.0
+    get_latency_s: float = 0.0
+
+
+class FaultInjectingBlobStore(BlobStore):
+    """Wraps another store with a deterministic fault/latency model."""
+
+    def __init__(self, inner: BlobStore, plan: FaultPlan | None = None) -> None:
+        super().__init__()
+        self._inner = inner
+        self.plan = plan or FaultPlan()
+        self._put_ordinal = 0
+        self._get_ordinal = 0
+
+    def put(self, data: bytes, hint: str = "") -> str:
+        self._put_ordinal += 1
+        self.stats.simulated_latency_s += self.plan.put_latency_s
+        if self._put_ordinal in self.plan.fail_puts:
+            raise BlobStoreError(
+                f"injected put failure (ordinal {self._put_ordinal})"
+            )
+        location = self._inner.put(data, hint)
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        return location
+
+    def get(self, location: str) -> bytes:
+        self._get_ordinal += 1
+        self.stats.simulated_latency_s += self.plan.get_latency_s
+        if self._get_ordinal in self.plan.fail_gets:
+            raise BlobStoreError(
+                f"injected get failure (ordinal {self._get_ordinal})"
+            )
+        data = self._inner.get(location)
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def exists(self, location: str) -> bool:
+        return self._inner.exists(location)
+
+    def delete(self, location: str) -> None:
+        self._inner.delete(location)
+        self.stats.deletes += 1
+
+    def locations(self) -> list[str]:
+        return self._inner.locations()

@@ -1,0 +1,93 @@
+"""LRU blob cache (Section 3.5).
+
+The paper's read path: "the request first goes to MySQL to get the location
+of the model blob, and then the model is directly accessed via the storage
+location.  The cache is updated with the requested blob and then is
+subsequently returned to the user."  This module implements that cache: a
+byte-budgeted LRU keyed by blob location.
+
+The cache is deliberately write-around (populated on *read*, not on write):
+most freshly-trained instances are never served, so caching them on upload
+would only evict blobs that serving traffic is actually hitting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUBlobCache:
+    """Least-recently-used cache with a byte budget.
+
+    ``capacity_bytes`` bounds the total payload size; a single blob larger
+    than the budget is never cached (it would evict everything for one
+    entry).  ``get``/``put`` are O(1).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self._capacity = capacity_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def get(self, location: str) -> bytes | None:
+        """Return the cached blob or None, updating recency on hit."""
+        data = self._entries.get(location)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(location)
+        self.stats.hits += 1
+        return data
+
+    def put(self, location: str, data: bytes) -> None:
+        """Insert a blob, evicting least-recently-used entries to fit."""
+        size = len(data)
+        if size > self._capacity:
+            return  # oversized blobs bypass the cache entirely
+        if location in self._entries:
+            self.stats.current_bytes -= len(self._entries[location])
+            del self._entries[location]
+        while self.stats.current_bytes + size > self._capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.current_bytes -= len(evicted)
+            self.stats.evictions += 1
+        self._entries[location] = data
+        self.stats.current_bytes += size
+
+    def invalidate(self, location: str) -> bool:
+        """Drop one entry; True when it was present."""
+        data = self._entries.pop(location, None)
+        if data is None:
+            return False
+        self.stats.current_bytes -= len(data)
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.current_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, location: str) -> bool:
+        return location in self._entries

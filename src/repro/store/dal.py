@@ -1,0 +1,170 @@
+"""Unified data access layer (Section 3.5).
+
+The DAL is the single gateway through which the registry touches storage.
+It enforces the paper's consistency discipline:
+
+    "we always write model blobs first and only write the model metadata
+    after the model blobs are successfully stored.  If the model blob of a
+    model instance is saved but the metadata fails to save, then the model
+    instance will not be available in the system."
+
+Consequences implemented here:
+
+* :meth:`DataAccessLayer.save_instance` writes the blob, then the metadata.
+  A blob failure leaves *nothing* behind; a metadata failure leaves only an
+  **orphan blob**, which is invisible to the system and reclaimable by
+  :meth:`collect_orphan_blobs`.
+* Metadata that references a missing blob can therefore never be produced by
+  a crash — :meth:`audit_consistency` treats such *dangling metadata* as
+  corruption.
+* The blob read path is MySQL → location → cache → blob store, populating
+  the LRU cache on miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.errors import BlobStoreError, ConsistencyError, MetadataStoreError
+from repro.store.blob import BlobStore
+from repro.store.cache import LRUBlobCache
+from repro.store.metadata_store import MetadataStore
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyReport:
+    """Result of a storage audit.
+
+    ``orphan_blobs`` are blobs without metadata — a legal by-product of
+    metadata-write failures, safe to garbage-collect.  ``dangling_instances``
+    are instances whose metadata references a missing blob — impossible under
+    write-blob-first, hence corruption.
+    """
+
+    orphan_blobs: tuple[str, ...]
+    dangling_instances: tuple[str, ...]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.dangling_instances
+
+
+class DataAccessLayer:
+    """Storage facade: metadata store + blob store + read cache."""
+
+    def __init__(
+        self,
+        metadata_store: MetadataStore,
+        blob_store: BlobStore,
+        cache: LRUBlobCache | None = None,
+    ) -> None:
+        self._metadata = metadata_store
+        self._blobs = blob_store
+        self._cache = cache
+
+    @property
+    def metadata(self) -> MetadataStore:
+        return self._metadata
+
+    @property
+    def blobs(self) -> BlobStore:
+        return self._blobs
+
+    @property
+    def cache(self) -> LRUBlobCache | None:
+        return self._cache
+
+    # -- write path -----------------------------------------------------------
+
+    def save_model(self, model: Model) -> None:
+        self._metadata.insert_model(model)
+
+    def save_instance(self, instance: ModelInstance, blob: bytes) -> ModelInstance:
+        """Persist an instance using the write-blob-first protocol.
+
+        Returns the stored record with ``blob_location`` filled in.  On blob
+        failure nothing is written; on metadata failure the blob remains as
+        an invisible orphan (collected later by :meth:`collect_orphan_blobs`).
+        """
+        location = self._blobs.put(blob, hint=instance.instance_id)
+        stored = replace(instance, blob_location=location)
+        try:
+            self._metadata.insert_instance(stored)
+        except MetadataStoreError:
+            # The orphaned blob stays behind; that is the designed failure
+            # mode — the instance is simply "not available in the system".
+            raise
+        return stored
+
+    def save_metric(self, metric: MetricRecord) -> None:
+        self._metadata.insert_metric(metric)
+
+    # -- read path -------------------------------------------------------------
+
+    def load_blob(self, instance_id: str) -> bytes:
+        """Fetch an instance's blob: metadata → location → cache → store."""
+        instance = self._metadata.get_instance(instance_id)
+        location = instance.blob_location
+        if not location:
+            raise ConsistencyError(
+                f"instance {instance_id!r} has no blob location recorded"
+            )
+        if self._cache is not None:
+            cached = self._cache.get(location)
+            if cached is not None:
+                return cached
+        try:
+            data = self._blobs.get(location)
+        except BlobStoreError:
+            raise
+        if self._cache is not None:
+            self._cache.put(location, data)
+        return data
+
+    # -- maintenance --------------------------------------------------------
+
+    def referenced_locations(self) -> set[str]:
+        """Blob locations reachable from instance metadata."""
+        return {
+            inst.blob_location
+            for inst in self._metadata.iter_instances()
+            if inst.blob_location
+        }
+
+    def audit_consistency(self) -> ConsistencyReport:
+        """Cross-check metadata against the blob store (Section 3.5)."""
+        referenced = self.referenced_locations()
+        stored = set(self._blobs.locations())
+        orphans = tuple(sorted(stored - referenced))
+        dangling = tuple(
+            sorted(
+                inst.instance_id
+                for inst in self._metadata.iter_instances()
+                if inst.blob_location and inst.blob_location not in stored
+            )
+        )
+        return ConsistencyReport(orphan_blobs=orphans, dangling_instances=dangling)
+
+    def collect_orphan_blobs(self) -> list[str]:
+        """Delete blobs not referenced by any metadata; return their locations.
+
+        Content-addressed backends may legitimately share one blob between
+        instances, so only locations with *zero* referents are removed.
+        """
+        report = self.audit_consistency()
+        for location in report.orphan_blobs:
+            self._blobs.delete(location)
+            if self._cache is not None:
+                self._cache.invalidate(location)
+        return list(report.orphan_blobs)
+
+    def storage_summary(self) -> dict[str, Any]:
+        """Operational snapshot used by scale benchmarks."""
+        summary: dict[str, Any] = dict(self._metadata.counts())
+        summary["blob_count"] = len(self._blobs.locations())
+        if self._cache is not None:
+            summary["cache_entries"] = len(self._cache)
+            summary["cache_hit_rate"] = self._cache.stats.hit_rate
+        return summary

@@ -1,0 +1,434 @@
+"""Relational metadata storage (Section 3.5).
+
+The paper stores model metadata and metrics in MySQL "to guarantee high
+availability and [support] flexible queries".  This module provides the same
+query surface behind a backend-neutral interface:
+
+* :class:`InMemoryMetadataStore` — dict-backed; the default for tests.
+* :class:`SQLiteMetadataStore` — a real relational backend (stdlib
+  ``sqlite3``) with indexed columns for the standard search fields, standing
+  in for the Uber-managed MySQL service.
+
+Both enforce **insert-only** semantics for models, instances, and metrics —
+records are immutable (Section 3.1).  The only sanctioned in-place change is
+:meth:`MetadataStore.replace_model` / :meth:`replace_instance`, which the
+registry uses exclusively for bookkeeping fields that the paper itself
+mutates: evolution pointers, dependency pointers, and the deprecation flag.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterator
+
+from repro.core.metadata import INDEXED_FIELDS
+from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.errors import DuplicateError, MetadataStoreError, NotFoundError
+
+#: Fields allowed to change via replace_* (everything else must match).
+_MUTABLE_MODEL_FIELDS = {
+    "next_model_id",
+    "upstream_model_ids",
+    "downstream_model_ids",
+    "deprecated",
+}
+_MUTABLE_INSTANCE_FIELDS = {"deprecated"}
+
+
+def _assert_only_mutable_changed(
+    old: dict[str, Any], new: dict[str, Any], mutable: set[str], kind: str
+) -> None:
+    for key, old_value in old.items():
+        if key in mutable:
+            continue
+        if new.get(key) != old_value:
+            raise MetadataStoreError(
+                f"{kind} field {key!r} is immutable "
+                f"(attempted {old_value!r} -> {new.get(key)!r})"
+            )
+
+
+class MetadataStore(ABC):
+    """Abstract relational store for models, instances, and metrics."""
+
+    # -- models -------------------------------------------------------------
+
+    @abstractmethod
+    def insert_model(self, model: Model) -> None: ...
+
+    @abstractmethod
+    def get_model(self, model_id: str) -> Model: ...
+
+    @abstractmethod
+    def replace_model(self, model: Model) -> None:
+        """Replace a model record; only bookkeeping fields may differ."""
+
+    @abstractmethod
+    def iter_models(self) -> Iterator[Model]: ...
+
+    # -- instances ----------------------------------------------------------
+
+    @abstractmethod
+    def insert_instance(self, instance: ModelInstance) -> None: ...
+
+    @abstractmethod
+    def get_instance(self, instance_id: str) -> ModelInstance: ...
+
+    @abstractmethod
+    def replace_instance(self, instance: ModelInstance) -> None: ...
+
+    @abstractmethod
+    def iter_instances(self) -> Iterator[ModelInstance]: ...
+
+    @abstractmethod
+    def instances_of_model(self, model_id: str) -> list[ModelInstance]: ...
+
+    @abstractmethod
+    def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]: ...
+
+    @abstractmethod
+    def find_instances_by_field(self, field: str, value: Any) -> list[ModelInstance]:
+        """Equality lookup on an indexed standard-metadata field."""
+
+    # -- metrics -------------------------------------------------------------
+
+    @abstractmethod
+    def insert_metric(self, metric: MetricRecord) -> None: ...
+
+    @abstractmethod
+    def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]: ...
+
+    @abstractmethod
+    def iter_metrics(self) -> Iterator[MetricRecord]: ...
+
+    # -- misc ---------------------------------------------------------------
+
+    @abstractmethod
+    def counts(self) -> dict[str, int]:
+        """Row counts per table, for scale experiments."""
+
+
+class InMemoryMetadataStore(MetadataStore):
+    """Dictionary-backed metadata store with hand-maintained indexes."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, Model] = {}
+        self._instances: dict[str, ModelInstance] = {}
+        self._metrics: dict[str, MetricRecord] = {}
+        self._instances_by_model: dict[str, list[str]] = {}
+        self._instances_by_base: dict[str, list[str]] = {}
+        self._metrics_by_instance: dict[str, list[str]] = {}
+        self._field_index: dict[tuple[str, Any], list[str]] = {}
+
+    # -- models -------------------------------------------------------------
+
+    def insert_model(self, model: Model) -> None:
+        if model.model_id in self._models:
+            raise DuplicateError(f"model {model.model_id!r} already exists")
+        self._models[model.model_id] = model
+
+    def get_model(self, model_id: str) -> Model:
+        try:
+            return self._models[model_id]
+        except KeyError:
+            raise NotFoundError(f"no model {model_id!r}") from None
+
+    def replace_model(self, model: Model) -> None:
+        old = self.get_model(model.model_id)
+        _assert_only_mutable_changed(
+            old.to_dict(), model.to_dict(), _MUTABLE_MODEL_FIELDS, "model"
+        )
+        self._models[model.model_id] = model
+
+    def iter_models(self) -> Iterator[Model]:
+        return iter(list(self._models.values()))
+
+    # -- instances ----------------------------------------------------------
+
+    def insert_instance(self, instance: ModelInstance) -> None:
+        if instance.instance_id in self._instances:
+            raise DuplicateError(
+                f"model instance {instance.instance_id!r} already exists"
+            )
+        self._instances[instance.instance_id] = instance
+        self._instances_by_model.setdefault(instance.model_id, []).append(
+            instance.instance_id
+        )
+        self._instances_by_base.setdefault(instance.base_version_id, []).append(
+            instance.instance_id
+        )
+        for field_name in INDEXED_FIELDS:
+            value = instance.metadata.get(field_name)
+            if value is not None:
+                self._field_index.setdefault((field_name, value), []).append(
+                    instance.instance_id
+                )
+
+    def get_instance(self, instance_id: str) -> ModelInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise NotFoundError(f"no model instance {instance_id!r}") from None
+
+    def replace_instance(self, instance: ModelInstance) -> None:
+        old = self.get_instance(instance.instance_id)
+        _assert_only_mutable_changed(
+            old.to_dict(), instance.to_dict(), _MUTABLE_INSTANCE_FIELDS, "instance"
+        )
+        self._instances[instance.instance_id] = instance
+
+    def iter_instances(self) -> Iterator[ModelInstance]:
+        return iter(list(self._instances.values()))
+
+    def instances_of_model(self, model_id: str) -> list[ModelInstance]:
+        ids = self._instances_by_model.get(model_id, [])
+        return [self._instances[i] for i in ids]
+
+    def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]:
+        ids = self._instances_by_base.get(base_version_id, [])
+        return [self._instances[i] for i in ids]
+
+    def find_instances_by_field(self, field: str, value: Any) -> list[ModelInstance]:
+        if field in INDEXED_FIELDS:
+            ids = self._field_index.get((field, value), [])
+            return [self._instances[i] for i in ids]
+        return [
+            inst
+            for inst in self._instances.values()
+            if inst.metadata.get(field) == value
+        ]
+
+    # -- metrics --------------------------------------------------------------
+
+    def insert_metric(self, metric: MetricRecord) -> None:
+        if metric.metric_id in self._metrics:
+            raise DuplicateError(f"metric {metric.metric_id!r} already exists")
+        self._metrics[metric.metric_id] = metric
+        self._metrics_by_instance.setdefault(metric.instance_id, []).append(
+            metric.metric_id
+        )
+
+    def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]:
+        ids = self._metrics_by_instance.get(instance_id, [])
+        return [self._metrics[i] for i in ids]
+
+    def iter_metrics(self) -> Iterator[MetricRecord]:
+        return iter(list(self._metrics.values()))
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "models": len(self._models),
+            "instances": len(self._instances),
+            "metrics": len(self._metrics),
+        }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS models (
+    model_id TEXT PRIMARY KEY,
+    record   TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS instances (
+    instance_id     TEXT PRIMARY KEY,
+    model_id        TEXT NOT NULL,
+    base_version_id TEXT NOT NULL,
+    model_name      TEXT,
+    model_type      TEXT,
+    model_domain    TEXT,
+    city            TEXT,
+    team            TEXT,
+    serving_environment TEXT,
+    created_time    REAL NOT NULL,
+    record          TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_instances_model ON instances(model_id);
+CREATE INDEX IF NOT EXISTS idx_instances_base ON instances(base_version_id);
+CREATE INDEX IF NOT EXISTS idx_instances_name ON instances(model_name);
+CREATE INDEX IF NOT EXISTS idx_instances_city ON instances(city);
+CREATE INDEX IF NOT EXISTS idx_instances_domain ON instances(model_domain);
+CREATE TABLE IF NOT EXISTS metrics (
+    metric_id   TEXT PRIMARY KEY,
+    instance_id TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    value       REAL NOT NULL,
+    record      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_metrics_instance ON metrics(instance_id);
+CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics(name);
+"""
+
+
+class SQLiteMetadataStore(MetadataStore):
+    """SQLite-backed metadata store — the MySQL stand-in.
+
+    Records are persisted as JSON documents alongside promoted, indexed
+    columns for the standard search fields, mirroring how a production
+    deployment keeps a flexible document column plus hot query columns.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        # check_same_thread=False + a lock lets the rule engine's worker
+        # threads share one connection safely.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def _execute(self, sql: str, params: tuple[Any, ...] = ()) -> sqlite3.Cursor:
+        with self._lock:
+            try:
+                cursor = self._conn.execute(sql, params)
+                self._conn.commit()
+                return cursor
+            except sqlite3.IntegrityError as exc:
+                self._conn.rollback()
+                raise DuplicateError(str(exc)) from exc
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    # -- models -------------------------------------------------------------
+
+    def insert_model(self, model: Model) -> None:
+        self._execute(
+            "INSERT INTO models (model_id, record) VALUES (?, ?)",
+            (model.model_id, json.dumps(model.to_dict())),
+        )
+
+    def get_model(self, model_id: str) -> Model:
+        row = self._execute(
+            "SELECT record FROM models WHERE model_id = ?", (model_id,)
+        ).fetchone()
+        if row is None:
+            raise NotFoundError(f"no model {model_id!r}")
+        return Model.from_dict(json.loads(row[0]))
+
+    def replace_model(self, model: Model) -> None:
+        old = self.get_model(model.model_id)
+        _assert_only_mutable_changed(
+            old.to_dict(), model.to_dict(), _MUTABLE_MODEL_FIELDS, "model"
+        )
+        self._execute(
+            "UPDATE models SET record = ? WHERE model_id = ?",
+            (json.dumps(model.to_dict()), model.model_id),
+        )
+
+    def iter_models(self) -> Iterator[Model]:
+        rows = self._execute("SELECT record FROM models").fetchall()
+        return (Model.from_dict(json.loads(r[0])) for r in rows)
+
+    # -- instances ------------------------------------------------------------
+
+    def insert_instance(self, instance: ModelInstance) -> None:
+        meta = instance.metadata
+        self._execute(
+            "INSERT INTO instances (instance_id, model_id, base_version_id,"
+            " model_name, model_type, model_domain, city, team,"
+            " serving_environment, created_time, record)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                instance.instance_id,
+                instance.model_id,
+                instance.base_version_id,
+                meta.get("model_name"),
+                meta.get("model_type"),
+                meta.get("model_domain"),
+                meta.get("city"),
+                meta.get("team"),
+                meta.get("serving_environment"),
+                instance.created_time,
+                json.dumps(instance.to_dict()),
+            ),
+        )
+
+    def get_instance(self, instance_id: str) -> ModelInstance:
+        row = self._execute(
+            "SELECT record FROM instances WHERE instance_id = ?", (instance_id,)
+        ).fetchone()
+        if row is None:
+            raise NotFoundError(f"no model instance {instance_id!r}")
+        return ModelInstance.from_dict(json.loads(row[0]))
+
+    def replace_instance(self, instance: ModelInstance) -> None:
+        old = self.get_instance(instance.instance_id)
+        _assert_only_mutable_changed(
+            old.to_dict(), instance.to_dict(), _MUTABLE_INSTANCE_FIELDS, "instance"
+        )
+        self._execute(
+            "UPDATE instances SET record = ? WHERE instance_id = ?",
+            (json.dumps(instance.to_dict()), instance.instance_id),
+        )
+
+    def iter_instances(self) -> Iterator[ModelInstance]:
+        rows = self._execute("SELECT record FROM instances").fetchall()
+        return (ModelInstance.from_dict(json.loads(r[0])) for r in rows)
+
+    def instances_of_model(self, model_id: str) -> list[ModelInstance]:
+        rows = self._execute(
+            "SELECT record FROM instances WHERE model_id = ? ORDER BY created_time",
+            (model_id,),
+        ).fetchall()
+        return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
+
+    def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]:
+        rows = self._execute(
+            "SELECT record FROM instances WHERE base_version_id = ?"
+            " ORDER BY created_time",
+            (base_version_id,),
+        ).fetchall()
+        return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
+
+    def find_instances_by_field(self, field: str, value: Any) -> list[ModelInstance]:
+        if field in INDEXED_FIELDS:
+            rows = self._execute(
+                f"SELECT record FROM instances WHERE {field} = ?"  # noqa: S608
+                " ORDER BY created_time",
+                (value,),
+            ).fetchall()
+            return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
+        return [
+            inst for inst in self.iter_instances() if inst.metadata.get(field) == value
+        ]
+
+    # -- metrics ----------------------------------------------------------------
+
+    def insert_metric(self, metric: MetricRecord) -> None:
+        self._execute(
+            "INSERT INTO metrics (metric_id, instance_id, name, value, record)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                metric.metric_id,
+                metric.instance_id,
+                metric.name,
+                metric.value,
+                json.dumps(metric.to_dict()),
+            ),
+        )
+
+    def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]:
+        rows = self._execute(
+            "SELECT record FROM metrics WHERE instance_id = ?", (instance_id,)
+        ).fetchall()
+        return [MetricRecord.from_dict(json.loads(r[0])) for r in rows]
+
+    def iter_metrics(self) -> Iterator[MetricRecord]:
+        rows = self._execute("SELECT record FROM metrics").fetchall()
+        return (MetricRecord.from_dict(json.loads(r[0])) for r in rows)
+
+    def counts(self) -> dict[str, int]:
+        out = {}
+        for table in ("models", "instances", "metrics"):
+            row = self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()  # noqa: S608
+            out[table] = int(row[0])
+        return out
+
+
+StoreFactory = Callable[[], MetadataStore]

@@ -1,0 +1,60 @@
+"""Tests for the manual-vs-Gallery operations cost model."""
+
+import pytest
+
+from repro.baselines.manual_ops import (
+    Actor,
+    DeploymentLedger,
+    GALLERY_DEPLOYMENT_STEPS,
+    MANUAL_DAILY_STEPS,
+    MANUAL_DEPLOYMENT_STEPS,
+    WorkflowStep,
+    cost_of,
+)
+
+
+class TestCalibration:
+    def test_manual_deployment_near_two_hours(self):
+        """Section 4.2: 'two hours of engineering work per model'."""
+        cost = cost_of(MANUAL_DEPLOYMENT_STEPS)
+        assert 1.5 <= cost.engineer_hours <= 2.5
+        assert cost.engineer_steps == len(MANUAL_DEPLOYMENT_STEPS)
+
+    def test_gallery_deployment_zero_engineer_work(self):
+        cost = cost_of(GALLERY_DEPLOYMENT_STEPS)
+        assert cost.engineer_minutes == 0.0
+        assert cost.engineer_steps == 0
+        assert cost.automation_steps == len(GALLERY_DEPLOYMENT_STEPS)
+
+    def test_daily_care_one_to_two_hours(self):
+        """Section 4: '1-2 hours a day' for ~100 models."""
+        cost = cost_of(MANUAL_DAILY_STEPS)
+        assert 1.0 <= cost.engineer_hours <= 2.0
+
+    def test_all_manual_steps_are_engineer_steps(self):
+        assert all(s.actor is Actor.ENGINEER for s in MANUAL_DEPLOYMENT_STEPS)
+
+    def test_all_gallery_steps_are_automation(self):
+        assert all(s.actor is Actor.AUTOMATION for s in GALLERY_DEPLOYMENT_STEPS)
+
+
+class TestLedger:
+    def test_fleet_accumulation(self):
+        manual = DeploymentLedger(MANUAL_DEPLOYMENT_STEPS)
+        manual.deploy(100)
+        assert manual.deployments == 100
+        assert manual.engineer_hours_per_model == pytest.approx(
+            cost_of(MANUAL_DEPLOYMENT_STEPS).engineer_hours
+        )
+
+    def test_gallery_ledger_zero_per_model(self):
+        ledger = DeploymentLedger(GALLERY_DEPLOYMENT_STEPS)
+        ledger.deploy(100)
+        assert ledger.engineer_hours_per_model == 0.0
+
+    def test_empty_ledger(self):
+        assert DeploymentLedger(MANUAL_DEPLOYMENT_STEPS).engineer_hours_per_model == 0.0
+
+    def test_negative_minutes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowStep("bad", Actor.ENGINEER, -5.0)

@@ -1,0 +1,99 @@
+"""Tests for the semver-breakdown baseline (Section 3.4.1)."""
+
+import random
+
+import pytest
+
+from repro.baselines.semver_registry import SemverFleetRegistry, UuidFleetRegistry
+from repro.core.ids import SeededIdFactory
+from repro.errors import NotFoundError
+
+
+def replay_fleet(registry, n_cities=50, n_operations=300, seed=0):
+    rng = random.Random(seed)
+    for city_index in range(n_cities):
+        registry.launch(f"city-{city_index}")
+    for _ in range(n_operations):
+        city = f"city-{rng.randrange(n_cities)}"
+        operation = rng.choices(
+            ["retrain", "change_features", "change_architecture"],
+            weights=[0.85, 0.12, 0.03],
+        )[0]
+        getattr(registry, operation)(city)
+    return registry.report()
+
+
+class TestSemverRegistry:
+    def test_bump_rules(self):
+        registry = SemverFleetRegistry()
+        registry.launch("sf")
+        registry.retrain("sf")
+        assert registry.version_of("sf") == "1.0.1"
+        registry.change_features("sf")
+        assert registry.version_of("sf") == "1.1.0"
+        registry.change_architecture("sf")
+        assert registry.version_of("sf") == "2.0.0"
+
+    def test_unlaunched_city_raises(self):
+        with pytest.raises(NotFoundError):
+            SemverFleetRegistry().retrain("ghost")
+
+    def test_every_bump_is_a_manual_decision(self):
+        registry = SemverFleetRegistry()
+        registry.launch("sf")
+        registry.retrain("sf")
+        registry.retrain("sf")
+        assert registry.manual_decisions == 2
+
+    def test_handful_of_cities_stays_aligned(self):
+        """The paper: semver 'works well ... for a handful of cities'."""
+        registry = SemverFleetRegistry()
+        for city in ("a", "b", "c"):
+            registry.launch(city)
+        for city in ("a", "b", "c"):  # synchronized retrains
+            registry.retrain(city)
+        report = registry.report()
+        assert report.alignment == 1.0
+        # identical strings refer to different artifacts even here
+        assert report.ambiguous_versions >= 1
+
+    def test_per_city_retraining_breaks_alignment(self):
+        report = replay_fleet(SemverFleetRegistry())
+        assert report.alignment < 0.5
+        assert report.ambiguous_versions > 0
+        assert report.distinct_versions > 10
+        assert report.manual_decisions == 300
+
+
+class TestUuidRegistry:
+    def test_no_ambiguity_no_manual_decisions(self):
+        report = replay_fleet(UuidFleetRegistry(SeededIdFactory(1)))
+        assert report.alignment == 1.0
+        assert report.ambiguous_versions == 0
+        assert report.manual_decisions == 0
+
+    def test_every_artifact_unique(self):
+        registry = UuidFleetRegistry(SeededIdFactory(2))
+        registry.launch("sf")
+        ids = {registry.retrain("sf") for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_version_of_returns_latest(self):
+        registry = UuidFleetRegistry(SeededIdFactory(3))
+        registry.launch("sf")
+        newest = registry.retrain("sf")
+        assert registry.version_of("sf") == newest
+
+    def test_unlaunched_city_raises(self):
+        with pytest.raises(NotFoundError):
+            UuidFleetRegistry().version_of("ghost")
+
+
+class TestSchemeComparison:
+    def test_breakdown_shape(self):
+        """EXP-SEMVER's headline: semver loses meaning, UUIDs don't."""
+        semver = replay_fleet(SemverFleetRegistry(), seed=9)
+        uuid = replay_fleet(UuidFleetRegistry(SeededIdFactory(9)), seed=9)
+        assert semver.alignment < uuid.alignment
+        assert semver.ambiguous_versions > uuid.ambiguous_versions
+        assert semver.manual_decisions > uuid.manual_decisions

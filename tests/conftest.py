@@ -1,0 +1,59 @@
+"""Shared fixtures: deterministic clocks/ids and Gallery assemblies.
+
+Storage-backend parametrization: any test taking the ``gallery`` fixture
+runs against both the in-memory and the SQLite metadata store, so every
+registry behaviour is exercised on the MySQL stand-in too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.ids import SeededIdFactory
+from repro.core.registry import Gallery
+from repro.store.blob import InMemoryBlobStore
+from repro.store.cache import LRUBlobCache
+from repro.store.dal import DataAccessLayer
+from repro.store.metadata_store import InMemoryMetadataStore, SQLiteMetadataStore
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock(start=1_000_000.0, tick=1.0)
+
+
+@pytest.fixture
+def id_factory() -> SeededIdFactory:
+    return SeededIdFactory(seed=42)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def metadata_store(request):
+    if request.param == "memory":
+        yield InMemoryMetadataStore()
+    else:
+        store = SQLiteMetadataStore(":memory:")
+        yield store
+        store.close()
+
+
+@pytest.fixture
+def dal(metadata_store) -> DataAccessLayer:
+    return DataAccessLayer(
+        metadata_store, InMemoryBlobStore(), LRUBlobCache(1024 * 1024)
+    )
+
+
+@pytest.fixture
+def gallery(dal, clock, id_factory) -> Gallery:
+    return Gallery(dal, clock=clock, id_factory=id_factory)
+
+
+@pytest.fixture
+def memory_gallery(clock, id_factory) -> Gallery:
+    """A fast single-backend Gallery for tests that don't probe storage."""
+    dal = DataAccessLayer(
+        InMemoryMetadataStore(), InMemoryBlobStore(), LRUBlobCache(1024 * 1024)
+    )
+    return Gallery(dal, clock=clock, id_factory=id_factory)

@@ -1,0 +1,41 @@
+"""Tests for the injectable clocks."""
+
+import time
+
+import pytest
+
+from repro.core.clock import Clock, ManualClock
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = Clock()
+        before = time.time()
+        reading = clock.now()
+        after = time.time()
+        assert before <= reading <= after
+
+
+class TestManualClock:
+    def test_strictly_increasing_readings(self):
+        clock = ManualClock(start=100.0, tick=1.0)
+        readings = [clock.now() for _ in range(5)]
+        assert readings == sorted(readings)
+        assert len(set(readings)) == 5
+
+    def test_starts_at_configured_time(self):
+        assert ManualClock(start=42.0).now() == 42.0
+
+    def test_advance_jumps_forward(self):
+        clock = ManualClock(start=0.0, tick=1.0)
+        clock.advance(100.0)
+        assert clock.now() >= 100.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_peek_does_not_consume(self):
+        clock = ManualClock(start=10.0)
+        assert clock.peek() == 10.0
+        assert clock.now() == 10.0

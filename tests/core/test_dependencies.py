@@ -1,0 +1,153 @@
+"""Tests for dependency tracking and version propagation (Figures 5-7)."""
+
+import pytest
+
+from repro.core.dependencies import ChangeCause, DependencyGraph
+from repro.core.versioning import InstanceVersion
+from repro.errors import DependencyCycleError, DuplicateError, NotFoundError
+
+
+def build_figure5_graph() -> DependencyGraph:
+    """The five-model graph of Figure 5: X,Y depend on A; A on B and C."""
+    graph = DependencyGraph()
+    for model, version in [("B", "2.0"), ("C", "3.0"), ("A", "4.0"), ("X", "7.0"), ("Y", "8.0")]:
+        graph.add_model(model, version)
+    for downstream, upstream in [("A", "B"), ("A", "C"), ("X", "A"), ("Y", "A")]:
+        graph.add_dependency(downstream, upstream, bump=False)
+    return graph
+
+
+class TestFigureReproduction:
+    def test_figure5_initial_versions(self):
+        graph = build_figure5_graph()
+        expected = {"A": "4.0", "B": "2.0", "C": "3.0", "X": "7.0", "Y": "8.0"}
+        assert {m: str(graph.latest_version(m)) for m in graph.models()} == expected
+
+    def test_figure6_update_b_propagates(self):
+        """Updating B 2.0->2.1 bumps A, X, Y; production stays pinned."""
+        graph = build_figure5_graph()
+        events = graph.record_instance_update("B")
+        latest = {m: str(graph.latest_version(m)) for m in graph.models()}
+        assert latest == {"A": "4.1", "B": "2.1", "C": "3.0", "X": "7.1", "Y": "8.1"}
+        production = {m: str(graph.production_version(m)) for m in graph.models()}
+        assert production == {"A": "4.0", "B": "2.0", "C": "3.0", "X": "7.0", "Y": "8.0"}
+        causes = {e.model_id: e.cause for e in events}
+        assert causes["B"] is ChangeCause.DIRECT
+        assert causes["A"] is ChangeCause.UPSTREAM_UPDATE
+
+    def test_figure7_add_dependency_d(self):
+        """Adding D as a dependency of A bumps A 4.1->4.2, X->7.2, Y->8.2."""
+        graph = build_figure5_graph()
+        graph.record_instance_update("B")
+        graph.add_model("D", "1.0")
+        graph.add_dependency("A", "D")
+        latest = {m: str(graph.latest_version(m)) for m in graph.models()}
+        assert latest == {
+            "A": "4.2", "B": "2.1", "C": "3.0", "D": "1.0", "X": "7.2", "Y": "8.2",
+        }
+
+    def test_owner_opt_in_promotion(self):
+        """Section 3.4.2: the owner of A can choose to upgrade."""
+        graph = build_figure5_graph()
+        graph.record_instance_update("B")
+        assert graph.has_pending_upgrade("A")
+        graph.promote("A")
+        assert str(graph.production_version("A")) == "4.1"
+        assert not graph.has_pending_upgrade("A")
+
+
+class TestGraphStructure:
+    def test_upstream_downstream_queries(self):
+        graph = build_figure5_graph()
+        assert graph.upstream("A") == {"B", "C"}
+        assert graph.downstream("A") == {"X", "Y"}
+        assert graph.upstream("X", transitive=True) == {"A", "B", "C"}
+        assert graph.downstream("B", transitive=True) == {"A", "X", "Y"}
+
+    def test_cycle_rejected(self):
+        graph = build_figure5_graph()
+        with pytest.raises(DependencyCycleError):
+            graph.add_dependency("B", "X")  # X -> A -> B would close a loop
+
+    def test_self_dependency_rejected(self):
+        graph = build_figure5_graph()
+        with pytest.raises(DependencyCycleError):
+            graph.add_dependency("A", "A")
+
+    def test_duplicate_edge_rejected(self):
+        graph = build_figure5_graph()
+        with pytest.raises(DuplicateError):
+            graph.add_dependency("A", "B")
+
+    def test_duplicate_model_rejected(self):
+        graph = build_figure5_graph()
+        with pytest.raises(DuplicateError):
+            graph.add_model("A")
+
+    def test_unknown_model_raises(self):
+        graph = DependencyGraph()
+        with pytest.raises(NotFoundError):
+            graph.latest_version("ghost")
+
+    def test_topological_order_respects_edges(self):
+        graph = build_figure5_graph()
+        order = graph.topological_order()
+        assert order.index("B") < order.index("A")
+        assert order.index("C") < order.index("A")
+        assert order.index("A") < order.index("X")
+        assert order.index("A") < order.index("Y")
+
+
+class TestPropagationSemantics:
+    def test_diamond_bumps_once(self):
+        """A model reachable via two paths takes exactly one minor bump."""
+        graph = DependencyGraph()
+        for model in ("top", "left", "right", "bottom"):
+            graph.add_model(model, "1.0")
+        graph.add_dependency("left", "top", bump=False)
+        graph.add_dependency("right", "top", bump=False)
+        graph.add_dependency("bottom", "left", bump=False)
+        graph.add_dependency("bottom", "right", bump=False)
+        graph.record_instance_update("top")
+        assert str(graph.latest_version("bottom")) == "1.1"
+
+    def test_remove_dependency_bumps(self):
+        graph = build_figure5_graph()
+        events = graph.remove_dependency("A", "C")
+        assert graph.upstream("A") == {"B"}
+        assert str(graph.latest_version("A")) == "4.1"
+        bumped = {e.model_id for e in events}
+        assert bumped == {"A", "X", "Y"}
+
+    def test_remove_missing_dependency_raises(self):
+        graph = build_figure5_graph()
+        with pytest.raises(NotFoundError):
+            graph.remove_dependency("A", "X")
+
+    def test_model_change_major_bump(self):
+        graph = build_figure5_graph()
+        graph.record_model_change("A")
+        assert str(graph.latest_version("A")) == "5.0"
+        assert str(graph.latest_version("X")) == "7.1"  # downstream still minor
+
+    def test_promote_rejects_future_versions(self):
+        from repro.errors import DependencyError
+
+        graph = build_figure5_graph()
+        with pytest.raises(DependencyError):
+            graph.promote("A", "9.0")
+
+    def test_events_log_is_append_only_audit(self):
+        graph = build_figure5_graph()
+        graph.record_instance_update("B")
+        graph.record_instance_update("C")
+        log = graph.events()
+        # B update touches B,A,X,Y (4); C update touches C,A,X,Y (4)
+        assert len(log) == 8
+
+    def test_isolated_model_update_touches_only_itself(self):
+        graph = DependencyGraph()
+        graph.add_model("solo", "1.0")
+        events = graph.record_instance_update("solo")
+        assert len(events) == 1
+        assert str(graph.latest_version("solo")) == "1.1"

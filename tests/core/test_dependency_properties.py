@@ -1,0 +1,118 @@
+"""Property-based tests for dependency-graph version propagation.
+
+Invariants, over random DAGs and update sequences:
+* versions never decrease;
+* one direct update bumps exactly the transitive downstream closure (+ the
+  updated model), each exactly once;
+* production versions never move without an explicit promote;
+* the graph stays acyclic (topological_order never raises).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.dependencies import DependencyGraph
+from repro.core.versioning import InstanceVersion
+from repro.errors import DependencyCycleError, DuplicateError
+
+N_MODELS = 6
+MODELS = [f"m{i}" for i in range(N_MODELS)]
+
+#: Edges only point from lower to higher index -> construction can't cycle.
+edges = st.lists(
+    st.tuples(st.integers(0, N_MODELS - 1), st.integers(0, N_MODELS - 1)).filter(
+        lambda t: t[0] < t[1]
+    ),
+    max_size=10,
+    unique=True,
+)
+
+updates = st.lists(st.sampled_from(MODELS), max_size=8)
+
+
+def build_graph(edge_list):
+    graph = DependencyGraph()
+    for model in MODELS:
+        graph.add_model(model, "1.0")
+    for upstream_idx, downstream_idx in edge_list:
+        try:
+            graph.add_dependency(MODELS[downstream_idx], MODELS[upstream_idx], bump=False)
+        except DuplicateError:
+            pass
+    return graph
+
+
+@given(edges, updates)
+@settings(max_examples=200)
+def test_versions_monotonic_and_production_pinned(edge_list, update_sequence):
+    graph = build_graph(edge_list)
+    previous = {m: graph.latest_version(m) for m in MODELS}
+    for model in update_sequence:
+        graph.record_instance_update(model)
+        for m in MODELS:
+            current = graph.latest_version(m)
+            assert current >= previous[m], "version decreased"
+            previous[m] = current
+        # production untouched by propagation
+        assert all(str(graph.production_version(m)) == "1.0" for m in MODELS)
+    graph.topological_order()  # still a DAG
+
+
+@given(edges, st.sampled_from(MODELS))
+@settings(max_examples=200)
+def test_one_update_bumps_exactly_the_closure(edge_list, updated):
+    graph = build_graph(edge_list)
+    closure = graph.downstream(updated, transitive=True)
+    events = graph.record_instance_update(updated)
+    touched = [e.model_id for e in events]
+    assert sorted(touched) == sorted(closure | {updated})
+    assert len(touched) == len(set(touched)), "a model was bumped twice"
+
+
+@given(edges)
+@settings(max_examples=100)
+def test_upstream_downstream_are_inverse_relations(edge_list):
+    graph = build_graph(edge_list)
+    for model in MODELS:
+        for upstream in graph.upstream(model):
+            assert model in graph.downstream(upstream)
+        for downstream in graph.downstream(model):
+            assert model in graph.upstream(downstream)
+
+
+@given(edges)
+@settings(max_examples=100)
+def test_transitive_closures_contain_direct_neighbours(edge_list):
+    graph = build_graph(edge_list)
+    for model in MODELS:
+        assert graph.upstream(model) <= graph.upstream(model, transitive=True)
+        assert graph.downstream(model) <= graph.downstream(model, transitive=True)
+
+
+@given(edges)
+@settings(max_examples=100)
+def test_closing_edge_rejected_as_cycle(edge_list):
+    """Adding the reverse of a reachable path must raise."""
+    graph = build_graph(edge_list)
+    for upstream_idx, downstream_idx in edge_list:
+        downstream, upstream = MODELS[downstream_idx], MODELS[upstream_idx]
+        if upstream in graph.upstream(downstream, transitive=True):
+            try:
+                graph.add_dependency(upstream, downstream)
+            except (DependencyCycleError, DuplicateError):
+                continue
+            raise AssertionError("cycle-closing edge was accepted")
+
+
+@given(st.lists(st.sampled_from(["minor", "major"]), max_size=10))
+@settings(max_examples=100)
+def test_instance_version_ordering_total(bumps):
+    version = InstanceVersion(1, 0)
+    history = [version]
+    for bump in bumps:
+        version = version.bump_minor() if bump == "minor" else version.bump_major()
+        history.append(version)
+    assert history == sorted(history)
+    assert len(set(history)) == len(history)

@@ -1,0 +1,172 @@
+"""Tests for model health: views, skew, drift, alerts (Section 3.6)."""
+
+import pytest
+
+from repro.core.health import (
+    AlertSink,
+    DriftDetector,
+    health_report,
+    performance_view,
+    production_skew,
+)
+from repro.core.records import MetricRecord, MetricScope
+from repro.errors import ValidationError
+
+
+def metric(name, value, scope=MetricScope.VALIDATION, t=0.0, iid="i1"):
+    return MetricRecord(
+        metric_id=f"{name}-{scope.value}-{t}",
+        instance_id=iid,
+        name=name,
+        value=value,
+        scope=scope,
+        created_time=t,
+    )
+
+
+class TestPerformanceView:
+    def test_latest_per_scope_and_name(self):
+        view = performance_view(
+            [
+                metric("mape", 0.10, t=1.0),
+                metric("mape", 0.08, t=2.0),
+                metric("mape", 0.20, MetricScope.PRODUCTION, t=3.0),
+            ]
+        )
+        assert view.value("mape", "Validation") == 0.08
+        assert view.value("mape", MetricScope.PRODUCTION) == 0.20
+        assert view.value("mape", MetricScope.TRAINING) is None
+
+    def test_scopes_with(self):
+        view = performance_view(
+            [metric("mape", 0.1), metric("mape", 0.2, MetricScope.PRODUCTION)]
+        )
+        assert view.scopes_with("mape") == ["Production", "Validation"]
+
+
+class TestHealthReport:
+    FULL_METADATA = {
+        "training_data_path": "x",
+        "training_data_version": "v",
+        "training_framework": "f",
+        "training_code_pointer": "c",
+        "hyperparameters": {"a": 1},
+        "features": ["lag_1"],
+        "random_seed": 1,
+    }
+
+    def test_healthy_when_complete_and_reporting(self):
+        report = health_report(
+            "i1",
+            self.FULL_METADATA,
+            [metric("mape", 0.1), metric("mape", 0.12, MetricScope.PRODUCTION)],
+        )
+        assert report.healthy
+        assert report.issues == ()
+
+    def test_missing_metadata_flagged(self):
+        report = health_report(
+            "i1",
+            {},
+            [metric("mape", 0.1), metric("mape", 0.12, MetricScope.PRODUCTION)],
+        )
+        assert not report.healthy
+        assert any("reproducibility" in issue for issue in report.issues)
+
+    def test_missing_scope_flagged(self):
+        report = health_report("i1", self.FULL_METADATA, [metric("mape", 0.1)])
+        assert not report.healthy
+        assert any("Production" in issue for issue in report.issues)
+
+
+class TestProductionSkew:
+    def test_skew_detected_beyond_threshold(self):
+        report = production_skew(
+            [
+                metric("mape", 0.10, MetricScope.VALIDATION),
+                metric("mape", 0.14, MetricScope.PRODUCTION),
+            ],
+            "mape",
+            relative_threshold=0.25,
+        )
+        assert report is not None
+        assert report.skewed
+        assert report.relative_skew == pytest.approx(0.4)
+        assert report.absolute_skew == pytest.approx(0.04)
+
+    def test_small_gap_not_skewed(self):
+        report = production_skew(
+            [
+                metric("mape", 0.10, MetricScope.VALIDATION),
+                metric("mape", 0.11, MetricScope.PRODUCTION),
+            ],
+            "mape",
+        )
+        assert report is not None and not report.skewed
+
+    def test_missing_side_returns_none(self):
+        assert production_skew([metric("mape", 0.1)], "mape") is None
+        assert production_skew([], "mape") is None
+
+
+class TestDriftDetector:
+    def test_stable_series_never_detects(self):
+        detector = DriftDetector(baseline_window=5, recent_window=3, ratio_threshold=1.5)
+        report = detector.observe_many([0.10] * 40)
+        assert not report.detected
+
+    def test_sustained_degradation_detected(self):
+        detector = DriftDetector(
+            baseline_window=5, recent_window=3, ratio_threshold=1.5, patience=2
+        )
+        report = detector.observe_many([0.10] * 10 + [0.30] * 6)
+        assert report.detected
+        assert report.detected_at is not None
+        assert report.degradation_ratio > 1.5
+
+    def test_single_spike_not_drift(self):
+        detector = DriftDetector(
+            baseline_window=5, recent_window=1, ratio_threshold=1.5, patience=3
+        )
+        report = detector.observe_many([0.10] * 10 + [0.50] + [0.10] * 10)
+        assert not report.detected
+
+    def test_higher_is_better_mode(self):
+        detector = DriftDetector(
+            baseline_window=5,
+            recent_window=3,
+            ratio_threshold=1.5,
+            patience=2,
+            higher_is_worse=False,
+        )
+        report = detector.observe_many([0.90] * 10 + [0.40] * 6)
+        assert report.detected
+
+    def test_reset_forgets_history(self):
+        detector = DriftDetector(baseline_window=3, recent_window=2, patience=1)
+        detector.observe_many([0.1] * 5 + [0.9] * 3)
+        assert detector.observe(0.9).detected
+        detector.reset()
+        assert not detector.observe_many([0.1] * 6).detected
+
+    def test_insufficient_history_is_not_drift(self):
+        detector = DriftDetector(baseline_window=10, recent_window=5)
+        assert not detector.observe_many([0.1, 0.9, 0.9]).detected
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            DriftDetector(baseline_window=0)
+        with pytest.raises(ValidationError):
+            DriftDetector(ratio_threshold=0)
+        with pytest.raises(ValidationError):
+            DriftDetector(patience=0)
+
+
+class TestAlertSink:
+    def test_collects_and_filters(self):
+        sink = AlertSink()
+        sink.emit("i1", "drift", "mape doubled", timestamp=5.0)
+        sink.emit("i2", "skew", "prod gap", timestamp=6.0)
+        assert len(sink) == 2
+        assert sink.of_kind("drift")[0]["instance_id"] == "i1"
+        assert sink.of_kind("missing") == []

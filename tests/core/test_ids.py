@@ -1,0 +1,63 @@
+"""Tests for identifier generation."""
+
+import uuid
+
+from repro.core.ids import (
+    SeededIdFactory,
+    SequentialIdFactory,
+    is_uuid,
+    random_uuid,
+)
+
+
+class TestRandomUuid:
+    def test_returns_valid_uuid4(self):
+        value = random_uuid()
+        parsed = uuid.UUID(value)
+        assert parsed.version == 4
+
+    def test_unique_across_calls(self):
+        assert len({random_uuid() for _ in range(100)}) == 100
+
+
+class TestSeededIdFactory:
+    def test_same_seed_same_sequence(self):
+        a = SeededIdFactory(7)
+        b = SeededIdFactory(7)
+        assert [a() for _ in range(10)] == [b() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SeededIdFactory(1)() != SeededIdFactory(2)()
+
+    def test_produces_valid_uuids(self):
+        factory = SeededIdFactory(3)
+        for _ in range(20):
+            assert is_uuid(factory())
+
+    def test_no_duplicates_within_run(self):
+        factory = SeededIdFactory(0)
+        ids = [factory() for _ in range(1000)]
+        assert len(set(ids)) == 1000
+
+
+class TestSequentialIdFactory:
+    def test_monotonic_readable_ids(self):
+        factory = SequentialIdFactory("model")
+        assert factory() == "model-000001"
+        assert factory() == "model-000002"
+
+    def test_empty_prefix_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SequentialIdFactory("")
+
+
+class TestIsUuid:
+    def test_accepts_canonical_form(self):
+        assert is_uuid("316b3ab4-2509-4ea7-8025-1ca879dac611")
+
+    def test_rejects_garbage(self):
+        assert not is_uuid("not-a-uuid")
+        assert not is_uuid("")
+        assert not is_uuid(None)  # type: ignore[arg-type]

@@ -1,0 +1,86 @@
+"""Tests for metadata conventions and completeness scoring (Section 3.3.4)."""
+
+from repro.core.metadata import (
+    INDEXED_FIELDS,
+    REPRODUCIBILITY_FIELDS,
+    STANDARD_FIELDS,
+    completeness,
+    merge_metadata,
+    validate_field_names,
+)
+
+
+def full_reproducibility_metadata():
+    return {
+        "training_data_path": "hdfs://data/nyc",
+        "training_data_version": "v3",
+        "training_framework": "repro.forecasting",
+        "training_code_pointer": "git:abc123",
+        "hyperparameters": {"l2": 1.0},
+        "features": ["lag_1"],
+        "random_seed": 7,
+    }
+
+
+class TestCompleteness:
+    def test_full_metadata_scores_one(self):
+        report = completeness(full_reproducibility_metadata())
+        assert report.score == 1.0
+        assert report.reproducible
+        assert report.missing == ()
+
+    def test_empty_metadata_scores_zero(self):
+        report = completeness({})
+        assert report.score == 0.0
+        assert not report.reproducible
+        assert set(report.missing) == set(REPRODUCIBILITY_FIELDS)
+
+    def test_partial_metadata_fractional_score(self):
+        metadata = full_reproducibility_metadata()
+        del metadata["random_seed"]
+        report = completeness(metadata)
+        assert 0.0 < report.score < 1.0
+        assert report.missing == ("random_seed",)
+
+    def test_empty_string_counts_as_missing(self):
+        metadata = full_reproducibility_metadata()
+        metadata["training_data_path"] = "   "
+        assert "training_data_path" in completeness(metadata).missing
+
+    def test_empty_collection_counts_as_missing(self):
+        metadata = full_reproducibility_metadata()
+        metadata["features"] = []
+        assert "features" in completeness(metadata).missing
+
+    def test_zero_is_populated(self):
+        # random_seed=0 is a real seed, not a missing value
+        metadata = full_reproducibility_metadata()
+        metadata["random_seed"] = 0
+        assert completeness(metadata).reproducible
+
+    def test_present_lists_identity_fields_too(self):
+        metadata = full_reproducibility_metadata()
+        metadata["city"] = "sf"
+        assert "city" in completeness(metadata).present
+
+
+class TestFieldConventions:
+    def test_indexed_fields_are_standard(self):
+        assert set(INDEXED_FIELDS) <= set(STANDARD_FIELDS)
+
+    def test_reproducibility_fields_are_standard(self):
+        assert set(REPRODUCIBILITY_FIELDS) <= set(STANDARD_FIELDS)
+
+    def test_validate_field_names_filters_typos(self):
+        assert validate_field_names(["model_name", "model_nmae"]) == ["model_name"]
+
+
+class TestMergeMetadata:
+    def test_overrides_win(self):
+        merged = merge_metadata({"a": 1, "b": 2}, {"b": 3})
+        assert merged == {"a": 1, "b": 3}
+
+    def test_inputs_unchanged(self):
+        base = {"a": 1}
+        merge_metadata(base, {"a": 2})
+        assert base == {"a": 1}

@@ -1,0 +1,144 @@
+"""Tests for the core record types (Section 3.3 data model)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.records import MetricRecord, MetricScope, Model, ModelInstance
+from repro.errors import ValidationError
+
+
+def make_model(**overrides):
+    defaults = dict(
+        model_id="m-1",
+        project="example-project",
+        base_version_id="supply_rejection",
+        owner="chong",
+        created_time=1.0,
+    )
+    defaults.update(overrides)
+    return Model(**defaults)
+
+
+def make_instance(**overrides):
+    defaults = dict(
+        instance_id="i-1",
+        model_id="m-1",
+        base_version_id="supply_rejection",
+        created_time=2.0,
+    )
+    defaults.update(overrides)
+    return ModelInstance(**defaults)
+
+
+class TestModel:
+    def test_records_are_frozen(self):
+        model = make_model()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            model.owner = "someone-else"  # type: ignore[misc]
+
+    def test_required_fields_validated(self):
+        with pytest.raises(ValidationError):
+            make_model(model_id="")
+        with pytest.raises(ValidationError):
+            make_model(project="")
+        with pytest.raises(ValidationError):
+            make_model(base_version_id="")
+
+    def test_metadata_defensively_copied(self):
+        source = {"model_name": "rf"}
+        model = make_model(metadata=source)
+        source["model_name"] = "mutated"
+        assert model.metadata["model_name"] == "rf"
+
+    def test_metadata_keys_must_be_strings(self):
+        with pytest.raises(ValidationError):
+            make_model(metadata={1: "x"})
+
+    def test_evolved_links_predecessor(self):
+        old = make_model()
+        new = old.evolved("m-2", description="neural net rewrite")
+        assert new.previous_model_id == "m-1"
+        assert new.next_model_id is None
+        assert new.base_version_id == old.base_version_id
+        assert new.description == "neural net rewrite"
+
+    def test_with_next_sets_forward_pointer(self):
+        assert make_model().with_next("m-2").next_model_id == "m-2"
+
+    def test_deprecate_is_nondestructive(self):
+        model = make_model()
+        flagged = model.deprecate()
+        assert flagged.deprecated and not model.deprecated
+
+    def test_dict_round_trip(self):
+        model = make_model(
+            metadata={"k": "v"}, upstream_model_ids=("u1",), downstream_model_ids=("d1",)
+        )
+        assert Model.from_dict(model.to_dict()) == model
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = make_model().to_dict()
+        data["unknown_future_field"] = 123
+        assert Model.from_dict(data) == make_model()
+
+
+class TestModelInstance:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_instance(instance_id="")
+        with pytest.raises(ValidationError):
+            make_instance(model_id="")
+
+    def test_dict_round_trip(self):
+        instance = make_instance(
+            blob_location="mem://b/1",
+            instance_version="4.1",
+            metadata={"city": "sf"},
+        )
+        assert ModelInstance.from_dict(instance.to_dict()) == instance
+
+    def test_deprecate(self):
+        instance = make_instance()
+        assert instance.deprecate().deprecated
+        assert not instance.deprecated
+
+    def test_metadata_read_only_view(self):
+        instance = make_instance(metadata={"city": "sf"})
+        assert instance.metadata.get("city") == "sf"
+        assert instance.metadata.get("missing") is None
+
+
+class TestMetricRecord:
+    def make(self, **overrides):
+        defaults = dict(
+            metric_id="mt-1", instance_id="i-1", name="bias", value=0.05
+        )
+        defaults.update(overrides)
+        return MetricRecord(**defaults)
+
+    def test_scope_parsing_case_insensitive(self):
+        assert self.make(scope="validation").scope is MetricScope.VALIDATION
+        assert self.make(scope="PRODUCTION").scope is MetricScope.PRODUCTION
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(scope="nonsense")
+
+    def test_value_coerced_to_float(self):
+        assert self.make(value="0.25").value == 0.25
+        assert isinstance(self.make(value=1).value, float)
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(value="not-a-number")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(name="")
+
+    def test_dict_round_trip_preserves_scope(self):
+        metric = self.make(scope=MetricScope.PRODUCTION, metadata={"window": "1h"})
+        restored = MetricRecord.from_dict(metric.to_dict())
+        assert restored == metric
+        assert restored.scope is MetricScope.PRODUCTION

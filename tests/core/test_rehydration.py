@@ -1,0 +1,106 @@
+"""Tests for registry rehydration: a fresh front-end over existing storage.
+
+Section 4: Gallery is a *stateless* microservice — any number of service
+instances can be pointed at the same storage.  These tests build state
+through one Gallery object, then open a second one over the same SQLite +
+filesystem backends and check that every index reconstructed.
+"""
+
+import pytest
+
+from repro import build_gallery
+from repro.core import LifecycleStage, ManualClock, SeededIdFactory
+
+
+def open_gallery(tmp_path, seed=1, start=1_000_000.0):
+    return build_gallery(
+        metadata_backend="sqlite",
+        blob_backend="fs",
+        data_dir=tmp_path,
+        clock=ManualClock(start=start),
+        id_factory=SeededIdFactory(seed),
+    )
+
+
+class TestRehydration:
+    def test_coordinate_lookup_restored(self, tmp_path):
+        first = open_gallery(tmp_path)
+        model = first.create_model("p", "demand", owner="alice")
+        second = open_gallery(tmp_path, seed=2)
+        assert second.find_model("p", "demand").model_id == model.model_id
+
+    def test_duplicate_detection_across_sessions(self, tmp_path):
+        from repro.errors import ValidationError
+
+        open_gallery(tmp_path).create_model("p", "demand")
+        second = open_gallery(tmp_path, seed=2)
+        with pytest.raises(ValidationError):
+            second.create_model("p", "demand")
+
+    def test_lineage_restored_with_parents(self, tmp_path):
+        first = open_gallery(tmp_path)
+        first.create_model("p", "demand")
+        a = first.upload_model("p", "demand", blob=b"a")
+        b = first.upload_model(
+            "p", "demand", blob=b"b", parent_instance_id=a.instance_id
+        )
+        second = open_gallery(tmp_path, seed=2)
+        chain = second.lineage.lineage("demand")
+        assert [e.instance_id for e in chain] == [a.instance_id, b.instance_id]
+        assert second.lineage.ancestors(b.instance_id) == [a.instance_id]
+
+    def test_instance_versions_continue(self, tmp_path):
+        first = open_gallery(tmp_path)
+        first.create_model("p", "demand")
+        first.upload_model("p", "demand", blob=b"a")  # 1.1
+        first.upload_model("p", "demand", blob=b"b")  # 1.2
+        second = open_gallery(tmp_path, seed=2, start=2_000_000.0)
+        fresh = second.upload_model("p", "demand", blob=b"c")
+        assert fresh.instance_version == "1.3"
+
+    def test_lifecycle_stage_restored(self, tmp_path):
+        first = open_gallery(tmp_path)
+        first.create_model("p", "demand")
+        live = first.upload_model("p", "demand", blob=b"a")
+        dead = first.upload_model("p", "demand", blob=b"b")
+        first.deprecate_instance(dead.instance_id)
+        second = open_gallery(tmp_path, seed=2)
+        assert second.lifecycle.stage_of(live.instance_id) is LifecycleStage.EVALUATION
+        assert second.lifecycle.stage_of(dead.instance_id) is LifecycleStage.DEPRECATED
+
+    def test_dependency_edges_restored(self, tmp_path):
+        first = open_gallery(tmp_path)
+        b = first.create_model("p", "b")
+        a = first.create_model("p", "a", upstream_model_ids=[b.model_id])
+        second = open_gallery(tmp_path, seed=2, start=2_000_000.0)
+        assert second.dependencies.upstream(a.model_id) == {b.model_id}
+        # propagation still works through the rebuilt graph
+        second.upload_model("p", "b", blob=b"x")
+        assert second.dependencies.latest_version(a.model_id).minor >= 1
+
+    def test_evolution_chain_resolves_to_successor(self, tmp_path):
+        first = open_gallery(tmp_path)
+        old = first.create_model("p", "demand")
+        new = first.evolve_model(old.model_id, description="rewrite")
+        second = open_gallery(tmp_path, seed=2)
+        assert second.find_model("p", "demand").model_id == new.model_id
+
+    def test_blobs_served_after_reopen(self, tmp_path):
+        first = open_gallery(tmp_path)
+        first.create_model("p", "demand")
+        instance = first.upload_model("p", "demand", blob=b"durable-bytes")
+        second = open_gallery(tmp_path, seed=2)
+        assert second.load_instance_blob(instance.instance_id) == b"durable-bytes"
+
+    def test_metrics_survive_reopen(self, tmp_path):
+        first = open_gallery(tmp_path)
+        first.create_model("p", "demand")
+        instance = first.upload_model("p", "demand", blob=b"a")
+        first.insert_metric(instance.instance_id, "mape", 0.07, scope="Production")
+        second = open_gallery(tmp_path, seed=2)
+        assert second.latest_metric(instance.instance_id, "mape") == 0.07
+
+    def test_empty_store_rehydrates_to_empty(self, tmp_path):
+        gallery = open_gallery(tmp_path)
+        assert gallery.models() == []
+        assert gallery.lineage.base_version_ids() == []

@@ -1,0 +1,149 @@
+"""Tests for constraint search (Listing 5)."""
+
+import pytest
+
+from repro.core.search import (
+    Constraint,
+    ConstraintSet,
+    Operator,
+    flatten_instance_document,
+)
+from repro.errors import ValidationError
+
+
+class TestOperator:
+    def test_parse_known_operators(self):
+        assert Operator.parse("equal") is Operator.EQUAL
+        assert Operator.parse("smaller_than") is Operator.SMALLER_THAN
+        assert Operator.parse(Operator.IN) is Operator.IN
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            Operator.parse("roughly_equal")
+
+
+class TestConstraint:
+    def test_from_paper_dict_shape(self):
+        constraint = Constraint.from_dict(
+            {"field": "metricValue", "operator": "smaller_than", "value": 0.25}
+        )
+        assert constraint.is_metric_constraint
+        assert constraint.operator is Operator.SMALLER_THAN
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValidationError):
+            Constraint.from_dict({"field": "x", "value": 1})
+
+    def test_alias_resolution(self):
+        assert Constraint("projectName", Operator.EQUAL, "p").resolved_field == "project"
+        assert Constraint("modelName", Operator.EQUAL, "rf").resolved_field == "model_name"
+        assert Constraint("custom_field", Operator.EQUAL, 1).resolved_field == "custom_field"
+
+    def test_dict_round_trip(self):
+        constraint = Constraint("city", Operator.IN, ["sf", "nyc"])
+        assert Constraint.from_dict(constraint.to_dict()) == constraint
+
+
+class TestDocumentMatching:
+    DOC = {"project": "p", "model_name": "rf", "city": "sf", "created_time": 5.0}
+
+    def match(self, *constraints):
+        return ConstraintSet(list(constraints)).matches_document(self.DOC)
+
+    def test_equal(self):
+        assert self.match({"field": "projectName", "operator": "equal", "value": "p"})
+        assert not self.match({"field": "projectName", "operator": "equal", "value": "q"})
+
+    def test_not_equal(self):
+        assert self.match({"field": "city", "operator": "not_equal", "value": "nyc"})
+
+    def test_ordered_comparisons(self):
+        assert self.match({"field": "created_time", "operator": "greater_than", "value": 4})
+        assert self.match({"field": "created_time", "operator": "smaller_equal", "value": 5})
+        assert not self.match({"field": "created_time", "operator": "smaller_than", "value": 5})
+
+    def test_numeric_string_coercion(self):
+        assert self.match({"field": "created_time", "operator": "greater_equal", "value": "5.0"})
+
+    def test_contains_and_prefix(self):
+        doc_set = ConstraintSet(
+            [{"field": "model_name", "operator": "contains", "value": "r"}]
+        )
+        assert doc_set.matches_document(self.DOC)
+        prefix = ConstraintSet(
+            [{"field": "city", "operator": "prefix", "value": "s"}]
+        )
+        assert prefix.matches_document(self.DOC)
+
+    def test_in_operator(self):
+        assert self.match({"field": "city", "operator": "in", "value": ["sf", "la"]})
+        assert not self.match({"field": "city", "operator": "in", "value": ["la"]})
+
+    def test_missing_field_never_matches(self):
+        assert not self.match({"field": "ghost", "operator": "equal", "value": None})
+        assert not self.match({"field": "ghost", "operator": "smaller_than", "value": 1})
+
+    def test_and_semantics(self):
+        assert self.match(
+            {"field": "city", "operator": "equal", "value": "sf"},
+            {"field": "model_name", "operator": "equal", "value": "rf"},
+        )
+        assert not self.match(
+            {"field": "city", "operator": "equal", "value": "sf"},
+            {"field": "model_name", "operator": "equal", "value": "linear"},
+        )
+
+
+class TestMetricCorrelation:
+    """Metric constraints must be satisfied by a single metric record."""
+
+    METRICS = [
+        {"name": "bias", "value": 0.5, "scope": "Validation"},
+        {"name": "mape", "value": 0.05, "scope": "Validation"},
+    ]
+
+    def test_correlated_match_required(self):
+        constraints = ConstraintSet(
+            [
+                {"field": "metricName", "operator": "equal", "value": "bias"},
+                {"field": "metricValue", "operator": "smaller_than", "value": 0.25},
+            ]
+        )
+        # bias is 0.5 (too big); mape is small but is not bias: no single
+        # record satisfies both constraints.
+        assert not constraints.matches_metrics(self.METRICS)
+
+    def test_single_record_satisfies(self):
+        constraints = ConstraintSet(
+            [
+                {"field": "metricName", "operator": "equal", "value": "mape"},
+                {"field": "metricValue", "operator": "smaller_than", "value": 0.25},
+            ]
+        )
+        assert constraints.matches_metrics(self.METRICS)
+
+    def test_scope_constraint(self):
+        constraints = ConstraintSet(
+            [
+                {"field": "metricName", "operator": "equal", "value": "mape"},
+                {"field": "metricScope", "operator": "equal", "value": "Production"},
+            ]
+        )
+        assert not constraints.matches_metrics(self.METRICS)
+
+    def test_no_metric_constraints_vacuously_true(self):
+        assert ConstraintSet([]).matches_metrics([])
+
+
+class TestFlattenDocument:
+    def test_instance_metadata_wins_over_model(self):
+        instance = {"instance_id": "i", "metadata": {"city": "sf"}}
+        model = {"model_id": "m", "project": "p", "metadata": {"city": "global"}}
+        doc = flatten_instance_document(instance, model)
+        assert doc["city"] == "sf"
+        assert doc["project"] == "p"
+        assert doc["instance_id"] == "i"
+
+    def test_model_optional(self):
+        doc = flatten_instance_document({"instance_id": "i", "metadata": {}})
+        assert doc["instance_id"] == "i"

@@ -1,0 +1,68 @@
+"""Property-based tests for the search-constraint algebra."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.search import Constraint, ConstraintSet, Operator
+
+field_names = st.sampled_from(["model_name", "city", "created_time", "score"])
+
+scalar_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.text(max_size=8),
+)
+
+documents = st.dictionaries(field_names, scalar_values, max_size=4)
+
+
+@given(documents, field_names, scalar_values)
+@settings(max_examples=300)
+def test_equal_and_not_equal_partition_present_fields(document, field, value):
+    equal = ConstraintSet([Constraint(field, Operator.EQUAL, value)])
+    not_equal = ConstraintSet([Constraint(field, Operator.NOT_EQUAL, value)])
+    if document.get(field) is None:
+        # absent fields match neither (missing data is never a match)
+        assert not equal.matches_document(document)
+        assert not not_equal.matches_document(document)
+    else:
+        assert equal.matches_document(document) != not_equal.matches_document(document)
+
+
+@given(documents, field_names, st.floats(min_value=-100, max_value=100, allow_nan=False))
+@settings(max_examples=300)
+def test_ordered_operators_partition_numbers(document, field, threshold):
+    value = document.get(field)
+    if not isinstance(value, (int, float)):
+        return
+    smaller = ConstraintSet([Constraint(field, Operator.SMALLER_THAN, threshold)])
+    greater_equal = ConstraintSet([Constraint(field, Operator.GREATER_EQUAL, threshold)])
+    assert smaller.matches_document(document) != greater_equal.matches_document(document)
+
+
+@given(documents, st.lists(st.tuples(field_names, scalar_values), max_size=3))
+@settings(max_examples=200)
+def test_and_semantics_monotone(document, pairs):
+    """Adding constraints can only shrink the match set."""
+    constraints = [Constraint(f, Operator.EQUAL, v) for f, v in pairs]
+    for cut in range(len(constraints) + 1):
+        prefix = ConstraintSet(constraints[:cut])
+        full = ConstraintSet(constraints)
+        if full.matches_document(document):
+            assert prefix.matches_document(document)
+
+
+@given(st.lists(st.tuples(field_names, scalar_values), min_size=1, max_size=4))
+@settings(max_examples=200)
+def test_constraint_dict_round_trip(pairs):
+    constraints = [Constraint(f, Operator.EQUAL, v) for f, v in pairs]
+    restored = [Constraint.from_dict(c.to_dict()) for c in constraints]
+    assert restored == constraints
+
+
+@given(documents)
+@settings(max_examples=100)
+def test_empty_constraint_set_matches_everything(document):
+    assert ConstraintSet([]).matches(document, [])

@@ -1,0 +1,106 @@
+"""Tests for forecast evaluation metrics and backtesting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.forecasting.evaluation import (
+    STANDARD_METRICS,
+    bias,
+    evaluate_forecast,
+    mae,
+    mape,
+    mse,
+    r2,
+    rmse,
+    rolling_backtest,
+    smape,
+)
+
+
+class TestPointMetrics:
+    ACTUAL = [100.0, 200.0, 300.0]
+    PREDICTED = [110.0, 190.0, 330.0]
+
+    def test_mae(self):
+        assert mae(self.ACTUAL, self.PREDICTED) == pytest.approx((10 + 10 + 30) / 3)
+
+    def test_mse_rmse(self):
+        expected_mse = (100 + 100 + 900) / 3
+        assert mse(self.ACTUAL, self.PREDICTED) == pytest.approx(expected_mse)
+        assert rmse(self.ACTUAL, self.PREDICTED) == pytest.approx(np.sqrt(expected_mse))
+
+    def test_mape(self):
+        expected = (10 / 100 + 10 / 200 + 30 / 300) / 3
+        assert mape(self.ACTUAL, self.PREDICTED) == pytest.approx(expected)
+
+    def test_bias_sign(self):
+        over = bias([100.0, 100.0], [120.0, 120.0])
+        under = bias([100.0, 100.0], [80.0, 80.0])
+        assert over == pytest.approx(0.2)
+        assert under == pytest.approx(-0.2)
+
+    def test_perfect_forecast(self):
+        for name, fn in STANDARD_METRICS.items():
+            value = fn(self.ACTUAL, self.ACTUAL)
+            if name == "r2":
+                assert value == pytest.approx(1.0)
+            else:
+                assert value == pytest.approx(0.0)
+
+    def test_smape_symmetric_and_bounded(self):
+        assert smape([100.0], [0.0]) == pytest.approx(2.0)
+        assert smape([0.0], [100.0]) == pytest.approx(2.0)
+
+    def test_r2_zero_for_mean_prediction(self):
+        actual = [1.0, 2.0, 3.0, 4.0]
+        mean_prediction = [2.5] * 4
+        assert r2(actual, mean_prediction) == pytest.approx(0.0)
+
+    def test_constant_actuals_r2(self):
+        assert r2([5.0, 5.0], [5.0, 5.0]) == 1.0
+        assert r2([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mae([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mape([], [])
+
+    def test_evaluate_forecast_blob(self):
+        blob = evaluate_forecast(self.ACTUAL, self.PREDICTED)
+        assert set(blob) == set(STANDARD_METRICS)
+        assert all(isinstance(v, float) for v in blob.values())
+
+
+class TestRollingBacktest:
+    def test_folds_cover_tail_chronologically(self):
+        n = 100
+        features = np.arange(n, dtype=float).reshape(-1, 1)
+        targets = np.arange(n, dtype=float)
+        seen_test_rows = []
+
+        def fit_predict(train_x, train_y, test_x):
+            # training data must always precede test data
+            assert train_x[-1, 0] < test_x[0, 0]
+            seen_test_rows.extend(test_x[:, 0].tolist())
+            return test_x[:, 0]
+
+        result = rolling_backtest(fit_predict, features, targets, n_folds=4, min_train=20)
+        assert result.folds == 4
+        assert seen_test_rows == sorted(seen_test_rows)
+        assert len(result.predictions) == n - 20
+        assert result.metrics["mape"] == pytest.approx(0.0)
+
+    def test_bad_parameters_rejected(self):
+        features = np.ones((10, 1))
+        targets = np.ones(10)
+        identity = lambda a, b, c: np.ones(len(c))  # noqa: E731
+        with pytest.raises(ValidationError):
+            rolling_backtest(identity, features, targets, n_folds=0)
+        with pytest.raises(ValidationError):
+            rolling_backtest(identity, features, targets, n_folds=2, min_train=10)
+        with pytest.raises(ValidationError):
+            rolling_backtest(identity, features, targets, n_folds=50, min_train=5)

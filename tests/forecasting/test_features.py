@@ -1,0 +1,97 @@
+"""Tests for feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.features import FeatureSpec, build_dataset
+
+
+class TestFeatureSpec:
+    def test_defaults(self):
+        spec = FeatureSpec()
+        assert spec.min_history == 168
+        assert "lag_1" in spec.feature_names()
+        assert "hod_sin" in spec.feature_names()
+        assert "event_flag" not in spec.feature_names()
+
+    def test_event_flag_included_when_requested(self):
+        assert "event_flag" in FeatureSpec(event_flag=True).feature_names()
+
+    def test_lags_sorted_and_validated(self):
+        spec = FeatureSpec(lags=(24, 1, 3))
+        assert spec.lags == (1, 3, 24)
+        with pytest.raises(ValueError):
+            FeatureSpec(lags=())
+        with pytest.raises(ValueError):
+            FeatureSpec(lags=(0,))
+
+    def test_season_lag_column_points_at_deepest_lag(self):
+        spec = FeatureSpec(lags=(1, 24, 168))
+        assert spec.feature_names()[spec.season_lag_column] == "lag_168"
+
+
+class TestBuildDataset:
+    def test_shapes_align(self):
+        values = np.arange(300, dtype=float)
+        spec = FeatureSpec(lags=(1, 24), rolling_windows=(6,))
+        dataset = build_dataset(values, spec)
+        assert dataset.features.shape == (300 - 24, len(spec.feature_names()))
+        assert len(dataset.targets) == 300 - 24
+        assert dataset.hour_index[0] == 24
+
+    def test_lag_values_correct(self):
+        values = np.arange(100, dtype=float)
+        spec = FeatureSpec(lags=(1, 5), rolling_windows=(), calendar=False)
+        dataset = build_dataset(values, spec)
+        # row 0 predicts values[5]; lag_1 = values[4], lag_5 = values[0]
+        assert dataset.targets[0] == 5.0
+        assert dataset.features[0, 0] == 4.0
+        assert dataset.features[0, 1] == 0.0
+
+    def test_rolling_mean_uses_history_only(self):
+        values = np.arange(50, dtype=float)
+        spec = FeatureSpec(lags=(1,), rolling_windows=(4,), calendar=False)
+        dataset = build_dataset(values, spec)
+        # row 0 predicts values[4]; rolling_mean_4 = mean(values[0:4]) = 1.5
+        assert dataset.features[0, 1] == pytest.approx(1.5)
+
+    def test_calendar_features_bounded(self):
+        dataset = build_dataset(np.ones(400), FeatureSpec())
+        names = list(dataset.feature_names)
+        for calendar_name in ("hod_sin", "hod_cos", "dow_sin", "dow_cos"):
+            column = dataset.features[:, names.index(calendar_name)]
+            assert np.all(np.abs(column) <= 1.0 + 1e-12)
+
+    def test_event_flag_column(self):
+        values = np.ones(400)
+        flags = np.zeros(400)
+        flags[200:230] = 1.0
+        spec = FeatureSpec(event_flag=True)
+        dataset = build_dataset(values, spec, event_flags=flags)
+        names = list(dataset.feature_names)
+        column = dataset.features[:, names.index("event_flag")]
+        row_of_200 = np.where(dataset.hour_index == 200)[0][0]
+        assert column[row_of_200] == 1.0
+        assert column[0] == 0.0
+
+    def test_mismatched_flags_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset(np.ones(300), FeatureSpec(event_flag=True), event_flags=np.ones(10))
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset(np.ones(100), FeatureSpec())  # needs > 168
+
+    def test_start_hour_offsets_index(self):
+        spec = FeatureSpec(lags=(1,), rolling_windows=(), calendar=False)
+        dataset = build_dataset(np.ones(10), spec, start_hour=1000)
+        assert dataset.hour_index[0] == 1001
+
+    def test_chronological_split(self):
+        spec = FeatureSpec(lags=(1,), rolling_windows=(), calendar=False)
+        dataset = build_dataset(np.arange(101, dtype=float), spec)
+        train, validation = dataset.split(0.8)
+        assert len(train) == 80 and len(validation) == 20
+        assert train.hour_index[-1] < validation.hour_index[0]
+        with pytest.raises(ValueError):
+            dataset.split(1.5)

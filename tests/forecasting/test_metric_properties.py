@@ -1,0 +1,71 @@
+"""Property-based tests for forecast metric invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.forecasting.evaluation import bias, mae, mape, mse, r2, rmse, smape
+
+arrays = st.lists(
+    st.floats(min_value=0.5, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+paired = st.tuples(arrays, arrays).map(
+    lambda t: (t[0][: min(len(t[0]), len(t[1]))], t[1][: min(len(t[0]), len(t[1]))])
+).filter(lambda t: len(t[0]) >= 1)
+
+
+@given(paired)
+@settings(max_examples=300)
+def test_error_metrics_non_negative(pair):
+    actual, predicted = pair
+    assert mae(actual, predicted) >= 0
+    assert mse(actual, predicted) >= 0
+    assert rmse(actual, predicted) >= 0
+    assert mape(actual, predicted) >= 0
+    assert 0 <= smape(actual, predicted) <= 2.0
+
+
+@given(arrays)
+@settings(max_examples=200)
+def test_perfect_prediction_zero_error(values):
+    assert mae(values, values) == 0
+    assert mape(values, values) == 0
+    assert bias(values, values) == 0
+    assert r2(values, values) == 1.0 or len(set(values)) == 1
+
+
+@given(paired)
+@settings(max_examples=200)
+def test_rmse_dominates_mae(pair):
+    """RMSE >= MAE always (Cauchy-Schwarz)."""
+    actual, predicted = pair
+    assert rmse(actual, predicted) >= mae(actual, predicted) - 1e-9
+
+
+@given(arrays, st.floats(min_value=0.01, max_value=2.0, allow_nan=False))
+@settings(max_examples=200)
+def test_bias_sign_tracks_over_under_forecast(values, scale):
+    inflated = [v * (1 + scale) for v in values]
+    deflated = [v * max(1 - scale, 0.01) for v in values]
+    assert bias(values, inflated) > 0
+    assert bias(values, deflated) < 0
+
+
+@given(paired)
+@settings(max_examples=200)
+def test_r2_never_exceeds_one(pair):
+    actual, predicted = pair
+    assert r2(actual, predicted) <= 1.0 + 1e-12
+
+
+@given(arrays)
+@settings(max_examples=100)
+def test_metrics_invariant_to_numpy_vs_list(values):
+    as_list = mape(values, values[::-1])
+    as_array = mape(np.asarray(values), np.asarray(values[::-1]))
+    assert as_list == as_array

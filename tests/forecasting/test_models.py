@@ -1,0 +1,261 @@
+"""Tests for the from-scratch forecasting model families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.forecasting.features import FeatureSpec, build_dataset
+from repro.forecasting.models import (
+    ExponentialSmoothing,
+    GradientBoosting,
+    MovingAverage,
+    RandomForest,
+    RegressionTree,
+    RidgeRegression,
+    SeasonalNaive,
+    deserialize,
+    serialize,
+)
+from repro.forecasting.workload import CityProfile, generate_city_demand
+
+SPEC = FeatureSpec(lags=(1, 2, 3, 24), rolling_windows=(6,), calendar=True)
+
+
+@pytest.fixture(scope="module")
+def city_data():
+    series = generate_city_demand(CityProfile(name="test", base_demand=100), 24 * 7 * 6, seed=7)
+    dataset = build_dataset(series.values, SPEC)
+    return dataset.split(0.8)
+
+
+ALL_MODELS = [
+    MovingAverage,
+    SeasonalNaive,
+    ExponentialSmoothing,
+    RidgeRegression,
+    RegressionTree,
+    RandomForest,
+    GradientBoosting,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_fit_predict_shapes(self, model_class, city_data):
+        train, validation = city_data
+        model = model_class().fit(train.features, train.targets)
+        predictions = model.predict(validation.features)
+        assert predictions.shape == validation.targets.shape
+        assert np.all(np.isfinite(predictions))
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_serialization_round_trip(self, model_class, city_data):
+        train, validation = city_data
+        model = model_class().fit(train.features, train.targets)
+        blob = serialize(model)
+        restored = deserialize(blob)
+        assert np.allclose(
+            restored.predict(validation.features), model.predict(validation.features)
+        )
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_predict_before_fit_raises(self, model_class, city_data):
+        _, validation = city_data
+        with pytest.raises(ValidationError):
+            model_class().predict(validation.features)
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_hyperparameters_are_plain_data(self, model_class):
+        import json
+
+        hyper = model_class().hyperparameters()
+        json.dumps(hyper)  # must be metadata-able
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_rejects_nan_training_data(self, model_class):
+        features = np.ones((20, 5))
+        targets = np.ones(20)
+        targets[3] = np.nan
+        with pytest.raises(ValidationError):
+            model_class().fit(features, targets)
+
+    @pytest.mark.parametrize("model_class", ALL_MODELS)
+    def test_rejects_mismatched_rows(self, model_class):
+        with pytest.raises(ValidationError):
+            model_class().fit(np.ones((10, 3)), np.ones(9))
+
+    def test_deserialize_rejects_foreign_pickle(self):
+        import pickle
+
+        with pytest.raises(ValidationError):
+            deserialize(pickle.dumps({"not": "a model"}))
+
+
+class TestAccuracyShape:
+    """Learned models must beat naive baselines on seasonal demand."""
+
+    def test_ridge_beats_moving_average(self, city_data):
+        from repro.forecasting.evaluation import mape
+
+        train, validation = city_data
+        ridge = RidgeRegression().fit(train.features, train.targets)
+        heuristic = MovingAverage(window=3).fit(train.features, train.targets)
+        ridge_mape = mape(validation.targets, ridge.predict(validation.features))
+        heuristic_mape = mape(validation.targets, heuristic.predict(validation.features))
+        assert ridge_mape < heuristic_mape
+
+    def test_forest_beats_single_tree(self, city_data):
+        from repro.forecasting.evaluation import rmse
+
+        train, validation = city_data
+        tree = RegressionTree(max_depth=5, seed=1).fit(train.features, train.targets)
+        forest = RandomForest(n_trees=10, max_depth=5, seed=1).fit(
+            train.features, train.targets
+        )
+        tree_error = rmse(validation.targets, tree.predict(validation.features))
+        forest_error = rmse(validation.targets, forest.predict(validation.features))
+        assert forest_error <= tree_error * 1.05  # ensemble at least as good
+
+
+class TestMovingAverage:
+    def test_predicts_mean_of_lags(self):
+        features = np.array([[1.0, 2.0, 3.0, 99.0]])
+        model = MovingAverage(window=3).fit(np.ones((5, 4)), np.ones(5))
+        assert model.predict(features)[0] == pytest.approx(2.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError):
+            MovingAverage(window=0)
+
+    def test_window_larger_than_lags_rejected(self):
+        with pytest.raises(ValidationError):
+            MovingAverage(window=10).fit(np.ones((5, 3)), np.ones(5))
+
+
+class TestSeasonalNaive:
+    def test_reads_configured_column(self):
+        model = SeasonalNaive(season_lag_column=2).fit(np.ones((5, 4)), np.ones(5))
+        features = np.array([[0.0, 0.0, 42.0, 0.0]])
+        assert model.predict(features)[0] == 42.0
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(ValidationError):
+            SeasonalNaive(season_lag_column=9).fit(np.ones((5, 3)), np.ones(5))
+
+
+class TestRidge:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(500, 3))
+        targets = 2.0 * features[:, 0] - 1.0 * features[:, 1] + 5.0
+        model = RidgeRegression(l2=1e-6).fit(features, targets)
+        predictions = model.predict(features)
+        assert np.allclose(predictions, targets, atol=1e-6)
+
+    def test_constant_column_handled(self):
+        features = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        targets = np.arange(50, dtype=float)
+        model = RidgeRegression(l2=0.01).fit(features, targets)
+        assert np.all(np.isfinite(model.predict(features)))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            RidgeRegression(l2=-1.0)
+
+
+class TestTree:
+    def test_learns_step_function(self):
+        features = np.linspace(0, 1, 200).reshape(-1, 1)
+        targets = (features[:, 0] > 0.5).astype(float) * 10.0
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(features, targets)
+        assert tree.predict(np.array([[0.1]]))[0] == pytest.approx(0.0, abs=0.5)
+        assert tree.predict(np.array([[0.9]]))[0] == pytest.approx(10.0, abs=0.5)
+
+    def test_depth_respected(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(300, 4))
+        targets = rng.normal(size=300)
+        tree = RegressionTree(max_depth=3).fit(features, targets)
+        assert tree.depth() <= 3
+        assert tree.leaf_count() <= 2 ** 3
+
+    def test_constant_target_single_leaf(self):
+        tree = RegressionTree().fit(np.random.default_rng(0).normal(size=(50, 3)), np.full(50, 7.0))
+        assert tree.leaf_count() == 1
+        assert np.allclose(tree.predict(np.zeros((5, 3))), 7.0)
+
+    def test_wrong_feature_count_rejected(self):
+        tree = RegressionTree().fit(np.ones((30, 4)), np.arange(30, dtype=float))
+        with pytest.raises(ValidationError):
+            tree.predict(np.ones((5, 3)))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(200, 5))
+        targets = rng.normal(size=200)
+        a = RegressionTree(max_features=2, seed=9).fit(features, targets)
+        b = RegressionTree(max_features=2, seed=9).fit(features, targets)
+        probe = rng.normal(size=(20, 5))
+        assert np.array_equal(a.predict(probe), b.predict(probe))
+
+
+class TestEnsembles:
+    def test_forest_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(150, 4))
+        targets = rng.normal(size=150)
+        probe = rng.normal(size=(10, 4))
+        a = RandomForest(n_trees=5, seed=4).fit(features, targets).predict(probe)
+        b = RandomForest(n_trees=5, seed=4).fit(features, targets).predict(probe)
+        assert np.array_equal(a, b)
+
+    def test_boosting_improves_with_rounds(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(400, 3))
+        targets = np.sin(features[:, 0] * 3) + features[:, 1] ** 2
+        few = GradientBoosting(n_rounds=2, seed=1).fit(features, targets)
+        many = GradientBoosting(n_rounds=40, seed=1).fit(features, targets)
+        err_few = np.mean((few.predict(features) - targets) ** 2)
+        err_many = np.mean((many.predict(features) - targets) ** 2)
+        assert err_many < err_few
+
+    def test_boosting_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GradientBoosting(n_rounds=0)
+        with pytest.raises(ValidationError):
+            GradientBoosting(learning_rate=0.0)
+
+    def test_forest_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            RandomForest(n_trees=0)
+
+
+class TestTreeEdgeCases:
+    def test_duplicate_feature_values_no_degenerate_split(self):
+        # a column with one repeated value offers no valid split point
+        features = np.column_stack([np.ones(40), np.arange(40, dtype=float)])
+        targets = np.arange(40, dtype=float)
+        tree = RegressionTree(max_depth=4, min_samples_leaf=2).fit(features, targets)
+        predictions = tree.predict(features)
+        assert np.all(np.isfinite(predictions))
+        assert tree.leaf_count() > 1  # it split on the informative column
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(30, 2))
+        targets = rng.normal(size=30)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=10).fit(features, targets)
+        # with 30 rows and 10-per-leaf minimum, at most 3 leaves are possible
+        assert tree.leaf_count() <= 3
+
+    def test_tiny_dataset_single_leaf(self):
+        tree = RegressionTree(min_samples_split=8).fit(
+            np.ones((3, 2)), np.array([1.0, 2.0, 3.0])
+        )
+        assert tree.leaf_count() == 1
+        assert tree.predict(np.ones((1, 2)))[0] == pytest.approx(2.0)
+
+    def test_single_column_identical_values(self):
+        # completely uninformative features -> single mean leaf
+        tree = RegressionTree().fit(np.ones((50, 1)), np.arange(50, dtype=float))
+        assert tree.leaf_count() == 1

@@ -1,0 +1,153 @@
+"""Tests for the synthetic city workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.workload import (
+    CityProfile,
+    EventWindow,
+    HOURS_PER_DAY,
+    HOURS_PER_WEEK,
+    add_unplanned_outage,
+    build_city_fleet,
+    generate_city_demand,
+)
+
+
+class TestEventWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventWindow(start=5, end=5, multiplier=2.0)
+        with pytest.raises(ValueError):
+            EventWindow(start=0, end=5, multiplier=0.0)
+
+    def test_covers(self):
+        window = EventWindow(start=10, end=20, multiplier=2.0)
+        assert window.covers(10) and window.covers(19)
+        assert not window.covers(9) and not window.covers(20)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        profile = CityProfile(name="sf")
+        a = generate_city_demand(profile, hours=200, seed=1)
+        b = generate_city_demand(profile, hours=200, seed=1)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        profile = CityProfile(name="sf")
+        a = generate_city_demand(profile, hours=200, seed=1)
+        b = generate_city_demand(profile, hours=200, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_different_cities_differ_under_same_seed(self):
+        a = generate_city_demand(CityProfile(name="sf"), hours=200, seed=1)
+        b = generate_city_demand(CityProfile(name="nyc"), hours=200, seed=1)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_non_negative_and_finite(self):
+        series = generate_city_demand(
+            CityProfile(name="sf", noise_level=0.5), hours=1000, seed=3
+        )
+        assert np.all(series.values >= 0)
+        assert np.all(np.isfinite(series.values))
+
+    def test_demand_scales_with_base(self):
+        small = generate_city_demand(CityProfile(name="x", base_demand=10), 500, seed=1)
+        large = generate_city_demand(CityProfile(name="x", base_demand=100), 500, seed=1)
+        assert large.values.mean() > small.values.mean() * 5
+
+    def test_growth_trend(self):
+        series = generate_city_demand(
+            CityProfile(name="g", growth_per_week=0.10, noise_level=0.01),
+            hours=HOURS_PER_WEEK * 8,
+            seed=1,
+        )
+        first_week = series.values[:HOURS_PER_WEEK].mean()
+        last_week = series.values[-HOURS_PER_WEEK:].mean()
+        assert last_week > first_week * 1.5
+
+    def test_event_multiplier_applied(self):
+        event = EventWindow(start=100, end=124, multiplier=2.0, name="holiday")
+        with_event = generate_city_demand(
+            CityProfile(name="e", events=(event,), noise_level=0.0), 300, seed=1
+        )
+        without = generate_city_demand(
+            CityProfile(name="e", noise_level=0.0), 300, seed=1
+        )
+        in_window = with_event.values[100:124] / without.values[100:124]
+        assert np.allclose(in_window, 2.0)
+        outside = with_event.values[130:200] / without.values[130:200]
+        assert np.allclose(outside, 1.0)
+
+    def test_event_flags_mark_scheduled_only(self):
+        scheduled = EventWindow(start=10, end=20, multiplier=2.0, scheduled=True)
+        unplanned = EventWindow(start=50, end=60, multiplier=2.0, scheduled=False)
+        series = generate_city_demand(
+            CityProfile(name="f", events=(scheduled, unplanned)), 100, seed=1
+        )
+        assert series.event_flags[10:20].all()
+        assert not series.event_flags[50:60].any()
+
+    def test_drift_changes_pattern_shape(self):
+        stable = generate_city_demand(
+            CityProfile(name="d", drift_per_week=0.0, noise_level=0.0),
+            HOURS_PER_WEEK * 8, seed=1,
+        )
+        drifting = generate_city_demand(
+            CityProfile(name="d", drift_per_week=0.5, noise_level=0.0),
+            HOURS_PER_WEEK * 8, seed=1,
+        )
+        # first week nearly identical, last week diverged
+        first_gap = np.abs(stable.values[:48] - drifting.values[:48]).mean()
+        last_gap = np.abs(stable.values[-48:] - drifting.values[-48:]).mean()
+        assert last_gap > first_gap * 3
+
+    def test_hours_in_events_helper(self):
+        event = EventWindow(start=5, end=8, multiplier=2.0)
+        series = generate_city_demand(CityProfile(name="h", events=(event,)), 10, seed=1)
+        assert series.hours_in_events() == [5, 6, 7]
+
+
+class TestFleet:
+    def test_fleet_size_and_uniqueness(self):
+        fleet = build_city_fleet(20, hours=HOURS_PER_WEEK * 4, seed=5)
+        assert len(fleet) == 20
+        assert len({p.name for p in fleet}) == 20
+
+    def test_fleet_heterogeneous_scales(self):
+        fleet = build_city_fleet(8, hours=HOURS_PER_WEEK * 4, seed=5)
+        bases = [p.base_demand for p in fleet]
+        assert max(bases) > min(bases) * 5  # megacity vs launch city
+
+    def test_drift_fraction(self):
+        fleet = build_city_fleet(
+            10, hours=HOURS_PER_WEEK * 4, seed=5, drift_fraction=0.3
+        )
+        drifting = [p for p in fleet if p.drift_per_week > 0]
+        assert len(drifting) == 3
+
+    def test_fleet_has_scheduled_holidays(self):
+        fleet = build_city_fleet(2, hours=HOURS_PER_WEEK * 7, seed=5)
+        assert all(len(p.events) >= 1 for p in fleet)
+        assert all(e.scheduled for p in fleet for e in p.events)
+
+    def test_deterministic(self):
+        a = build_city_fleet(5, hours=500, seed=9)
+        b = build_city_fleet(5, hours=500, seed=9)
+        assert [p.base_demand for p in a] == [p.base_demand for p in b]
+
+
+class TestUnplannedOutage:
+    def test_adds_unscheduled_event(self):
+        profile = CityProfile(name="o")
+        modified = add_unplanned_outage(profile, start=100, duration=6, multiplier=3.0)
+        assert len(modified.events) == 1
+        outage = modified.events[0]
+        assert not outage.scheduled
+        assert outage.end - outage.start == 6
+
+    def test_original_profile_untouched(self):
+        profile = CityProfile(name="o")
+        add_unplanned_outage(profile, start=100)
+        assert profile.events == ()

@@ -1,0 +1,120 @@
+"""Integration: the full Section 3.6/3.7 health loop.
+
+drift -> monitor signal -> rule-engine retrain request -> challenger
+shadow deployment -> promotion -> deprecation of the old champion,
+everything through public APIs and the event bus.
+"""
+
+import pytest
+
+from repro import build_gallery
+from repro.core import DriftDetector, ManualClock, SeededIdFactory
+from repro.core.records import MetricScope
+from repro.monitoring import (
+    DeprecationPolicy,
+    DeprecationSweeper,
+    HealthMonitor,
+    MonitorConfig,
+    ShadowDeployment,
+    ShadowState,
+    register_promote_action,
+)
+from repro.rules import RuleEngine, action_rule
+
+
+@pytest.fixture
+def world():
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(44))
+    engine = RuleEngine(gallery, clock=ManualClock(), bus=gallery.bus)
+    engine.register(
+        action_rule(
+            uuid="retrain-on-drift",
+            team="forecasting",
+            given="true",
+            when='metrics["drift_ratio:mape"] > 1.5',
+            actions=["retrain"],
+        )
+    )
+    monitor = HealthMonitor(
+        gallery,
+        MonitorConfig(
+            watch_metrics=("mape",),
+            detector_factory=lambda: DriftDetector(
+                baseline_window=4, recent_window=2, ratio_threshold=1.5, patience=1
+            ),
+        ),
+    )
+    return gallery, engine, monitor
+
+
+def test_full_health_loop(world):
+    gallery, engine, monitor = world
+
+    # 1. deploy a champion
+    gallery.create_model("p", "demand", owner="team")
+    champion = gallery.upload_model("p", "demand", blob=b"champion")
+    champion_id = champion.instance_id
+
+    # 2. healthy period, then degradation
+    for value in [0.10] * 5:
+        gallery.insert_metric(champion_id, "mape", value, scope="Production")
+    monitor.sweep([champion_id])
+    assert engine.drain() == []
+
+    for value in [0.30] * 3:
+        gallery.insert_metric(champion_id, "mape", value, scope="Production")
+    snapshot = monitor.sweep([champion_id])[0]
+    assert "mape" in snapshot.drifting_metrics
+
+    # 3. the drift signal flows through Gallery metrics into the rule engine
+    fired = engine.drain()
+    assert [f.context.action for f in fired] == ["retrain"]
+    assert engine.actions.sent("retrain")[0].instance_id == champion_id
+
+    # 4. a challenger is trained and shadow-deployed
+    challenger = gallery.upload_model(
+        "p", "demand", blob=b"challenger", parent_instance_id=champion_id
+    )
+    serving = {"city": champion_id}
+    register_promote_action(engine.actions, serving)
+    shadow = ShadowDeployment(
+        gallery, engine.actions, champion_id, challenger.instance_id, patience=2
+    )
+    shadow.observe_window(champion_value=0.30, challenger_value=0.10)
+    shadow.observe_window(champion_value=0.31, challenger_value=0.11)
+    assert shadow.state is ShadowState.PROMOTED
+    assert serving["city"] == challenger.instance_id
+
+    # 5. the sweeper retires the beaten champion (challenger now has
+    #    production metrics as the serving model)
+    for value in [0.10, 0.11]:
+        gallery.insert_metric(
+            challenger.instance_id, "mape", value, scope=MetricScope.PRODUCTION
+        )
+    sweeper = DeprecationSweeper(
+        gallery, DeprecationPolicy(metric="mape", patience=2, margin=0.1)
+    )
+    sweeper.sweep()
+    outcome = sweeper.sweep()
+    assert champion_id in outcome.deprecated
+    assert gallery.get_instance(champion_id).deprecated
+    # the lineage lives on: deprecated champion still fetchable by id
+    assert gallery.load_instance_blob(champion_id) == b"champion"
+    # and the live pool now serves only the challenger
+    live = gallery.instances_of("demand")
+    assert [record.instance_id for record in live] == [challenger.instance_id]
+
+
+def test_loop_is_idempotent_after_promotion(world):
+    gallery, engine, monitor = world
+    gallery.create_model("p", "demand")
+    champion = gallery.upload_model("p", "demand", blob=b"c")
+    for value in [0.1] * 4 + [0.5] * 2:
+        gallery.insert_metric(champion.instance_id, "mape", value, scope="Production")
+    monitor.sweep([champion.instance_id])
+    engine.drain()
+    first_count = len(engine.actions.sent("retrain"))
+    # further sweeps with no fresh production data do not re-fire
+    monitor.sweep([champion.instance_id])
+    engine.drain()
+    assert len(engine.actions.sent("retrain")) == first_count

@@ -1,0 +1,87 @@
+"""Tests for the callback action registry."""
+
+import pytest
+
+from repro.errors import ActionError
+from repro.rules.actions import ActionContext, ActionRegistry
+
+
+def context(action="alert", **params):
+    return ActionContext(
+        rule_uuid="u1",
+        action=action,
+        params=params,
+        instance_id="i1",
+        document={"city": "sf"},
+        timestamp=1.0,
+    )
+
+
+class TestRegistration:
+    def test_defaults_present(self):
+        registry = ActionRegistry()
+        for name in ("alert", "email", "deploy", "retrain", "deprecate"):
+            assert name in registry
+
+    def test_no_defaults_mode(self):
+        registry = ActionRegistry(include_defaults=False)
+        assert registry.names() == []
+
+    def test_register_custom(self):
+        registry = ActionRegistry(include_defaults=False)
+        registry.register("custom", lambda ctx: "done")
+        assert "custom" in registry
+
+    def test_duplicate_requires_replace(self):
+        registry = ActionRegistry()
+        with pytest.raises(ActionError):
+            registry.register("alert", lambda ctx: None)
+        registry.register("alert", lambda ctx: "replaced", replace=True)
+        assert registry.execute(context()).result == "replaced"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ActionError):
+            ActionRegistry().register("", lambda ctx: None)
+
+
+class TestExecution:
+    def test_default_action_records_to_outbox(self):
+        registry = ActionRegistry()
+        result = registry.execute(context("deploy"))
+        assert result.ok
+        assert len(registry.sent("deploy")) == 1
+        assert registry.sent("deploy")[0].instance_id == "i1"
+
+    def test_unknown_action_is_captured_not_raised(self):
+        result = ActionRegistry().execute(context("launch_rocket"))
+        assert not result.ok
+        assert "unknown action" in result.error
+
+    def test_crashing_callback_is_isolated(self):
+        registry = ActionRegistry(include_defaults=False)
+
+        def boom(ctx):
+            raise RuntimeError("callback exploded")
+
+        registry.register("boom", boom)
+        result = registry.execute(context("boom"))
+        assert not result.ok
+        assert "callback exploded" in result.error
+
+    def test_callback_receives_full_context(self):
+        registry = ActionRegistry(include_defaults=False)
+        seen = {}
+
+        def capture(ctx):
+            seen.update(
+                rule=ctx.rule_uuid,
+                params=dict(ctx.params),
+                doc_city=ctx.document["city"],
+            )
+
+        registry.register("capture", capture)
+        registry.execute(context("capture", env="prod"))
+        assert seen == {"rule": "u1", "params": {"env": "prod"}, "doc_city": "sf"}
+
+    def test_sent_of_unused_action_empty(self):
+        assert ActionRegistry().sent("email") == []

@@ -1,0 +1,279 @@
+"""Tests for the rule engine: selection, events, drain, polling."""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.errors import RuleError
+from repro.rules.engine import CandidateDocument, RuleEngine, build_static_source
+from repro.rules.events import Event, EventBus, EventKind
+from repro.rules.repo import RuleRepository
+from repro.rules.rule import action_rule, selection_rule
+
+
+def doc(iid, **fields):
+    fields.setdefault("metrics", {})
+    return CandidateDocument(instance_id=iid, document=fields)
+
+
+def engine_with(docs, bus=None):
+    return RuleEngine(build_static_source(docs), clock=ManualClock(), bus=bus)
+
+
+class TestSelection:
+    CANDIDATES = [
+        doc("old", city="sf", created_time=1.0, metrics={"mape": 0.10}),
+        doc("new", city="sf", created_time=5.0, metrics={"mape": 0.12}),
+        doc("bad", city="sf", created_time=9.0, metrics={"mape": 0.90}),
+        doc("other", city="nyc", created_time=9.0, metrics={"mape": 0.05}),
+    ]
+
+    RULE = selection_rule(
+        uuid="sel-1",
+        team="forecasting",
+        given='city == "sf"',
+        when="metrics.mape < 0.5",
+        selection="a.created_time > b.created_time",
+    )
+
+    def test_latest_qualified_wins(self):
+        engine = engine_with(self.CANDIDATES)
+        result = engine.select(self.RULE)
+        assert result.instance_id == "new"
+        assert result.candidates_considered == 4
+        assert result.candidates_eligible == 2  # old + new; bad fails WHEN
+
+    def test_no_candidates_returns_none(self):
+        engine = engine_with([])
+        result = engine.select(self.RULE)
+        assert result.instance_id is None
+
+    def test_best_metric_selection(self):
+        rule = selection_rule(
+            uuid="sel-2",
+            team="forecasting",
+            given='city == "sf"',
+            when="metrics.mape < 0.5",
+            selection="a.metrics.mape < b.metrics.mape",
+        )
+        assert engine_with(self.CANDIDATES).select(rule).instance_id == "old"
+
+    def test_selecting_with_action_rule_raises(self):
+        engine = engine_with(self.CANDIDATES)
+        rule = action_rule("a-1", "t", "true", "true", actions=["alert"])
+        with pytest.raises(RuleError):
+            engine.select(rule)
+
+    def test_select_by_uuid_requires_registration(self):
+        engine = engine_with(self.CANDIDATES)
+        with pytest.raises(RuleError):
+            engine.select("ghost")
+        engine.register(self.RULE)
+        assert engine.select("sel-1").instance_id == "new"
+
+
+class TestActionRules:
+    def make_rule(self, uuid="act-1", when="metrics.bias <= 0.1 and metrics.bias >= -0.1"):
+        return action_rule(
+            uuid=uuid,
+            team="forecasting",
+            given='model_domain == "UberX"',
+            when=when,
+            actions=["deploy"],
+        )
+
+    def test_metric_event_triggers_matching_rule(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.05})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1", metric_name="bias"))
+        fired = engine.drain()
+        assert len(fired) == 1
+        assert fired[0].context.action == "deploy"
+        assert fired[0].context.instance_id == "i1"
+
+    def test_condition_failure_fires_nothing(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.5})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1"))
+        assert engine.drain() == []
+        assert engine.stats.wasted_evaluations >= 1
+
+    def test_at_most_once_per_rule_instance(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.05})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        for _ in range(3):
+            bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1"))
+        assert len(engine.drain()) == 1  # deploy fires once, not three times
+
+    def test_metadata_event_matches_referenced_fields_only(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.05})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        bus.publish(
+            Event(
+                kind=EventKind.METADATA_UPDATED,
+                instance_id="i1",
+                payload={"fields": ["unrelated_field"]},
+            )
+        )
+        assert engine.stats.jobs_enqueued == 0
+        bus.publish(
+            Event(
+                kind=EventKind.METADATA_UPDATED,
+                instance_id="i1",
+                payload={"fields": ["model_domain"]},
+            )
+        )
+        assert engine.stats.jobs_enqueued == 1
+
+    def test_event_scoped_to_instance(self):
+        bus = EventBus()
+        docs = [
+            doc("i1", model_domain="UberX", metrics={"bias": 0.05}),
+            doc("i2", model_domain="UberX", metrics={"bias": 0.05}),
+        ]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1"))
+        fired = engine.drain()
+        assert [f.context.instance_id for f in fired] == ["i1"]
+
+    def test_direct_trigger_evaluates_all(self):
+        docs = [
+            doc("i1", model_domain="UberX", metrics={"bias": 0.05}),
+            doc("i2", model_domain="UberX", metrics={"bias": 0.02}),
+        ]
+        engine = engine_with(docs)
+        rule = self.make_rule()
+        engine.register(rule)
+        engine.trigger("act-1")
+        fired = engine.drain()
+        assert {f.context.instance_id for f in fired} == {"i1", "i2"}
+
+    def test_unregistered_rule_skipped_during_drain(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.05})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(self.make_rule())
+        bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1"))
+        engine.unregister("act-1")
+        assert engine.drain() == []
+
+    def test_duplicate_registration_rejected(self):
+        engine = engine_with([])
+        engine.register(self.make_rule())
+        with pytest.raises(RuleError):
+            engine.register(self.make_rule())
+
+    def test_action_log_accumulates(self):
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.0})]
+        engine = engine_with(docs)
+        engine.register(self.make_rule())
+        engine.trigger("act-1")
+        engine.drain()
+        assert len(engine.action_log()) == 1
+
+
+class TestPollingAblation:
+    def test_polling_evaluates_everything_every_time(self):
+        docs = [
+            doc(f"i{n}", model_domain="UberX", metrics={"bias": 0.5}) for n in range(10)
+        ]
+        engine = engine_with(docs)
+        engine.register(
+            action_rule("a", "t", 'model_domain == "UberX"', "metrics.bias < 0.1", ["deploy"])
+        )
+        for _ in range(5):
+            engine.poll_all()
+        # 5 polls x 10 candidates, all wasted (condition never holds)
+        assert engine.stats.candidate_evaluations == 50
+        assert engine.stats.wasted_evaluations == 50
+        assert engine.stats.actions_fired == 0
+
+
+class TestRepoSync:
+    def test_sync_loads_head_rules(self):
+        repo = RuleRepository(clock=ManualClock())
+        repo.check_in(
+            "alice",
+            "bob",
+            "seed",
+            [
+                action_rule("u1", "t", "true", "metrics.mape < 0.1", ["alert"]),
+                selection_rule("u2", "t", "true", "true", "a.created_time > b.created_time"),
+            ],
+        )
+        engine = engine_with([])
+        assert engine.sync_from_repo(repo) == 2
+        assert {r.uuid for r in engine.rules()} == {"u1", "u2"}
+
+    def test_sync_updates_existing_rule(self):
+        repo = RuleRepository(clock=ManualClock())
+        repo.check_in("a", "b", "v1", [action_rule("u1", "t", "true", "metrics.mape < 0.2", ["alert"])])
+        engine = engine_with([])
+        engine.sync_from_repo(repo)
+        repo.check_in("a", "b", "v2", [action_rule("u1", "t", "true", "metrics.mape < 0.1", ["alert"])])
+        engine.sync_from_repo(repo)
+        rules = [r for r in engine.rules() if r.uuid == "u1"]
+        assert len(rules) == 1
+        assert "0.1" in rules[0].when.source
+
+
+class TestEvaluationRobustness:
+    """A rule that errors on a document must not break the engine."""
+
+    def test_action_rule_expression_error_skips_candidate(self):
+        bus = EventBus()
+        # rule divides by a field that is zero for this candidate
+        docs = [doc("i1", model_domain="UberX", denominator=0, metrics={"bias": 0.0})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(
+            action_rule(
+                "crashy", "t",
+                given="1 / denominator > 0",  # division by zero at eval time
+                when="true",
+                actions=["deploy"],
+            )
+        )
+        engine.trigger("crashy")
+        fired = engine.drain()  # must not raise
+        assert fired == []
+        assert engine.stats.evaluation_errors >= 1
+
+    def test_bad_rule_does_not_block_good_rule(self):
+        bus = EventBus()
+        docs = [doc("i1", model_domain="UberX", metrics={"bias": 0.0})]
+        engine = engine_with(docs, bus=bus)
+        engine.register(
+            action_rule("crashy", "t", given="ghost_field.sub > 1", when="true",
+                        actions=["alert"])
+        )
+        engine.register(
+            action_rule("good", "t", given='model_domain == "UberX"',
+                        when="metrics.bias <= 0.1", actions=["deploy"])
+        )
+        bus.publish(Event(kind=EventKind.METRIC_UPDATED, instance_id="i1"))
+        fired = engine.drain()
+        assert [f.context.action for f in fired] == ["deploy"]
+
+    def test_selection_skips_unscorable_candidates(self):
+        docs = [
+            doc("scored", city="sf", created_time=1.0, metrics={"mape": 0.1}),
+            doc("unscorable", city="sf", created_time=9.0, metrics={}),
+        ]
+        engine = engine_with(docs)
+        rule = selection_rule(
+            "sel-robust", "t",
+            given='city == "sf"',
+            when="true",
+            # comparator errors on candidates with no mape (null arithmetic)
+            selection="a.metrics.mape * 1 < b.metrics.mape * 1",
+        )
+        result = engine.select(rule)  # must not raise
+        assert result.instance_id == "scored"

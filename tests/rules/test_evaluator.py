@@ -1,0 +1,182 @@
+"""Tests for the expression evaluator."""
+
+import pytest
+
+from repro.errors import RuleEvaluationError
+from repro.rules.lang import Expression
+
+
+def ev(source, **context):
+    return Expression.compile(source).evaluate(context)
+
+
+class TestLiteralsAndNames:
+    def test_literals(self):
+        assert ev("42") == 42
+        assert ev("0.5") == 0.5
+        assert ev('"text"') == "text"
+        assert ev("true") is True
+        assert ev("false") is False
+        assert ev("null") is None
+
+    def test_identifier_lookup(self):
+        assert ev("x", x=7) == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("ghost")
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert ev('domain == "UberX"', domain="UberX") is True
+        assert ev("x != 3", x=4) is True
+
+    def test_ordered(self):
+        assert ev("x <= 0.9", x=0.5) is True
+        assert ev("x > 1", x=1) is False
+        assert ev('"apple" < "banana"') is True
+
+    def test_null_ordered_comparison_is_false(self):
+        # absent metric must not pass a threshold gate
+        assert ev("metrics.mape < 0.5", metrics={}) is False
+        assert ev("metrics.mape > 0.5", metrics={}) is False
+
+    def test_null_equality_works(self):
+        assert ev("metrics.mape == null", metrics={}) is True
+
+    def test_mixed_type_ordering_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev('x < "5"', x=3)
+
+    def test_in_operator(self):
+        assert ev('city in ["sf", "nyc"]' if False else 'city in domains', city="sf", domains=["sf", "nyc"]) is True
+        with pytest.raises(RuleEvaluationError):
+            ev("x in y", x=1, y=2)
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self):
+        assert ev("true and false") is False
+        assert ev("true or false") is True
+        assert ev("not false") is True
+
+    def test_short_circuit_and(self):
+        # right side would raise (unknown name) but is never evaluated
+        assert ev("false and ghost") is False
+
+    def test_short_circuit_or(self):
+        assert ev("true or ghost") is True
+
+    def test_truthiness(self):
+        assert ev("not 0") is True
+        assert ev('not ""') is True
+        assert ev("not items", items=[]) is True
+        assert ev("not items", items=[1]) is False
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("10 / 4") == 2.5
+        assert ev("10 % 3") == 1
+        assert ev("-x", x=5) == -5
+
+    def test_string_concat(self):
+        assert ev('"a" + "b"') == "ab"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("1 / 0")
+        with pytest.raises(RuleEvaluationError):
+            ev("1 % 0")
+
+    def test_arithmetic_on_strings_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev('"a" - "b"')
+
+    def test_negating_string_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev('-"a"')
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("true + 1")
+
+
+class TestAccess:
+    def test_member_on_mapping(self):
+        assert ev("metrics.bias", metrics={"bias": 0.05}) == 0.05
+
+    def test_index_on_mapping(self):
+        assert ev('metrics["r2"]', metrics={"r2": 0.95}) == 0.95
+
+    def test_missing_key_yields_null(self):
+        assert ev("metrics.ghost", metrics={}) is None
+
+    def test_index_on_list(self):
+        assert ev("xs[1]", xs=[10, 20]) == 20
+
+    def test_list_index_out_of_range_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("xs[5]", xs=[1])
+
+    def test_access_on_null_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("metrics.bias.deeper", metrics={})
+
+    def test_access_on_scalar_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("x.attr", x=5)
+
+    def test_arbitrary_python_objects_not_reachable(self):
+        class Sneaky:
+            secret = "hidden"
+
+        with pytest.raises(RuleEvaluationError):
+            ev("obj.secret", obj=Sneaky())
+
+
+class TestFunctions:
+    def test_builtins(self):
+        assert ev("abs(-3)") == 3
+        assert ev("min(4, 2, 9)") == 2
+        assert ev("max(xs[0], xs[1])", xs=[1, 5]) == 5
+        assert ev("len(items)", items=[1, 2, 3]) == 3
+        assert ev("round(2.567, 1)") == 2.6
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("exec(1)")
+
+    def test_builtin_failure_wrapped(self):
+        with pytest.raises(RuleEvaluationError):
+            ev("len(5)")
+
+
+class TestPaperRules:
+    CONTEXT = {
+        "model_name": "linear_regression",
+        "model_domain": "UberX",
+        "metrics": {"r2": 0.85, "bias": 0.05, "mae": 3.2},
+    }
+
+    def test_listing1_given_and_when(self):
+        given = Expression.compile(
+            'model_name == "linear_regression" and model_domain == "UberX"'
+        )
+        when = Expression.compile('metrics["r2"] <= 0.9')
+        assert given.evaluate(self.CONTEXT) is True
+        assert when.evaluate(self.CONTEXT) is True
+
+    def test_listing2_bias_window(self):
+        when = Expression.compile("metrics.bias <= 0.1 and metrics.bias >= -0.1")
+        assert when.evaluate(self.CONTEXT) is True
+        assert when.evaluate({"metrics": {"bias": 0.3}}) is False
+
+    def test_referenced_names(self):
+        expr = Expression.compile('metrics["r2"] <= 0.9 and model_domain == "UberX"')
+        assert expr.referenced_names() == {"metrics", "model_domain"}
+
+    def test_evaluate_bool_coercion(self):
+        assert Expression.compile("metrics.mae").evaluate_bool(self.CONTEXT) is True

@@ -1,0 +1,146 @@
+"""Property-based tests for the rule expression language.
+
+Invariants:
+* unparse . parse is the identity on ASTs (round-trip);
+* evaluation is total over well-formed expressions and data contexts —
+  it returns a value or raises RuleEvaluationError, never anything else;
+* the lexer either tokenizes or raises RuleSyntaxError on arbitrary text.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import RuleEvaluationError, RuleSyntaxError
+from repro.rules.lang import Expression, parse, tokenize
+from repro.rules.lang.ast import (
+    Binary,
+    Call,
+    Identifier,
+    Index,
+    Literal,
+    Member,
+    Ternary,
+    Unary,
+)
+
+# -- AST generation ----------------------------------------------------------
+
+identifiers = st.sampled_from(
+    ["metrics", "model_name", "city", "x", "y", "count", "a", "b"]
+)
+
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(Literal),
+    st.sampled_from(["UberX", "sf", "", "text with spaces"]).map(Literal),
+    st.booleans().map(Literal),
+    st.just(Literal(None)),
+)
+
+
+def ast_nodes(max_depth: int = 4):
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["not", "-"]), children).map(
+                lambda t: Unary(*t)
+            ),
+            st.tuples(
+                st.sampled_from(
+                    ["and", "or", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "in"]
+                ),
+                children,
+                children,
+            ).map(lambda t: Binary(*t)),
+            st.tuples(children, st.sampled_from(["bias", "mape", "r2"])).map(
+                lambda t: Member(*t)
+            ),
+            st.tuples(children, children, children).map(lambda t: Ternary(*t)),
+            st.tuples(children, children).map(lambda t: Index(*t)),
+            st.tuples(
+                st.sampled_from(["abs", "min", "max", "len"]),
+                st.lists(children, min_size=1, max_size=3).map(tuple),
+            ).map(lambda t: Call(*t)),
+        )
+
+    return st.recursive(
+        st.one_of(literals, identifiers.map(Identifier)), extend, max_leaves=12
+    )
+
+
+@given(ast_nodes())
+@settings(max_examples=200)
+def test_unparse_parse_round_trip(node):
+    """parse . unparse is the identity on parser-normalised ASTs.
+
+    Generated ASTs may contain shapes the parser normalises away (e.g.
+    ``Unary('-', Literal(1))`` folds to ``Literal(-1)``), so the invariant
+    is stability after one normalising pass.
+    """
+    normalised = parse(node.unparse())
+    assert parse(normalised.unparse()) == normalised
+
+
+# -- evaluator totality --------------------------------------------------------
+
+context_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.text(max_size=5),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.sampled_from(["bias", "mape", "r2"]), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+contexts = st.fixed_dictionaries(
+    {},
+    optional={
+        name: context_values
+        for name in ["metrics", "model_name", "city", "x", "y", "count", "a", "b"]
+    },
+)
+
+
+@given(ast_nodes(), contexts)
+@settings(max_examples=300)
+def test_evaluation_is_total(node, context):
+    expression = Expression(source=node.unparse(), node=node)
+    try:
+        expression.evaluate(context)
+    except RuleEvaluationError:
+        pass  # the only sanctioned failure mode
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300)
+def test_lexer_total_over_arbitrary_text(text):
+    try:
+        tokens = tokenize(text)
+    except RuleSyntaxError:
+        return
+    assert tokens[-1].type.name == "EOF"
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300)
+def test_parser_total_over_arbitrary_text(text):
+    try:
+        parse(text)
+    except RuleSyntaxError:
+        pass
+
+
+@given(ast_nodes())
+@settings(max_examples=100)
+def test_referenced_names_subset_of_known_identifiers(node):
+    expression = Expression(source=node.unparse(), node=node)
+    assert expression.referenced_names() <= {
+        "metrics", "model_name", "city", "x", "y", "count", "a", "b",
+    }

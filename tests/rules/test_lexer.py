@@ -1,0 +1,124 @@
+"""Tests for the expression-language lexer."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError
+from repro.rules.lang.lexer import tokenize
+from repro.rules.lang.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert types("== != <= >= && ||") == [
+            TokenType.EQ,
+            TokenType.NE,
+            TokenType.LE,
+            TokenType.GE,
+            TokenType.AND,
+            TokenType.OR,
+        ]
+
+    def test_one_char_operators(self):
+        assert types("< > ! + - * / %") == [
+            TokenType.LT,
+            TokenType.GT,
+            TokenType.NOT,
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.PERCENT,
+        ]
+
+    def test_structure_tokens(self):
+        assert types("( ) [ ] . ,") == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.DOT,
+            TokenType.COMMA,
+        ]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER and token.value == 42
+
+    def test_float(self):
+        assert tokenize("0.25")[0].value == 0.25
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_scientific_notation(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_negative_is_unary_minus_plus_number(self):
+        assert types("-1") == [TokenType.MINUS, TokenType.NUMBER]
+
+    def test_member_access_not_number(self):
+        # "metrics.bias" must not eat the dot as a float
+        assert types("metrics.bias") == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert tokenize('"UberX"')[0].value == "UberX"
+
+    def test_single_quoted(self):
+        assert tokenize("'UberX'")[0].value == "UberX"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+        assert tokenize(r'"line\nbreak"')[0].value == "line\nbreak"
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            tokenize('"never closed')
+
+
+class TestKeywordsAndIdentifiers:
+    def test_keywords(self):
+        assert types("true false null and or not in") == [
+            TokenType.TRUE,
+            TokenType.FALSE,
+            TokenType.NULL,
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.NOT,
+            TokenType.IN,
+        ]
+
+    def test_identifiers_with_underscores(self):
+        tokens = tokenize("model_domain _private x1")
+        assert [t.text for t in tokens[:-1]] == ["model_domain", "_private", "x1"]
+
+    def test_keyword_prefix_is_identifier(self):
+        # "android" starts with "and" but is one identifier
+        assert types("android") == [TokenType.IDENTIFIER]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(RuleSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert "position 2" in str(excinfo.value)
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a == b")
+        assert [t.position for t in tokens[:-1]] == [0, 2, 5]
+
+    def test_paper_listing_rule_lexes(self):
+        source = 'metrics["r2"] <= 0.9 && model_domain == "UberX"'
+        assert tokenize(source)[-1].type is TokenType.EOF

@@ -1,0 +1,139 @@
+"""Tests for the expression parser (precedence, structure, errors)."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError
+from repro.rules.lang.ast import Binary, Call, Identifier, Index, Literal, Member, Unary
+from repro.rules.lang.parser import parse
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        node = parse("a or b and c")
+        assert isinstance(node, Binary) and node.op == "or"
+        assert isinstance(node.right, Binary) and node.right.op == "and"
+
+    def test_comparison_binds_tighter_than_and(self):
+        node = parse("a < 1 and b > 2")
+        assert node.op == "and"
+        assert node.left.op == "<" and node.right.op == ">"
+
+    def test_arithmetic_binds_tighter_than_comparison(self):
+        node = parse("a + 1 < b * 2")
+        assert node.op == "<"
+        assert node.left.op == "+" and node.right.op == "*"
+
+    def test_multiplication_over_addition(self):
+        node = parse("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parentheses_override(self):
+        node = parse("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_left_associative_arithmetic(self):
+        node = parse("10 - 4 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+        assert isinstance(node.right, Literal) and node.right.value == 3
+
+
+class TestPostfix:
+    def test_member_access(self):
+        node = parse("metrics.bias")
+        assert isinstance(node, Member)
+        assert node.attr == "bias"
+        assert isinstance(node.target, Identifier)
+
+    def test_index_access(self):
+        node = parse('metrics["r2"]')
+        assert isinstance(node, Index)
+        assert isinstance(node.index, Literal) and node.index.value == "r2"
+
+    def test_chained_postfix(self):
+        node = parse('a.b["c"].d')
+        assert isinstance(node, Member) and node.attr == "d"
+        assert isinstance(node.target, Index)
+
+    def test_call_with_args(self):
+        node = parse("max(a, b, 3)")
+        assert isinstance(node, Call)
+        assert node.func == "max" and len(node.args) == 3
+
+    def test_call_no_args(self):
+        node = parse("len()")
+        assert isinstance(node, Call) and node.args == ()
+
+
+class TestUnary:
+    def test_not_forms(self):
+        for source in ("!a", "not a"):
+            node = parse(source)
+            assert isinstance(node, Unary) and node.op == "not"
+
+    def test_double_negation(self):
+        node = parse("!!a")
+        assert isinstance(node.operand, Unary)
+
+    def test_unary_minus(self):
+        node = parse("-a + b")
+        assert node.op == "+"
+        assert isinstance(node.left, Unary) and node.left.op == "-"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "a <",
+            "a == ",
+            "(a",
+            "a)",
+            'metrics[',
+            "a . ",
+            "1 2",
+            "a && && b",
+            "max(a,",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(RuleSyntaxError):
+            parse(bad)
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(RuleSyntaxError) as excinfo:
+            parse("1 < a < 3")
+        assert "chained" in str(excinfo.value)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse("a == b c")
+
+
+class TestPaperListings:
+    def test_listing1_when_clause(self):
+        node = parse('metrics["r2"] <= 0.9')
+        assert node.op == "<="
+
+    def test_listing1_selection_clause(self):
+        node = parse("a.created_time > b.created_time")
+        assert node.op == ">"
+        assert isinstance(node.left, Member) and node.left.attr == "created_time"
+
+    def test_listing2_when_clause(self):
+        node = parse("metrics.bias <= 0.1 and metrics.bias >= -0.1")
+        assert node.op == "and"
+
+    def test_unparse_round_trip(self):
+        for source in (
+            'metrics["r2"] <= 0.9',
+            "a.created_time > b.created_time",
+            "not (x and y) or z",
+            "abs(metrics.bias) < 0.1",
+        ):
+            first = parse(source)
+            assert parse(first.unparse()) == first

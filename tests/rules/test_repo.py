@@ -1,0 +1,168 @@
+"""Tests for the git-style rule repository: validation, review, history."""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.errors import NotFoundError, RuleReviewError, ValidationError
+from repro.rules.repo import RequestState, RuleRepository
+from repro.rules.rule import action_rule, selection_rule
+
+
+def repo():
+    return RuleRepository(clock=ManualClock())
+
+
+def rule_json(team="forecasting", uuid="u1", when="metrics.mape < 0.2"):
+    return action_rule(uuid, team, "true", when, actions=["alert"]).to_json()
+
+
+class TestProposalValidation:
+    def test_valid_proposal_opens_request(self):
+        r = repo()
+        request = r.propose("alice", "add rule", {"forecasting/u1.json": rule_json()})
+        assert request.state is RequestState.OPEN
+        assert r.open_requests() == [request]
+
+    def test_bad_json_rejected_at_proposal(self):
+        with pytest.raises(ValidationError):
+            repo().propose("alice", "bad", {"forecasting/u1.json": "{oops"})
+
+    def test_bad_expression_rejected_at_proposal(self):
+        from repro.errors import RuleSyntaxError
+
+        broken = rule_json().replace("metrics.mape < 0.2", "metrics.mape <")
+        with pytest.raises(RuleSyntaxError):
+            repo().propose("alice", "bad", {"forecasting/u1.json": broken})
+
+    def test_team_directory_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            repo().propose("alice", "bad", {"pricing/u1.json": rule_json(team="forecasting")})
+
+    def test_path_shape_enforced(self):
+        r = repo()
+        with pytest.raises(ValidationError):
+            r.propose("alice", "bad", {"no-directory.json": rule_json()})
+        with pytest.raises(ValidationError):
+            r.propose("alice", "bad", {"forecasting/rule.yaml": rule_json()})
+
+    def test_empty_change_rejected(self):
+        with pytest.raises(ValidationError):
+            repo().propose("alice", "empty", {})
+
+    def test_delete_requires_existing_path(self):
+        with pytest.raises(NotFoundError):
+            repo().propose("alice", "rm", {"forecasting/ghost.json": None})
+
+
+class TestReviewGate:
+    def test_approval_by_peer_merges(self):
+        r = repo()
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        commit = r.approve(request.request_id, reviewer="bob")
+        assert commit.author == "alice" and commit.reviewer == "bob"
+        assert r.paths() == ["forecasting/u1.json"]
+
+    def test_self_review_rejected(self):
+        r = repo()
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        with pytest.raises(RuleReviewError):
+            r.approve(request.request_id, reviewer="alice")
+
+    def test_empty_reviewer_rejected(self):
+        r = repo()
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        with pytest.raises(RuleReviewError):
+            r.approve(request.request_id, reviewer="")
+
+    def test_double_approval_rejected(self):
+        r = repo()
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        r.approve(request.request_id, reviewer="bob")
+        with pytest.raises(RuleReviewError):
+            r.approve(request.request_id, reviewer="carol")
+
+    def test_rejection_blocks_merge(self):
+        r = repo()
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        r.reject(request.request_id, reviewer="bob", reason="too loose")
+        assert request.state is RequestState.REJECTED
+        assert r.paths() == []
+        with pytest.raises(RuleReviewError):
+            r.approve(request.request_id, reviewer="bob")
+
+    def test_review_can_be_disabled(self):
+        r = RuleRepository(clock=ManualClock(), require_review=False)
+        request = r.propose("alice", "add", {"forecasting/u1.json": rule_json()})
+        r.approve(request.request_id, reviewer="alice")  # allowed when disabled
+        assert r.paths() == ["forecasting/u1.json"]
+
+    def test_unknown_request_raises(self):
+        with pytest.raises(NotFoundError):
+            repo().approve(99, reviewer="bob")
+
+
+class TestHistoryAndState:
+    def test_update_and_delete_history(self):
+        r = repo()
+        path = "forecasting/u1.json"
+        v1 = rule_json(when="metrics.mape < 0.2")
+        v2 = rule_json(when="metrics.mape < 0.1")
+        r.approve(r.propose("alice", "v1", {path: v1}).request_id, "bob")
+        r.approve(r.propose("alice", "v2", {path: v2}).request_id, "bob")
+        assert r.read(path) == v2
+        history = r.history(path)
+        assert [c.message for c in history] == ["v1", "v2"]
+        r.approve(r.propose("alice", "rm", {path: None}).request_id, "bob")
+        assert r.paths() == []
+        with pytest.raises(NotFoundError):
+            r.read(path)
+
+    def test_state_at_reconstructs_past(self):
+        r = repo()
+        path = "forecasting/u1.json"
+        v1 = rule_json(when="metrics.mape < 0.2")
+        v2 = rule_json(when="metrics.mape < 0.1")
+        r.approve(r.propose("alice", "v1", {path: v1}).request_id, "bob")
+        r.approve(r.propose("alice", "v2", {path: v2}).request_id, "bob")
+        assert r.state_at(1) == {path: v1}
+        assert r.state_at(2) == {path: v2}
+        assert r.state_at(0) == {}
+        with pytest.raises(NotFoundError):
+            r.state_at(99)
+
+    def test_commit_timestamps_increase(self):
+        r = repo()
+        c1 = r.approve(
+            r.propose("a", "1", {"t/u1.json": rule_json(team="t", uuid="u1")}).request_id, "b"
+        )
+        c2 = r.approve(
+            r.propose("a", "2", {"t/u2.json": rule_json(team="t", uuid="u2")}).request_id, "b"
+        )
+        assert c2.timestamp > c1.timestamp
+        assert c2.commit_id == c1.commit_id + 1
+
+
+class TestTeamScoping:
+    def test_paths_and_rules_by_team(self):
+        r = repo()
+        r.check_in(
+            "alice",
+            "bob",
+            "seed",
+            [
+                action_rule("u1", "forecasting", "true", "true", actions=["alert"]),
+                action_rule("u2", "pricing", "true", "true", actions=["alert"]),
+            ],
+        )
+        assert r.paths("forecasting") == ["forecasting/u1.json"]
+        rules = r.rules("pricing")
+        assert [rule.uuid for rule in rules] == ["u2"]
+        assert len(r.rules()) == 2
+
+    def test_rule_at_compiles(self):
+        r = repo()
+        rule = selection_rule("u1", "forecasting", "true", "true", "a.t > b.t")
+        r.check_in("alice", "bob", "seed", [rule])
+        loaded = r.rule_at("forecasting/u1.json")
+        assert loaded.uuid == "u1"
+        assert loaded.kind is rule.kind

@@ -1,0 +1,185 @@
+"""Tests for rule definitions and the paper's JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.rules.rule import ActionSpec, Rule, RuleKind, action_rule, selection_rule
+
+
+class TestConstruction:
+    def test_selection_rule(self):
+        rule = selection_rule(
+            uuid="u1",
+            team="forecasting",
+            given='model_name == "linear_regression"',
+            when='metrics["r2"] <= 0.9',
+            selection="a.created_time > b.created_time",
+        )
+        assert rule.kind is RuleKind.MODEL_SELECTION
+        assert rule.environment == "production"
+
+    def test_action_rule(self):
+        rule = action_rule(
+            uuid="u2",
+            team="forecasting",
+            given='model_domain == "UberX"',
+            when="metrics.bias <= 0.1 and metrics.bias >= -0.1",
+            actions=[{"action": "forecasting_deployment"}],
+        )
+        assert rule.kind is RuleKind.ACTION
+        assert rule.actions[0].action == "forecasting_deployment"
+
+    def test_selection_rule_requires_selection(self):
+        with pytest.raises(ValidationError):
+            Rule(
+                uuid="u",
+                team="t",
+                kind=RuleKind.MODEL_SELECTION,
+                given=selection_rule("x", "t", "true", "true", "true").given,
+                when=selection_rule("x", "t", "true", "true", "true").when,
+            )
+
+    def test_action_rule_requires_actions(self):
+        with pytest.raises(ValidationError):
+            action_rule("u", "t", "true", "true", actions=[])
+
+    def test_bad_expression_rejected_at_construction(self):
+        from repro.errors import RuleSyntaxError
+
+        with pytest.raises(RuleSyntaxError):
+            selection_rule("u", "t", given="a ==", when="true", selection="true")
+
+
+class TestEvaluationHelpers:
+    RULE = selection_rule(
+        uuid="u1",
+        team="forecasting",
+        given='city == "sf"',
+        when="metrics.mape < 0.2",
+        selection="a.created_time > b.created_time",
+    )
+
+    def test_applies_to(self):
+        assert self.RULE.applies_to({"city": "sf", "metrics": {}})
+        assert not self.RULE.applies_to({"city": "nyc", "metrics": {}})
+
+    def test_condition_holds(self):
+        assert self.RULE.condition_holds({"metrics": {"mape": 0.1}})
+        assert not self.RULE.condition_holds({"metrics": {"mape": 0.5}})
+        assert not self.RULE.condition_holds({"metrics": {}})  # absent metric
+
+    def test_prefers(self):
+        newer = {"created_time": 5.0}
+        older = {"created_time": 1.0}
+        assert self.RULE.prefers(newer, older)
+        assert not self.RULE.prefers(older, newer)
+
+    def test_prefers_on_action_rule_raises(self):
+        rule = action_rule("u", "t", "true", "true", actions=["alert"])
+        with pytest.raises(ValidationError):
+            rule.prefers({}, {})
+
+    def test_referenced_names_excludes_comparator_bindings(self):
+        assert self.RULE.referenced_names() == {"city", "metrics"}
+        assert self.RULE.watches_metrics()
+
+    def test_rule_without_metrics_reference(self):
+        rule = action_rule("u", "t", 'city == "sf"', "true", actions=["alert"])
+        assert not rule.watches_metrics()
+
+
+class TestSerialization:
+    def test_selection_round_trip(self):
+        rule = selection_rule(
+            uuid="316b3ab4",
+            team="forecasting",
+            given='model_name == "linear_regression" and model_domain == "UberX"',
+            when='metrics["r2"] <= 0.9',
+            selection="a.created_time > b.created_time",
+        )
+        restored = Rule.from_json(rule.to_json())
+        assert restored.uuid == rule.uuid
+        assert restored.kind is RuleKind.MODEL_SELECTION
+        assert restored.given.source == rule.given.source
+        assert restored.selection.source == rule.selection.source
+
+    def test_action_round_trip(self):
+        rule = action_rule(
+            uuid="4365754a",
+            team="forecasting",
+            given='model_domain == "UberX"',
+            when="metrics.bias <= 0.1",
+            actions=[ActionSpec("forecasting_deployment", {"env": "prod"})],
+        )
+        restored = Rule.from_json(rule.to_json())
+        assert restored.actions[0].action == "forecasting_deployment"
+        assert restored.actions[0].params == {"env": "prod"}
+
+    def test_paper_shape_with_and_keys(self):
+        document = {
+            "team": "forecasting",
+            "uuid": "u1",
+            "rule": {
+                "GIVEN": 'model_name == "linear_regression"',
+                "GIVEN_AND": 'model_domain == "UberX"',
+                "WHEN": 'metrics["r2"] <= 0.9',
+                "ENVIRONMENT": "production",
+                "MODEL_SELECTION": "a.created_time > b.created_time",
+            },
+        }
+        rule = Rule.from_dict(document)
+        context = {
+            "model_name": "linear_regression",
+            "model_domain": "UberX",
+            "metrics": {"r2": 0.8},
+        }
+        assert rule.applies_to(context)
+        assert rule.condition_holds(context)
+
+    def test_given_as_list_of_conjuncts(self):
+        document = {
+            "team": "t",
+            "uuid": "u",
+            "rule": {
+                "GIVEN": ['city == "sf"', 'model_domain == "UberX"'],
+                "WHEN": "true",
+                "CALLBACK_ACTIONS": ["alert"],
+            },
+        }
+        rule = Rule.from_dict(document)
+        assert rule.applies_to({"city": "sf", "model_domain": "UberX"})
+        assert not rule.applies_to({"city": "sf", "model_domain": "Eats"})
+
+    def test_missing_clauses_default_to_true(self):
+        rule = Rule.from_dict(
+            {"team": "t", "uuid": "u", "rule": {"CALLBACK_ACTIONS": ["alert"]}}
+        )
+        assert rule.applies_to({})
+        assert rule.condition_holds({})
+
+    def test_both_templates_rejected(self):
+        with pytest.raises(ValidationError):
+            Rule.from_dict(
+                {
+                    "team": "t",
+                    "uuid": "u",
+                    "rule": {
+                        "MODEL_SELECTION": "a.x > b.x",
+                        "CALLBACK_ACTIONS": ["alert"],
+                    },
+                }
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError):
+            Rule.from_json("{not json")
+
+    def test_missing_rule_object_rejected(self):
+        with pytest.raises(ValidationError):
+            Rule.from_dict({"team": "t", "uuid": "u"})
+
+    def test_json_is_stable(self):
+        rule = action_rule("u", "t", "true", "true", actions=["alert"])
+        assert json.loads(rule.to_json()) == json.loads(rule.to_json())

@@ -1,0 +1,104 @@
+"""Property-based tests: rule JSON round-trips and versioning laws."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.versioning import SemanticVersion
+from repro.rules.rule import ActionSpec, Rule, action_rule, selection_rule
+
+expressions = st.sampled_from(
+    [
+        "true",
+        'model_domain == "UberX"',
+        "metrics.bias <= 0.1 and metrics.bias >= -0.1",
+        'metrics["r2"] >= 0.9',
+        "abs(metrics.bias) < 0.05 or metrics.mape < 0.1",
+        'city in domains and not deprecated',
+    ]
+)
+
+selections = st.sampled_from(
+    [
+        "a.created_time > b.created_time",
+        "a.metrics.mape < b.metrics.mape",
+        'a.metrics["r2"] > b.metrics["r2"]',
+    ]
+)
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+)
+
+action_names = st.lists(
+    st.sampled_from(["deploy", "alert", "email", "retrain", "custom_action"]),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(identifiers, identifiers, expressions, expressions, selections)
+@settings(max_examples=150)
+def test_selection_rule_json_round_trip(uuid, team, given_src, when_src, selection_src):
+    rule = selection_rule(uuid, team, given_src, when_src, selection_src)
+    restored = Rule.from_json(rule.to_json())
+    assert restored.uuid == rule.uuid
+    assert restored.team == rule.team
+    assert restored.kind is rule.kind
+    assert restored.given.source == rule.given.source
+    assert restored.when.source == rule.when.source
+    assert restored.selection.source == rule.selection.source
+
+
+@given(identifiers, identifiers, expressions, expressions, action_names)
+@settings(max_examples=150)
+def test_action_rule_json_round_trip(uuid, team, given_src, when_src, actions):
+    rule = action_rule(uuid, team, given_src, when_src, actions)
+    restored = Rule.from_json(rule.to_json())
+    assert [spec.action for spec in restored.actions] == actions
+    assert restored.kind is rule.kind
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(), st.text(max_size=10), st.booleans()),
+        max_size=4,
+    )
+)
+@settings(max_examples=100)
+def test_action_spec_params_round_trip(params):
+    spec = ActionSpec("deploy", params)
+    assert ActionSpec.from_dict(spec.to_dict()) == spec
+
+
+# -- semantic versioning laws ---------------------------------------------------
+
+versions = st.tuples(
+    st.integers(0, 100), st.integers(0, 100), st.integers(0, 100)
+).map(lambda t: SemanticVersion(*t))
+
+
+@given(versions)
+@settings(max_examples=200)
+def test_semver_parse_str_identity(version):
+    assert SemanticVersion.parse(str(version)) == version
+
+
+@given(versions)
+@settings(max_examples=200)
+def test_semver_bumps_strictly_increase(version):
+    assert version.bump_patch() > version
+    assert version.bump_minor() > version
+    assert version.bump_major() > version
+    # bump ordering: major > minor > patch
+    assert version.bump_major() > version.bump_minor() > version.bump_patch()
+
+
+@given(versions, versions, versions)
+@settings(max_examples=200)
+def test_semver_ordering_transitive(a, b, c):
+    ordered = sorted([a, b, c])
+    assert ordered[0] <= ordered[1] <= ordered[2]
+    assert not (ordered[2] < ordered[0])

@@ -1,0 +1,72 @@
+"""Tests for the conditional (ternary) expression: cond ? a : b."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError
+from repro.rules.lang import Expression, parse
+from repro.rules.lang.ast import Ternary
+
+
+def ev(source, **context):
+    return Expression.compile(source).evaluate(context)
+
+
+class TestParsing:
+    def test_basic_shape(self):
+        node = parse("a ? 1 : 2")
+        assert isinstance(node, Ternary)
+
+    def test_right_associative_nesting(self):
+        node = parse("a ? 1 : b ? 2 : 3")
+        assert isinstance(node, Ternary)
+        assert isinstance(node.otherwise, Ternary)
+
+    def test_nested_in_then_branch(self):
+        node = parse("a ? b ? 1 : 2 : 3")
+        assert isinstance(node.then, Ternary)
+
+    def test_binds_looser_than_or(self):
+        node = parse("a or b ? 1 : 2")
+        assert isinstance(node, Ternary)
+        assert node.condition.op == "or"
+
+    def test_allowed_in_index_and_args(self):
+        parse('metrics[a ? "x" : "y"]')
+        parse("max(a ? 1 : 2, 3)")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse("a ? 1")
+        with pytest.raises(RuleSyntaxError):
+            parse("a ? 1 : ")
+
+    def test_unparse_round_trip(self):
+        for source in ("a ? 1 : 2", "x > 0 ? x : -x", "a ? b ? 1 : 2 : 3"):
+            node = parse(source)
+            assert parse(node.unparse()) == node
+
+
+class TestEvaluation:
+    def test_branches(self):
+        assert ev("true ? 1 : 2") == 1
+        assert ev("false ? 1 : 2") == 2
+
+    def test_condition_truthiness(self):
+        assert ev("x ? 10 : 20", x=0) == 20
+        assert ev("x ? 10 : 20", x="nonempty") == 10
+        assert ev("metrics.ghost ? 1 : 2", metrics={}) == 2  # null is false
+
+    def test_only_taken_branch_evaluated(self):
+        # the untaken branch would divide by zero
+        assert ev("true ? 1 : 1 / 0") == 1
+        assert ev("false ? 1 / 0 : 2") == 2
+
+    def test_practical_rule_usage(self):
+        # penalise missing metrics instead of erroring: absent -> worst score
+        source = 'metrics.mape == null ? 999 : metrics.mape'
+        assert ev(source, metrics={}) == 999
+        assert ev(source, metrics={"mape": 0.07}) == 0.07
+
+    def test_referenced_names_cover_all_branches(self):
+        expr = Expression.compile("a ? b : c")
+        assert expr.referenced_names() == {"a", "b", "c"}

@@ -1,0 +1,117 @@
+"""Tests for the TCP transport: framing over a real socket."""
+
+import threading
+
+import pytest
+
+from repro import build_gallery
+from repro.core import ManualClock, SeededIdFactory
+from repro.errors import NotFoundError, ServiceError
+from repro.service.client import GalleryClient
+from repro.service.server import GalleryService
+from repro.service.tcp import GalleryTcpServer, TcpTransport
+
+
+@pytest.fixture
+def tcp_stack():
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(3))
+    service = GalleryService(gallery)
+    server = GalleryTcpServer(service).start()
+    host, port = server.address
+    transport = TcpTransport(host, port)
+    client = GalleryClient(transport)
+    yield gallery, server, client, transport
+    transport.close()
+    server.stop()
+
+
+class TestRoundTrips:
+    def test_full_workflow_over_tcp(self, tcp_stack):
+        _, _, client, _ = tcp_stack
+        client.create_gallery_model("p", "demand", owner="net")
+        instance = client.upload_model(
+            "p", "demand", b"network-bytes", metadata={"model_name": "rf"}
+        )
+        client.insert_model_instance_metric(instance["instance_id"], "bias", 0.02)
+        hits = client.model_query(
+            [{"field": "modelName", "operator": "equal", "value": "rf"}]
+        )
+        assert [h["instance_id"] for h in hits] == [instance["instance_id"]]
+        assert client.load_model_blob(instance["instance_id"]) == b"network-bytes"
+
+    def test_large_blob_over_tcp(self, tcp_stack):
+        _, _, client, _ = tcp_stack
+        client.create_gallery_model("p", "demand")
+        payload = bytes(range(256)) * 8192  # 2 MiB
+        instance = client.upload_model("p", "demand", payload)
+        assert client.load_model_blob(instance["instance_id"]) == payload
+
+    def test_errors_cross_the_socket(self, tcp_stack):
+        _, _, client, _ = tcp_stack
+        with pytest.raises(NotFoundError):
+            client.get_model("ghost")
+
+    def test_many_sequential_requests_one_connection(self, tcp_stack):
+        _, _, client, _ = tcp_stack
+        client.create_gallery_model("p", "demand")
+        for index in range(50):
+            client.upload_model("p", "demand", f"v{index}".encode())
+        assert len(client.instances_of("demand")) == 50
+
+
+class TestConcurrency:
+    def test_parallel_clients(self, tcp_stack):
+        gallery, server, _, _ = tcp_stack
+        host, port = server.address
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                with TcpTransport(host, port) as transport:
+                    client = GalleryClient(transport)
+                    client.create_gallery_model("p", f"demand-{worker_id}")
+                    for index in range(10):
+                        client.upload_model(
+                            "p", f"demand-{worker_id}", f"w{worker_id}-{index}".encode()
+                        )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        total = gallery.dal.metadata.counts()["instances"]
+        assert total == 40
+
+
+class TestLifecycleAndErrors:
+    def test_double_start_rejected(self):
+        gallery = build_gallery()
+        server = GalleryTcpServer(GalleryService(gallery)).start()
+        try:
+            with pytest.raises(ServiceError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_connection_to_stopped_server_fails(self):
+        gallery = build_gallery()
+        server = GalleryTcpServer(GalleryService(gallery)).start()
+        host, port = server.address
+        server.stop()
+        transport = TcpTransport(host, port, timeout=1.0)
+        client = GalleryClient(transport)
+        with pytest.raises((ServiceError, OSError)):
+            client.get_model("x")
+
+    def test_context_manager_form(self):
+        gallery = build_gallery()
+        with GalleryTcpServer(GalleryService(gallery)) as server:
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                client = GalleryClient(transport)
+                model = client.create_gallery_model("p", "demand")
+                assert model["project"] == "p"

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation.des import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("late"))
+        queue.push(1.0, lambda: order.append("early"))
+        queue.push(3.0, lambda: order.append("middle"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        cancel = queue.push(0.5, lambda: None)
+        cancel.cancelled = True
+        assert queue.pop() is keep
+        assert len(queue) == 0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run_until(10.0)
+        assert times == [1.0, 2.5]
+        assert sim.now == 10.0
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("early"))
+        sim.schedule(50.0, lambda: fired.append("late"))
+        sim.run_until(10.0)
+        assert fired == ["early"]
+        assert sim.pending() == 1
+        sim.run_until(100.0)
+        assert fired == ["early", "late"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(1.0, lambda: chain(0))
+        sim.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(ValidationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(event)
+        sim.run_until(10.0)
+        assert fired == []
+
+    def test_run_all_bounded(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(ValidationError):
+            sim.run_all(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 3
+
+
+class TestRngStreams:
+    def test_streams_deterministic_per_seed(self):
+        a = Simulator(seed=7).stream("arrivals").random(5)
+        b = Simulator(seed=7).stream("arrivals").random(5)
+        assert list(a) == list(b)
+
+    def test_streams_independent_by_name(self):
+        sim = Simulator(seed=7)
+        arrivals = sim.stream("arrivals").random(5)
+        trips = sim.stream("trips").random(5)
+        assert list(arrivals) != list(trips)
+
+    def test_same_stream_returned_on_reuse(self):
+        sim = Simulator(seed=7)
+        assert sim.stream("x") is sim.stream("x")

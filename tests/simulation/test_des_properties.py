@@ -1,0 +1,62 @@
+"""Property-based tests for the DES kernel: causal event ordering."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.simulation.des import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=30))
+@settings(max_examples=200)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    simulator = Simulator()
+    fired: list[float] = []
+    for delay in delays:
+        simulator.schedule(delay, lambda: fired.append(simulator.now))
+    simulator.run_until(1000.0)
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10.0, allow_nan=False), min_size=1, max_size=10),
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_run_until_horizon_respected(delays, horizon):
+    simulator = Simulator()
+    fired: list[float] = []
+    for delay in delays:
+        simulator.schedule(delay, lambda: fired.append(simulator.now))
+    simulator.run_until(horizon)
+    assert all(t <= horizon for t in fired)
+    assert simulator.now >= horizon
+    expected = sum(1 for d in delays if d <= horizon)
+    assert len(fired) == expected
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False), max_size=15))
+@settings(max_examples=100)
+def test_cascading_schedules_preserve_causality(delays):
+    """An event scheduling a follow-up never sees time move backwards."""
+    simulator = Simulator()
+    observations: list[tuple[float, float]] = []
+
+    def make_callback(extra_delay):
+        def callback():
+            scheduled_at = simulator.now
+
+            def follow_up():
+                observations.append((scheduled_at, simulator.now))
+
+            simulator.schedule(extra_delay, follow_up)
+
+        return callback
+
+    for delay in delays:
+        simulator.schedule(delay, make_callback(delay))
+    simulator.run_until(100.0)
+    for scheduled_at, fired_at in observations:
+        assert fired_at >= scheduled_at

@@ -1,0 +1,140 @@
+"""Tests for the agent-based marketplace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation.des import Simulator
+from repro.simulation.marketplace import (
+    ConstantForecaster,
+    CurveForecaster,
+    Marketplace,
+    MarketplaceConfig,
+)
+
+
+def run_marketplace(demand_level=50.0, hours=48, n_drivers=40, seed=1, forecaster=None):
+    sim = Simulator(seed=seed)
+    config = MarketplaceConfig(n_drivers=n_drivers)
+    demand = np.full(hours, demand_level)
+    market = Marketplace(
+        sim, config, demand, forecaster or ConstantForecaster(demand_level)
+    )
+    metrics = market.run(hours)
+    return market, metrics
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MarketplaceConfig(n_drivers=0)
+        with pytest.raises(ValidationError):
+            MarketplaceConfig(rider_patience_min=0)
+
+
+class TestDynamics:
+    def test_riders_arrive_near_poisson_rate(self):
+        _, metrics = run_marketplace(demand_level=50.0, hours=48, n_drivers=100)
+        expected = 50.0 * 48
+        assert abs(metrics.riders_arrived - expected) < expected * 0.2
+
+    def test_conservation(self):
+        market, metrics = run_marketplace()
+        still_waiting = len(market._waiting)
+        assert (
+            metrics.trips_completed + metrics.riders_abandoned + still_waiting
+            == metrics.riders_arrived
+        )
+
+    def test_ample_supply_high_completion(self):
+        _, metrics = run_marketplace(demand_level=20.0, n_drivers=200)
+        assert metrics.completion_rate > 0.95
+        assert metrics.mean_wait_min < 1.0
+
+    def test_scarce_supply_causes_abandonment(self):
+        _, metrics = run_marketplace(demand_level=200.0, n_drivers=5)
+        assert metrics.riders_abandoned > 0
+        assert metrics.completion_rate < 0.5
+
+    def test_deterministic_given_seed(self):
+        _, a = run_marketplace(seed=9)
+        _, b = run_marketplace(seed=9)
+        assert a.trips_completed == b.trips_completed
+        assert a.total_revenue == b.total_revenue
+
+    def test_hourly_arrivals_recorded(self):
+        market, metrics = run_marketplace(hours=24)
+        recorded = sum(count for _, count in market.hourly_arrivals)
+        # every arrival before the final partial hour is recorded
+        assert recorded <= metrics.riders_arrived
+        assert len(market.hourly_arrivals) >= 22
+
+
+class TestSurgePricing:
+    def test_high_forecast_triggers_surge(self):
+        # forecast far above capacity -> surge hours and higher revenue
+        _, surged = run_marketplace(
+            demand_level=80.0, n_drivers=10, forecaster=ConstantForecaster(10_000.0)
+        )
+        _, base = run_marketplace(
+            demand_level=80.0, n_drivers=10, forecaster=ConstantForecaster(0.0)
+        )
+        assert surged.surge_hours > 0
+        assert base.surge_hours == 0
+        assert surged.total_revenue > base.total_revenue
+
+    def test_curve_forecaster_reads_curve(self):
+        forecaster = CurveForecaster(np.array([10.0, 20.0, 30.0]))
+        assert forecaster.forecast(1) == 20.0
+        assert forecaster.forecast(99) == 30.0  # clamps to last
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            Marketplace(
+                Simulator(), MarketplaceConfig(), np.array([]), ConstantForecaster(1.0)
+            )
+
+
+class TestPriceElasticity:
+    def test_elasticity_zero_never_balks(self):
+        _, metrics = run_marketplace(
+            demand_level=100.0, n_drivers=5,
+            forecaster=ConstantForecaster(10_000.0),
+        )
+        assert metrics.riders_balked == 0
+
+    def test_surge_with_elasticity_sheds_demand(self):
+        sim = Simulator(seed=2)
+        config = MarketplaceConfig(n_drivers=5, price_elasticity=1.5)
+        demand = np.full(48, 100.0)
+        market = Marketplace(sim, config, demand, ConstantForecaster(10_000.0))
+        metrics = market.run(48)
+        assert metrics.surge_hours > 0
+        assert metrics.riders_balked > 0
+        # conservation still holds with balking in the ledger
+        still_waiting = len(market._waiting)
+        assert (
+            metrics.trips_completed
+            + metrics.riders_abandoned
+            + metrics.riders_balked
+            + still_waiting
+            == metrics.riders_arrived
+        )
+
+    def test_balking_reduces_abandonment(self):
+        def run(elasticity):
+            sim = Simulator(seed=3)
+            config = MarketplaceConfig(n_drivers=5, price_elasticity=elasticity)
+            market = Marketplace(
+                sim, config, np.full(48, 100.0), ConstantForecaster(10_000.0)
+            )
+            return market.run(48)
+
+        rigid = run(0.0)
+        elastic = run(2.0)
+        # surge pricing's purpose: shedding demand cuts queueing failures
+        assert elastic.riders_abandoned < rigid.riders_abandoned
+
+    def test_negative_elasticity_rejected(self):
+        with pytest.raises(ValidationError):
+            MarketplaceConfig(price_elasticity=-0.5)

@@ -1,0 +1,99 @@
+"""Tests for the LRU blob cache (Section 3.5 read path)."""
+
+import pytest
+
+from repro.store.cache import LRUBlobCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUBlobCache(100)
+        assert cache.get("loc") is None
+        cache.put("loc", b"data")
+        assert cache.get("loc") == b"data"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUBlobCache(0)
+
+    def test_contains_and_len(self):
+        cache = LRUBlobCache(100)
+        cache.put("a", b"1")
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUBlobCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.get("a")               # refresh a
+        cache.put("c", b"12345")     # evicts b (least recent)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_enforced(self):
+        cache = LRUBlobCache(10)
+        cache.put("a", b"123456")
+        cache.put("b", b"123456")  # must evict a to fit
+        assert cache.stats.current_bytes <= 10
+        assert "a" not in cache
+
+    def test_oversized_blob_bypasses_cache(self):
+        cache = LRUBlobCache(10)
+        cache.put("big", b"x" * 11)
+        assert "big" not in cache
+        assert len(cache) == 0
+
+    def test_replacing_entry_adjusts_bytes(self):
+        cache = LRUBlobCache(100)
+        cache.put("a", b"x" * 50)
+        cache.put("a", b"y" * 10)
+        assert cache.stats.current_bytes == 10
+        assert cache.get("a") == b"y" * 10
+
+    def test_multiple_evictions_for_one_insert(self):
+        cache = LRUBlobCache(10)
+        for key in ("a", "b", "c"):
+            cache.put(key, b"xxx")
+        cache.put("d", b"x" * 9)
+        assert "d" in cache
+        assert cache.stats.current_bytes <= 10
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = LRUBlobCache(100)
+        cache.put("a", b"data")
+        assert cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.stats.current_bytes == 0
+
+    def test_invalidate_absent(self):
+        assert not LRUBlobCache(100).invalidate("ghost")
+
+    def test_clear(self):
+        cache = LRUBlobCache(100)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.current_bytes == 0
+
+
+class TestHitRate:
+    def test_hit_rate_math(self):
+        cache = LRUBlobCache(100)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("a")
+        cache.get("ghost")
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_zero_rate(self):
+        assert LRUBlobCache(10).stats.hit_rate == 0.0

@@ -1,0 +1,92 @@
+"""Property-based tests for the LRU blob cache invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.store.cache import LRUBlobCache
+
+CAPACITY = 64
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.sampled_from("abcdefgh"),
+            st.binary(min_size=0, max_size=40),
+        ),
+        st.tuples(st.just("get"), st.sampled_from("abcdefgh")),
+        st.tuples(st.just("invalidate"), st.sampled_from("abcdefgh")),
+    ),
+    max_size=60,
+)
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_byte_budget_and_consistency(ops):
+    cache = LRUBlobCache(CAPACITY)
+    shadow: dict[str, bytes] = {}
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            cache.put(key, value)
+            if len(value) <= CAPACITY:
+                shadow[key] = value
+        elif op[0] == "get":
+            _, key = op
+            result = cache.get(key)
+            if result is not None:
+                # a hit must return exactly what was last put
+                assert result == shadow[key]
+        else:
+            _, key = op
+            cache.invalidate(key)
+            shadow.pop(key, None)
+        # invariant: byte accounting never exceeds capacity
+        assert 0 <= cache.stats.current_bytes <= CAPACITY
+    # every cached entry agrees with the last write
+    for key in list(shadow):
+        cached = cache.get(key)
+        if cached is not None:
+            assert cached == shadow[key]
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Stateful test: the cache is always a subset of the last-written map."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LRUBlobCache(128)
+        self.written: dict[str, bytes] = {}
+
+    @rule(key=st.sampled_from("abcdef"), value=st.binary(max_size=50))
+    def put(self, key, value):
+        self.cache.put(key, value)
+        if len(value) <= 128:
+            self.written[key] = value
+
+    @rule(key=st.sampled_from("abcdef"))
+    def get(self, key):
+        result = self.cache.get(key)
+        if result is not None:
+            assert result == self.written[key]
+
+    @rule(key=st.sampled_from("abcdef"))
+    def invalidate(self, key):
+        self.cache.invalidate(key)
+
+    @invariant()
+    def bytes_within_budget(self):
+        assert 0 <= self.cache.stats.current_bytes <= 128
+
+    @invariant()
+    def length_matches_accounting(self):
+        # empty cache must report zero bytes
+        if len(self.cache) == 0:
+            assert self.cache.stats.current_bytes == 0
+
+
+TestCacheMachine = CacheMachine.TestCase

@@ -1,0 +1,147 @@
+"""Tests for the relational metadata stores (memory + SQLite parity)."""
+
+import pytest
+
+from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.errors import DuplicateError, MetadataStoreError, NotFoundError
+
+
+def model(mid="m1", **overrides):
+    defaults = dict(model_id=mid, project="p", base_version_id="demand")
+    defaults.update(overrides)
+    return Model(**defaults)
+
+
+def instance(iid="i1", mid="m1", **overrides):
+    defaults = dict(
+        instance_id=iid,
+        model_id=mid,
+        base_version_id="demand",
+        created_time=1.0,
+        metadata={"model_name": "rf", "city": "sf"},
+    )
+    defaults.update(overrides)
+    return ModelInstance(**defaults)
+
+
+def metric(mtid="mt1", iid="i1", **overrides):
+    defaults = dict(metric_id=mtid, instance_id=iid, name="mape", value=0.1)
+    defaults.update(overrides)
+    return MetricRecord(**defaults)
+
+
+class TestModels:
+    def test_insert_get_round_trip(self, metadata_store):
+        record = model(metadata={"k": "v"}, upstream_model_ids=("u",))
+        metadata_store.insert_model(record)
+        assert metadata_store.get_model("m1") == record
+
+    def test_duplicate_insert_rejected(self, metadata_store):
+        metadata_store.insert_model(model())
+        with pytest.raises(DuplicateError):
+            metadata_store.insert_model(model())
+
+    def test_get_missing_raises(self, metadata_store):
+        with pytest.raises(NotFoundError):
+            metadata_store.get_model("ghost")
+
+    def test_replace_allows_bookkeeping_fields(self, metadata_store):
+        metadata_store.insert_model(model())
+        metadata_store.replace_model(model(deprecated=True))
+        assert metadata_store.get_model("m1").deprecated
+
+    def test_replace_rejects_immutable_field_change(self, metadata_store):
+        metadata_store.insert_model(model(owner="alice"))
+        with pytest.raises(MetadataStoreError):
+            metadata_store.replace_model(model(owner="mallory"))
+
+    def test_iter_models(self, metadata_store):
+        metadata_store.insert_model(model("m1"))
+        metadata_store.insert_model(model("m2", base_version_id="supply"))
+        assert {m.model_id for m in metadata_store.iter_models()} == {"m1", "m2"}
+
+
+class TestInstances:
+    def test_insert_get_round_trip(self, metadata_store):
+        record = instance(blob_location="mem://b/1", instance_version="1.1")
+        metadata_store.insert_instance(record)
+        assert metadata_store.get_instance("i1") == record
+
+    def test_duplicate_rejected(self, metadata_store):
+        metadata_store.insert_instance(instance())
+        with pytest.raises(DuplicateError):
+            metadata_store.insert_instance(instance())
+
+    def test_instances_of_model_sorted_by_time(self, metadata_store):
+        metadata_store.insert_instance(instance("late", created_time=9.0))
+        metadata_store.insert_instance(instance("early", created_time=1.0))
+        ids = [i.instance_id for i in metadata_store.instances_of_model("m1")]
+        # memory store preserves insert order; sqlite sorts by created_time.
+        # Both must contain exactly these two instances.
+        assert set(ids) == {"early", "late"}
+
+    def test_instances_of_base_version(self, metadata_store):
+        metadata_store.insert_instance(instance("i1"))
+        metadata_store.insert_instance(
+            instance("i2", base_version_id="supply")
+        )
+        hits = metadata_store.instances_of_base_version("demand")
+        assert [i.instance_id for i in hits] == ["i1"]
+
+    def test_indexed_field_lookup(self, metadata_store):
+        metadata_store.insert_instance(instance("i1"))
+        metadata_store.insert_instance(
+            instance("i2", metadata={"model_name": "linear", "city": "nyc"})
+        )
+        sf = metadata_store.find_instances_by_field("city", "sf")
+        assert [i.instance_id for i in sf] == ["i1"]
+        rf = metadata_store.find_instances_by_field("model_name", "rf")
+        assert [i.instance_id for i in rf] == ["i1"]
+
+    def test_unindexed_field_lookup_falls_back_to_scan(self, metadata_store):
+        metadata_store.insert_instance(
+            instance("i1", metadata={"custom": "yes", "model_name": "rf"})
+        )
+        hits = metadata_store.find_instances_by_field("custom", "yes")
+        assert [i.instance_id for i in hits] == ["i1"]
+
+    def test_replace_instance_deprecation_only(self, metadata_store):
+        record = instance()
+        metadata_store.insert_instance(record)
+        metadata_store.replace_instance(record.deprecate())
+        assert metadata_store.get_instance("i1").deprecated
+        import dataclasses
+
+        with pytest.raises(MetadataStoreError):
+            metadata_store.replace_instance(
+                dataclasses.replace(record, blob_location="mem://moved")
+            )
+
+
+class TestMetrics:
+    def test_insert_and_query(self, metadata_store):
+        metadata_store.insert_metric(metric())
+        metadata_store.insert_metric(metric("mt2", name="bias", value=0.01))
+        records = metadata_store.metrics_of_instance("i1")
+        assert {m.name for m in records} == {"mape", "bias"}
+
+    def test_duplicate_metric_rejected(self, metadata_store):
+        metadata_store.insert_metric(metric())
+        with pytest.raises(DuplicateError):
+            metadata_store.insert_metric(metric())
+
+    def test_metrics_of_unknown_instance_empty(self, metadata_store):
+        assert metadata_store.metrics_of_instance("ghost") == []
+
+    def test_iter_metrics(self, metadata_store):
+        metadata_store.insert_metric(metric("mt1"))
+        metadata_store.insert_metric(metric("mt2", iid="i2"))
+        assert len(list(metadata_store.iter_metrics())) == 2
+
+
+class TestCounts:
+    def test_counts_per_table(self, metadata_store):
+        metadata_store.insert_model(model())
+        metadata_store.insert_instance(instance())
+        metadata_store.insert_metric(metric())
+        assert metadata_store.counts() == {"models": 1, "instances": 1, "metrics": 1}

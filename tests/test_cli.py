@@ -1,0 +1,157 @@
+"""Tests for the command-line interface (durable on-disk Gallery)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main([str(a) for a in argv])
+    output = capsys.readouterr().out
+    return code, json.loads(output)
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return tmp_path / "gallery"
+
+
+@pytest.fixture
+def blob_file(tmp_path):
+    path = tmp_path / "model.bin"
+    path.write_bytes(b"serialized-model-bytes")
+    return path
+
+
+class TestWorkflow:
+    def test_create_upload_query_fetch(self, capsys, data_dir, blob_file, tmp_path):
+        code, model = run(
+            capsys, "--data-dir", data_dir,
+            "create-model", "example-project", "supply_rejection",
+            "--owner", "cli-user",
+        )
+        assert code == 0 and model["owner"] == "cli-user"
+
+        code, instance = run(
+            capsys, "--data-dir", data_dir,
+            "upload", "example-project", "supply_rejection", blob_file,
+            "--meta", 'model_name="Random Forest"',
+            "--meta", "random_seed=7",
+        )
+        assert code == 0
+        assert instance["metadata"]["model_name"] == "Random Forest"
+        assert instance["metadata"]["random_seed"] == 7  # JSON-parsed
+
+        code, metric = run(
+            capsys, "--data-dir", data_dir,
+            "metric", instance["instance_id"], "bias", "0.05",
+        )
+        assert code == 0 and metric["value"] == 0.05
+
+        code, hits = run(
+            capsys, "--data-dir", data_dir,
+            "query",
+            'modelName:equal:"Random Forest"',
+            "metricName:equal:bias",
+            "metricValue:smaller_than:0.25",
+        )
+        assert code == 0
+        assert [h["instance_id"] for h in hits] == [instance["instance_id"]]
+
+        out_file = tmp_path / "restored.bin"
+        code, fetched = run(
+            capsys, "--data-dir", data_dir,
+            "fetch", instance["instance_id"], out_file,
+        )
+        assert code == 0
+        assert out_file.read_bytes() == b"serialized-model-bytes"
+
+    def test_state_persists_across_invocations(self, capsys, data_dir, blob_file):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file)
+        # a brand-new process (fresh main() call) sees the same registry
+        code, models = run(capsys, "--data-dir", data_dir, "models")
+        assert code == 0 and len(models) == 1
+        code, lineage = run(capsys, "--data-dir", data_dir, "lineage", "demand")
+        assert code == 0 and len(lineage) == 1
+
+    def test_lineage_and_metrics_listing(self, capsys, data_dir, blob_file):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        _, first = run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file)
+        _, second = run(
+            capsys, "--data-dir", data_dir,
+            "upload", "p", "demand", blob_file, "--parent", first["instance_id"],
+        )
+        code, chain = run(capsys, "--data-dir", data_dir, "lineage", "demand")
+        assert [e["instance_id"] for e in chain] == [
+            first["instance_id"], second["instance_id"],
+        ]
+        assert chain[1]["parent_instance_id"] == first["instance_id"]
+        run(capsys, "--data-dir", data_dir, "metric", first["instance_id"], "mape", "0.1")
+        code, metrics = run(
+            capsys, "--data-dir", data_dir, "metrics", first["instance_id"]
+        )
+        assert code == 0 and metrics[0]["name"] == "mape"
+
+    def test_health_and_deprecate(self, capsys, data_dir, blob_file):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        _, instance = run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file)
+        code, health = run(
+            capsys, "--data-dir", data_dir, "health", instance["instance_id"]
+        )
+        assert code == 0 and health["healthy"] is False
+        code, flagged = run(
+            capsys, "--data-dir", data_dir, "deprecate", instance["instance_id"]
+        )
+        assert code == 0 and flagged["deprecated"] is True
+        code, hits = run(capsys, "--data-dir", data_dir, "query")
+        assert hits == []
+        code, hits = run(
+            capsys, "--data-dir", data_dir, "query", "--include-deprecated"
+        )
+        assert len(hits) == 1
+
+    def test_audit_and_gc(self, capsys, data_dir, blob_file):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file)
+        code, audit = run(capsys, "--data-dir", data_dir, "audit")
+        assert code == 0 and audit["consistent"] is True
+        assert audit["summary"]["instances"] == 1
+        code, gc = run(capsys, "--data-dir", data_dir, "gc")
+        assert code == 0 and gc["removed_orphan_blobs"] == []
+
+
+class TestErrorPaths:
+    def test_gallery_errors_exit_nonzero_with_json(self, capsys, data_dir):
+        code, error = run(capsys, "--data-dir", data_dir, "get-instance", "ghost")
+        assert code == 1
+        assert error["error"] == "NotFoundError"
+
+    def test_missing_blob_file(self, capsys, data_dir):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        code, error = run(
+            capsys, "--data-dir", data_dir, "upload", "p", "demand", "/no/such/file"
+        )
+        assert code == 1 and error["error"] == "FileNotFoundError"
+
+    def test_bad_constraint_shape(self, capsys, data_dir):
+        with pytest.raises(SystemExit):
+            main(["--data-dir", str(data_dir), "query", "malformed-constraint"])
+
+    def test_bad_meta_shape(self, capsys, data_dir, tmp_path):
+        blob = tmp_path / "b.bin"
+        blob.write_bytes(b"x")
+        main(["--data-dir", str(data_dir), "create-model", "p", "demand"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(
+                ["--data-dir", str(data_dir), "upload", "p", "demand", str(blob),
+                 "--meta", "no-equals-sign"]
+            )
+
+    def test_duplicate_model_error(self, capsys, data_dir):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        code, error = run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        assert code == 1 and error["error"] == "ValidationError"

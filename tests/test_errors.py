@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy contract."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def all_error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_every_library_error_is_a_gallery_error(self):
+        for exc_class in all_error_classes():
+            assert issubclass(exc_class, errors.GalleryError), exc_class
+
+    def test_storage_family(self):
+        for exc_class in (
+            errors.BlobStoreError,
+            errors.MetadataStoreError,
+            errors.ConsistencyError,
+        ):
+            assert issubclass(exc_class, errors.StorageError)
+
+    def test_rule_family(self):
+        for exc_class in (
+            errors.RuleSyntaxError,
+            errors.RuleEvaluationError,
+            errors.RuleReviewError,
+            errors.ActionError,
+        ):
+            assert issubclass(exc_class, errors.RuleError)
+
+    def test_service_family(self):
+        for exc_class in (errors.WireFormatError, errors.UnknownMethodError):
+            assert issubclass(exc_class, errors.ServiceError)
+
+    def test_single_except_catches_everything(self):
+        for exc_class in all_error_classes():
+            with pytest.raises(errors.GalleryError):
+                raise exc_class("boom")
+
+    def test_messages_preserved(self):
+        try:
+            raise errors.NotFoundError("no model m1")
+        except errors.GalleryError as exc:
+            assert "no model m1" in str(exc)
