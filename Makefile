@@ -1,0 +1,12 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-all
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
+
+bench:
+	$(PYTHON) -m benchmarks.run_bench
+
+bench-all:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

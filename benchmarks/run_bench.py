@@ -1,0 +1,360 @@
+"""PERF-PR1 — concurrent read-path benchmark harness.
+
+Drives N concurrent TCP clients through the serving hot loop
+(``modelQuery`` / ``loadModelBlob`` / ``latestInstance``) against two
+builds of the same system:
+
+* **baseline** — emulates the pre-overhaul code: one shared SQLite
+  connection behind a global lock (``serialized=True``) and the legacy
+  ``model_query`` that issues one metrics query and one model fetch per
+  candidate (the N+1 pattern);
+* **current** — the shipped read path: per-thread WAL connections, batched
+  metric/model reads, and the document cache.
+
+Both scenarios run on identical data through the identical TCP harness, so
+the reported speedups isolate the read-path changes.  Results land in
+``BENCH_PR1.json`` at the repo root: p50/p95 latency, throughput, and cache
+hit rates per scenario — the trajectory later PRs have to beat.
+
+Run it with ``make bench``, ``python -m benchmarks.run_bench``, or
+``python benchmarks/run_bench.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import tempfile
+import threading
+import time
+import types
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.clock import ManualClock  # noqa: E402
+from repro.core.ids import SeededIdFactory  # noqa: E402
+from repro.core.registry import Gallery  # noqa: E402
+from repro.core.search import ConstraintSet, flatten_instance_document  # noqa: E402
+from repro.errors import NotFoundError  # noqa: E402
+from repro.service.client import GalleryClient  # noqa: E402
+from repro.service.server import GalleryService  # noqa: E402
+from repro.service.tcp import GalleryTcpServer, TcpTransport  # noqa: E402
+from repro.store.blob import InMemoryBlobStore  # noqa: E402
+from repro.store.cache import LRUBlobCache  # noqa: E402
+from repro.store.dal import DataAccessLayer  # noqa: E402
+from repro.store.metadata_store import SQLiteMetadataStore  # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+
+
+@dataclass
+class BenchConfig:
+    models: int = 10
+    instances_per_model: int = 100
+    cities: int = 10
+    metrics_per_instance: int = 8
+    clients: int = 8
+    queries_per_client: int = 25
+    mixed_ops_per_client: int = 15
+    single_thread_ops: int = 40
+    blob_bytes: int = 4096
+
+
+# ---------------------------------------------------------------------------
+# Scenario assembly
+# ---------------------------------------------------------------------------
+
+
+def build_gallery_for(mode: str, data_dir: str, cfg: BenchConfig) -> Gallery:
+    """A file-backed SQLite gallery; ``baseline`` forces the old locking."""
+    path = str(Path(data_dir) / f"gallery-{mode}.sqlite")
+    metadata = SQLiteMetadataStore(path, serialized=(mode == "baseline"))
+    dal = DataAccessLayer(metadata, InMemoryBlobStore(), LRUBlobCache(64 * 1024 * 1024))
+    return Gallery(dal, clock=ManualClock(), id_factory=SeededIdFactory(1234))
+
+
+def _legacy_dict(record) -> dict:
+    """The pre-overhaul record serialization: ``dataclasses.asdict``.
+
+    The overhaul replaced this deep-copying path with hand-rolled
+    ``to_dict`` methods, so the baseline has to reinstate it here to stay
+    faithful to what the old per-candidate loop actually cost.
+    """
+    data = dataclasses.asdict(record)
+    if "scope" in data:
+        data["scope"] = record.scope.value
+    return data
+
+
+def attach_legacy_query(gallery: Gallery) -> None:
+    """Reinstate the pre-overhaul per-candidate query loop on *gallery*."""
+
+    def legacy_model_query(self, constraints, include_deprecated=False):
+        constraint_set = ConstraintSet(constraints)
+        candidates = self._narrow_candidates(constraint_set)
+        results = []
+        for instance in candidates:
+            if instance.deprecated and not include_deprecated:
+                continue
+            try:
+                model = _legacy_dict(self.get_model(instance.model_id))
+            except NotFoundError:
+                model = None
+            document = flatten_instance_document(_legacy_dict(instance), model)
+            metrics = [
+                _legacy_dict(m) for m in self.metrics_of(instance.instance_id)
+            ]
+            if constraint_set.matches(document, metrics):
+                results.append(instance)
+        results.sort(key=lambda i: (i.created_time, i.instance_id))
+        return results
+
+    gallery.model_query = types.MethodType(legacy_model_query, gallery)
+
+
+def populate(gallery: Gallery, cfg: BenchConfig) -> list[dict]:
+    """Deterministic population shared by both scenarios."""
+    instances = []
+    for m in range(cfg.models):
+        base = f"demand-{m:02d}"
+        gallery.create_model("marketplace", base)
+        for i in range(cfg.instances_per_model):
+            instance = gallery.upload_model(
+                "marketplace",
+                base,
+                blob=bytes([i % 251]) * cfg.blob_bytes,
+                metadata={
+                    "model_name": "linear_regression",
+                    "city": f"city-{(m * cfg.instances_per_model + i) % cfg.cities:03d}",
+                },
+            )
+            gallery.insert_metrics(
+                instance.instance_id,
+                {
+                    **{
+                        f"aux-{k}": (i + k) / 100
+                        for k in range(cfg.metrics_per_instance - 1)
+                    },
+                    "mape": (i % 40) / 100,
+                },
+            )
+            instances.append(
+                {"instance_id": instance.instance_id, "base_version_id": base}
+            )
+    return instances
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _query_constraints(index: int, cfg: BenchConfig) -> list[dict]:
+    return [
+        {"field": "city", "operator": "equal", "value": f"city-{index % cfg.cities:03d}"},
+        {"field": "metricName", "operator": "equal", "value": "mape"},
+        {"field": "metricValue", "operator": "smaller_than", "value": 0.2},
+    ]
+
+
+def _run_clients(server, n_clients, per_client_ops):
+    """Run ``per_client_ops(client, thread_index, record)`` on N threads.
+
+    Returns (per-op latencies in seconds, wall seconds).  A barrier aligns
+    the start so the wall clock measures genuinely concurrent traffic.
+    """
+    host, port = server.address
+    latencies_per_thread: list[list[float]] = [[] for _ in range(n_clients)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def worker(index: int) -> None:
+        transport = TcpTransport(host, port)
+        client = GalleryClient(transport)
+        record = latencies_per_thread[index].append
+        try:
+            barrier.wait(timeout=30)
+            per_client_ops(client, index, record)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            transport.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return [lat for sub in latencies_per_thread for lat in sub], wall
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _summary(latencies: list[float], wall: float) -> dict:
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "ops": len(ordered),
+        "wall_s": round(wall, 4),
+        "throughput_ops_s": round(len(ordered) / wall, 2) if wall else 0.0,
+        "p50_ms": round(pct(0.50) * 1e3, 3),
+        "p95_ms": round(pct(0.95) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+    }
+
+
+def run_scenario(mode: str, cfg: BenchConfig) -> dict:
+    with tempfile.TemporaryDirectory(prefix=f"bench-{mode}-") as data_dir:
+        gallery = build_gallery_for(mode, data_dir, cfg)
+        instances = populate(gallery, cfg)
+        if mode == "baseline":
+            attach_legacy_query(gallery)
+        service = GalleryService(gallery)
+        result: dict = {"mode": mode}
+        with GalleryTcpServer(service) as server:
+            # Phase 1 — the headline: concurrent modelQuery throughput.
+            def query_ops(client, index, record):
+                for i in range(cfg.queries_per_client):
+                    constraints = _query_constraints(index + i, cfg)
+                    record(_timed(lambda: client.model_query(constraints)))
+
+            latencies, wall = _run_clients(server, cfg.clients, query_ops)
+            result["concurrent_model_query"] = _summary(latencies, wall)
+
+            # Phase 2 — mixed serving traffic: query + latest + blob fetch.
+            def mixed_ops(client, index, record):
+                for i in range(cfg.mixed_ops_per_client):
+                    constraints = _query_constraints(index + i, cfg)
+                    record(_timed(lambda: client.model_query(constraints)))
+                    base = instances[(index * 31 + i) % len(instances)][
+                        "base_version_id"
+                    ]
+                    record(_timed(lambda: client.latest_instance(base)))
+                    iid = instances[(index * 17 + i) % len(instances)][
+                        "instance_id"
+                    ]
+                    record(_timed(lambda: client.load_model_blob(iid)))
+
+            latencies, wall = _run_clients(server, cfg.clients, mixed_ops)
+            result["concurrent_mixed"] = _summary(latencies, wall)
+
+            # Phase 3 — single-threaded latency (the no-regression check).
+            def single_ops(client, index, record):
+                for i in range(cfg.single_thread_ops):
+                    constraints = _query_constraints(i, cfg)
+                    record(_timed(lambda: client.model_query(constraints)))
+                    iid = instances[(i * 13) % len(instances)]["instance_id"]
+                    record(_timed(lambda: client.load_model_blob(iid)))
+
+            latencies, wall = _run_clients(server, 1, single_ops)
+            result["single_thread"] = _summary(latencies, wall)
+
+        blob_stats = gallery.dal.cache.stats
+        result["blob_cache_hit_rate"] = round(blob_stats.hit_rate, 4)
+        result["document_cache"] = gallery.document_cache_stats()
+        result["document_cache"]["hit_rate"] = round(
+            result["document_cache"]["hit_rate"], 4
+        )
+        result["store"] = gallery.dal.metadata.connection_info()
+        gallery.dal.metadata.close()
+        return result
+
+
+def run(cfg: BenchConfig | None = None) -> dict:
+    cfg = cfg or BenchConfig()
+    baseline = run_scenario("baseline", cfg)
+    current = run_scenario("current", cfg)
+    speedup = {
+        "concurrent_model_query_throughput": round(
+            current["concurrent_model_query"]["throughput_ops_s"]
+            / max(baseline["concurrent_model_query"]["throughput_ops_s"], 1e-9),
+            2,
+        ),
+        "concurrent_mixed_throughput": round(
+            current["concurrent_mixed"]["throughput_ops_s"]
+            / max(baseline["concurrent_mixed"]["throughput_ops_s"], 1e-9),
+            2,
+        ),
+    }
+    single = {
+        "baseline_p50_ms": baseline["single_thread"]["p50_ms"],
+        "current_p50_ms": current["single_thread"]["p50_ms"],
+        "latency_ratio": round(
+            current["single_thread"]["p50_ms"]
+            / max(baseline["single_thread"]["p50_ms"], 1e-9),
+            3,
+        ),
+    }
+    return {
+        "benchmark": "PERF-PR1 concurrent read path",
+        "harness": "benchmarks/run_bench.py",
+        "config": asdict(cfg),
+        "baseline": baseline,
+        "current": current,
+        "speedup": speedup,
+        "single_thread": single,
+    }
+
+
+def write_results(results: dict, path: Path = OUTPUT_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def format_report(results: dict) -> list[str]:
+    lines = [
+        f"config: {results['config']}",
+        "",
+        f"{'scenario':<10}{'phase':<24}{'p50 ms':>9}{'p95 ms':>9}{'ops/s':>10}",
+    ]
+    for mode in ("baseline", "current"):
+        for phase in ("concurrent_model_query", "concurrent_mixed", "single_thread"):
+            row = results[mode][phase]
+            lines.append(
+                f"{mode:<10}{phase:<24}{row['p50_ms']:>9.2f}"
+                f"{row['p95_ms']:>9.2f}{row['throughput_ops_s']:>10.1f}"
+            )
+    lines += [
+        "",
+        f"speedup (8-client modelQuery throughput): "
+        f"{results['speedup']['concurrent_model_query_throughput']:.2f}x",
+        f"speedup (8-client mixed throughput):      "
+        f"{results['speedup']['concurrent_mixed_throughput']:.2f}x",
+        f"single-thread p50 ratio (current/baseline): "
+        f"{results['single_thread']['latency_ratio']:.3f}",
+        f"blob cache hit rate (current):     {results['current']['blob_cache_hit_rate']}",
+        f"document cache hit rate (current): "
+        f"{results['current']['document_cache']['hit_rate']}",
+    ]
+    return lines
+
+
+def main() -> int:
+    results = run()
+    path = write_results(results)
+    print("\n".join(format_report(results)))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

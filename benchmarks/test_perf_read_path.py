@@ -1,0 +1,38 @@
+"""PERF-PR1 — the concurrent read-path benchmark as a pytest gate.
+
+Runs the ``benchmarks/run_bench.py`` harness (8 concurrent TCP clients over
+a file-backed WAL SQLite gallery), writes ``BENCH_PR1.json`` at the repo
+root, and asserts the PR's acceptance criteria:
+
+* ≥ 3× concurrent ``modelQuery`` throughput versus the pre-overhaul code
+  (single locked connection + per-candidate N+1 queries), measured by the
+  same harness on the same data;
+* single-threaded latency not regressed by more than 5%.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+import run_bench
+
+
+def test_concurrent_read_path_speedup():
+    results = run_bench.run()
+    path = run_bench.write_results(results)
+    assert path.exists()
+
+    report("PERF-PR1_read_path", run_bench.format_report(results))
+
+    speedup = results["speedup"]["concurrent_model_query_throughput"]
+    assert speedup >= 3.0, (
+        f"concurrent modelQuery throughput only improved {speedup:.2f}x; "
+        "acceptance floor is 3x"
+    )
+    assert results["single_thread"]["latency_ratio"] <= 1.05, (
+        "single-threaded read latency regressed by more than 5%"
+    )
+    # the overhauled scenario really ran per-thread WAL connections
+    assert results["current"]["store"]["journal_mode"] == "wal"
+    assert not results["current"]["store"]["serialized"]
+    assert results["baseline"]["store"]["serialized"]

@@ -134,11 +134,23 @@ class Model:
         return dataclasses.replace(self, deprecated=True)
 
     def to_dict(self) -> dict[str, Any]:
-        data = dataclasses.asdict(self)
-        data["metadata"] = dict(self.metadata)
-        data["upstream_model_ids"] = list(self.upstream_model_ids)
-        data["downstream_model_ids"] = list(self.downstream_model_ids)
-        return data
+        # Hand-rolled: dataclasses.asdict deep-copies every field, which
+        # dominates the serving read path when thousands of records are
+        # serialized per query.
+        return {
+            "model_id": self.model_id,
+            "project": self.project,
+            "base_version_id": self.base_version_id,
+            "owner": self.owner,
+            "description": self.description,
+            "created_time": self.created_time,
+            "previous_model_id": self.previous_model_id,
+            "next_model_id": self.next_model_id,
+            "upstream_model_ids": list(self.upstream_model_ids),
+            "downstream_model_ids": list(self.downstream_model_ids),
+            "metadata": dict(self.metadata),
+            "deprecated": self.deprecated,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Model":
@@ -184,9 +196,17 @@ class ModelInstance:
         return dataclasses.replace(self, deprecated=True)
 
     def to_dict(self) -> dict[str, Any]:
-        data = dataclasses.asdict(self)
-        data["metadata"] = dict(self.metadata)
-        return data
+        return {
+            "instance_id": self.instance_id,
+            "model_id": self.model_id,
+            "base_version_id": self.base_version_id,
+            "blob_location": self.blob_location,
+            "instance_version": self.instance_version,
+            "parent_instance_id": self.parent_instance_id,
+            "created_time": self.created_time,
+            "metadata": dict(self.metadata),
+            "deprecated": self.deprecated,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ModelInstance":
@@ -229,10 +249,15 @@ class MetricRecord:
         object.__setattr__(self, "metadata", _frozen_metadata(self.metadata))
 
     def to_dict(self) -> dict[str, Any]:
-        data = dataclasses.asdict(self)
-        data["scope"] = self.scope.value
-        data["metadata"] = dict(self.metadata)
-        return data
+        return {
+            "metric_id": self.metric_id,
+            "instance_id": self.instance_id,
+            "name": self.name,
+            "value": self.value,
+            "scope": self.scope.value,
+            "created_time": self.created_time,
+            "metadata": dict(self.metadata),
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MetricRecord":

@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.rules.engine import CandidateDocument
 from repro.rules.events import Event, EventBus, EventKind
+from repro.store.cache import DocumentCache
 from repro.store.dal import DataAccessLayer
 
 #: Environment -> preferred metric scope when assembling rule contexts.
@@ -80,6 +81,10 @@ class Gallery:
         #: upload/metric/deprecate are read-modify-write across several
         #: in-memory indexes (lineage, dependency graph, lifecycle).
         self._write_lock = threading.RLock()
+        #: read-through cache of flattened model+instance search documents;
+        #: invalidated on the only paths that can change a document
+        #: (replace_model / replace_instance / deprecate*).
+        self._documents = DocumentCache()
         self.bus = bus or EventBus()
         self.dependencies = DependencyGraph()
         self.lineage = LineageTracker()
@@ -268,6 +273,7 @@ class Gallery:
         )
         self._dal.save_model(successor)
         self._dal.metadata.replace_model(old.with_next(new_id))
+        self._documents.invalidate_model(old_model_id)
         # The successor inherits the coordinate lookup and the dependency
         # wiring of its predecessor.
         self._model_by_base[(old.project, old.base_version_id)] = new_id
@@ -291,6 +297,7 @@ class Gallery:
         if model.deprecated:
             return model
         self._dal.metadata.replace_model(model.deprecate())
+        self._documents.invalidate_model(model_id)
         return self.get_model(model_id)
 
     # ------------------------------------------------------------------
@@ -316,6 +323,7 @@ class Gallery:
                     upstream_model_ids=down.upstream_model_ids + (upstream_id,),
                 )
             )
+            self._documents.invalidate_model(downstream_id)
         up = self.get_model(upstream_id)
         if downstream_id not in up.downstream_model_ids:
             self._dal.metadata.replace_model(
@@ -324,6 +332,7 @@ class Gallery:
                     downstream_model_ids=up.downstream_model_ids + (downstream_id,),
                 )
             )
+            self._documents.invalidate_model(upstream_id)
 
     # ------------------------------------------------------------------
     # Model instances (Listing 3)
@@ -435,6 +444,7 @@ class Gallery:
         if instance.deprecated:
             return instance
         self._dal.metadata.replace_instance(instance.deprecate())
+        self._documents.invalidate_instance(instance_id)
         if instance_id in self.lifecycle:
             current = self.lifecycle.stage_of(instance_id)
             if current is not LifecycleStage.DEPRECATED:
@@ -490,6 +500,7 @@ class Gallery:
         )
         return metric
 
+    @_locked
     def insert_metrics(
         self,
         instance_id: str,
@@ -497,17 +508,49 @@ class Gallery:
         scope: MetricScope | str = MetricScope.VALIDATION,
         metadata: Mapping[str, Any] | None = None,
     ) -> list[MetricRecord]:
-        """Record a ``<metric>:<value>`` blob as a batch (Section 3.3.3)."""
+        """Record a ``<metric>:<value>`` blob as a batch (Section 3.3.3).
+
+        The whole batch is persisted in one store transaction
+        (``executemany`` on the SQLite backend): either every metric lands
+        or none does, and the write lock is taken once, not per metric.
+        """
+        self.get_instance(instance_id)  # must exist
         batch_id = self._new_id()
         merged = dict(metadata) if metadata else {}
         merged["batch_id"] = batch_id
-        return [
-            self.insert_metric(instance_id, name, value, scope=scope, metadata=merged)
+        records = [
+            MetricRecord(
+                metric_id=self._new_id(),
+                instance_id=instance_id,
+                name=name,
+                value=value,
+                scope=scope,
+                created_time=self._clock.now(),
+                metadata=dict(merged),
+            )
             for name, value in values.items()
         ]
+        self._dal.save_metrics(records)
+        for record in records:
+            self.bus.publish(
+                Event(
+                    kind=EventKind.METRIC_UPDATED,
+                    timestamp=record.created_time,
+                    instance_id=instance_id,
+                    metric_name=record.name,
+                    payload={"value": record.value, "scope": record.scope.value},
+                )
+            )
+        return records
 
     def metrics_of(self, instance_id: str) -> list[MetricRecord]:
         return self._dal.metadata.metrics_of_instance(instance_id)
+
+    def metrics_for_instances(
+        self, instance_ids: Iterable[str]
+    ) -> dict[str, list[MetricRecord]]:
+        """Batched metric fetch: one store query for many instances."""
+        return self._dal.metadata.metrics_for_instances(list(instance_ids))
 
     def metric_history(
         self,
@@ -556,42 +599,92 @@ class Gallery:
         """
         constraint_set = ConstraintSet(constraints)
         candidates = self._narrow_candidates(constraint_set)
-        results: list[ModelInstance] = []
-        for instance in candidates:
-            if instance.deprecated and not include_deprecated:
-                continue
-            document = self._document_for(instance)
-            metrics = [m.to_dict() for m in self.metrics_of(instance.instance_id)]
-            if constraint_set.matches(document, metrics):
-                results.append(instance)
-        results.sort(key=lambda i: (i.created_time, i.instance_id))
-        return results
+        live = [
+            instance
+            for instance in candidates
+            if include_deprecated or not instance.deprecated
+        ]
+        documents = self._documents_for(live)
+        matched = [
+            instance
+            for instance in live
+            if constraint_set.matches_document(documents[instance.instance_id])
+        ]
+        if constraint_set.metric_constraints and matched:
+            # One batched query resolves every surviving candidate's metrics
+            # (the old code issued one query per candidate — the N+1 the
+            # query-counter test guards against).  An EQUAL metricName
+            # constraint is pushed down so only relevant rows are fetched,
+            # and the matcher only reads name/value/scope, so full record
+            # serialization is skipped.
+            metrics_map = self._dal.metadata.metrics_for_instances(
+                [instance.instance_id for instance in matched],
+                name=constraint_set.metric_name_hint(),
+            )
+            matched = [
+                instance
+                for instance in matched
+                if constraint_set.matches_metrics(
+                    {"name": m.name, "value": m.value, "scope": m.scope.value}
+                    for m in metrics_map.get(instance.instance_id, ())
+                )
+            ]
+        matched.sort(key=lambda i: (i.created_time, i.instance_id))
+        return matched
 
     def _narrow_candidates(self, constraint_set: ConstraintSet) -> list[ModelInstance]:
-        from repro.core.metadata import INDEXED_FIELDS
-        from repro.core.search import Operator
-
-        for constraint in constraint_set.document_constraints:
-            field_name = constraint.resolved_field
-            if constraint.operator is Operator.EQUAL:
-                if field_name in INDEXED_FIELDS:
-                    return self._dal.metadata.find_instances_by_field(
-                        field_name, constraint.value
-                    )
-                if field_name == "base_version_id":
-                    return self._dal.metadata.instances_of_base_version(
-                        constraint.value
-                    )
-                if field_name == "model_id":
-                    return self._dal.metadata.instances_of_model(constraint.value)
-        return list(self._dal.metadata.iter_instances())
+        hint = constraint_set.narrowing_hint()
+        if hint is None:
+            return list(self._dal.metadata.iter_instances())
+        kind, _field, value = hint
+        if kind == "field":
+            return self._dal.metadata.find_instances_by_field(_field, value)
+        if kind == "base_version":
+            return self._dal.metadata.instances_of_base_version(value)
+        return self._dal.metadata.instances_of_model(value)
 
     def _document_for(self, instance: ModelInstance) -> dict[str, Any]:
-        try:
-            model = self.get_model(instance.model_id).to_dict()
-        except NotFoundError:
-            model = None
-        return flatten_instance_document(instance.to_dict(), model)
+        return self._documents_for([instance])[instance.instance_id]
+
+    def _documents_for(
+        self, instances: Sequence[ModelInstance]
+    ) -> dict[str, dict[str, Any]]:
+        """Flattened search documents for a batch, via the document cache.
+
+        Cache misses are resolved with a single batched ``get_models`` call
+        for the distinct parent models, then cached per instance.
+        """
+        documents: dict[str, dict[str, Any]] = {}
+        missing: list[ModelInstance] = []
+        for instance in instances:
+            cached = self._documents.get(instance.instance_id)
+            if cached is not None:
+                documents[instance.instance_id] = cached
+            else:
+                missing.append(instance)
+        if missing:
+            models = self._dal.metadata.get_models(
+                {instance.model_id for instance in missing}
+            )
+            for instance in missing:
+                model = models.get(instance.model_id)
+                document = flatten_instance_document(
+                    instance.to_dict(), model.to_dict() if model else None
+                )
+                self._documents.put(instance.instance_id, instance.model_id, document)
+                documents[instance.instance_id] = document
+        return documents
+
+    def document_cache_stats(self) -> dict[str, Any]:
+        """Operational snapshot of the search-document cache."""
+        stats = self._documents.stats
+        return {
+            "entries": len(self._documents),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "invalidations": stats.invalidations,
+            "hit_rate": stats.hit_rate,
+        }
 
     # ------------------------------------------------------------------
     # Rule-engine integration (CandidateSource protocol)
@@ -617,13 +710,16 @@ class Gallery:
         else:
             instances = list(self._dal.metadata.iter_instances())
         preferred_scope = _ENVIRONMENT_SCOPE.get(environment.lower())
+        live = [instance for instance in instances if not instance.deprecated]
+        flattened = self._documents_for(live)
+        metrics_map = self._dal.metadata.metrics_for_instances(
+            [instance.instance_id for instance in live]
+        )
         documents: list[CandidateDocument] = []
-        for instance in instances:
-            if instance.deprecated:
-                continue
-            document = self._document_for(instance)
+        for instance in live:
+            document = flattened[instance.instance_id]
             document["metrics"] = self._latest_metrics(
-                instance.instance_id, preferred_scope
+                metrics_map.get(instance.instance_id, []), preferred_scope
             )
             documents.append(
                 CandidateDocument(instance_id=instance.instance_id, document=document)
@@ -632,11 +728,11 @@ class Gallery:
         return documents
 
     def _latest_metrics(
-        self, instance_id: str, preferred_scope: MetricScope | None
+        self, records: Iterable[MetricRecord], preferred_scope: MetricScope | None
     ) -> dict[str, float]:
         latest_any: dict[str, tuple[float, float]] = {}
         latest_scoped: dict[str, tuple[float, float]] = {}
-        for record in self.metrics_of(instance_id):
+        for record in records:
             stamp = (record.created_time, record.value)
             if record.name not in latest_any or stamp[0] >= latest_any[record.name][0]:
                 latest_any[record.name] = stamp

@@ -171,6 +171,48 @@ class ConstraintSet:
     def metric_constraints(self) -> Sequence[Constraint]:
         return self._metric
 
+    def narrowing_hint(self) -> tuple[str, str, Any] | None:
+        """Best single equality constraint for index-assisted narrowing.
+
+        Returns ``(kind, field, value)`` where ``kind`` is ``"field"`` (an
+        indexed standard-metadata column), ``"base_version"``, or
+        ``"model"`` — or None when no equality constraint can narrow the
+        scan.  Indexed fields win over id-based lookups regardless of
+        constraint order, so a query like ``[custom == x, city == sf]``
+        still narrows through the city index.
+        """
+        from repro.core.metadata import INDEXED_FIELDS
+
+        fallback: tuple[str, str, Any] | None = None
+        for constraint in self._document:
+            if constraint.operator is not Operator.EQUAL:
+                continue
+            field = constraint.resolved_field
+            if field in INDEXED_FIELDS:
+                return ("field", field, constraint.value)
+            if fallback is None and field == "base_version_id":
+                fallback = ("base_version", field, constraint.value)
+            elif fallback is None and field == "model_id":
+                fallback = ("model", field, constraint.value)
+        return fallback
+
+    def metric_name_hint(self) -> str | None:
+        """Metric name every satisfying record must carry, if one exists.
+
+        :meth:`matches_metrics` is correlated — a *single* record must
+        satisfy every metric constraint — so an EQUAL constraint on
+        ``metricName`` means only records with that exact name can ever
+        match.  The store can then push the name filter into the batched
+        fetch instead of parsing every metric row of every candidate.
+        """
+        for constraint in self._metric:
+            if (
+                constraint.field == "metricName"
+                and constraint.operator is Operator.EQUAL
+            ):
+                return constraint.value
+        return None
+
     def __len__(self) -> int:
         return len(self._document) + len(self._metric)
 

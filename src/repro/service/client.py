@@ -156,6 +156,12 @@ class GalleryClient:
     def metrics_of(self, instance_id: str) -> list[dict[str, Any]]:
         return self.call("metricsOf", instance_id=instance_id)
 
+    def metrics_for_instances(
+        self, instance_ids: list[str]
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Batched metricsOf: one round-trip for many instances."""
+        return self.call("metricsForInstances", instance_ids=list(instance_ids))
+
     # -- lifecycle / dependencies -----------------------------------------------------
 
     def deprecate_model(self, model_id: str) -> dict[str, Any]:

@@ -45,6 +45,7 @@ class GalleryService:
             "latestInstance": self._latest_instance,
             "instancesOf": self._instances_of,
             "metricsOf": self._metrics_of,
+            "metricsForInstances": self._metrics_for_instances,
             # lifecycle / deprecation
             "deprecateModel": self._deprecate_model,
             "deprecateInstance": self._deprecate_instance,
@@ -190,6 +191,15 @@ class GalleryService:
     def _metrics_of(self, instance_id: str) -> list[dict[str, Any]]:
         return [m.to_dict() for m in self._gallery.metrics_of(instance_id)]
 
+    def _metrics_for_instances(
+        self, instance_ids: list[str]
+    ) -> dict[str, list[dict[str, Any]]]:
+        metrics = self._gallery.metrics_for_instances(instance_ids)
+        return {
+            instance_id: [m.to_dict() for m in records]
+            for instance_id, records in metrics.items()
+        }
+
     def _deprecate_model(self, model_id: str) -> dict[str, Any]:
         return self._gallery.deprecate_model(model_id).to_dict()
 
@@ -243,11 +253,13 @@ class GalleryService:
 
     def _audit_storage(self) -> dict[str, Any]:
         audit = self._gallery.dal.audit_consistency()
+        summary = self._gallery.dal.storage_summary()
+        summary["document_cache"] = self._gallery.document_cache_stats()
         return {
             "consistent": audit.consistent,
             "orphan_blobs": list(audit.orphan_blobs),
             "dangling_instances": list(audit.dangling_instances),
-            "summary": self._gallery.dal.storage_summary(),
+            "summary": summary,
         }
 
     def _collect_orphans(self) -> list[str]:

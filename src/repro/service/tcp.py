@@ -62,6 +62,14 @@ def read_frame(sock: socket.socket) -> bytes | None:
 
 
 class _ConnectionHandler(socketserver.BaseRequestHandler):
+    def setup(self) -> None:  # pragma: no cover - exercised via client calls
+        # Request/response frames are small; Nagle buffering only adds
+        # latency on the serving hot path.
+        try:
+            self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
     def handle(self) -> None:  # pragma: no cover - exercised via client calls
         service: GalleryService = self.server.gallery_service  # type: ignore[attr-defined]
         while True:

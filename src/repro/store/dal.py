@@ -24,7 +24,7 @@ Consequences implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.records import MetricRecord, Model, ModelInstance
 from repro.errors import BlobStoreError, ConsistencyError, MetadataStoreError
@@ -100,6 +100,10 @@ class DataAccessLayer:
 
     def save_metric(self, metric: MetricRecord) -> None:
         self._metadata.insert_metric(metric)
+
+    def save_metrics(self, metrics: Sequence[MetricRecord]) -> None:
+        """Persist a metric batch atomically (single transaction)."""
+        self._metadata.insert_metrics(list(metrics))
 
     # -- read path -------------------------------------------------------------
 

@@ -14,6 +14,21 @@ records are immutable (Section 3.1).  The only sanctioned in-place change is
 :meth:`MetadataStore.replace_model` / :meth:`replace_instance`, which the
 registry uses exclusively for bookkeeping fields that the paper itself
 mutates: evolution pointers, dependency pointers, and the deprecation flag.
+
+Concurrency model (see ``docs/PERFORMANCE.md``):
+
+* File-backed SQLite runs in WAL mode with **one connection per thread**, so
+  readers proceed in parallel and never block behind each other or behind
+  the single serialized writer.
+* ``:memory:`` databases are private to one connection in SQLite, so that
+  configuration keeps the original shared-connection + lock arrangement.
+* Writers — including the read-modify-write ``replace_*`` immutability
+  checks — always serialize on one store-wide lock, which both preserves
+  the insert-only invariants and avoids SQLITE_BUSY storms.
+
+Batch surfaces (``get_models`` / ``instances_for_models`` /
+``metrics_for_instances`` / ``insert_metrics``) let the registry resolve a
+whole candidate set in O(1) queries instead of one query per record.
 """
 
 from __future__ import annotations
@@ -22,7 +37,7 @@ import json
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.metadata import INDEXED_FIELDS
 from repro.core.records import MetricRecord, Model, ModelInstance
@@ -36,6 +51,20 @@ _MUTABLE_MODEL_FIELDS = {
     "deprecated",
 }
 _MUTABLE_INSTANCE_FIELDS = {"deprecated"}
+
+#: Max ids per SQL ``IN (...)`` clause; SQLite's default host-parameter
+#: limit is 999, so batched lookups chunk below it.
+_IN_CLAUSE_CHUNK = 500
+
+
+def _chunked(ids: Sequence[Any], size: int = _IN_CLAUSE_CHUNK) -> Iterator[Sequence[Any]]:
+    for start in range(0, len(ids), size):
+        yield ids[start : start + size]
+
+
+def _unique(ids: Iterable[str]) -> list[str]:
+    """Preserve order, drop duplicates (dict insertion-order trick)."""
+    return list(dict.fromkeys(ids))
 
 
 def _assert_only_mutable_changed(
@@ -63,6 +92,10 @@ class MetadataStore(ABC):
     def get_model(self, model_id: str) -> Model: ...
 
     @abstractmethod
+    def get_models(self, model_ids: Iterable[str]) -> dict[str, Model]:
+        """Batch lookup; missing ids are simply absent from the result."""
+
+    @abstractmethod
     def replace_model(self, model: Model) -> None:
         """Replace a model record; only bookkeeping fields may differ."""
 
@@ -87,6 +120,13 @@ class MetadataStore(ABC):
     def instances_of_model(self, model_id: str) -> list[ModelInstance]: ...
 
     @abstractmethod
+    def instances_for_models(
+        self, model_ids: Iterable[str]
+    ) -> dict[str, list[ModelInstance]]:
+        """Batch variant of :meth:`instances_of_model`; every requested id
+        maps to a (possibly empty) list ordered by creation time."""
+
+    @abstractmethod
     def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]: ...
 
     @abstractmethod
@@ -99,7 +139,23 @@ class MetadataStore(ABC):
     def insert_metric(self, metric: MetricRecord) -> None: ...
 
     @abstractmethod
+    def insert_metrics(self, metrics: Sequence[MetricRecord]) -> None:
+        """Insert a batch of metrics atomically: all rows or none."""
+
+    @abstractmethod
     def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]: ...
+
+    @abstractmethod
+    def metrics_for_instances(
+        self, instance_ids: Iterable[str], name: str | None = None
+    ) -> dict[str, list[MetricRecord]]:
+        """Batch variant of :meth:`metrics_of_instance`; every requested id
+        maps to a (possibly empty) list.
+
+        When *name* is given, only metrics with that name are returned — a
+        pushdown that lets equality constraints on ``metricName`` skip
+        fetching (and parsing) every other metric row.
+        """
 
     @abstractmethod
     def iter_metrics(self) -> Iterator[MetricRecord]: ...
@@ -112,7 +168,13 @@ class MetadataStore(ABC):
 
 
 class InMemoryMetadataStore(MetadataStore):
-    """Dictionary-backed metadata store with hand-maintained indexes."""
+    """Dictionary-backed metadata store with hand-maintained indexes.
+
+    Lookup results are ordered by ``(created_time, insertion order)`` to
+    match the SQLite backend's ``ORDER BY created_time``, so the two
+    backends return identical candidate sequences (the ABL-BACKEND parity
+    requirement).
+    """
 
     def __init__(self) -> None:
         self._models: dict[str, Model] = {}
@@ -122,6 +184,11 @@ class InMemoryMetadataStore(MetadataStore):
         self._instances_by_base: dict[str, list[str]] = {}
         self._metrics_by_instance: dict[str, list[str]] = {}
         self._field_index: dict[tuple[str, Any], list[str]] = {}
+
+    def _ordered(self, instance_ids: list[str]) -> list[ModelInstance]:
+        instances = [self._instances[i] for i in instance_ids]
+        instances.sort(key=lambda inst: inst.created_time)  # stable: ties keep insert order
+        return instances
 
     # -- models -------------------------------------------------------------
 
@@ -135,6 +202,13 @@ class InMemoryMetadataStore(MetadataStore):
             return self._models[model_id]
         except KeyError:
             raise NotFoundError(f"no model {model_id!r}") from None
+
+    def get_models(self, model_ids: Iterable[str]) -> dict[str, Model]:
+        return {
+            model_id: self._models[model_id]
+            for model_id in _unique(model_ids)
+            if model_id in self._models
+        }
 
     def replace_model(self, model: Model) -> None:
         old = self.get_model(model.model_id)
@@ -184,22 +258,28 @@ class InMemoryMetadataStore(MetadataStore):
         return iter(list(self._instances.values()))
 
     def instances_of_model(self, model_id: str) -> list[ModelInstance]:
-        ids = self._instances_by_model.get(model_id, [])
-        return [self._instances[i] for i in ids]
+        return self._ordered(self._instances_by_model.get(model_id, []))
+
+    def instances_for_models(
+        self, model_ids: Iterable[str]
+    ) -> dict[str, list[ModelInstance]]:
+        return {
+            model_id: self.instances_of_model(model_id)
+            for model_id in _unique(model_ids)
+        }
 
     def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]:
-        ids = self._instances_by_base.get(base_version_id, [])
-        return [self._instances[i] for i in ids]
+        return self._ordered(self._instances_by_base.get(base_version_id, []))
 
     def find_instances_by_field(self, field: str, value: Any) -> list[ModelInstance]:
         if field in INDEXED_FIELDS:
-            ids = self._field_index.get((field, value), [])
-            return [self._instances[i] for i in ids]
-        return [
-            inst
+            return self._ordered(self._field_index.get((field, value), []))
+        hits = [
+            inst.instance_id
             for inst in self._instances.values()
             if inst.metadata.get(field) == value
         ]
+        return self._ordered(hits)
 
     # -- metrics --------------------------------------------------------------
 
@@ -211,9 +291,31 @@ class InMemoryMetadataStore(MetadataStore):
             metric.metric_id
         )
 
+    def insert_metrics(self, metrics: Sequence[MetricRecord]) -> None:
+        # Validate the whole batch before touching any index so a duplicate
+        # anywhere leaves the store untouched (matches SQLite's rollback).
+        seen: set[str] = set()
+        for metric in metrics:
+            if metric.metric_id in self._metrics or metric.metric_id in seen:
+                raise DuplicateError(f"metric {metric.metric_id!r} already exists")
+            seen.add(metric.metric_id)
+        for metric in metrics:
+            self.insert_metric(metric)
+
     def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]:
         ids = self._metrics_by_instance.get(instance_id, [])
         return [self._metrics[i] for i in ids]
+
+    def metrics_for_instances(
+        self, instance_ids: Iterable[str], name: str | None = None
+    ) -> dict[str, list[MetricRecord]]:
+        out: dict[str, list[MetricRecord]] = {}
+        for instance_id in _unique(instance_ids):
+            records = self.metrics_of_instance(instance_id)
+            if name is not None:
+                records = [m for m in records if m.name == name]
+            out[instance_id] = records
+        return out
 
     def iter_metrics(self) -> Iterator[MetricRecord]:
         return iter(list(self._metrics.values()))
@@ -258,6 +360,7 @@ CREATE TABLE IF NOT EXISTS metrics (
 );
 CREATE INDEX IF NOT EXISTS idx_metrics_instance ON metrics(instance_id);
 CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics(name);
+CREATE INDEX IF NOT EXISTS idx_metrics_instance_name ON metrics(instance_id, name);
 """
 
 
@@ -267,69 +370,178 @@ class SQLiteMetadataStore(MetadataStore):
     Records are persisted as JSON documents alongside promoted, indexed
     columns for the standard search fields, mirroring how a production
     deployment keeps a flexible document column plus hot query columns.
+
+    File-backed databases open **one connection per thread** (WAL journal,
+    ``synchronous=NORMAL``), so the threaded TCP server's readers run in
+    parallel; writes always serialize on the store-wide lock.  ``:memory:``
+    databases are private to a single SQLite connection, so that
+    configuration — and any store built with ``serialized=True`` — keeps
+    the original shared-connection + global-lock behaviour.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        # check_same_thread=False + a lock lets the rule engine's worker
-        # threads share one connection safely.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._lock = threading.RLock()
-        with self._lock:
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+    def __init__(self, path: str = ":memory:", serialized: bool | None = None) -> None:
+        self._path = path
+        is_memory = path == ":memory:" or "mode=memory" in path
+        self._serialized = is_memory if serialized is None else (serialized or is_memory)
+        self._write_lock = threading.RLock()
+        self._local = threading.local()
+        self._all_connections: list[sqlite3.Connection] = []
+        self._connections_guard = threading.Lock()
+        self._closed = False
+        if self._serialized:
+            self._shared = self._open_connection(apply_wal=False)
+        else:
+            self._shared = None
+        with self._write_lock:
+            conn = self._connection()
+            conn.executescript(_SCHEMA)
+            conn.commit()
+
+    # -- connection management ----------------------------------------------
+
+    def _open_connection(self, apply_wal: bool) -> sqlite3.Connection:
+        # check_same_thread=False so close() can reap connections owned by
+        # exited worker threads; each connection is still used by one thread
+        # (or under the global lock in serialized mode).
+        conn = sqlite3.connect(self._path, check_same_thread=False, timeout=30.0)
+        if apply_wal:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+        with self._connections_guard:
+            self._all_connections.append(conn)
+        return conn
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._closed:
+            raise MetadataStoreError("metadata store is closed")
+        if self._serialized:
+            return self._shared  # type: ignore[return-value]
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._open_connection(apply_wal=True)
+            self._local.conn = conn
+        return conn
+
+    def connection_info(self) -> dict[str, Any]:
+        """Operational introspection for tests and the perf harness."""
+        conn = self._connection()
+        journal_mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        with self._connections_guard:
+            open_connections = len(self._all_connections)
+        return {
+            "path": self._path,
+            "serialized": self._serialized,
+            "journal_mode": str(journal_mode),
+            "open_connections": open_connections,
+        }
 
     def close(self) -> None:
-        with self._lock:
-            self._conn.close()
+        with self._write_lock:
+            self._closed = True
+            with self._connections_guard:
+                connections, self._all_connections = self._all_connections, []
+            for conn in connections:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - best-effort reap
+                    pass
 
-    def _execute(self, sql: str, params: tuple[Any, ...] = ()) -> sqlite3.Cursor:
-        with self._lock:
+    # -- statement helpers ----------------------------------------------------
+
+    def _read(self, sql: str, params: tuple[Any, ...] = ()) -> list[tuple]:
+        """Run a SELECT; lock-free on per-thread WAL connections."""
+        if self._serialized:
+            with self._write_lock:
+                return self._read_unlocked(sql, params)
+        return self._read_unlocked(sql, params)
+
+    def _read_unlocked(self, sql: str, params: tuple[Any, ...]) -> list[tuple]:
+        try:
+            return self._connection().execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise MetadataStoreError(str(exc)) from exc
+
+    def _write(self, sql: str, params: tuple[Any, ...] = ()) -> None:
+        with self._write_lock:
+            conn = self._connection()
             try:
-                cursor = self._conn.execute(sql, params)
-                self._conn.commit()
-                return cursor
+                conn.execute(sql, params)
+                conn.commit()
             except sqlite3.IntegrityError as exc:
-                self._conn.rollback()
+                conn.rollback()
                 raise DuplicateError(str(exc)) from exc
             except sqlite3.Error as exc:
-                self._conn.rollback()
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def _write_many(self, sql: str, rows: Sequence[tuple[Any, ...]]) -> None:
+        """Execute one statement for many rows in a single transaction."""
+        if not rows:
+            return
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                conn.executemany(sql, rows)
+                conn.commit()
+            except sqlite3.IntegrityError as exc:
+                conn.rollback()
+                raise DuplicateError(str(exc)) from exc
+            except sqlite3.Error as exc:
+                conn.rollback()
                 raise MetadataStoreError(str(exc)) from exc
 
     # -- models -------------------------------------------------------------
 
     def insert_model(self, model: Model) -> None:
-        self._execute(
+        self._write(
             "INSERT INTO models (model_id, record) VALUES (?, ?)",
             (model.model_id, json.dumps(model.to_dict())),
         )
 
     def get_model(self, model_id: str) -> Model:
-        row = self._execute(
+        rows = self._read(
             "SELECT record FROM models WHERE model_id = ?", (model_id,)
-        ).fetchone()
-        if row is None:
+        )
+        if not rows:
             raise NotFoundError(f"no model {model_id!r}")
-        return Model.from_dict(json.loads(row[0]))
+        return Model.from_dict(json.loads(rows[0][0]))
+
+    def get_models(self, model_ids: Iterable[str]) -> dict[str, Model]:
+        out: dict[str, Model] = {}
+        for chunk in _chunked(_unique(model_ids)):
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._read(
+                f"SELECT record FROM models WHERE model_id IN ({placeholders})",  # noqa: S608
+                tuple(chunk),
+            )
+            for (record,) in rows:
+                model = Model.from_dict(json.loads(record))
+                out[model.model_id] = model
+        return out
 
     def replace_model(self, model: Model) -> None:
-        old = self.get_model(model.model_id)
-        _assert_only_mutable_changed(
-            old.to_dict(), model.to_dict(), _MUTABLE_MODEL_FIELDS, "model"
-        )
-        self._execute(
-            "UPDATE models SET record = ? WHERE model_id = ?",
-            (json.dumps(model.to_dict()), model.model_id),
-        )
+        # Hold the write lock across read-check-update so the immutability
+        # check and the UPDATE are one atomic step under concurrency.
+        with self._write_lock:
+            old = self.get_model(model.model_id)
+            _assert_only_mutable_changed(
+                old.to_dict(), model.to_dict(), _MUTABLE_MODEL_FIELDS, "model"
+            )
+            self._write(
+                "UPDATE models SET record = ? WHERE model_id = ?",
+                (json.dumps(model.to_dict()), model.model_id),
+            )
 
     def iter_models(self) -> Iterator[Model]:
-        rows = self._execute("SELECT record FROM models").fetchall()
+        rows = self._read("SELECT record FROM models")
         return (Model.from_dict(json.loads(r[0])) for r in rows)
 
     # -- instances ------------------------------------------------------------
 
     def insert_instance(self, instance: ModelInstance) -> None:
         meta = instance.metadata
-        self._execute(
+        self._write(
             "INSERT INTO instances (instance_id, model_id, base_version_id,"
             " model_name, model_type, model_domain, city, team,"
             " serving_environment, created_time, record)"
@@ -350,84 +562,137 @@ class SQLiteMetadataStore(MetadataStore):
         )
 
     def get_instance(self, instance_id: str) -> ModelInstance:
-        row = self._execute(
+        rows = self._read(
             "SELECT record FROM instances WHERE instance_id = ?", (instance_id,)
-        ).fetchone()
-        if row is None:
+        )
+        if not rows:
             raise NotFoundError(f"no model instance {instance_id!r}")
-        return ModelInstance.from_dict(json.loads(row[0]))
+        return ModelInstance.from_dict(json.loads(rows[0][0]))
 
     def replace_instance(self, instance: ModelInstance) -> None:
-        old = self.get_instance(instance.instance_id)
-        _assert_only_mutable_changed(
-            old.to_dict(), instance.to_dict(), _MUTABLE_INSTANCE_FIELDS, "instance"
-        )
-        self._execute(
-            "UPDATE instances SET record = ? WHERE instance_id = ?",
-            (json.dumps(instance.to_dict()), instance.instance_id),
-        )
+        with self._write_lock:
+            old = self.get_instance(instance.instance_id)
+            _assert_only_mutable_changed(
+                old.to_dict(), instance.to_dict(), _MUTABLE_INSTANCE_FIELDS, "instance"
+            )
+            self._write(
+                "UPDATE instances SET record = ? WHERE instance_id = ?",
+                (json.dumps(instance.to_dict()), instance.instance_id),
+            )
 
     def iter_instances(self) -> Iterator[ModelInstance]:
-        rows = self._execute("SELECT record FROM instances").fetchall()
+        rows = self._read("SELECT record FROM instances")
         return (ModelInstance.from_dict(json.loads(r[0])) for r in rows)
 
     def instances_of_model(self, model_id: str) -> list[ModelInstance]:
-        rows = self._execute(
+        rows = self._read(
             "SELECT record FROM instances WHERE model_id = ? ORDER BY created_time",
             (model_id,),
-        ).fetchall()
+        )
         return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
 
+    def instances_for_models(
+        self, model_ids: Iterable[str]
+    ) -> dict[str, list[ModelInstance]]:
+        requested = _unique(model_ids)
+        out: dict[str, list[ModelInstance]] = {model_id: [] for model_id in requested}
+        for chunk in _chunked(requested):
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._read(
+                "SELECT record FROM instances WHERE model_id IN"  # noqa: S608
+                f" ({placeholders}) ORDER BY created_time",
+                tuple(chunk),
+            )
+            for (record,) in rows:
+                instance = ModelInstance.from_dict(json.loads(record))
+                out[instance.model_id].append(instance)
+        return out
+
     def instances_of_base_version(self, base_version_id: str) -> list[ModelInstance]:
-        rows = self._execute(
+        rows = self._read(
             "SELECT record FROM instances WHERE base_version_id = ?"
             " ORDER BY created_time",
             (base_version_id,),
-        ).fetchall()
+        )
         return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
 
     def find_instances_by_field(self, field: str, value: Any) -> list[ModelInstance]:
         if field in INDEXED_FIELDS:
-            rows = self._execute(
+            rows = self._read(
                 f"SELECT record FROM instances WHERE {field} = ?"  # noqa: S608
                 " ORDER BY created_time",
                 (value,),
-            ).fetchall()
+            )
             return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
-        return [
+        hits = [
             inst for inst in self.iter_instances() if inst.metadata.get(field) == value
         ]
+        hits.sort(key=lambda inst: inst.created_time)
+        return hits
 
     # -- metrics ----------------------------------------------------------------
 
+    @staticmethod
+    def _metric_row(metric: MetricRecord) -> tuple[Any, ...]:
+        return (
+            metric.metric_id,
+            metric.instance_id,
+            metric.name,
+            metric.value,
+            json.dumps(metric.to_dict()),
+        )
+
     def insert_metric(self, metric: MetricRecord) -> None:
-        self._execute(
+        self._write(
             "INSERT INTO metrics (metric_id, instance_id, name, value, record)"
             " VALUES (?, ?, ?, ?, ?)",
-            (
-                metric.metric_id,
-                metric.instance_id,
-                metric.name,
-                metric.value,
-                json.dumps(metric.to_dict()),
-            ),
+            self._metric_row(metric),
+        )
+
+    def insert_metrics(self, metrics: Sequence[MetricRecord]) -> None:
+        self._write_many(
+            "INSERT INTO metrics (metric_id, instance_id, name, value, record)"
+            " VALUES (?, ?, ?, ?, ?)",
+            [self._metric_row(metric) for metric in metrics],
         )
 
     def metrics_of_instance(self, instance_id: str) -> list[MetricRecord]:
-        rows = self._execute(
+        rows = self._read(
             "SELECT record FROM metrics WHERE instance_id = ?", (instance_id,)
-        ).fetchall()
+        )
         return [MetricRecord.from_dict(json.loads(r[0])) for r in rows]
 
+    def metrics_for_instances(
+        self, instance_ids: Iterable[str], name: str | None = None
+    ) -> dict[str, list[MetricRecord]]:
+        requested = _unique(instance_ids)
+        out: dict[str, list[MetricRecord]] = {
+            instance_id: [] for instance_id in requested
+        }
+        for chunk in _chunked(requested):
+            placeholders = ",".join("?" * len(chunk))
+            sql = (
+                "SELECT record FROM metrics WHERE instance_id IN"  # noqa: S608
+                f" ({placeholders})"
+            )
+            params: tuple[Any, ...] = tuple(chunk)
+            if name is not None:
+                sql += " AND name = ?"
+                params += (name,)
+            for (record,) in self._read(sql, params):
+                metric = MetricRecord.from_dict(json.loads(record))
+                out[metric.instance_id].append(metric)
+        return out
+
     def iter_metrics(self) -> Iterator[MetricRecord]:
-        rows = self._execute("SELECT record FROM metrics").fetchall()
+        rows = self._read("SELECT record FROM metrics")
         return (MetricRecord.from_dict(json.loads(r[0])) for r in rows)
 
     def counts(self) -> dict[str, int]:
         out = {}
         for table in ("models", "instances", "metrics"):
-            row = self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()  # noqa: S608
-            out[table] = int(row[0])
+            rows = self._read(f"SELECT COUNT(*) FROM {table}")  # noqa: S608
+            out[table] = int(rows[0][0])
         return out
 
 

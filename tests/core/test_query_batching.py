@@ -1,0 +1,152 @@
+"""The read path issues O(1) store queries, not O(candidates).
+
+``Gallery.model_query`` historically fetched each candidate's metrics (and
+parent model) one query at a time — the classic N+1 pattern.  These tests
+wrap the metadata store in a call-counting proxy and pin the rewritten
+contract: one batched metrics query per search, one batched model fetch per
+cold document batch, and zero per-candidate lookups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.ids import SeededIdFactory
+from repro.core.registry import Gallery
+from repro.store.blob import InMemoryBlobStore
+from repro.store.cache import LRUBlobCache
+from repro.store.dal import DataAccessLayer
+from repro.store.metadata_store import MetadataStore
+
+
+class CountingStore(MetadataStore):
+    """Transparent proxy that counts calls per MetadataStore method."""
+
+    def __init__(self, inner: MetadataStore) -> None:
+        self._inner = inner
+        self.calls: dict[str, int] = {}
+
+    def _forward(self, method_name, /, *args, **kwargs):
+        self.calls[method_name] = self.calls.get(method_name, 0) + 1
+        return getattr(self._inner, method_name)(*args, **kwargs)
+
+    def reset(self) -> None:
+        self.calls.clear()
+
+    def count(self, name: str) -> int:
+        return self.calls.get(name, 0)
+
+
+def _make_forwarder(name):
+    def method(self, *args, **kwargs):
+        return self._forward(name, *args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+for _name in MetadataStore.__abstractmethods__:
+    setattr(CountingStore, _name, _make_forwarder(_name))
+CountingStore.__abstractmethods__ = frozenset()
+
+
+N_CANDIDATES = 40
+
+
+@pytest.fixture
+def counted(metadata_store):
+    """A Gallery over a counting proxy, populated with many candidates."""
+    store = CountingStore(metadata_store)
+    dal = DataAccessLayer(store, InMemoryBlobStore(), LRUBlobCache(1 << 20))
+    gallery = Gallery(
+        dal, clock=ManualClock(), id_factory=SeededIdFactory(7)
+    )
+    gallery.create_model("p", "demand")
+    for index in range(N_CANDIDATES):
+        instance = gallery.upload_model(
+            "p",
+            "demand",
+            blob=b"m",
+            metadata={"model_name": "rf", "city": "sf"},
+        )
+        gallery.insert_metrics(
+            instance.instance_id, {"mape": index / 100, "bias": 0.01}
+        )
+    store.reset()
+    return gallery, store
+
+
+CITY_QUERY = [
+    {"field": "city", "operator": "equal", "value": "sf"},
+    {"field": "metricName", "operator": "equal", "value": "mape"},
+    {"field": "metricValue", "operator": "smaller_than", "value": 0.2},
+]
+
+
+class TestModelQueryIsBatched:
+    def test_metric_queries_are_constant_not_per_candidate(self, counted):
+        gallery, store = counted
+        hits = gallery.model_query(CITY_QUERY)
+        assert len(hits) == 20
+        assert store.count("metrics_of_instance") == 0, "N+1 metric reads are back"
+        assert store.count("metrics_for_instances") == 1
+        # candidate narrowing is one indexed lookup, not a full scan
+        assert store.count("find_instances_by_field") == 1
+        assert store.count("iter_instances") == 0
+
+    def test_model_fetches_batched_then_cached(self, counted):
+        gallery, store = counted
+        gallery.model_query(CITY_QUERY)
+        assert store.count("get_model") == 0, "per-candidate model reads are back"
+        assert store.count("get_models") == 1
+        store.reset()
+        # warm document cache: the second query re-fetches no models at all
+        gallery.model_query(CITY_QUERY)
+        assert store.count("get_models") == 0
+        assert store.count("metrics_for_instances") == 1
+
+    def test_document_only_query_touches_no_metric_tables(self, counted):
+        gallery, store = counted
+        hits = gallery.model_query(
+            [{"field": "city", "operator": "equal", "value": "sf"}]
+        )
+        assert len(hits) == N_CANDIDATES
+        assert store.count("metrics_for_instances") == 0
+        assert store.count("metrics_of_instance") == 0
+
+
+class TestDocumentCacheInvalidation:
+    def test_deprecate_instance_invalidates_document(self, counted):
+        gallery, store = counted
+        hits = gallery.model_query(CITY_QUERY)
+        victim = hits[0].instance_id
+        gallery.deprecate_instance(victim)
+        remaining = gallery.model_query(CITY_QUERY)
+        assert victim not in {i.instance_id for i in remaining}
+        # but it resurfaces when deprecated instances are included
+        included = gallery.model_query(CITY_QUERY, include_deprecated=True)
+        doc_hit = next(i for i in included if i.instance_id == victim)
+        assert doc_hit.deprecated
+
+    def test_model_change_invalidates_member_documents(self, counted):
+        gallery, store = counted
+        gallery.model_query(CITY_QUERY)  # warm the cache
+        model = gallery.find_model("p", "demand")
+        gallery.deprecate_model(model.model_id)
+        store.reset()
+        gallery.model_query(CITY_QUERY)
+        # every cached document was dropped, so models are re-fetched once
+        assert store.count("get_models") == 1
+
+    def test_rule_candidates_see_fresh_metrics(self, counted):
+        gallery, store = counted
+        docs = gallery.candidate_documents("production")
+        assert len(docs) == N_CANDIDATES
+        # batched: one metrics query for the whole candidate pool
+        assert store.count("metrics_for_instances") == 1
+        assert store.count("metrics_of_instance") == 0
+        target = docs[0].instance_id
+        gallery.insert_metric(target, "fresh", 1.23, scope="Production")
+        updated = gallery.candidate_documents("production", instance_id=target)
+        assert updated[0].document["metrics"]["fresh"] == 1.23

@@ -1,8 +1,10 @@
 """Tests for the LRU blob cache (Section 3.5 read path)."""
 
+import threading
+
 import pytest
 
-from repro.store.cache import LRUBlobCache
+from repro.store.cache import DocumentCache, LRUBlobCache
 
 
 class TestBasics:
@@ -97,3 +99,111 @@ class TestHitRate:
 
     def test_empty_cache_zero_rate(self):
         assert LRUBlobCache(10).stats.hit_rate == 0.0
+
+
+def hammer(worker, n_threads=8):
+    """Run *worker(index)* on n threads, re-raising any worker exception."""
+    errors: list[Exception] = []
+
+    def wrapped(index):
+        try:
+            worker(index)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert errors == [], errors
+
+
+class TestThreadSafety:
+    """The caches sit under the threaded TCP server; no torn state allowed."""
+
+    def test_concurrent_get_put_consistent_stats(self):
+        cache = LRUBlobCache(64)  # small budget forces constant eviction
+        per_thread = 300
+
+        def worker(index):
+            for i in range(per_thread):
+                key = f"k{(index + i) % 16}"
+                if cache.get(key) is None:
+                    cache.put(key, b"x" * (4 + (i % 8)))
+
+        hammer(worker)
+        # stats were updated atomically with the entry map
+        assert cache.stats.hits + cache.stats.misses == 8 * per_thread
+        assert 0 <= cache.stats.current_bytes <= cache.capacity_bytes
+
+    def test_concurrent_put_invalidate_clear(self):
+        cache = LRUBlobCache(1024)
+
+        def worker(index):
+            for i in range(200):
+                key = f"k{i % 8}"
+                cache.put(key, b"data")
+                if index % 2:
+                    cache.invalidate(key)
+                if i % 97 == 0:
+                    cache.clear()
+
+        hammer(worker)
+        # byte accounting matches whatever entries survived
+        assert cache.stats.current_bytes == sum(
+            len(cache.get(f"k{i}") or b"") for i in range(8)
+        )
+
+
+class TestDocumentCache:
+    def test_read_through_copy_semantics(self):
+        cache = DocumentCache()
+        cache.put("i1", "m1", {"city": "sf"})
+        first = cache.get("i1")
+        first["metrics"] = {"mape": 0.1}  # decorating a copy…
+        assert "metrics" not in cache.get("i1")  # …never poisons the cache
+
+    def test_invalidate_instance(self):
+        cache = DocumentCache()
+        cache.put("i1", "m1", {"a": 1})
+        assert cache.invalidate_instance("i1")
+        assert cache.get("i1") is None
+        assert not cache.invalidate_instance("i1")
+
+    def test_invalidate_model_drops_all_member_documents(self):
+        cache = DocumentCache()
+        cache.put("i1", "m1", {})
+        cache.put("i2", "m1", {})
+        cache.put("i3", "m2", {})
+        assert cache.invalidate_model("m1") == 2
+        assert "i1" not in cache and "i2" not in cache
+        assert "i3" in cache
+
+    def test_lru_eviction_bounded(self):
+        cache = DocumentCache(max_entries=2)
+        cache.put("i1", "m1", {})
+        cache.put("i2", "m1", {})
+        cache.get("i1")  # refresh
+        cache.put("i3", "m2", {})  # evicts i2
+        assert "i1" in cache and "i3" in cache and "i2" not in cache
+        # eviction also cleaned the model index: invalidating m1 only drops i1
+        assert cache.invalidate_model("m1") == 1
+
+    def test_concurrent_put_get_invalidate(self):
+        cache = DocumentCache(max_entries=32)
+
+        def worker(index):
+            for i in range(300):
+                iid = f"i{(index * 7 + i) % 48}"
+                mid = f"m{i % 6}"
+                if cache.get(iid) is None:
+                    cache.put(iid, mid, {"n": i})
+                if i % 53 == 0:
+                    cache.invalidate_model(mid)
+
+        hammer(worker)
+        assert len(cache) <= 32
+        assert cache.stats.hits + cache.stats.misses == 8 * 300

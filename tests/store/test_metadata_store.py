@@ -145,3 +145,109 @@ class TestCounts:
         metadata_store.insert_instance(instance())
         metadata_store.insert_metric(metric())
         assert metadata_store.counts() == {"models": 1, "instances": 1, "metrics": 1}
+
+
+class TestBatchedReads:
+    """The batch surfaces the registry's read path is built on."""
+
+    def test_get_models_skips_missing_ids(self, metadata_store):
+        metadata_store.insert_model(model("m1"))
+        metadata_store.insert_model(model("m2", base_version_id="supply"))
+        found = metadata_store.get_models(["m2", "ghost", "m1", "m1"])
+        assert set(found) == {"m1", "m2"}
+        assert found["m2"].base_version_id == "supply"
+
+    def test_get_models_empty_input(self, metadata_store):
+        assert metadata_store.get_models([]) == {}
+
+    def test_instances_for_models_ordered_and_complete(self, metadata_store):
+        metadata_store.insert_instance(instance("late", created_time=9.0))
+        metadata_store.insert_instance(instance("early", created_time=1.0))
+        metadata_store.insert_instance(instance("other", mid="m2"))
+        grouped = metadata_store.instances_for_models(["m1", "m2", "ghost"])
+        assert [i.instance_id for i in grouped["m1"]] == ["early", "late"]
+        assert [i.instance_id for i in grouped["m2"]] == ["other"]
+        assert grouped["ghost"] == []
+
+    def test_metrics_for_instances_maps_every_requested_id(self, metadata_store):
+        metadata_store.insert_metric(metric("mt1", iid="i1"))
+        metadata_store.insert_metric(metric("mt2", iid="i1", name="bias"))
+        metadata_store.insert_metric(metric("mt3", iid="i2"))
+        grouped = metadata_store.metrics_for_instances(["i1", "i2", "ghost"])
+        assert {m.metric_id for m in grouped["i1"]} == {"mt1", "mt2"}
+        assert [m.metric_id for m in grouped["i2"]] == ["mt3"]
+        assert grouped["ghost"] == []
+
+    def test_metrics_for_instances_name_pushdown(self, metadata_store):
+        metadata_store.insert_metric(metric("mt1", iid="i1", name="mape"))
+        metadata_store.insert_metric(metric("mt2", iid="i1", name="bias"))
+        metadata_store.insert_metric(metric("mt3", iid="i2", name="mape"))
+        grouped = metadata_store.metrics_for_instances(
+            ["i1", "i2", "ghost"], name="mape"
+        )
+        assert [m.metric_id for m in grouped["i1"]] == ["mt1"]
+        assert [m.metric_id for m in grouped["i2"]] == ["mt3"]
+        assert grouped["ghost"] == []
+
+    def test_batch_matches_single_lookups(self, metadata_store):
+        for index in range(10):
+            metadata_store.insert_metric(
+                metric(f"mt{index}", iid=f"i{index % 3}", value=index / 10)
+            )
+        grouped = metadata_store.metrics_for_instances([f"i{n}" for n in range(3)])
+        for iid, records in grouped.items():
+            assert {m.metric_id for m in records} == {
+                m.metric_id for m in metadata_store.metrics_of_instance(iid)
+            }
+
+
+class TestBulkMetricInsert:
+    def test_insert_metrics_batch(self, metadata_store):
+        batch = [metric(f"mt{n}", value=n / 10) for n in range(5)]
+        metadata_store.insert_metrics(batch)
+        assert len(metadata_store.metrics_of_instance("i1")) == 5
+
+    def test_insert_metrics_empty_batch_noop(self, metadata_store):
+        metadata_store.insert_metrics([])
+        assert metadata_store.counts()["metrics"] == 0
+
+    def test_duplicate_in_batch_rolls_back_everything(self, metadata_store):
+        metadata_store.insert_metric(metric("mt1"))
+        batch = [metric("mt2"), metric("mt1"), metric("mt3")]
+        with pytest.raises(DuplicateError):
+            metadata_store.insert_metrics(batch)
+        # atomicity: neither mt2 nor mt3 landed
+        ids = {m.metric_id for m in metadata_store.metrics_of_instance("i1")}
+        assert ids == {"mt1"}
+
+    def test_duplicate_within_batch_rejected(self, metadata_store):
+        with pytest.raises(DuplicateError):
+            metadata_store.insert_metrics([metric("mt1"), metric("mt1")])
+        assert metadata_store.counts()["metrics"] == 0
+
+
+class TestOrderingParity:
+    """Both backends must return candidates in the same order (ABL-BACKEND)."""
+
+    def test_indexed_lookup_ordered_by_created_time(self, metadata_store):
+        metadata_store.insert_instance(instance("late", created_time=9.0))
+        metadata_store.insert_instance(instance("early", created_time=1.0))
+        hits = metadata_store.find_instances_by_field("city", "sf")
+        assert [i.instance_id for i in hits] == ["early", "late"]
+
+    def test_unindexed_scan_ordered_by_created_time(self, metadata_store):
+        metadata_store.insert_instance(
+            instance("late", created_time=9.0, metadata={"custom": "yes"})
+        )
+        metadata_store.insert_instance(
+            instance("early", created_time=1.0, metadata={"custom": "yes"})
+        )
+        hits = metadata_store.find_instances_by_field("custom", "yes")
+        assert [i.instance_id for i in hits] == ["early", "late"]
+
+    def test_instances_of_model_ordered_by_created_time(self, metadata_store):
+        metadata_store.insert_instance(instance("late", created_time=9.0))
+        metadata_store.insert_instance(instance("early", created_time=1.0))
+        assert [
+            i.instance_id for i in metadata_store.instances_of_model("m1")
+        ] == ["early", "late"]
