@@ -1,9 +1,12 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-all
+.PHONY: test chaos bench bench-all
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos -m chaos -q
 
 bench:
 	$(PYTHON) -m benchmarks.run_bench

@@ -35,6 +35,7 @@ from repro.core.versioning import LineageTracker
 from repro.errors import (
     DeprecatedModelError,
     GalleryError,
+    MetadataStoreError,
     NotFoundError,
     ValidationError,
 )
@@ -85,6 +86,8 @@ class Gallery:
         #: invalidated on the only paths that can change a document
         #: (replace_model / replace_instance / deprecate*).
         self._documents = DocumentCache()
+        #: queries answered from stale cache snapshots during store outages
+        self._stale_query_count = 0
         self.bus = bus or EventBus()
         self.dependencies = DependencyGraph()
         self.lineage = LineageTracker()
@@ -591,13 +594,35 @@ class Gallery:
         self,
         constraints: Iterable[Constraint | Mapping[str, Any]],
         include_deprecated: bool = False,
+        allow_stale: bool = True,
     ) -> list[ModelInstance]:
         """Constraint search over instances, metadata, and metrics.
 
         Equality constraints on indexed fields narrow the scan through the
         metadata store's indexes before full constraint matching runs.
+
+        **Graceful degradation**: when the metadata store is unreachable and
+        *allow_stale* is set, the query is answered from the document
+        cache's record snapshots instead of throwing.  Degraded results are
+        marked with ``metadata["stale"] = True`` and may miss instances the
+        cache never saw; queries with metric constraints cannot degrade
+        (metric values are not cached) and re-raise the storage error.
         """
         constraint_set = ConstraintSet(constraints)
+        try:
+            return self._model_query_live(constraint_set, include_deprecated)
+        except MetadataStoreError:
+            if not allow_stale:
+                raise
+            stale = self._model_query_stale(constraint_set, include_deprecated)
+            if stale is None:
+                raise
+            self._stale_query_count += 1
+            return stale
+
+    def _model_query_live(
+        self, constraint_set: ConstraintSet, include_deprecated: bool
+    ) -> list[ModelInstance]:
         candidates = self._narrow_candidates(constraint_set)
         live = [
             instance
@@ -631,6 +656,36 @@ class Gallery:
             ]
         matched.sort(key=lambda i: (i.created_time, i.instance_id))
         return matched
+
+    def _model_query_stale(
+        self, constraint_set: ConstraintSet, include_deprecated: bool
+    ) -> list[ModelInstance] | None:
+        """Serve a query from cached document/record snapshots, or None.
+
+        Metric constraints need live metric rows, so those queries cannot
+        be answered from the cache at all — better a loud error than a
+        silently wrong champion.
+        """
+        if constraint_set.metric_constraints:
+            return None
+        matched: list[ModelInstance] = []
+        for _instance_id, document, record in self._documents.snapshot():
+            if record is None:
+                continue
+            if record.deprecated and not include_deprecated:
+                continue
+            if not constraint_set.matches_document(document):
+                continue
+            matched.append(
+                replace(record, metadata={**record.metadata, "stale": True})
+            )
+        matched.sort(key=lambda i: (i.created_time, i.instance_id))
+        return matched
+
+    @property
+    def stale_query_count(self) -> int:
+        """How many queries were served degraded from the document cache."""
+        return self._stale_query_count
 
     def _narrow_candidates(self, constraint_set: ConstraintSet) -> list[ModelInstance]:
         hint = constraint_set.narrowing_hint()
@@ -671,7 +726,9 @@ class Gallery:
                 document = flatten_instance_document(
                     instance.to_dict(), model.to_dict() if model else None
                 )
-                self._documents.put(instance.instance_id, instance.model_id, document)
+                self._documents.put(
+                    instance.instance_id, instance.model_id, document, record=instance
+                )
                 documents[instance.instance_id] = document
         return documents
 
@@ -684,6 +741,7 @@ class Gallery:
             "misses": stats.misses,
             "invalidations": stats.invalidations,
             "hit_rate": stats.hit_rate,
+            "stale_queries": self._stale_query_count,
         }
 
     # ------------------------------------------------------------------

@@ -44,6 +44,15 @@ class BlobStoreError(StorageError):
     """A blob read or write failed in the large-object store."""
 
 
+class BlobCorruptionError(BlobStoreError):
+    """A blob failed its SHA-256 integrity check on read.
+
+    Corruption is distinguished from ordinary I/O failure because it is not
+    retryable: re-reading a rotten file yields the same bad bytes.  Callers
+    must treat the blob as lost and fall back to re-training/re-uploading.
+    """
+
+
 class MetadataStoreError(StorageError):
     """A metadata read or write failed in the relational store."""
 
@@ -83,6 +92,28 @@ class RuleReviewError(RuleError):
 
 class ActionError(RuleError):
     """A callback action failed or is not registered."""
+
+
+class ReliabilityError(GalleryError):
+    """Base class for fault-handling layer failures (retry/breaker/DLQ)."""
+
+
+class CircuitOpenError(ReliabilityError):
+    """A call was rejected because the circuit breaker is open.
+
+    The breaker trips after consecutive failures and rejects calls without
+    touching the faulty dependency until the reset timeout elapses, at which
+    point a single probe is let through (half-open state).
+    """
+
+
+class RetryBudgetExceededError(ReliabilityError):
+    """A retry loop gave up before its first attempt could run.
+
+    Raised only when the per-call deadline is already exhausted *before* an
+    attempt starts; failures of the attempts themselves re-raise the last
+    underlying exception so callers keep the original error semantics.
+    """
 
 
 class ServiceError(GalleryError):

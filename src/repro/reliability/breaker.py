@@ -1,0 +1,126 @@
+"""Circuit breaker: stop hammering a dependency that is clearly down.
+
+Retries alone amplify outages — eight clients retrying a dead metadata
+store quadruple its recovery load.  The breaker converts repeated failure
+into fast rejection:
+
+* **CLOSED** — calls flow; consecutive failures are counted.
+* **OPEN** — after ``failure_threshold`` consecutive failures every call is
+  rejected with :class:`~repro.errors.CircuitOpenError` without touching
+  the dependency, until ``reset_timeout`` has elapsed.
+* **HALF_OPEN** — one probe call is admitted; success closes the breaker,
+  failure re-opens it (and restarts the timeout).
+
+The clock is injectable so tests step through states without sleeping.
+All transitions are serialized on an internal lock — the breaker guards
+shared transports under the threaded TCP server.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open recovery probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: lifetime counters, for operational snapshots and tests
+        self.rejections = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> BreakerState:
+        """State after applying timeout-driven OPEN -> HALF_OPEN decay."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError`.
+
+        In HALF_OPEN only a single probe is admitted at a time; concurrent
+        callers are rejected until the probe reports back.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state is BreakerState.CLOSED:
+                return
+            if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            self.rejections += 1
+            label = f" {self.name!r}" if self.name else ""
+            raise CircuitOpenError(
+                f"circuit{label} is {state.value}; "
+                f"retry after {self.reset_timeout}s reset timeout"
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                # the probe failed: straight back to OPEN, timer restarted
+                self._trip()
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self.trips += 1
+
+    def reset(self) -> None:
+        """Force-close (operator override after a manual fix)."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False

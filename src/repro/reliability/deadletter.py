@@ -1,0 +1,161 @@
+"""Dead-letter queue for failed rule-engine actions.
+
+Before this layer, a crashing callback action was folded into the action
+log and forgotten — the exception vanished and the side effect (deploy,
+alert, retrain request) was silently lost, which breaks the paper's
+automation promise (Section 3.7: the rule engine is what moves models
+through their lifecycle).  Now every action that still fails after its
+retry budget parks here with its full context, error type, and traceback:
+
+* **queryable** — filter by rule, action name, or error type to answer
+  "which deploys did we drop last night?";
+* **re-drainable** — :meth:`DeadLetterQueue.redrive` re-executes parked
+  actions against the registry once the transient fault clears; successes
+  leave the queue, failures stay (with a bumped delivery count).
+
+The queue is bounded: beyond ``max_entries`` the *oldest* letters are
+evicted (and counted), because an unbounded queue during a long outage is
+just a slower way to fall over.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a rules import cycle
+    from repro.rules.actions import ActionContext, ActionRegistry, ActionResult
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One parked action failure."""
+
+    letter_id: int
+    context: "ActionContext"
+    error: str
+    error_type: str
+    traceback: str
+    attempts: int
+    first_failed_at: float
+    deliveries: int = 1  # how many times this letter has been (re)tried
+
+
+class DeadLetterQueue:
+    """Thread-safe, bounded queue of failed actions."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: list[DeadLetter] = []
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self.evicted = 0
+        self.redriven_ok = 0
+
+    def append(self, result: "ActionResult") -> DeadLetter:
+        """Park a failed :class:`ActionResult`; returns the letter."""
+        if result.ok:
+            raise ValueError("only failed action results are dead-lettered")
+        with self._lock:
+            letter = DeadLetter(
+                letter_id=self._next_id,
+                context=result.context,
+                error=result.error,
+                error_type=result.error_type,
+                traceback=result.traceback,
+                attempts=result.attempts,
+                first_failed_at=result.context.timestamp,
+            )
+            self._next_id += 1
+            self._entries.append(letter)
+            while len(self._entries) > self._max_entries:
+                self._entries.pop(0)
+                self.evicted += 1
+            return letter
+
+    def entries(
+        self,
+        rule_uuid: str | None = None,
+        action: str | None = None,
+        error_type: str | None = None,
+    ) -> list[DeadLetter]:
+        """Parked letters, oldest first, optionally filtered."""
+        with self._lock:
+            return [
+                letter
+                for letter in self._entries
+                if (rule_uuid is None or letter.context.rule_uuid == rule_uuid)
+                and (action is None or letter.context.action == action)
+                and (error_type is None or letter.error_type == error_type)
+            ]
+
+    def purge(self, letter_ids: set[int] | None = None) -> int:
+        """Drop letters by id (or everything); returns the count dropped."""
+        with self._lock:
+            before = len(self._entries)
+            if letter_ids is None:
+                self._entries.clear()
+            else:
+                self._entries = [
+                    letter
+                    for letter in self._entries
+                    if letter.letter_id not in letter_ids
+                ]
+            return before - len(self._entries)
+
+    def redrive(
+        self,
+        registry: "ActionRegistry",
+        policy: Any = None,
+        letter_ids: set[int] | None = None,
+    ) -> list["ActionResult"]:
+        """Re-execute parked actions; successes leave the queue.
+
+        Letters that fail again are kept with ``deliveries`` bumped, so an
+        operator can tell a flapping action from a one-shot casualty.
+        Returns the :class:`ActionResult` of every re-execution attempted.
+        """
+        with self._lock:
+            batch = [
+                letter
+                for letter in self._entries
+                if letter_ids is None or letter.letter_id in letter_ids
+            ]
+        results: list["ActionResult"] = []
+        succeeded: set[int] = set()
+        refailed: dict[int, "ActionResult"] = {}
+        for letter in batch:
+            result = registry.execute(letter.context, policy=policy)
+            results.append(result)
+            if result.ok:
+                succeeded.add(letter.letter_id)
+            else:
+                refailed[letter.letter_id] = result
+        with self._lock:
+            kept: list[DeadLetter] = []
+            for letter in self._entries:
+                if letter.letter_id in succeeded:
+                    self.redriven_ok += 1
+                    continue
+                failure = refailed.get(letter.letter_id)
+                if failure is not None:
+                    letter = replace(
+                        letter,
+                        deliveries=letter.deliveries + 1,
+                        error=failure.error,
+                        error_type=failure.error_type,
+                        traceback=failure.traceback,
+                    )
+                kept.append(letter)
+            self._entries = kept
+        return results
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,287 @@
+"""Seeded fault injection for stores and transports (the chaos harness).
+
+Reliability claims that are never exercised are wishes.  This module makes
+partial failure a first-class, *reproducible* input:
+
+* :class:`FaultInjector` — a seeded decision source.  Each operation asks
+  ``decide(op)`` and receives either ``None`` or a :class:`FaultKind`;
+  given the same seed, rate, and call sequence the answers are identical,
+  so every chaos run replays exactly.  Faults can also be scripted
+  (``inject_next``) for surgical tests.
+* :class:`FaultyMetadataStore` — duck-typed proxy over any metadata store;
+  raises :class:`~repro.errors.MetadataStoreError` before the real call.
+* :class:`FaultyBlobStore` — wraps a :class:`~repro.store.blob.BlobStore`;
+  beyond plain errors it models **torn writes** (a truncated payload lands
+  in the inner store, then the put fails — the debris is an orphan blob,
+  never a referenced one) and **corrupted reads** (the payload rots at
+  rest *before* the read, so content-addressed backends detect it and
+  raise :class:`~repro.errors.BlobCorruptionError`).
+* :class:`FaultyTransport` — wraps a client transport; models connection
+  drops, timeouts, and the nastiest case: **lost responses** (the request
+  reaches the server and executes, the response vanishes), which is what
+  server-side request dedup exists for.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import BlobStoreError, MetadataStoreError, NotFoundError, ServiceError
+from repro.store.blob import BlobStore, FilesystemBlobStore, InMemoryBlobStore
+
+
+class FaultKind(enum.Enum):
+    """What kind of partial failure to inject."""
+
+    ERROR = "error"  # dependency raised
+    TIMEOUT = "timeout"  # dependency never answered in time
+    DROP = "drop"  # connection died before the request was sent
+    TORN_WRITE = "torn_write"  # write interrupted partway through
+    LOST_RESPONSE = "lost_response"  # request executed, response vanished
+    CORRUPT_READ = "corrupt_read"  # payload rotted at rest
+
+
+class FaultInjector:
+    """Deterministic, seeded source of injection decisions.
+
+    ``rate`` is the per-operation fault probability; ``kinds`` the menu the
+    seeded RNG picks from.  ``ops`` optionally restricts injection to named
+    operations (e.g. only ``{"get", "put"}``).  The injector starts
+    **disarmed** when ``armed=False`` so fixtures can build and seed a
+    system cleanly, then :meth:`arm` chaos for the workload itself.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.0,
+        kinds: tuple[FaultKind, ...] = (FaultKind.ERROR,),
+        ops: set[str] | None = None,
+        armed: bool = True,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if not kinds:
+            raise ValueError("at least one fault kind is required")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.ops = set(ops) if ops is not None else None
+        self.armed = armed
+        self._rng = random.Random(seed)
+        self._scripted: dict[str, deque[FaultKind]] = {}
+        self._lock = threading.Lock()
+        #: (op, kind) -> injection count, for assertions and reports
+        self.injected: dict[tuple[str, str], int] = {}
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def inject_next(self, op: str, kind: FaultKind = FaultKind.ERROR) -> None:
+        """Script a fault for the next call of *op* (jumps the random queue)."""
+        with self._lock:
+            self._scripted.setdefault(op, deque()).append(kind)
+
+    def decide(self, op: str) -> FaultKind | None:
+        """The fault to inject for this call of *op*, or None."""
+        with self._lock:
+            scripted = self._scripted.get(op)
+            if scripted:
+                kind = scripted.popleft()
+                self._count(op, kind)
+                return kind
+            if not self.armed:
+                return None
+            if self.ops is not None and op not in self.ops:
+                return None
+            # Always draw both numbers so the random sequence (and thus the
+            # whole chaos schedule) is independent of the rate outcome.
+            roll = self._rng.random()
+            pick = self._rng.randrange(len(self.kinds))
+            if roll >= self.rate:
+                return None
+            kind = self.kinds[pick]
+            self._count(op, kind)
+            return kind
+
+    def _count(self, op: str, kind: FaultKind) -> None:
+        key = (op, kind.value)
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    def total_injected(self, kind: FaultKind | None = None) -> int:
+        with self._lock:
+            return sum(
+                count
+                for (_, k), count in self.injected.items()
+                if kind is None or k == kind.value
+            )
+
+
+class FaultyMetadataStore:
+    """Duck-typed chaos proxy over any metadata store.
+
+    Every public method call first consults the injector; ERROR/TIMEOUT
+    faults raise :class:`MetadataStoreError` *before* the inner call runs,
+    modelling a database that rejected or never saw the statement.  The
+    proxy is deliberately not a :class:`MetadataStore` subclass — it
+    forwards whatever surface the wrapped store has, so it tracks new
+    store methods for free.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def inner(self) -> Any:
+        return self._inner
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if name.startswith("_") or not callable(attr):
+            return attr
+        injector = self._injector
+
+        def _guarded(*args: Any, **kwargs: Any) -> Any:
+            kind = injector.decide(name)
+            if kind is FaultKind.TIMEOUT:
+                raise MetadataStoreError(f"injected timeout during {name}")
+            if kind is not None:
+                raise MetadataStoreError(f"injected {kind.value} during {name}")
+            return attr(*args, **kwargs)
+
+        _guarded.__name__ = name
+        # cache so repeated lookups skip __getattr__
+        object.__setattr__(self, name, _guarded)
+        return _guarded
+
+
+class FaultyBlobStore(BlobStore):
+    """Chaos wrapper for blob stores: errors, torn writes, rotten reads."""
+
+    def __init__(self, inner: BlobStore, injector: FaultInjector) -> None:
+        super().__init__()
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def inner(self) -> BlobStore:
+        return self._inner
+
+    def put(self, data: bytes, hint: str = "") -> str:
+        kind = self._injector.decide("put")
+        if kind is FaultKind.TORN_WRITE:
+            # Half the payload reaches storage, then the writer dies.  The
+            # debris is *unreferenced* (the caller never gets a location),
+            # i.e. an orphan blob the GC reclaims — never silent corruption.
+            try:
+                self._inner.put(data[: max(1, len(data) // 2)], hint=hint)
+            except BlobStoreError:
+                pass
+            raise BlobStoreError("injected torn write: put interrupted")
+        if kind is not None:
+            raise BlobStoreError(f"injected {kind.value} during put")
+        return self._inner.put(data, hint=hint)
+
+    def get(self, location: str) -> bytes:
+        kind = self._injector.decide("get")
+        if kind is FaultKind.CORRUPT_READ:
+            # Rot the payload at rest, then read through the inner store so
+            # its integrity machinery (content addressing on the filesystem
+            # backend) gets the chance to catch it.
+            try:
+                corrupt_blob_at_rest(self._inner, location)
+            except NotFoundError:
+                pass
+            return self._inner.get(location)
+        if kind is not None:
+            raise BlobStoreError(f"injected {kind.value} during get")
+        return self._inner.get(location)
+
+    def exists(self, location: str) -> bool:
+        return self._inner.exists(location)
+
+    def delete(self, location: str) -> None:
+        kind = self._injector.decide("delete")
+        if kind is not None:
+            raise BlobStoreError(f"injected {kind.value} during delete")
+        self._inner.delete(location)
+
+    def locations(self) -> list[str]:
+        return self._inner.locations()
+
+
+class FaultyTransport:
+    """Chaos wrapper for client transports (``bytes -> bytes`` callables).
+
+    * DROP / TIMEOUT / ERROR — the request never reaches the server; the
+      call raises :class:`ServiceError` immediately.
+    * LOST_RESPONSE — the request is forwarded and the server executes it,
+      but the response is discarded and the call raises.  Retrying such a
+      call duplicates the operation unless the server deduplicates by
+      request id; the chaos suite asserts exactly that.
+    """
+
+    def __init__(self, inner: Callable[[bytes], bytes], injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def __call__(self, data: bytes) -> bytes:
+        kind = self._injector.decide("call")
+        if kind is FaultKind.LOST_RESPONSE:
+            self._inner(data)
+            raise ServiceError("injected fault: response lost after delivery")
+        if kind is FaultKind.TIMEOUT:
+            raise ServiceError("injected fault: request timed out")
+        if kind is not None:
+            raise ServiceError(f"injected fault: connection {kind.value}")
+        return self._inner(data)
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+
+def corrupt_blob_at_rest(store: BlobStore, location: str) -> None:
+    """Flip one byte of a stored blob, in place, behind the store's back.
+
+    Models bit-rot on disk.  Works on the filesystem backend (flips the
+    file) and the in-memory backend (flips the dict entry); chaos wrappers
+    are unwrapped first.  Filesystem reads after this raise
+    :class:`~repro.errors.BlobCorruptionError`; the in-memory store has no
+    integrity layer by design, which the chaos suite documents by contrast.
+    """
+    while isinstance(store, FaultyBlobStore):
+        store = store.inner
+    if isinstance(store, FilesystemBlobStore):
+        path = store._path_for(store._digest_of(location))  # noqa: SLF001
+        if not path.exists():
+            raise NotFoundError(f"no blob at {location!r}")
+        data = bytearray(path.read_bytes())
+        if not data:
+            data = bytearray(b"\x00")
+        else:
+            data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return
+    if isinstance(store, InMemoryBlobStore):
+        blobs = store._blobs  # noqa: SLF001
+        if location not in blobs:
+            raise NotFoundError(f"no blob at {location!r}")
+        data = bytearray(blobs[location])
+        if not data:
+            data = bytearray(b"\x00")
+        else:
+            data[0] ^= 0xFF
+        blobs[location] = bytes(data)
+        return
+    raise BlobStoreError(
+        f"cannot corrupt blobs of {type(store).__name__} at rest"
+    )

@@ -1,0 +1,135 @@
+"""Retry policy: exponential backoff, deterministic jitter, deadlines.
+
+The policy is a *value object* plus an executor: :meth:`RetryPolicy.call`
+runs a callable under the policy, retrying the exception classes the caller
+declares transient.  Three design decisions keep behaviour predictable:
+
+* **Deterministic jitter.**  Jitter decorrelates a thundering herd of
+  clients, but nondeterministic tests are how reliability bugs hide; the
+  jitter fraction for attempt *n* is drawn from ``random.Random(f"{seed}:{n}")``
+  so a given policy always produces the same backoff schedule.
+* **Original exceptions surface.**  When attempts are exhausted the *last
+  underlying exception* is re-raised — wrapping it would break the error
+  semantics every existing caller relies on.  Only the degenerate case
+  (deadline exhausted before an attempt could start) raises
+  :class:`~repro.errors.RetryBudgetExceededError`.
+* **Injectable time.**  ``sleep`` and ``clock`` are constructor arguments;
+  tests pass a no-op sleeper and drive a manual clock, so policies with
+  second-scale deadlines run in microseconds.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Iterator, Type
+
+from repro.errors import RetryBudgetExceededError
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff + jitter + a deadline.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one call
+    and up to two retries.  The delay before retry *n* (1-based) is::
+
+        min(max_delay, base_delay * multiplier ** (n - 1)) * (1 + jitter * u_n)
+
+    where ``u_n`` in [0, 1) is deterministic given ``seed``.  ``deadline``
+    bounds the *total* wall-clock budget of one logical call: a retry whose
+    backoff would overrun the deadline is abandoned and the last error
+    re-raised immediately.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 5.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.1,
+        deadline: float | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.deadline = deadline
+        self.seed = seed
+        self._sleep = sleep
+        self._clock = clock
+
+    def backoff(self, retry_number: int) -> float:
+        """Delay before the *retry_number*-th retry (1-based), jittered."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry_number - 1)
+        )
+        fraction = random.Random(f"{self.seed}:{retry_number}").random()
+        return raw * (1.0 + self.jitter * fraction)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule: one delay per possible retry."""
+        for retry_number in range(1, self.max_attempts):
+            yield self.backoff(retry_number)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Run *fn* under this policy.
+
+        *retry_on* lists the exception classes considered transient; anything
+        else propagates immediately.  *on_retry* is invoked as
+        ``on_retry(next_attempt_number, exc)`` before each backoff sleep —
+        transports use it to reset connections between attempts.
+        """
+        start = self._clock()
+        last_exc: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if self.deadline is not None and self._clock() - start >= self.deadline:
+                if last_exc is not None:
+                    raise last_exc
+                raise RetryBudgetExceededError(
+                    f"deadline of {self.deadline}s exhausted before an attempt ran"
+                )
+            try:
+                return fn()
+            except retry_on as exc:
+                last_exc = exc
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.backoff(attempt)
+                if (
+                    self.deadline is not None
+                    and self._clock() - start + delay >= self.deadline
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc)
+                if delay > 0:
+                    self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay}, "
+            f"multiplier={self.multiplier}, jitter={self.jitter}, "
+            f"deadline={self.deadline}, seed={self.seed})"
+        )

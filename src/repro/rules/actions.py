@@ -10,10 +10,13 @@ tests can observe them; real deployments overwrite them with HTTP calls etc.
 
 from __future__ import annotations
 
+import traceback as traceback_module
+
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import ActionError
+from repro.reliability.policy import RetryPolicy
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,12 +36,21 @@ ActionCallback = Callable[[ActionContext], Any]
 
 @dataclass(frozen=True, slots=True)
 class ActionResult:
-    """Record of one executed action (the engine's audit trail)."""
+    """Record of one executed action (the engine's audit trail).
+
+    On failure the original exception class name and formatted traceback are
+    preserved, so a dead-lettered action can be diagnosed hours later
+    without reproducing the crash; ``attempts`` records how many tries the
+    retry policy spent before giving up.
+    """
 
     context: ActionContext
     ok: bool
     result: Any = None
     error: str = ""
+    error_type: str = ""
+    traceback: str = ""
+    attempts: int = 1
 
 
 class ActionRegistry:
@@ -65,12 +77,17 @@ class ActionRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._actions
 
-    def execute(self, context: ActionContext) -> ActionResult:
+    def execute(
+        self, context: ActionContext, policy: RetryPolicy | None = None
+    ) -> ActionResult:
         """Run one action; failures are captured, never propagated.
 
         A mis-registered or crashing callback must not take down the rule
         engine (it orchestrates unrelated teams' models too), so errors are
-        folded into the :class:`ActionResult`.
+        folded into the :class:`ActionResult`.  With a *policy*, a crashing
+        callback is retried under its backoff schedule before the failure is
+        recorded; an *unknown* action is never retried (no amount of waiting
+        registers a callback).
         """
         callback = self._actions.get(context.action)
         if callback is None:
@@ -78,12 +95,32 @@ class ActionRegistry:
                 context=context,
                 ok=False,
                 error=f"unknown action {context.action!r}",
+                error_type=ActionError.__name__,
             )
+        attempts = 0
+
+        def _attempt() -> Any:
+            nonlocal attempts
+            attempts += 1
+            return callback(context)
+
         try:
-            result = callback(context)
+            if policy is None:
+                result = _attempt()
+            else:
+                result = policy.call(_attempt)
         except Exception as exc:  # noqa: BLE001 - engine isolation boundary
-            return ActionResult(context=context, ok=False, error=str(exc))
-        return ActionResult(context=context, ok=True, result=result)
+            return ActionResult(
+                context=context,
+                ok=False,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                traceback=traceback_module.format_exc(),
+                attempts=attempts,
+            )
+        return ActionResult(
+            context=context, ok=True, result=result, attempts=attempts
+        )
 
     # -- default actions -----------------------------------------------------
 

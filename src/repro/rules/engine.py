@@ -29,6 +29,8 @@ from typing import Any, Iterable, Mapping, Protocol, Sequence
 
 from repro.core.clock import Clock, SYSTEM_CLOCK
 from repro.errors import RuleError, RuleEvaluationError
+from repro.reliability.deadletter import DeadLetter, DeadLetterQueue
+from repro.reliability.policy import RetryPolicy
 from repro.rules.actions import ActionContext, ActionRegistry, ActionResult
 from repro.rules.events import Event, EventBus, EventKind
 from repro.rules.repo import RuleRepository
@@ -88,6 +90,8 @@ class EngineStats:
     wasted_evaluations: int = 0  # evaluations that triggered nothing
     selection_queries: int = 0
     evaluation_errors: int = 0  # rule expressions that failed on a document
+    actions_dead_lettered: int = 0  # failures parked for re-drive
+    actions_redriven: int = 0  # dead letters re-executed successfully
 
 
 class RuleEngine:
@@ -99,6 +103,8 @@ class RuleEngine:
         actions: ActionRegistry | None = None,
         clock: Clock | None = None,
         bus: EventBus | None = None,
+        action_policy: RetryPolicy | None = None,
+        dead_letters: DeadLetterQueue | None = None,
     ) -> None:
         self._source = source
         self.actions = actions or ActionRegistry()
@@ -107,6 +113,10 @@ class RuleEngine:
         self._queue: deque[EvaluationJob] = deque()
         self._fired: set[tuple[str, str]] = set()  # (rule_uuid, instance_id)
         self._action_log: list[ActionResult] = []
+        #: retry schedule applied to every callback action (None = one shot)
+        self.action_policy = action_policy
+        #: failed actions park here instead of vanishing into the log
+        self.dead_letters = dead_letters or DeadLetterQueue()
         self.stats = EngineStats()
         if bus is not None:
             bus.subscribe(self.on_event)
@@ -221,6 +231,31 @@ class RuleEngine:
     def action_log(self) -> list[ActionResult]:
         return list(self._action_log)
 
+    # -- dead-letter workflow ---------------------------------------------------
+
+    def dead_letter_entries(
+        self, rule_uuid: str | None = None, action: str | None = None
+    ) -> list[DeadLetter]:
+        """Failed actions awaiting re-drive, oldest first."""
+        return self.dead_letters.entries(rule_uuid=rule_uuid, action=action)
+
+    def redrive_dead_letters(
+        self, letter_ids: set[int] | None = None
+    ) -> list[ActionResult]:
+        """Re-execute parked actions (all, or a chosen subset).
+
+        Successes leave the queue and are appended to the action log so the
+        audit trail shows the eventual outcome next to the original failure.
+        """
+        results = self.dead_letters.redrive(
+            self.actions, policy=self.action_policy, letter_ids=letter_ids
+        )
+        for result in results:
+            self._action_log.append(result)
+            if result.ok:
+                self.stats.actions_redriven += 1
+        return results
+
     # -- internals ------------------------------------------------------------
 
     def _resolve(self, rule: Rule | str) -> Rule:
@@ -286,10 +321,13 @@ class RuleEngine:
                     document=candidate.document,
                     timestamp=self._clock.now(),
                 )
-                result = self.actions.execute(context)
+                result = self.actions.execute(context, policy=self.action_policy)
                 self._action_log.append(result)
                 fired.append(result)
                 self.stats.actions_fired += 1
+                if not result.ok:
+                    self.dead_letters.append(result)
+                    self.stats.actions_dead_lettered += 1
         return fired
 
 

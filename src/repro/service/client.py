@@ -10,12 +10,47 @@ for tests and single-process deployments.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Protocol
+from typing import Any, Callable, Mapping
 
+from repro.core.ids import random_uuid
+from repro.errors import CircuitOpenError, ServiceError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.policy import RetryPolicy
 from repro.service import wire
-from repro.service.server import GalleryService
+from repro.service.server import MUTATING_METHODS, GalleryService
 
 Transport = Callable[[bytes], bytes]
+
+#: Methods safe to retry blindly: re-running them cannot change state.
+#: Everything else mutates and may only be replayed when the request
+#: carries a client_id the server deduplicates on (see
+#: :data:`repro.service.server.MUTATING_METHODS`).
+IDEMPOTENT_METHODS = frozenset(
+    {
+        "modelQuery",
+        "getModel",
+        "getModelInstance",
+        "loadModelBlob",
+        "latestInstance",
+        "instancesOf",
+        "metricsOf",
+        "metricsForInstances",
+        "upstreamOf",
+        "downstreamOf",
+        "instanceHealth",
+        "metricHistory",
+        "lineageOf",
+        "auditStorage",
+        "selectModel",
+    }
+)
+
+#: Wire error types that signal a *transient* dependency failure worth
+#: retrying.  Corruption and not-found are deterministic — re-asking gives
+#: the same answer — so they are deliberately absent.
+TRANSIENT_ERROR_TYPES = frozenset(
+    {"ServiceError", "MetadataStoreError", "BlobStoreError", "StorageError"}
+)
 
 
 class InProcessTransport:
@@ -30,17 +65,139 @@ class InProcessTransport:
         return self._service.handle_frame(data)
 
 
-class GalleryClient:
-    """Typed wrapper over the wire protocol."""
+class _TransientWireError(ServiceError):
+    """Internal marker: a decoded response carried a retryable error."""
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(self, message: str, raw: bytes) -> None:
+        super().__init__(message)
+        self.raw = raw
+
+
+class RetryingTransport:
+    """Fault-tolerant decorator for any transport.
+
+    Wraps a ``bytes -> bytes`` transport with a :class:`RetryPolicy` and an
+    optional :class:`CircuitBreaker`:
+
+    * transport failures (:class:`ServiceError`, ``OSError``) are retried
+      with backoff, and the underlying transport's connection is reset
+      between attempts when it exposes ``close()``;
+    * responses that carry a *transient* server-side error (flaky metadata
+      or blob store) are retried the same way — re-sending the identical
+      frame is safe because error responses are never dedup-cached;
+    * **write safety**: a non-idempotent method is only retried when its
+      request frame carries a ``client_id``, i.e. when the server's
+      request-id dedup guarantees the replay cannot double-apply.  Without
+      a client_id, writes fail fast exactly as before.
+
+    The breaker counts only transport-level failures (is the *server*
+    reachable?); a reachable server relaying a flaky store must not open
+    the circuit to the server itself.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        transient_errors: frozenset[str] = TRANSIENT_ERROR_TYPES,
+    ) -> None:
+        self._inner = inner
+        self._policy = policy or RetryPolicy()
+        self._breaker = breaker
+        self._transient_errors = transient_errors
+        self.attempts = 0
+        self.retries = 0
+
+    def _can_retry(self, data: bytes) -> bool:
+        try:
+            request = wire.decode_request(data)
+        except Exception:  # noqa: BLE001 - opaque frame: be conservative
+            return False
+        if request.method in IDEMPOTENT_METHODS:
+            return True
+        return bool(request.client_id) and request.method in MUTATING_METHODS
+
+    def _send_once(self, data: bytes) -> bytes:
+        if self._breaker is not None:
+            self._breaker.allow()
+        self.attempts += 1
+        try:
+            raw = self._inner(data)
+        except (ServiceError, OSError):
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        response = wire.decode_response(raw)
+        if not response.ok and response.error_type in self._transient_errors:
+            raise _TransientWireError(
+                f"transient server error {response.error_type}: "
+                f"{response.error_message}",
+                raw,
+            )
+        return raw
+
+    def __call__(self, data: bytes) -> bytes:
+        if not self._can_retry(data):
+            # Single shot; the breaker still guards and observes the call.
+            try:
+                return self._send_once(data)
+            except _TransientWireError as exc:
+                return exc.raw  # surface the error response unchanged
+
+        def _on_retry(_attempt: int, _exc: BaseException) -> None:
+            self.retries += 1
+            close = getattr(self._inner, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 - reset is best-effort
+                    pass
+
+        try:
+            return self._policy.call(
+                lambda: self._send_once(data),
+                retry_on=(ServiceError, OSError),
+                on_retry=_on_retry,
+            )
+        except CircuitOpenError:
+            raise
+        except _TransientWireError as exc:
+            return exc.raw  # retries exhausted: hand back the real error
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+
+class GalleryClient:
+    """Typed wrapper over the wire protocol.
+
+    Every client carries a stable ``client_id``; combined with the
+    monotonically increasing ``request_id`` it lets the server recognise a
+    retried mutation and replay the stored response instead of executing
+    it twice (exactly-once effect under at-least-once delivery).
+    """
+
+    def __init__(self, transport: Transport, client_id: str | None = None) -> None:
         self._transport = transport
         self._next_request_id = 1
+        self._client_id = client_id if client_id is not None else random_uuid()
+
+    @property
+    def client_id(self) -> str:
+        return self._client_id
 
     def call(self, method: str, **params: Any) -> Any:
         """Low-level escape hatch: invoke any service method by name."""
         request = wire.Request(
-            method=method, params=params, request_id=self._next_request_id
+            method=method,
+            params=params,
+            request_id=self._next_request_id,
+            client_id=self._client_id,
         )
         self._next_request_id += 1
         raw = self._transport(wire.encode_request(request))

@@ -13,6 +13,9 @@ error responses that clients re-raise as the original exception classes.
 
 from __future__ import annotations
 
+import threading
+
+from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.core.registry import Gallery
@@ -22,13 +25,77 @@ from repro.rules.rule import Rule
 from repro.service import wire
 from repro.service.wire import Request, Response
 
+#: Methods with side effects: their *successful* responses are cached per
+#: (client_id, request_id) so a client that lost a response can resend the
+#: exact frame and get the original result back instead of a duplicate
+#: execution.  Read methods are idempotent and skip the cache entirely —
+#: the PR-1 fast path pays only a set-membership test.
+MUTATING_METHODS = frozenset(
+    {
+        "createGalleryModel",
+        "uploadModel",
+        "insertModelInstanceMetric",
+        "insertModelInstanceMetrics",
+        "deprecateModel",
+        "deprecateInstance",
+        "addDependency",
+        "collectOrphans",
+        "triggerRule",
+    }
+)
+
+
+class _RequestDedupCache:
+    """Bounded LRU of encoded responses keyed by (client_id, request_id).
+
+    Only successful responses are stored: a transient error (flaky store,
+    injected fault) must stay retryable, and replaying a cached *error* at
+    a retrying client would pin the failure forever.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple[str, int]) -> bytes | None:
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+
+    def put(self, key: tuple[str, int], response: bytes) -> None:
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
 
 class GalleryService:
     """Method-table dispatcher over a Gallery registry (+ optional engine)."""
 
-    def __init__(self, gallery: Gallery, engine: RuleEngine | None = None) -> None:
+    def __init__(
+        self,
+        gallery: Gallery,
+        engine: RuleEngine | None = None,
+        dedup_capacity: int = 4096,
+    ) -> None:
         self._gallery = gallery
         self._engine = engine
+        self.dedup = _RequestDedupCache(dedup_capacity)
         self._methods: dict[str, Callable[..., Any]] = {
             # Listing 3
             "createGalleryModel": self._create_model,
@@ -91,12 +158,34 @@ class GalleryService:
         return Response(ok=True, result=result, request_id=request.request_id)
 
     def handle_frame(self, data: bytes) -> bytes:
-        """Full wire round-trip: decode, dispatch, encode."""
+        """Full wire round-trip: decode, dedup, dispatch, encode.
+
+        A mutating request that carries a (client_id, request_id) pair the
+        service has already answered successfully is *not* re-executed; the
+        stored response bytes are replayed.  This is what makes client-side
+        write retries safe: a retried ``uploadModel`` whose first response
+        was lost in transit returns the original instance instead of
+        registering a second one.
+        """
         try:
             request = wire.decode_request(data)
         except Exception as exc:  # noqa: BLE001
             return wire.encode_response(wire.error_response(exc))
-        return wire.encode_response(self.dispatch(request))
+        dedup_key: tuple[str, int] | None = None
+        if (
+            request.client_id
+            and request.request_id
+            and request.method in MUTATING_METHODS
+        ):
+            dedup_key = (request.client_id, request.request_id)
+            cached = self.dedup.get(dedup_key)
+            if cached is not None:
+                return cached
+        response = self.dispatch(request)
+        encoded = wire.encode_response(response)
+        if dedup_key is not None and response.ok:
+            self.dedup.put(dedup_key, encoded)
+        return encoded
 
     # -- handlers -------------------------------------------------------------
 
@@ -255,6 +344,11 @@ class GalleryService:
         audit = self._gallery.dal.audit_consistency()
         summary = self._gallery.dal.storage_summary()
         summary["document_cache"] = self._gallery.document_cache_stats()
+        summary["request_dedup"] = {
+            "entries": len(self.dedup),
+            "hits": self.dedup.hits,
+            "misses": self.dedup.misses,
+        }
         return {
             "consistent": audit.consistent,
             "orphan_blobs": list(audit.orphan_blobs),

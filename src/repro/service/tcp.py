@@ -19,13 +19,18 @@ fragmentation.
 
 from __future__ import annotations
 
+import logging
+import select
 import socket
 import socketserver
 import struct
 import threading
 
 from repro.errors import ServiceError, WireFormatError
+from repro.service import wire
 from repro.service.server import GalleryService
+
+logger = logging.getLogger(__name__)
 
 _LENGTH = struct.Struct(">Q")
 #: Upper bound on a single frame; protects the server from bogus prefixes.
@@ -69,13 +74,29 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass
+        self.server.register_connection(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:  # pragma: no cover - exercised via client calls
+        self.server.unregister_connection(self.request)  # type: ignore[attr-defined]
+        super().finish()
 
     def handle(self) -> None:  # pragma: no cover - exercised via client calls
         service: GalleryService = self.server.gallery_service  # type: ignore[attr-defined]
         while True:
             try:
                 frame = read_frame(self.request)
-            except (WireFormatError, OSError):
+            except WireFormatError as exc:
+                # A malformed or oversized frame desynchronizes the stream,
+                # so the connection must close — but the client deserves a
+                # structured error first, not a bare RST it has to guess at.
+                try:
+                    self.request.sendall(
+                        wire.encode_response(wire.error_response(exc))
+                    )
+                except OSError:
+                    pass
+                return
+            except OSError:
                 return
             if frame is None:
                 return
@@ -90,6 +111,39 @@ class _ThreadedServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    def register_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def unregister_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def close_all_connections(self) -> None:
+        """Sever every live connection so stop() means *stopped*.
+
+        ``shutdown()`` only halts the accept loop; handler threads keep
+        serving established sockets, which would let a "restarted" server
+        keep answering on connections from its previous life.
+        """
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
 
 class GalleryTcpServer:
     """Serves a :class:`GalleryService` on a TCP port, in a daemon thread."""
@@ -98,6 +152,9 @@ class GalleryTcpServer:
         self._server = _ThreadedServer((host, port), _ConnectionHandler)
         self._server.gallery_service = service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        #: outcome of the last stop(): False when the serve thread had to
+        #: be abandoned past its join timeout.
+        self.stopped_cleanly = True
 
     @property
     def address(self) -> tuple[str, int]:
@@ -113,12 +170,31 @@ class GalleryTcpServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, join_timeout: float = 5.0) -> bool:
+        """Shut the listener down; returns True when it stopped cleanly.
+
+        A serve thread that outlives *join_timeout* is reported (logged,
+        ``False`` returned, recorded on :attr:`stopped_cleanly`) instead of
+        blocking the caller forever — the thread is a daemon, so a wedged
+        handler cannot keep the process alive either way.
+        """
         self._server.shutdown()
+        self._server.close_all_connections()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return True
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            logger.warning(
+                "gallery-tcp serve thread still alive %.1fs after shutdown; "
+                "abandoning it (daemon thread)",
+                join_timeout,
+            )
+            self.stopped_cleanly = False
+            return False
+        self.stopped_cleanly = True
+        return True
 
     def __enter__(self) -> "GalleryTcpServer":
         return self.start()
@@ -128,12 +204,25 @@ class GalleryTcpServer:
 
 
 class TcpTransport:
-    """Client-side transport: one persistent connection, frame in/frame out."""
+    """Client-side transport: one persistent connection, frame in/frame out.
+
+    Half-open handling: a persistent socket whose peer died *between* calls
+    (server restart, idle timeout, NAT reap) is detected by a zero-timeout
+    readability probe before reuse, and — if the death only surfaces
+    mid-call — the call is transparently replayed once on a fresh
+    connection.  Only failures on a *reused* socket trigger the replay; a
+    fresh connection that fails is a real outage and surfaces as
+    :class:`ServiceError` immediately.  (With the server's request-id dedup
+    a replayed mutation is answered from cache, so the single retry is safe
+    for writes carrying a client_id too.)
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
         self._address = (host, port)
         self._timeout = timeout
         self._sock: socket.socket | None = None
+        #: half-open sockets detected and transparently replaced
+        self.reconnects = 0
 
     def _connect(self) -> socket.socket:
         if self._sock is None:
@@ -142,18 +231,54 @@ class TcpTransport:
             self._sock = sock
         return self._sock
 
-    def __call__(self, data: bytes) -> bytes:
-        sock = self._connect()
+    @staticmethod
+    def _is_stale(sock: socket.socket) -> bool:
+        """True when the peer already closed (or broke) this idle socket.
+
+        Between request/response cycles the stream must be quiet, so *any*
+        readability — orderly EOF, an error, or stray bytes that would
+        desynchronize framing — disqualifies the socket from reuse.
+        """
         try:
-            sock.sendall(data)
-            frame = read_frame(sock)
+            readable, _, _ = select.select([sock], [], [], 0)
+            if not readable:
+                return False
+            return True
+        except (OSError, ValueError):
+            return True
+
+    def _exchange(self, sock: socket.socket, data: bytes) -> bytes:
+        sock.sendall(data)
+        frame = read_frame(sock)
+        if frame is None:
+            raise ConnectionResetError("server closed the connection")
+        return frame
+
+    def __call__(self, data: bytes) -> bytes:
+        reused = self._sock is not None
+        if reused and self._is_stale(self._sock):
+            self.close()
+            self.reconnects += 1
+            reused = False
+        try:
+            sock = self._connect()
         except OSError as exc:
+            raise ServiceError(f"transport failure: {exc}") from exc
+        try:
+            return self._exchange(sock, data)
+        except (OSError, WireFormatError) as exc:
+            self.close()
+            if not reused:
+                raise ServiceError(f"transport failure: {exc}") from exc
+        # The persistent socket died under us after passing the probe (the
+        # classic half-open race): replay once on a fresh connection.
+        self.reconnects += 1
+        try:
+            sock = self._connect()
+            return self._exchange(sock, data)
+        except (OSError, WireFormatError) as exc:
             self.close()
             raise ServiceError(f"transport failure: {exc}") from exc
-        if frame is None:
-            self.close()
-            raise ServiceError("server closed the connection")
-        return frame
 
     def close(self) -> None:
         if self._sock is not None:

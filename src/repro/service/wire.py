@@ -35,11 +35,19 @@ _ERROR_TYPES = {
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """One RPC request: a method name and keyword parameters."""
+    """One RPC request: a method name and keyword parameters.
+
+    ``client_id`` + ``request_id`` together identify one *logical* call
+    across retries: a client that resends a frame after a lost response
+    reuses both, and the server's dedup cache replays the stored response
+    instead of executing the mutation twice.  An empty ``client_id`` opts
+    out of deduplication (the pre-reliability wire format).
+    """
 
     method: str
     params: Mapping[str, Any] = field(default_factory=dict)
     request_id: int = 0
+    client_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.method:
@@ -71,6 +79,8 @@ def encode_request(request: Request) -> bytes:
         "params": request.params,
         "request_id": request.request_id,
     }
+    if request.client_id:
+        body["client_id"] = request.client_id
     return _frame(body)
 
 
@@ -81,6 +91,7 @@ def decode_request(data: bytes) -> Request:
             method=body["method"],
             params=body.get("params", {}),
             request_id=body.get("request_id", 0),
+            client_id=body.get("client_id", ""),
         )
     except KeyError as exc:
         raise WireFormatError(f"request frame missing key: {exc}") from exc

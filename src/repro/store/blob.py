@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import BlobStoreError, NotFoundError
+from repro.errors import BlobCorruptionError, BlobStoreError, NotFoundError
 
 
 @dataclass
@@ -136,21 +137,53 @@ class FilesystemBlobStore(BlobStore):
         return self._root / digest[:2] / digest[2:4] / digest
 
     def put(self, data: bytes, hint: str = "") -> str:
+        """Durably store *data* via write-to-temp + fsync + atomic rename.
+
+        A crash or torn write at any point leaves either nothing at the
+        final path or the complete, fsync'd payload — readers can never
+        observe a half-written blob.  The temp name embeds pid + thread id
+        so concurrent writers of the same content cannot collide, and ends
+        in ``.tmp`` so :meth:`locations` never reports debris.
+        """
         if not isinstance(data, bytes):
             raise BlobStoreError(f"blob data must be bytes, got {type(data).__name__}")
         digest = content_address(data)
         path = self._path_for(digest)
         if not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
+            tmp = path.with_name(
+                f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
             try:
-                tmp.write_bytes(data)
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)  # atomic publish
+                self._fsync_dir(path.parent)
             except OSError as exc:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
                 raise BlobStoreError(f"failed to write blob: {exc}") from exc
         self.stats.puts += 1
         self.stats.bytes_written += len(data)
         return f"{self.SCHEME}{digest}"
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Persist the rename itself (directory entry), best-effort."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds; rename is still atomic
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _digest_of(self, location: str) -> str:
         if not location.startswith(self.SCHEME):
@@ -167,7 +200,10 @@ class FilesystemBlobStore(BlobStore):
         except OSError as exc:
             raise BlobStoreError(f"failed to read blob: {exc}") from exc
         if content_address(data) != digest:
-            raise BlobStoreError(f"blob at {location!r} failed integrity check")
+            raise BlobCorruptionError(
+                f"blob at {location!r} failed its SHA-256 integrity check: "
+                "stored bytes no longer match the content address"
+            )
         self.stats.gets += 1
         self.stats.bytes_read += len(data)
         return data

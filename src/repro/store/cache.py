@@ -142,6 +142,8 @@ class DocumentCache:
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._model_of: dict[str, str] = {}
         self._by_model: dict[str, set[str]] = {}
+        #: instance_id -> source record snapshot (for stale degraded reads)
+        self._records: dict[str, Any] = {}
         self._lock = threading.RLock()
         self.stats = DocumentCacheStats()
 
@@ -155,7 +157,19 @@ class DocumentCache:
             self.stats.hits += 1
             return dict(document)
 
-    def put(self, instance_id: str, model_id: str, document: dict[str, Any]) -> None:
+    def put(
+        self,
+        instance_id: str,
+        model_id: str,
+        document: dict[str, Any],
+        record: Any = None,
+    ) -> None:
+        """Cache a document, optionally with its immutable source *record*.
+
+        The record snapshot is what lets the registry keep answering
+        ``model_query`` (marked stale) while the metadata store is down —
+        documents alone cannot reconstruct full instance records.
+        """
         with self._lock:
             if instance_id in self._entries:
                 self._drop(instance_id)
@@ -165,8 +179,24 @@ class DocumentCache:
             self._entries[instance_id] = dict(document)
             self._model_of[instance_id] = model_id
             self._by_model.setdefault(model_id, set()).add(instance_id)
+            if record is not None:
+                self._records[instance_id] = record
+
+    def snapshot(self) -> list[tuple[str, dict[str, Any], Any]]:
+        """Every cached (instance_id, document copy, record) triple.
+
+        The degraded-read path iterates this when live storage is
+        unreachable; entries without a record snapshot are still returned
+        (record ``None``) so callers can decide what to do with them.
+        """
+        with self._lock:
+            return [
+                (instance_id, dict(document), self._records.get(instance_id))
+                for instance_id, document in self._entries.items()
+            ]
 
     def _unindex(self, instance_id: str) -> None:
+        self._records.pop(instance_id, None)
         model_id = self._model_of.pop(instance_id, None)
         if model_id is not None:
             members = self._by_model.get(model_id)
@@ -202,6 +232,7 @@ class DocumentCache:
             self._entries.clear()
             self._model_of.clear()
             self._by_model.clear()
+            self._records.clear()
 
     def __len__(self) -> int:
         with self._lock:

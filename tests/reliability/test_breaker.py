@@ -1,0 +1,99 @@
+"""Tests for CircuitBreaker state transitions."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.reliability import BreakerState, CircuitBreaker
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout=10.0, clock=clock)
+
+
+class TestStates:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # does not raise
+
+    def test_opens_after_consecutive_failures(self, breaker):
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_reset_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_one_probe_only(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # concurrent caller rejected until probe reports
+
+    def test_successful_probe_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_timer(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.now = 19.0  # only 9s since reopen
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.now = 20.0
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_manual_reset(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()
+
+    def test_error_message_names_the_breaker(self, clock):
+        named = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock, name="metadata"
+        )
+        named.record_failure()
+        with pytest.raises(CircuitOpenError, match="metadata"):
+            named.allow()

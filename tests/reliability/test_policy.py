@@ -1,0 +1,135 @@
+"""Tests for RetryPolicy: backoff shape, jitter determinism, deadlines."""
+
+import pytest
+
+from repro.errors import MetadataStoreError, RetryBudgetExceededError
+from repro.reliability import RetryPolicy
+
+
+def no_sleep_policy(**kwargs):
+    defaults = dict(sleep=lambda _s: None)
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults)
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_capped_at_max(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, max_delay=4.0, multiplier=2.0, jitter=0.0
+        )
+        assert list(policy.delays()) == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(max_attempts=5, jitter=0.5, seed=7)
+        b = RetryPolicy(max_attempts=5, jitter=0.5, seed=7)
+        c = RetryPolicy(max_attempts=5, jitter=0.5, seed=8)
+        assert list(a.delays()) == list(b.delays())
+        assert list(a.delays()) != list(c.delays())
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, max_delay=1.0, jitter=0.25, seed=3
+        )
+        for delay in policy.delays():
+            assert 1.0 <= delay <= 1.25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCall:
+    def test_success_needs_no_retry(self):
+        policy = no_sleep_policy(max_attempts=3)
+        calls = []
+        assert policy.call(lambda: calls.append(1) or "ok") == "ok"
+        assert len(calls) == 1
+
+    def test_transient_failures_then_success(self):
+        policy = no_sleep_policy(max_attempts=4)
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise MetadataStoreError("transient")
+            return "recovered"
+
+        assert policy.call(flaky) == "recovered"
+        assert attempts["n"] == 3
+
+    def test_max_attempts_respected_and_original_error_reraised(self):
+        policy = no_sleep_policy(max_attempts=3)
+        attempts = {"n": 0}
+
+        def always_fails():
+            attempts["n"] += 1
+            raise MetadataStoreError(f"boom {attempts['n']}")
+
+        with pytest.raises(MetadataStoreError, match="boom 3"):
+            policy.call(always_fails)
+        assert attempts["n"] == 3
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy = no_sleep_policy(max_attempts=5)
+        attempts = {"n": 0}
+
+        def wrong_kind():
+            attempts["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(wrong_kind, retry_on=(MetadataStoreError,))
+        assert attempts["n"] == 1
+
+    def test_on_retry_callback_sees_attempt_numbers(self):
+        policy = no_sleep_policy(max_attempts=3)
+        seen = []
+
+        def fails_twice():
+            if len(seen) < 2:
+                raise MetadataStoreError("x")
+            return "done"
+
+        policy.call(fails_twice, on_retry=lambda n, exc: seen.append(n))
+        assert seen == [2, 3]
+
+
+class TestDeadline:
+    def test_deadline_abandons_backoff_that_would_overrun(self):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            max_delay=1.0,
+            jitter=0.0,
+            deadline=2.5,
+            sleep=fake_sleep,
+            clock=fake_clock,
+        )
+        attempts = {"n": 0}
+
+        def always_fails():
+            attempts["n"] += 1
+            raise MetadataStoreError("down")
+
+        with pytest.raises(MetadataStoreError):
+            policy.call(always_fails)
+        # attempts at t=0, 1, 2; the next backoff would land at t=3 > 2.5
+        assert attempts["n"] == 3
+
+    def test_exhausted_deadline_before_first_attempt(self):
+        policy = RetryPolicy(deadline=0.0, clock=lambda: 100.0, sleep=lambda _s: None)
+        with pytest.raises(RetryBudgetExceededError):
+            policy.call(lambda: "never runs")

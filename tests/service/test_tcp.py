@@ -1,5 +1,7 @@
 """Tests for the TCP transport: framing over a real socket."""
 
+import socket
+import struct
 import threading
 
 import pytest
@@ -7,9 +9,10 @@ import pytest
 from repro import build_gallery
 from repro.core import ManualClock, SeededIdFactory
 from repro.errors import NotFoundError, ServiceError
+from repro.service import wire
 from repro.service.client import GalleryClient
 from repro.service.server import GalleryService
-from repro.service.tcp import GalleryTcpServer, TcpTransport
+from repro.service.tcp import MAX_FRAME_BYTES, GalleryTcpServer, TcpTransport
 
 
 @pytest.fixture
@@ -115,3 +118,94 @@ class TestLifecycleAndErrors:
                 client = GalleryClient(transport)
                 model = client.create_gallery_model("p", "demand")
                 assert model["project"] == "p"
+
+    def test_stop_returns_true_on_clean_shutdown(self):
+        server = GalleryTcpServer(GalleryService(build_gallery())).start()
+        assert server.stop() is True
+        assert server.stopped_cleanly
+
+
+class TestHalfOpenConnections:
+    """A persistent socket whose peer restarted must heal transparently."""
+
+    def test_reconnects_after_server_restart(self):
+        service = GalleryService(
+            build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(3))
+        )
+        server = GalleryTcpServer(service).start()
+        host, port = server.address
+        transport = TcpTransport(host, port)
+        client = GalleryClient(transport)
+        try:
+            client.create_gallery_model("p", "demand")
+            server.stop()
+            # Same service, same port: only the LISTENER bounced — exactly
+            # the restart a long-lived client is expected to ride out.
+            server = GalleryTcpServer(service, host=host, port=port).start()
+            instance = client.upload_model("p", "demand", b"after-restart")
+            assert client.load_model_blob(instance["instance_id"]) == b"after-restart"
+            assert transport.reconnects >= 1
+        finally:
+            transport.close()
+            server.stop()
+
+    def test_fresh_connection_failure_still_surfaces(self):
+        server = GalleryTcpServer(GalleryService(build_gallery())).start()
+        host, port = server.address
+        transport = TcpTransport(host, port, timeout=1.0)
+        client = GalleryClient(transport)
+        server.stop()
+        with pytest.raises((ServiceError, OSError)):
+            client.get_model("x")
+        assert transport.reconnects <= 1  # no reconnect storm against a corpse
+        transport.close()
+
+
+class TestMalformedFrames:
+    """A bad frame earns a structured wire error, not a silent hangup."""
+
+    def _raw_exchange(self, address, payload):
+        with socket.create_connection(address, timeout=5.0) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)  # we're done sending; read the reply
+            sock.settimeout(5.0)
+            chunks = []
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    def test_oversized_frame_gets_wire_format_error(self):
+        with GalleryTcpServer(GalleryService(build_gallery())) as server:
+            bogus_prefix = struct.pack(">Q", MAX_FRAME_BYTES + 1)
+            raw = self._raw_exchange(server.address, bogus_prefix)
+            response = wire.decode_response(raw)
+            assert not response.ok
+            assert response.error_type == "WireFormatError"
+            assert "exceeds the limit" in response.error_message
+
+    def test_truncated_frame_gets_wire_format_error(self):
+        # A frame whose body fails to decode is answered per-request by the
+        # service; a frame TRUNCATED mid-body is a stream-level wire error:
+        # declare 1000 bytes, send 11, close.
+        with GalleryTcpServer(GalleryService(build_gallery())) as server:
+            truncated = struct.pack(">Q", 1000) + b"only-eleven"
+            raw = self._raw_exchange(server.address, truncated)
+            response = wire.decode_response(raw)
+            assert not response.ok
+            assert response.error_type == "WireFormatError"
+
+    def test_connection_stays_usable_for_other_clients(self):
+        with GalleryTcpServer(GalleryService(build_gallery())) as server:
+            self._raw_exchange(
+                server.address, struct.pack(">Q", MAX_FRAME_BYTES + 1)
+            )
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                client = GalleryClient(transport)
+                assert client.create_gallery_model("p", "demand")["project"] == "p"

@@ -1,0 +1,91 @@
+"""Blob durability + integrity: atomic publish, fsync, SHA-256 verification."""
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import BlobCorruptionError, BlobStoreError
+from repro.store.blob import FilesystemBlobStore, content_address
+
+
+class TestAtomicWrites:
+    def test_no_temp_debris_after_put(self, tmp_path):
+        store = FilesystemBlobStore(tmp_path)
+        store.put(b"weights-v1")
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_temp_files_never_appear_in_locations(self, tmp_path):
+        store = FilesystemBlobStore(tmp_path)
+        location = store.put(b"weights-v1")
+        digest = location.removeprefix("fs://")
+        # Simulate a crash that left a half-written temp file behind.
+        debris = (
+            tmp_path / digest[:2] / digest[2:4] /
+            f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        debris.write_bytes(b"half-writ")
+        assert store.locations() == [location]
+        assert store.get(location) == b"weights-v1"
+
+    def test_concurrent_writers_of_same_content_converge(self, tmp_path):
+        store = FilesystemBlobStore(tmp_path)
+        payload = b"shared-weights" * 1000
+        locations: list[str] = []
+        errors: list[Exception] = []
+
+        def writer():
+            try:
+                locations.append(store.put(payload))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(set(locations)) == 1  # content-addressed: one blob
+        assert store.get(locations[0]) == payload
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_failed_write_cleans_up_and_raises_typed_error(self, tmp_path, monkeypatch):
+        store = FilesystemBlobStore(tmp_path)
+
+        def exploding_fsync(_fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(BlobStoreError, match="disk on fire"):
+            store.put(b"doomed")
+        monkeypatch.undo()
+        assert store.locations() == []
+        assert list(tmp_path.rglob("*.tmp")) == []
+        location = store.put(b"doomed")  # clean retry works
+        assert store.get(location) == b"doomed"
+
+
+class TestIntegrityVerification:
+    def test_corrupted_blob_raises_typed_error_on_get(self, tmp_path):
+        store = FilesystemBlobStore(tmp_path)
+        location = store.put(b"precious")
+        digest = location.removeprefix("fs://")
+        path = tmp_path / digest[:2] / digest[2:4] / digest
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(BlobCorruptionError):
+            store.get(location)
+
+    def test_corruption_error_is_a_blob_store_error(self):
+        # Callers that predate the typed error keep working unchanged.
+        assert issubclass(BlobCorruptionError, BlobStoreError)
+
+    def test_clean_blob_round_trips(self, tmp_path):
+        store = FilesystemBlobStore(tmp_path)
+        payload = bytes(range(256)) * 64
+        location = store.put(payload)
+        assert location == f"fs://{content_address(payload)}"
+        assert store.get(location) == payload
