@@ -1,8 +1,8 @@
-"""PERF-PR1 — concurrent read-path benchmark harness.
+"""PERF-PR1 + PERF-PR3 — serving-path benchmark harness.
 
-Drives N concurrent TCP clients through the serving hot loop
-(``modelQuery`` / ``loadModelBlob`` / ``latestInstance``) against two
-builds of the same system:
+**PR1 suite** (``BENCH_PR1.json``): drives N concurrent TCP clients
+through the serving hot loop (``modelQuery`` / ``loadModelBlob`` /
+``latestInstance``) against two builds of the same system:
 
 * **baseline** — emulates the pre-overhaul code: one shared SQLite
   connection behind a global lock (``serialized=True``) and the legacy
@@ -11,13 +11,23 @@ builds of the same system:
 * **current** — the shipped read path: per-thread WAL connections, batched
   metric/model reads, and the document cache.
 
-Both scenarios run on identical data through the identical TCP harness, so
-the reported speedups isolate the read-path changes.  Results land in
-``BENCH_PR1.json`` at the repo root: p50/p95 latency, throughput, and cache
-hit rates per scenario — the trajectory later PRs have to beat.
+**PR3 suite** (``BENCH_PR3.json``): isolates the serving-plane *network*
+overhaul with three scenarios, each pitting the pre-overhaul wire stack
+(thread-per-connection server, serial JSON transport, base64 blobs)
+against the shipped one (event-loop server, binary codec, pipelined
+client):
 
-Run it with ``make bench``, ``python -m benchmarks.run_bench``, or
-``python benchmarks/run_bench.py``.
+* **wire codec** — encode+decode microbench, blob and document payloads;
+* **blob throughput** — upload+load round-trips at 64 KB – 4 MB;
+* **pipelined queries** — 32 logical clients issuing selective
+  ``modelQuery``; the current stack drives them from 4 OS threads via
+  ``submit_many`` batching instead of 32 blocking threads.
+
+Both suites run baseline and current on identical data through identical
+harnesses, so reported speedups isolate the named change.
+
+Run with ``make bench``, ``python -m benchmarks.run_bench``, or
+``python benchmarks/run_bench.py [pr1|pr3|all]`` (default: all).
 """
 
 from __future__ import annotations
@@ -36,20 +46,28 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import build_gallery as build_memory_gallery  # noqa: E402
 from repro.core.clock import ManualClock  # noqa: E402
 from repro.core.ids import SeededIdFactory  # noqa: E402
 from repro.core.registry import Gallery  # noqa: E402
 from repro.core.search import ConstraintSet, flatten_instance_document  # noqa: E402
 from repro.errors import NotFoundError  # noqa: E402
+from repro.service import wire  # noqa: E402
 from repro.service.client import GalleryClient  # noqa: E402
 from repro.service.server import GalleryService  # noqa: E402
-from repro.service.tcp import GalleryTcpServer, TcpTransport  # noqa: E402
+from repro.service.tcp import (  # noqa: E402
+    GalleryTcpServer,
+    PipelinedTcpTransport,
+    TcpTransport,
+    ThreadedGalleryTcpServer,
+)
 from repro.store.blob import InMemoryBlobStore  # noqa: E402
 from repro.store.cache import LRUBlobCache  # noqa: E402
 from repro.store.dal import DataAccessLayer  # noqa: E402
 from repro.store.metadata_store import SQLiteMetadataStore  # noqa: E402
 
 OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+OUTPUT_PATH_PR3 = REPO_ROOT / "BENCH_PR3.json"
 
 
 @dataclass
@@ -162,11 +180,13 @@ def _query_constraints(index: int, cfg: BenchConfig) -> list[dict]:
     ]
 
 
-def _run_clients(server, n_clients, per_client_ops):
+def _run_clients(server, n_clients, per_client_ops, dialect=None):
     """Run ``per_client_ops(client, thread_index, record)`` on N threads.
 
     Returns (per-op latencies in seconds, wall seconds).  A barrier aligns
     the start so the wall clock measures genuinely concurrent traffic.
+    Clients speak the JSON dialect by default: the PR1 suite predates the
+    binary codec, and the PR3 baseline explicitly reproduces it.
     """
     host, port = server.address
     latencies_per_thread: list[list[float]] = [[] for _ in range(n_clients)]
@@ -175,7 +195,7 @@ def _run_clients(server, n_clients, per_client_ops):
 
     def worker(index: int) -> None:
         transport = TcpTransport(host, port)
-        client = GalleryClient(transport)
+        client = GalleryClient(transport, dialect=dialect or wire.DIALECT_JSON)
         record = latencies_per_thread[index].append
         try:
             barrier.wait(timeout=30)
@@ -348,11 +368,336 @@ def format_report(results: dict) -> list[str]:
     return lines
 
 
-def main() -> int:
-    results = run()
-    path = write_results(results)
-    print("\n".join(format_report(results)))
-    print(f"\nwrote {path}")
+# ---------------------------------------------------------------------------
+# PERF-PR3 — serving-plane network overhaul
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WireBenchConfig:
+    """Knobs for the PR3 wire/pipelining suite.
+
+    The query scenario deliberately uses a SMALL in-memory dataset and a
+    selective constraint: the point is to measure the *wire stack* (codec,
+    syscalls, thread scheduling), so per-request handler work must be
+    cheap enough not to mask it.
+    """
+
+    blob_sizes: tuple = (64 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+    blob_roundtrips: int = 8
+    codec_doc_iters: int = 2000
+    codec_blob_bytes: int = 1024 * 1024
+    codec_blob_iters: int = 40
+    query_models: int = 4
+    query_instances_per_model: int = 25
+    query_cities: int = 8
+    clients: int = 32
+    queries_per_client: int = 60
+    pipeline_threads: int = 4
+
+
+def _fresh_memory_service(seed: int = 1) -> tuple[Gallery, GalleryService]:
+    gallery = build_memory_gallery(
+        clock=ManualClock(), id_factory=SeededIdFactory(seed)
+    )
+    return gallery, GalleryService(gallery)
+
+
+def _selective_constraints(cfg: WireBenchConfig) -> list[dict]:
+    return [
+        {"field": "city", "operator": "equal", "value": "city-003"},
+        {"field": "metricName", "operator": "equal", "value": "mape"},
+        {"field": "metricValue", "operator": "smaller_than", "value": 0.03},
+    ]
+
+
+def _populate_query_gallery(gallery: Gallery, cfg: WireBenchConfig) -> None:
+    for m in range(cfg.query_models):
+        base = f"demand-{m:02d}"
+        gallery.create_model("marketplace", base)
+        for i in range(cfg.query_instances_per_model):
+            instance = gallery.upload_model(
+                "marketplace",
+                base,
+                blob=b"w" * 512,
+                metadata={
+                    "model_name": "linear_regression",
+                    "city": f"city-{i % cfg.query_cities:03d}",
+                },
+            )
+            gallery.insert_metrics(instance.instance_id, {"mape": (i % 40) / 100})
+
+
+def run_codec_bench(cfg: WireBenchConfig) -> dict:
+    """Pure codec cost, no sockets: blob payloads and document payloads."""
+    blob = bytes(range(256)) * (cfg.codec_blob_bytes // 256)
+    blob_response = wire.Response(ok=True, result=blob, request_id=1)
+
+    def blob_binary() -> None:
+        wire.decode_response(wire.encode_response(blob_response, wire.DIALECT_BINARY))
+
+    def blob_json() -> None:
+        decoded = wire.decode_response(
+            wire.encode_response(blob_response, wire.DIALECT_JSON)
+        )
+        wire.decode_blob(decoded.result)  # the legacy client's base64 step
+
+    document = {
+        "instance_id": "inst-000", "model_id": "model-000",
+        "metadata": {"model_name": "linear_regression", "city": "city-003"},
+        "metrics": [{"name": "mape", "value": 0.02, "scope": "Validation"}] * 4,
+        "deprecated": False, "created_time": 1700000000,
+    }
+    doc_response = wire.Response(ok=True, result=[document] * 8, request_id=2)
+
+    result: dict = {}
+    for name, fn, iters, nbytes in (
+        ("blob_binary", blob_binary, cfg.codec_blob_iters, cfg.codec_blob_bytes),
+        ("blob_json_base64", blob_json, cfg.codec_blob_iters, cfg.codec_blob_bytes),
+    ):
+        wall = _timed(lambda: [fn() for _ in range(iters)])
+        result[name] = {
+            "roundtrips_s": round(iters / wall, 1),
+            "mb_s": round(iters * nbytes / wall / 1e6, 1),
+        }
+    for name, dialect in (
+        ("documents_binary", wire.DIALECT_BINARY),
+        ("documents_json", wire.DIALECT_JSON),
+    ):
+        wall = _timed(
+            lambda: [
+                wire.decode_response(wire.encode_response(doc_response, dialect))
+                for _ in range(cfg.codec_doc_iters)
+            ]
+        )
+        result[name] = {"roundtrips_s": round(cfg.codec_doc_iters / wall, 1)}
+    result["blob_codec_speedup"] = round(
+        result["blob_binary"]["mb_s"] / max(result["blob_json_base64"]["mb_s"], 1e-9),
+        2,
+    )
+    return result
+
+
+def _wire_stack(mode: str, service: GalleryService):
+    """(server, make_transport, dialect) for one side of the comparison."""
+    if mode == "baseline":
+        server = ThreadedGalleryTcpServer(service)
+        make = lambda host, port: TcpTransport(host, port, timeout=30.0)  # noqa: E731
+        return server, make, wire.DIALECT_JSON
+    server = GalleryTcpServer(service)
+    make = lambda host, port: PipelinedTcpTransport(host, port, timeout=30.0)  # noqa: E731
+    return server, make, wire.DIALECT_BINARY
+
+
+def run_blob_scenario(mode: str, cfg: WireBenchConfig) -> dict:
+    """Upload+load round-trips per blob size; throughput in MB/s."""
+    gallery, service = _fresh_memory_service(seed=31)
+    gallery.create_model("marketplace", "demand")
+    server, make_transport, dialect = _wire_stack(mode, service)
+    result: dict = {"mode": mode, "sizes": {}}
+    total_bytes = 0
+    total_wall = 0.0
+    with server:
+        host, port = server.address
+        transport = make_transport(host, port)
+        try:
+            client = GalleryClient(transport, dialect=dialect)
+            for size in cfg.blob_sizes:
+                payload = bytes(range(256)) * (size // 256)
+                start = time.perf_counter()
+                for _ in range(cfg.blob_roundtrips):
+                    uploaded = client.upload_model("marketplace", "demand", payload)
+                    blob = client.load_model_blob(uploaded["instance_id"])
+                    assert blob == payload
+                wall = time.perf_counter() - start
+                moved = 2 * cfg.blob_roundtrips * size  # up + down
+                total_bytes += moved
+                total_wall += wall
+                result["sizes"][str(size)] = {
+                    "roundtrips": cfg.blob_roundtrips,
+                    "wall_s": round(wall, 4),
+                    "mb_s": round(moved / wall / 1e6, 1),
+                }
+        finally:
+            transport.close()
+    result["aggregate_mb_s"] = round(total_bytes / total_wall / 1e6, 1)
+    return result
+
+
+def run_query_scenario(mode: str, cfg: WireBenchConfig) -> dict:
+    """32 logical clients of selective modelQuery traffic.
+
+    baseline: 32 OS threads, each one blocking serial JSON client.
+    current:  4 OS threads, each multiplexing 8 logical clients over one
+              pipelined binary connection via ``submit_many`` batches.
+    """
+    gallery, service = _fresh_memory_service(seed=32)
+    _populate_query_gallery(gallery, cfg)
+    constraints = _selective_constraints(cfg)
+    params = {"constraints": constraints, "include_deprecated": False}
+    server, make_transport, dialect = _wire_stack(mode, service)
+    total_ops = cfg.clients * cfg.queries_per_client
+
+    with server:
+        host, port = server.address
+        if mode == "baseline":
+            def per_client(client, index, record):
+                for _ in range(cfg.queries_per_client):
+                    record(_timed(lambda: client.model_query(constraints)))
+
+            latencies, wall = _run_clients(server, cfg.clients, per_client)
+            summary = _summary(latencies, wall)
+        else:
+            threads_n = cfg.pipeline_threads
+            logical = cfg.clients // threads_n
+            barrier = threading.Barrier(threads_n + 1)
+            errors: list[Exception] = []
+            batch_walls: list[float] = []
+            lock = threading.Lock()
+
+            def worker(index: int) -> None:
+                transport = make_transport(host, port)
+                try:
+                    barrier.wait(timeout=30)
+                    for round_no in range(cfg.queries_per_client):
+                        frames = [
+                            wire.encode_request(
+                                wire.Request(
+                                    method="modelQuery",
+                                    params=params,
+                                    request_id=(index << 20)
+                                    | (k << 10)
+                                    | (round_no + 1),
+                                    client_id=f"bench-{index}-{k}",
+                                ),
+                                dialect,
+                            )
+                            for k in range(logical)
+                        ]
+                        start = time.perf_counter()
+                        handles = transport.submit_many(frames)
+                        for handle in handles:
+                            wire.decode_response(handle.wait(30.0)).raise_if_error()
+                        with lock:
+                            batch_walls.append(time.perf_counter() - start)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    transport.close()
+
+            workers = [
+                threading.Thread(target=worker, args=(i,)) for i in range(threads_n)
+            ]
+            for thread in workers:
+                thread.start()
+            barrier.wait(timeout=30)
+            started = time.perf_counter()
+            for thread in workers:
+                thread.join(timeout=600)
+            wall = time.perf_counter() - started
+            if errors:
+                raise errors[0]
+            # Per-op latency ~ batch wall / batch size (requests overlap).
+            latencies = [w / logical for w in batch_walls for _ in range(logical)]
+            summary = _summary(latencies, wall)
+            summary["throughput_ops_s"] = round(total_ops / wall, 2)
+
+    return {
+        "mode": mode,
+        "clients": cfg.clients,
+        "os_threads": cfg.clients if mode == "baseline" else cfg.pipeline_threads,
+        "dialect": dialect,
+        "concurrent_model_query": summary,
+    }
+
+
+def run_pr3(cfg: WireBenchConfig | None = None) -> dict:
+    cfg = cfg or WireBenchConfig()
+    codec = run_codec_bench(cfg)
+    blob_baseline = run_blob_scenario("baseline", cfg)
+    blob_current = run_blob_scenario("current", cfg)
+    query_baseline = run_query_scenario("baseline", cfg)
+    query_current = run_query_scenario("current", cfg)
+    speedup = {
+        "blob_codec_throughput": codec["blob_codec_speedup"],
+        "blob_roundtrip_throughput": round(
+            blob_current["aggregate_mb_s"]
+            / max(blob_baseline["aggregate_mb_s"], 1e-9),
+            2,
+        ),
+        "concurrent_model_query_throughput_32_clients": round(
+            query_current["concurrent_model_query"]["throughput_ops_s"]
+            / max(query_baseline["concurrent_model_query"]["throughput_ops_s"], 1e-9),
+            2,
+        ),
+    }
+    return {
+        "benchmark": "PERF-PR3 serving-plane network overhaul",
+        "harness": "benchmarks/run_bench.py",
+        "config": asdict(cfg),
+        "wire_codec": codec,
+        "blob_throughput": {"baseline": blob_baseline, "current": blob_current},
+        "concurrent_queries": {"baseline": query_baseline, "current": query_current},
+        "speedup": speedup,
+    }
+
+
+def write_results_pr3(results: dict, path: Path = OUTPUT_PATH_PR3) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def format_pr3_report(results: dict) -> list[str]:
+    codec = results["wire_codec"]
+    blob = results["blob_throughput"]
+    queries = results["concurrent_queries"]
+    speedup = results["speedup"]
+    lines = [
+        "wire codec (1 MB blob round-trip):",
+        f"  binary      {codec['blob_binary']['mb_s']:>10.1f} MB/s",
+        f"  json+base64 {codec['blob_json_base64']['mb_s']:>10.1f} MB/s"
+        f"   -> {speedup['blob_codec_throughput']:.1f}x",
+        "",
+        "blob round-trips over TCP (upload+load):",
+    ]
+    for size, row in blob["current"]["sizes"].items():
+        base_row = blob["baseline"]["sizes"][size]
+        lines.append(
+            f"  {int(size) >> 10:>5} KB  baseline {base_row['mb_s']:>8.1f} MB/s"
+            f"   current {row['mb_s']:>8.1f} MB/s"
+        )
+    lines += [
+        f"  aggregate: {blob['baseline']['aggregate_mb_s']:.1f} -> "
+        f"{blob['current']['aggregate_mb_s']:.1f} MB/s "
+        f"({speedup['blob_roundtrip_throughput']:.2f}x)",
+        "",
+        f"concurrent modelQuery, {queries['baseline']['clients']} clients:",
+        f"  baseline (serial JSON, {queries['baseline']['os_threads']} threads): "
+        f"{queries['baseline']['concurrent_model_query']['throughput_ops_s']:.0f} ops/s",
+        f"  current (pipelined binary, {queries['current']['os_threads']} threads): "
+        f"{queries['current']['concurrent_model_query']['throughput_ops_s']:.0f} ops/s",
+        f"  speedup: "
+        f"{speedup['concurrent_model_query_throughput_32_clients']:.2f}x",
+    ]
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    suite = argv[0] if argv else "all"
+    if suite not in ("pr1", "pr3", "all"):
+        print(f"unknown suite {suite!r}; expected pr1, pr3, or all")
+        return 2
+    if suite in ("pr1", "all"):
+        results = run()
+        path = write_results(results)
+        print("\n".join(format_report(results)))
+        print(f"\nwrote {path}\n")
+    if suite in ("pr3", "all"):
+        results = run_pr3()
+        path = write_results_pr3(results)
+        print("\n".join(format_pr3_report(results)))
+        print(f"\nwrote {path}")
     return 0
 
 

@@ -1,0 +1,51 @@
+"""PERF-PR3 — the serving-plane network overhaul as a pytest gate.
+
+Runs the PR3 suite from ``benchmarks/run_bench.py`` (binary codec, blob
+round-trips at 64 KB–4 MB, 32-client pipelined modelQuery), writes
+``BENCH_PR3.json`` at the repo root, and asserts the PR's acceptance
+criteria:
+
+* ≥ 2× blob round-trip throughput for the binary codec + pipelined stack
+  versus the base64/JSON serial stack, measured upload+load over TCP on
+  identical data (typical observed: ~5×);
+* ≥ 1.5× concurrent ``modelQuery`` throughput at 32 clients for the
+  pipelined/pooled client versus 32 serial blocking clients (typical
+  observed: ~4×);
+* ≥ 5× blob codec round-trip throughput at the pure codec level (no
+  sockets; typical observed: >10×).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+import run_bench
+
+
+def test_wire_overhaul_speedups():
+    results = run_bench.run_pr3()
+    path = run_bench.write_results_pr3(results)
+    assert path.exists()
+
+    report("PERF-PR3_wire_pipelining", run_bench.format_pr3_report(results))
+
+    speedup = results["speedup"]
+    assert speedup["blob_roundtrip_throughput"] >= 2.0, (
+        f"blob round-trip throughput only improved "
+        f"{speedup['blob_roundtrip_throughput']:.2f}x; acceptance floor is 2x"
+    )
+    assert speedup["concurrent_model_query_throughput_32_clients"] >= 1.5, (
+        f"32-client modelQuery throughput only improved "
+        f"{speedup['concurrent_model_query_throughput_32_clients']:.2f}x; "
+        "acceptance floor is 1.5x"
+    )
+    assert speedup["blob_codec_throughput"] >= 5.0, (
+        f"blob codec throughput only improved "
+        f"{speedup['blob_codec_throughput']:.2f}x against base64/JSON"
+    )
+    # The comparison really pitted the two stacks the PR claims to compare.
+    queries = results["concurrent_queries"]
+    assert queries["baseline"]["dialect"] == "json"
+    assert queries["current"]["dialect"] == "binary"
+    assert queries["baseline"]["os_threads"] == queries["baseline"]["clients"]
+    assert queries["current"]["os_threads"] < queries["current"]["clients"]

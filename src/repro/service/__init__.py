@@ -1,8 +1,18 @@
 """Service layer: wire protocol, stateless server, and client."""
 
-from repro.service.client import GalleryClient, InProcessTransport, connect_in_process
+from repro.service.client import (
+    ClientPipeline,
+    GalleryClient,
+    InProcessTransport,
+    MethodRetryPolicies,
+    PipelineHandle,
+    RetryingTransport,
+    connect_in_process,
+)
 from repro.service.server import GalleryService
 from repro.service.wire import (
+    DIALECT_BINARY,
+    DIALECT_JSON,
     Request,
     Response,
     decode_blob,
@@ -15,11 +25,17 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "ClientPipeline",
+    "DIALECT_BINARY",
+    "DIALECT_JSON",
     "GalleryClient",
     "GalleryService",
     "InProcessTransport",
+    "MethodRetryPolicies",
+    "PipelineHandle",
     "Request",
     "Response",
+    "RetryingTransport",
     "connect_in_process",
     "decode_blob",
     "decode_request",

@@ -6,11 +6,26 @@ constraint.  The client is transport-agnostic — anything that maps a request
 frame (bytes) to a response frame (bytes) works; :class:`InProcessTransport`
 binds a client directly to a :class:`repro.service.server.GalleryService`
 for tests and single-process deployments.
+
+New in the serving-plane overhaul:
+
+* clients speak the **binary wire dialect** by default (blobs cross the
+  wire as raw bytes); pass ``dialect=wire.DIALECT_JSON`` to reproduce a
+  pre-binary client — the server negotiates per frame either way;
+* :meth:`GalleryClient.pipeline` keeps many independent calls in flight
+  at once over a pipelined transport (and degrades to sequential calls on
+  a plain one), with batch helpers for the common fan-outs;
+* :class:`MethodRetryPolicies` gives :class:`RetryingTransport` one retry
+  budget per method class (cheap reads / blob transfers / mutations)
+  instead of a single global policy.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+import threading
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.ids import random_uuid
 from repro.errors import CircuitOpenError, ServiceError
@@ -51,6 +66,47 @@ IDEMPOTENT_METHODS = frozenset(
 TRANSIENT_ERROR_TYPES = frozenset(
     {"ServiceError", "MetadataStoreError", "BlobStoreError", "StorageError"}
 )
+
+#: Methods that move model artifacts (megabytes, not rows).  They deserve a
+#: different retry budget than cheap metadata reads: fewer attempts, longer
+#: per-call patience.
+BLOB_METHODS = frozenset({"loadModelBlob", "uploadModel"})
+
+
+@dataclass(frozen=True)
+class MethodRetryPolicies:
+    """One :class:`RetryPolicy` per method class.
+
+    A single global policy forces one compromise onto three very different
+    workloads.  Cheap metadata reads can afford many fast retries; blob
+    transfers are expensive enough that hammering a struggling store makes
+    things worse, so they get fewer attempts with a longer deadline; and
+    mutations stay conservative — they are only replayed at all when the
+    server's request-id dedup makes the replay safe.
+
+    ``for_method`` classifies: blob methods first (``uploadModel`` is both a
+    mutation and a blob transfer — the transfer cost dominates), then
+    mutations, then everything else as a read.
+    """
+
+    read: RetryPolicy
+    blob: RetryPolicy
+    mutation: RetryPolicy
+
+    @classmethod
+    def default(cls) -> "MethodRetryPolicies":
+        return cls(
+            read=RetryPolicy(max_attempts=5, base_delay=0.02, deadline=5.0),
+            blob=RetryPolicy(max_attempts=3, base_delay=0.2, deadline=30.0),
+            mutation=RetryPolicy(max_attempts=3, base_delay=0.05, deadline=10.0),
+        )
+
+    def for_method(self, method: str) -> RetryPolicy:
+        if method in BLOB_METHODS:
+            return self.blob
+        if method in MUTATING_METHODS:
+            return self.mutation
+        return self.read
 
 
 class InProcessTransport:
@@ -101,22 +157,29 @@ class RetryingTransport:
         policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         transient_errors: frozenset[str] = TRANSIENT_ERROR_TYPES,
+        policies: MethodRetryPolicies | None = None,
     ) -> None:
+        if policy is not None and policies is not None:
+            raise ValueError("pass either a global policy or per-method policies")
         self._inner = inner
         self._policy = policy or RetryPolicy()
+        self._policies = policies
         self._breaker = breaker
         self._transient_errors = transient_errors
         self.attempts = 0
         self.retries = 0
 
-    def _can_retry(self, data: bytes) -> bool:
-        try:
-            request = wire.decode_request(data)
-        except Exception:  # noqa: BLE001 - opaque frame: be conservative
+    def _can_retry(self, request: wire.Request | None) -> bool:
+        if request is None:  # opaque frame: be conservative
             return False
         if request.method in IDEMPOTENT_METHODS:
             return True
         return bool(request.client_id) and request.method in MUTATING_METHODS
+
+    def _policy_for(self, request: wire.Request | None) -> RetryPolicy:
+        if self._policies is not None and request is not None:
+            return self._policies.for_method(request.method)
+        return self._policy
 
     def _send_once(self, data: bytes) -> bytes:
         if self._breaker is not None:
@@ -140,7 +203,11 @@ class RetryingTransport:
         return raw
 
     def __call__(self, data: bytes) -> bytes:
-        if not self._can_retry(data):
+        try:
+            request = wire.decode_request(data)
+        except Exception:  # noqa: BLE001 - opaque frame
+            request = None
+        if not self._can_retry(request):
             # Single shot; the breaker still guards and observes the call.
             try:
                 return self._send_once(data)
@@ -157,7 +224,7 @@ class RetryingTransport:
                     pass
 
         try:
-            return self._policy.call(
+            return self._policy_for(request).call(
                 lambda: self._send_once(data),
                 retry_on=(ServiceError, OSError),
                 on_retry=_on_retry,
@@ -180,29 +247,118 @@ class GalleryClient:
     monotonically increasing ``request_id`` it lets the server recognise a
     retried mutation and replay the stored response instead of executing
     it twice (exactly-once effect under at-least-once delivery).
+
+    Clients speak the binary dialect by default; the server answers every
+    frame in the dialect it arrived in, so a ``dialect=wire.DIALECT_JSON``
+    client interoperates with the same server byte-for-byte like a
+    pre-binary build.  Request-id allocation is lock-protected so one
+    client instance can be shared by many threads (and by
+    :class:`ClientPipeline`, which allocates ids in bursts).
     """
 
-    def __init__(self, transport: Transport, client_id: str | None = None) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        client_id: str | None = None,
+        dialect: str = wire.DIALECT_BINARY,
+    ) -> None:
+        if dialect not in (wire.DIALECT_BINARY, wire.DIALECT_JSON):
+            raise ValueError(f"unknown wire dialect: {dialect!r}")
         self._transport = transport
+        self._id_lock = threading.Lock()
         self._next_request_id = 1
         self._client_id = client_id if client_id is not None else random_uuid()
+        self._dialect = dialect
 
     @property
     def client_id(self) -> str:
         return self._client_id
 
-    def call(self, method: str, **params: Any) -> Any:
-        """Low-level escape hatch: invoke any service method by name."""
+    @property
+    def dialect(self) -> str:
+        return self._dialect
+
+    def _allocate_request_id(self) -> int:
+        with self._id_lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            return request_id
+
+    def _encode_call(self, method: str, params: dict[str, Any]) -> bytes:
         request = wire.Request(
             method=method,
             params=params,
-            request_id=self._next_request_id,
+            request_id=self._allocate_request_id(),
             client_id=self._client_id,
+            dialect=self._dialect,
         )
-        self._next_request_id += 1
-        raw = self._transport(wire.encode_request(request))
+        return wire.encode_request(request, self._dialect)
+
+    def _encode_blob_param(self, blob: bytes) -> Any:
+        """Raw bytes on the binary dialect; base64 text on JSON."""
+        if self._dialect == wire.DIALECT_BINARY:
+            return bytes(blob)
+        return wire.encode_blob(blob)
+
+    def call(self, method: str, **params: Any) -> Any:
+        """Low-level escape hatch: invoke any service method by name."""
+        raw = self._transport(self._encode_call(method, params))
         response = wire.decode_response(raw)
         return response.raise_if_error()
+
+    # -- pipelining ------------------------------------------------------------
+
+    def pipeline(self, timeout: float | None = None) -> "ClientPipeline":
+        """Batch many independent calls into overlapping round-trips.
+
+        Used as a context manager: queue calls inside the ``with`` block,
+        read ``.result()`` from the returned handles after it exits (or
+        after an explicit :meth:`ClientPipeline.flush`).  On a pipelined
+        transport (one exposing ``submit_many``) the whole batch shares
+        the wire concurrently; on any other transport the pipeline
+        degrades to sequential calls with identical semantics.
+        """
+        return ClientPipeline(self, timeout=timeout)
+
+    def model_query_many(
+        self,
+        constraint_sets: Iterable[list[Mapping[str, Any]]],
+        include_deprecated: bool = False,
+    ) -> list[list[dict[str, Any]]]:
+        """One pipelined modelQuery per constraint set, in order."""
+        with self.pipeline() as pipe:
+            handles = [
+                pipe.model_query(constraints, include_deprecated=include_deprecated)
+                for constraints in constraint_sets
+            ]
+        return [handle.result() for handle in handles]
+
+    def load_model_blobs(self, instance_ids: Iterable[str]) -> dict[str, bytes]:
+        """Fetch many model blobs with overlapping round-trips."""
+        ids = list(instance_ids)
+        with self.pipeline() as pipe:
+            handles = [pipe.load_model_blob(instance_id) for instance_id in ids]
+        return {
+            instance_id: handle.result()
+            for instance_id, handle in zip(ids, handles)
+        }
+
+    def insert_metrics_many(
+        self,
+        per_instance: Mapping[str, Mapping[str, float]],
+        scope: str = "Validation",
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Fan metric batches out to many instances in one pipeline."""
+        items = list(per_instance.items())
+        with self.pipeline() as pipe:
+            handles = [
+                pipe.insert_model_instance_metrics(instance_id, values, scope=scope)
+                for instance_id, values in items
+            ]
+        return {
+            instance_id: handle.result()
+            for (instance_id, _values), handle in zip(items, handles)
+        }
 
     # -- Listing 3 -------------------------------------------------------------
 
@@ -237,7 +393,7 @@ class GalleryClient:
             "uploadModel",
             project=project,
             base_version_id=base_version_id,
-            blob=wire.encode_blob(blob),
+            blob=self._encode_blob_param(blob),
             metadata=metadata,
             parent_instance_id=parent_instance_id,
         )
@@ -364,6 +520,172 @@ class GalleryClient:
 
     def trigger_rule(self, rule_uuid: str) -> int:
         return self.call("triggerRule", rule_uuid=rule_uuid)
+
+
+class PipelineHandle:
+    """Deferred result of one pipelined call.
+
+    ``result()`` raises exactly what the equivalent synchronous call would
+    have raised: transport errors surface as-is, server error responses go
+    through :meth:`Response.raise_if_error`.  Reading a handle before its
+    pipeline has flushed is a programming error.
+    """
+
+    __slots__ = ("_decode", "_error", "_ready", "_value")
+
+    def __init__(self, decode: Callable[[Any], Any] | None = None) -> None:
+        self._decode = decode
+        self._error: BaseException | None = None
+        self._value: Any = None
+        self._ready = False
+
+    def done(self) -> bool:
+        return self._ready
+
+    def _resolve(self, raw: bytes) -> None:
+        try:
+            self._value = wire.decode_response(raw).raise_if_error()
+            if self._decode is not None:
+                self._value = self._decode(self._value)
+        except BaseException as exc:  # noqa: BLE001 - delivered via result()
+            self._error = exc
+        self._ready = True
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._ready = True
+
+    def result(self) -> Any:
+        if not self._ready:
+            raise RuntimeError("pipeline not flushed; call result() after flush()")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class ClientPipeline:
+    """Batches calls from one :class:`GalleryClient` onto the wire at once.
+
+    Calls queue locally until :meth:`flush` (the ``with`` block exit).  A
+    pipelined transport receives the whole batch via ``submit_many`` — one
+    write, responses correlated by request_id as they arrive out of order —
+    while a plain transport falls back to one synchronous exchange per
+    call.  Either way every handle is resolved by the time ``flush``
+    returns; a failed call parks its exception in its own handle rather
+    than aborting the rest of the batch.
+    """
+
+    def __init__(self, client: GalleryClient, timeout: float | None = None) -> None:
+        self._client = client
+        self._timeout = timeout
+        self._queued: list[tuple[bytes, PipelineHandle]] = []
+
+    def call(
+        self,
+        method: str,
+        _decode: Callable[[Any], Any] | None = None,
+        **params: Any,
+    ) -> PipelineHandle:
+        """Queue an arbitrary method call; returns its handle."""
+        frame = self._client._encode_call(method, params)
+        handle = PipelineHandle(_decode)
+        self._queued.append((frame, handle))
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def flush(self) -> None:
+        """Send everything queued and resolve every handle."""
+        queued, self._queued = self._queued, []
+        if not queued:
+            return
+        submit_many = getattr(self._client._transport, "submit_many", None)
+        if submit_many is None:
+            for frame, handle in queued:
+                try:
+                    handle._resolve(self._client._transport(frame))
+                except BaseException as exc:  # noqa: BLE001
+                    handle._fail(exc)
+            return
+        try:
+            exchanges = submit_many([frame for frame, _handle in queued])
+        except BaseException as exc:  # noqa: BLE001 - batch never left
+            for _frame, handle in queued:
+                handle._fail(exc)
+            raise
+        for exchange, (_frame, handle) in zip(exchanges, queued):
+            try:
+                handle._resolve(exchange.wait(self._timeout))
+            except BaseException as exc:  # noqa: BLE001
+                handle._fail(exc)
+
+    def __enter__(self) -> "ClientPipeline":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.flush()
+
+    # -- typed helpers mirroring the client surface ----------------------------
+
+    def model_query(
+        self,
+        constraints: list[Mapping[str, Any]],
+        include_deprecated: bool = False,
+    ) -> PipelineHandle:
+        return self.call(
+            "modelQuery",
+            constraints=constraints,
+            include_deprecated=include_deprecated,
+        )
+
+    def get_model(self, model_id: str) -> PipelineHandle:
+        return self.call("getModel", model_id=model_id)
+
+    def get_model_instance(self, instance_id: str) -> PipelineHandle:
+        return self.call("getModelInstance", instance_id=instance_id)
+
+    def load_model_blob(self, instance_id: str) -> PipelineHandle:
+        return self.call(
+            "loadModelBlob", _decode=wire.decode_blob, instance_id=instance_id
+        )
+
+    def latest_instance(self, base_version_id: str) -> PipelineHandle:
+        return self.call("latestInstance", base_version_id=base_version_id)
+
+    def metrics_of(self, instance_id: str) -> PipelineHandle:
+        return self.call("metricsOf", instance_id=instance_id)
+
+    def insert_model_instance_metric(
+        self,
+        instance_id: str,
+        name: str,
+        value: float,
+        scope: str = "Validation",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> PipelineHandle:
+        return self.call(
+            "insertModelInstanceMetric",
+            instance_id=instance_id,
+            name=name,
+            value=value,
+            scope=scope,
+            metadata=metadata,
+        )
+
+    def insert_model_instance_metrics(
+        self,
+        instance_id: str,
+        values: Mapping[str, float],
+        scope: str = "Validation",
+    ) -> PipelineHandle:
+        return self.call(
+            "insertModelInstanceMetrics",
+            instance_id=instance_id,
+            values=dict(values),
+            scope=scope,
+        )
 
 
 def connect_in_process(

@@ -170,7 +170,13 @@ class GalleryService:
         try:
             request = wire.decode_request(data)
         except Exception as exc:  # noqa: BLE001
-            return wire.encode_response(wire.error_response(exc))
+            # Echo the request_id (and answer in the sender's dialect)
+            # whenever the frame header survives, so a pipelined client can
+            # correlate the failure with the call that caused it.
+            request_id, dialect = wire.recover_request_id(data)
+            return wire.encode_response(
+                wire.error_response(exc, request_id), dialect
+            )
         dedup_key: tuple[str, int] | None = None
         if (
             request.client_id
@@ -182,7 +188,7 @@ class GalleryService:
             if cached is not None:
                 return cached
         response = self.dispatch(request)
-        encoded = wire.encode_response(response)
+        encoded = wire.encode_response(response, request.dialect)
         if dedup_key is not None and response.ok:
             self.dedup.put(dedup_key, encoded)
         return encoded
@@ -212,10 +218,12 @@ class GalleryService:
         self,
         project: str,
         base_version_id: str,
-        blob: str,
+        blob: str | bytes,
         metadata: Mapping[str, Any] | None = None,
         parent_instance_id: str | None = None,
     ) -> dict[str, Any]:
+        # ``blob`` arrives as raw bytes from binary-dialect clients and as
+        # base64 text from JSON-dialect ones; decode_blob handles both.
         instance = self._gallery.upload_model(
             project=project,
             base_version_id=base_version_id,
@@ -263,8 +271,10 @@ class GalleryService:
     def _get_instance(self, instance_id: str) -> dict[str, Any]:
         return self._gallery.get_instance(instance_id).to_dict()
 
-    def _load_blob(self, instance_id: str) -> str:
-        return wire.encode_blob(self._gallery.load_instance_blob(instance_id))
+    def _load_blob(self, instance_id: str) -> bytes:
+        # Raw bytes: the binary dialect ships them as-is, and the JSON
+        # encoder downgrades them to base64 for legacy clients.
+        return self._gallery.load_instance_blob(instance_id)
 
     def _latest_instance(self, base_version_id: str) -> dict[str, Any]:
         return self._gallery.latest_instance(base_version_id).to_dict()

@@ -1,30 +1,43 @@
-"""TCP transport for the Gallery service (Section 4.1/4).
+"""TCP transports and servers for the Gallery service (Section 4.1/4).
 
 Gallery at Uber is "a stateless microservice ... horizontally scalable":
 clients talk to it over the network through Thrift.  This module carries
-the reproduction's wire frames over a real socket so the client/server pair
-is exercised across a byte stream, not just in process:
+the reproduction's wire frames over real sockets:
 
-* :class:`GalleryTcpServer` — a threaded server; each connection reads
-  length-prefixed request frames and writes response frames.  Stateless by
-  construction: all state lives behind the dispatched
-  :class:`repro.service.server.GalleryService`.
-* :class:`TcpTransport` — a client transport compatible with
-  :class:`repro.service.client.GalleryClient`.
+* :class:`GalleryTcpServer` — a ``selectors``-based **event-loop server**:
+  one non-blocking accept/read/write loop feeds a bounded pool of daemon
+  worker threads, so a thousand idle connections cost zero threads and
+  per-request dispatch stays cheap.  Responses may complete out of order;
+  each one carries its request_id, which is what pipelined clients
+  correlate on.
+* :class:`TcpTransport` — the serial client transport: one persistent
+  connection, one request in flight.
+* :class:`PipelinedTcpTransport` — keeps many requests in flight on one
+  connection, correlating responses by request_id; ``submit``/
+  ``submit_many`` expose the asynchronous path and ``__call__`` keeps the
+  plain ``bytes -> bytes`` transport contract.
+* :class:`ConnectionPool` — a thread-safe pool of serial transports so N
+  worker threads stop serializing on a single socket.
+* :class:`ThreadedGalleryTcpServer` — the pre-overhaul thread-per-
+  connection server, kept as the benchmark baseline.
 
 Framing is the same 8-byte big-endian length prefix as
-:mod:`repro.service.wire`; the stream reader tolerates arbitrary packet
-fragmentation.
+:mod:`repro.service.wire`; both servers and both transports tolerate
+arbitrary packet fragmentation.
 """
 
 from __future__ import annotations
 
 import logging
+import queue
 import select
+import selectors
 import socket
 import socketserver
 import struct
 import threading
+from collections import deque
+from typing import Callable
 
 from repro.errors import ServiceError, WireFormatError
 from repro.service import wire
@@ -35,6 +48,7 @@ logger = logging.getLogger(__name__)
 _LENGTH = struct.Struct(">Q")
 #: Upper bound on a single frame; protects the server from bogus prefixes.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+_RECV_CHUNK = 1 << 16
 
 
 def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -42,7 +56,7 @@ def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
     chunks: list[bytes] = []
     remaining = count
     while remaining > 0:
-        chunk = sock.recv(min(remaining, 65536))
+        chunk = sock.recv(min(remaining, _RECV_CHUNK))
         if not chunk:
             if remaining == count:
                 return None  # clean close between frames
@@ -66,10 +80,407 @@ def read_frame(sock: socket.socket) -> bytes | None:
     return prefix + body
 
 
+# ---------------------------------------------------------------------------
+# Event-loop server
+# ---------------------------------------------------------------------------
+
+
+class _WorkerPool:
+    """Bounded pool of daemon threads draining a shared task queue.
+
+    Daemon threads on purpose: a handler wedged inside the service must be
+    reportable and abandonable (exactly the old threaded server's
+    contract), never able to pin the process open.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("worker pool needs at least one thread")
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"gallery-worker-{i}", daemon=True
+            )
+            for i in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        self._tasks.put(fn)
+
+    def _run(self) -> None:
+        while True:
+            fn = self._tasks.get()
+            if fn is None:
+                return
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - workers must never die
+                logger.exception("gallery worker task failed")
+
+    def stop(self, timeout: float) -> bool:
+        """Stop workers; False when one outlived the timeout (wedged)."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        per_thread = timeout / max(1, len(self._threads))
+        clean = True
+        for thread in self._threads:
+            thread.join(timeout=per_thread)
+            if thread.is_alive():
+                clean = False
+        return clean
+
+
+class _Connection:
+    """Per-connection state owned by the event loop thread."""
+
+    __slots__ = ("sock", "inbuf", "out", "events", "read_closed", "in_flight")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.out: deque[memoryview] = deque()
+        self.events = 0  # currently registered selector interest (0 = none)
+        self.read_closed = False
+        self.in_flight = 0  # frames dispatched to workers, response pending
+
+
+class _EventLoopCore:
+    """The selectors loop: accepts, frames, dispatches, writes.
+
+    Single-threaded over the sockets; the only cross-thread traffic is the
+    completion deque (worker -> loop) plus a wake socketpair.
+    """
+
+    def __init__(
+        self, address: tuple[str, int], service: GalleryService, workers: int
+    ) -> None:
+        self._service = service
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind(address)
+            listener.listen(128)
+            listener.setblocking(False)
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._completed: deque[tuple[_Connection, bytes]] = deque()
+        self._conns: dict[socket.socket, _Connection] = {}
+        self._stopping = False
+        self.pool = _WorkerPool(workers)
+
+    # -- cross-thread entry points ------------------------------------------
+
+    def wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (OSError, ValueError):
+            pass  # already stopping, or a wake is already pending
+
+    def request_stop(self) -> None:
+        self._stopping = True
+        self.wake()
+
+    def _complete(self, conn: _Connection, response: bytes) -> None:
+        """Worker thread: hand a finished response back to the loop."""
+        self._completed.append((conn, response))
+        self.wake()
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+            self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+            while not self._stopping:
+                for key, mask in self._selector.select():
+                    if key.data == "accept":
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        conn: _Connection = key.data
+                        # A connection may have been closed by an earlier
+                        # event in this same batch; its key is then stale.
+                        if mask & selectors.EVENT_READ and conn.sock in self._conns:
+                            self._readable(conn)
+                        if mask & selectors.EVENT_WRITE and conn.sock in self._conns:
+                            self._flush(conn)
+                self._drain_completed()
+        except Exception:  # noqa: BLE001 - the loop must report, not vanish
+            if not self._stopping:
+                logger.exception("gallery event loop crashed")
+        finally:
+            self._cleanup()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            sock.setblocking(False)
+            conn = _Connection(sock)
+            self._conns[sock] = conn
+            self._update_interest(conn)
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+
+    def _drain_completed(self) -> None:
+        per_conn: dict[_Connection, list[bytes]] = {}
+        while True:
+            try:
+                conn, response = self._completed.popleft()
+            except IndexError:
+                break
+            per_conn.setdefault(conn, []).append(response)
+        for conn, responses in per_conn.items():
+            conn.in_flight -= len(responses)
+            if conn.sock not in self._conns:
+                continue  # connection died while the worker was busy
+            # Coalesce: one buffer, one send for a burst of pipelined
+            # responses instead of a syscall per frame.
+            conn.out.append(memoryview(b"".join(responses)))
+            self._flush(conn)
+
+    def _readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            conn.read_closed = True
+            if conn.inbuf:
+                # Half a frame then EOF: answer with a structured error
+                # before closing, so the client learns why.
+                exc = WireFormatError("connection closed mid-frame")
+                self._send_stream_error(conn, exc)
+                conn.inbuf.clear()
+            self._update_interest(conn)
+            self._maybe_close(conn)
+            return
+        conn.inbuf += data
+        self._parse_frames(conn)
+
+    def _parse_frames(self, conn: _Connection) -> None:
+        buf = conn.inbuf
+        while len(buf) >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(buf)
+            if length > MAX_FRAME_BYTES:
+                # The stream is now desynchronized; answer, flush, close.
+                exc = WireFormatError(
+                    f"frame of {length} bytes exceeds the limit"
+                )
+                self._send_stream_error(conn, exc)
+                conn.read_closed = True
+                buf.clear()
+                self._update_interest(conn)
+                self._maybe_close(conn)
+                return
+            total = _LENGTH.size + length
+            if len(buf) < total:
+                return
+            frame = bytes(buf[:total])
+            del buf[:total]
+            conn.in_flight += 1
+            self.pool.submit(lambda f=frame, c=conn: self._process(c, f))
+
+    def _process(self, conn: _Connection, frame: bytes) -> None:
+        """Worker thread: run one frame; a response ALWAYS comes back so
+        the connection's in-flight accounting can never leak."""
+        try:
+            response = self._service.handle_frame(frame)
+        except Exception as exc:  # noqa: BLE001 - dispatcher isolation
+            logger.exception("handle_frame raised; answering with an error")
+            response = wire.encode_response(wire.error_response(exc))
+        self._complete(conn, response)
+
+    def _send_stream_error(self, conn: _Connection, exc: Exception) -> None:
+        response = wire.encode_response(wire.error_response(exc))
+        conn.out.append(memoryview(response))
+        self._flush(conn)
+
+    def _flush(self, conn: _Connection) -> None:
+        while conn.out:
+            buf = conn.out[0]
+            try:
+                sent = conn.sock.send(buf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if sent < len(buf):
+                conn.out[0] = buf[sent:]
+                break
+            conn.out.popleft()
+        self._update_interest(conn)
+        self._maybe_close(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        if conn.sock not in self._conns:
+            return
+        events = 0
+        if not conn.read_closed:
+            events |= selectors.EVENT_READ
+        if conn.out:
+            events |= selectors.EVENT_WRITE
+        if events == conn.events:
+            return
+        try:
+            if conn.events == 0:
+                self._selector.register(conn.sock, events, conn)
+            elif events == 0:
+                self._selector.unregister(conn.sock)
+            else:
+                self._selector.modify(conn.sock, events, conn)
+            conn.events = events
+        except (KeyError, ValueError, OSError):
+            self._close_conn(conn)
+
+    def _maybe_close(self, conn: _Connection) -> None:
+        if conn.read_closed and not conn.out and conn.in_flight == 0:
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if self._conns.pop(conn.sock, None) is None:
+            return
+        if conn.events:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.events = 0
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _cleanup(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        for sock in (self._listener, self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+
+
+class GalleryTcpServer:
+    """Serves a :class:`GalleryService` on a TCP port via an event loop.
+
+    One daemon thread runs the non-blocking accept/read/write loop; a
+    bounded pool of daemon workers executes ``service.handle_frame``.
+    Idle connections cost a selector entry, not a thread, and responses
+    are written back (coalesced) as workers finish — possibly out of
+    request order, which pipelined clients resolve by request_id.
+    Stateless by construction: all state lives behind the dispatched
+    service.
+    """
+
+    def __init__(
+        self,
+        service: GalleryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 16,
+    ) -> None:
+        self._core = _EventLoopCore((host, port), service, workers)
+        self._thread: threading.Thread | None = None
+        #: outcome of the last stop(): False when the loop or a worker had
+        #: to be abandoned past its join timeout.
+        self.stopped_cleanly = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._core.address
+        return str(host), int(port)
+
+    def start(self) -> "GalleryTcpServer":
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._core.run, name="gallery-tcp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, join_timeout: float = 5.0) -> bool:
+        """Shut the server down; returns True when it stopped cleanly.
+
+        A loop or worker thread that outlives *join_timeout* is reported
+        (logged, ``False`` returned, recorded on :attr:`stopped_cleanly`)
+        instead of blocking the caller forever — every thread is a daemon,
+        so a wedged handler cannot keep the process alive either way.
+        """
+        self._core.request_stop()
+        thread, self._thread = self._thread, None
+        clean = True
+        if thread is None:
+            # Never started (or already stopped): the loop's finally block
+            # never ran, so release the listener here.
+            self._core._cleanup()  # noqa: SLF001 - owning wrapper
+        else:
+            thread.join(timeout=join_timeout)
+            if thread.is_alive():
+                logger.warning(
+                    "gallery-tcp event loop still alive %.1fs after shutdown; "
+                    "abandoning it (daemon thread)",
+                    join_timeout,
+                )
+                clean = False
+        if not self._core.pool.stop(timeout=join_timeout):
+            logger.warning(
+                "gallery worker thread still alive %.1fs after shutdown; "
+                "abandoning it (daemon thread)",
+                join_timeout,
+            )
+            clean = False
+        self.stopped_cleanly = clean
+        return clean
+
+    def __enter__(self) -> "GalleryTcpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Legacy thread-per-connection server (benchmark baseline)
+# ---------------------------------------------------------------------------
+
+
 class _ConnectionHandler(socketserver.BaseRequestHandler):
     def setup(self) -> None:  # pragma: no cover - exercised via client calls
-        # Request/response frames are small; Nagle buffering only adds
-        # latency on the serving hot path.
         try:
             self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -86,9 +497,6 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             try:
                 frame = read_frame(self.request)
             except WireFormatError as exc:
-                # A malformed or oversized frame desynchronizes the stream,
-                # so the connection must close — but the client deserves a
-                # structured error first, not a bare RST it has to guess at.
                 try:
                     self.request.sendall(
                         wire.encode_response(wire.error_response(exc))
@@ -125,12 +533,6 @@ class _ThreadedServer(socketserver.ThreadingTCPServer):
             self._connections.discard(sock)
 
     def close_all_connections(self) -> None:
-        """Sever every live connection so stop() means *stopped*.
-
-        ``shutdown()`` only halts the accept loop; handler threads keep
-        serving established sockets, which would let a "restarted" server
-        keep answering on connections from its previous life.
-        """
         with self._connections_lock:
             connections = list(self._connections)
             self._connections.clear()
@@ -145,15 +547,19 @@ class _ThreadedServer(socketserver.ThreadingTCPServer):
                 pass
 
 
-class GalleryTcpServer:
-    """Serves a :class:`GalleryService` on a TCP port, in a daemon thread."""
+class ThreadedGalleryTcpServer:
+    """The pre-overhaul server: one OS thread per connection.
+
+    Kept as the benchmark baseline (PR-1/PR-2 era) so the event-loop
+    server's wins are measured against the stack that actually shipped,
+    and as a fallback should the event loop ever misbehave on an exotic
+    platform.  Public surface is identical to :class:`GalleryTcpServer`.
+    """
 
     def __init__(self, service: GalleryService, host: str = "127.0.0.1", port: int = 0) -> None:
         self._server = _ThreadedServer((host, port), _ConnectionHandler)
         self._server.gallery_service = service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
-        #: outcome of the last stop(): False when the serve thread had to
-        #: be abandoned past its join timeout.
         self.stopped_cleanly = True
 
     @property
@@ -161,23 +567,16 @@ class GalleryTcpServer:
         host, port = self._server.server_address[:2]
         return str(host), int(port)
 
-    def start(self) -> "GalleryTcpServer":
+    def start(self) -> "ThreadedGalleryTcpServer":
         if self._thread is not None:
             raise ServiceError("server already started")
         self._thread = threading.Thread(
-            target=self._server.serve_forever, name="gallery-tcp", daemon=True
+            target=self._server.serve_forever, name="gallery-tcp-threaded", daemon=True
         )
         self._thread.start()
         return self
 
     def stop(self, join_timeout: float = 5.0) -> bool:
-        """Shut the listener down; returns True when it stopped cleanly.
-
-        A serve thread that outlives *join_timeout* is reported (logged,
-        ``False`` returned, recorded on :attr:`stopped_cleanly`) instead of
-        blocking the caller forever — the thread is a daemon, so a wedged
-        handler cannot keep the process alive either way.
-        """
         self._server.shutdown()
         self._server.close_all_connections()
         self._server.server_close()
@@ -187,8 +586,8 @@ class GalleryTcpServer:
         thread.join(timeout=join_timeout)
         if thread.is_alive():
             logger.warning(
-                "gallery-tcp serve thread still alive %.1fs after shutdown; "
-                "abandoning it (daemon thread)",
+                "gallery-tcp-threaded serve thread still alive %.1fs after "
+                "shutdown; abandoning it (daemon thread)",
                 join_timeout,
             )
             self.stopped_cleanly = False
@@ -196,11 +595,16 @@ class GalleryTcpServer:
         self.stopped_cleanly = True
         return True
 
-    def __enter__(self) -> "GalleryTcpServer":
+    def __enter__(self) -> "ThreadedGalleryTcpServer":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Client transports
+# ---------------------------------------------------------------------------
 
 
 class TcpTransport:
@@ -292,3 +696,325 @@ class TcpTransport:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class _PendingExchange:
+    """One in-flight pipelined call: an event plus its outcome."""
+
+    __slots__ = ("_event", "_frame", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._frame: bytes | None = None
+        self._error: BaseException | None = None
+
+    def resolve(self, frame: bytes) -> None:
+        self._frame = frame
+        self._event.set()
+
+    def fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def wait(self, timeout: float | None) -> bytes:
+        if not self._event.wait(timeout):
+            raise TimeoutError("timed out waiting for a pipelined response")
+        if self._error is not None:
+            raise self._error
+        assert self._frame is not None
+        return self._frame
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class PipelinedTcpTransport:
+    """Many requests in flight on one connection, correlated by request_id.
+
+    * ``submit(frame)`` registers the frame's request_id, sends, and
+      returns a :class:`_PendingExchange` immediately; a background reader
+      thread completes it when the matching response arrives (responses
+      may arrive in any order).
+    * ``submit_many(frames)`` registers a whole batch and ships it with a
+      **single** ``sendall`` — one syscall for N requests.
+    * ``__call__`` keeps the plain blocking ``bytes -> bytes`` transport
+      contract (submit + wait), including the serial transport's half-open
+      semantics: a failure on a connection that existed before the call is
+      replayed once on a fresh one; a fresh connection failing is a real
+      outage and raises :class:`ServiceError`.
+
+    Thread-safe: any number of threads may submit concurrently.  Two
+    in-flight requests may not share a request_id — a colliding submit
+    waits for the earlier call to finish (this also serializes id-0
+    frames, which cannot be correlated).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self._address = (host, port)
+        self._timeout = timeout
+        self._state = threading.Condition()
+        self._send_lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._generation = 0
+        self._pending: dict[int, _PendingExchange] = {}
+        #: connections transparently replaced after a mid-call failure
+        self.reconnects = 0
+
+    # -- connection management ----------------------------------------------
+
+    def _ensure_connected_locked(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self._address, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(None)
+            self._sock = sock
+            generation = self._generation
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(sock, generation),
+                name="gallery-pipeline-reader",
+                daemon=True,
+            )
+            reader.start()
+        return self._sock
+
+    def _drop_locked(self, exc: BaseException) -> None:
+        """Fail every pending call and discard the connection."""
+        self._generation += 1
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        pending, self._pending = self._pending, {}
+        for entry in pending.values():
+            entry.fail(exc)
+        self._state.notify_all()
+
+    def _fail_generation(self, generation: int, exc: BaseException) -> None:
+        with self._state:
+            if generation != self._generation:
+                return  # a newer connection already superseded this one
+            self._drop_locked(exc)
+
+    # -- reader thread -------------------------------------------------------
+
+    def _read_loop(self, sock: socket.socket, generation: int) -> None:
+        buf = bytearray()
+        try:
+            while True:
+                while len(buf) >= _LENGTH.size:
+                    (length,) = _LENGTH.unpack_from(buf)
+                    if length > MAX_FRAME_BYTES:
+                        raise WireFormatError(
+                            f"frame of {length} bytes exceeds the limit"
+                        )
+                    total = _LENGTH.size + length
+                    if len(buf) < total:
+                        break
+                    frame = bytes(buf[:total])
+                    del buf[:total]
+                    self._dispatch_response(generation, frame)
+                chunk = sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    raise ConnectionResetError("server closed the connection")
+                buf += chunk
+        except Exception as exc:  # noqa: BLE001 - all failures fail the conn
+            self._fail_generation(generation, exc)
+
+    def _dispatch_response(self, generation: int, frame: bytes) -> None:
+        request_id = wire.peek_response_request_id(frame)
+        with self._state:
+            if generation != self._generation:
+                return
+            entry = self._pending.pop(request_id, None)
+            if entry is not None:
+                self._state.notify_all()
+        if entry is not None:
+            entry.resolve(frame)
+            return
+        # Unsolicited frame: either a response whose waiter already timed
+        # out (drop it) or a stream-level error the server emitted before
+        # hanging up (fail everything with the decoded error).
+        response = wire.decode_response(frame)
+        if not response.ok:
+            self._fail_generation(
+                generation,
+                ServiceError(
+                    f"server reported {response.error_type}: "
+                    f"{response.error_message}"
+                ),
+            )
+
+    # -- submission ----------------------------------------------------------
+
+    def _register(self, data: bytes) -> tuple[_PendingExchange, int, int, socket.socket]:
+        request_id = wire.peek_request_id(data)
+        with self._state:
+            while request_id in self._pending:
+                if not self._state.wait(timeout=self._timeout):
+                    raise ServiceError(
+                        f"request_id {request_id} still in flight after "
+                        f"{self._timeout}s"
+                    )
+            sock = self._ensure_connected_locked()
+            entry = _PendingExchange()
+            self._pending[request_id] = entry
+            return entry, request_id, self._generation, sock
+
+    def _discard(self, request_id: int, generation: int, entry: _PendingExchange) -> None:
+        with self._state:
+            if (
+                generation == self._generation
+                and self._pending.get(request_id) is entry
+            ):
+                del self._pending[request_id]
+                self._state.notify_all()
+
+    def submit(self, data: bytes) -> _PendingExchange:
+        """Send one frame; return a handle the response will complete."""
+        entry, request_id, generation, sock = self._register(data)
+        try:
+            with self._send_lock:
+                sock.sendall(data)
+        except OSError as exc:
+            self._discard(request_id, generation, entry)
+            self._fail_generation(generation, exc)
+            raise
+        return entry
+
+    def submit_many(self, frames: list[bytes]) -> list[_PendingExchange]:
+        """Send a batch of frames with one sendall; return their handles."""
+        registered: list[tuple[_PendingExchange, int, int]] = []
+        sock: socket.socket | None = None
+        try:
+            for data in frames:
+                entry, request_id, generation, sock = self._register(data)
+                registered.append((entry, request_id, generation))
+            if sock is not None:
+                with self._send_lock:
+                    sock.sendall(b"".join(frames))
+        except OSError as exc:
+            for entry, request_id, generation in registered:
+                self._discard(request_id, generation, entry)
+            if registered:
+                self._fail_generation(registered[0][2], exc)
+            raise
+        return [entry for entry, _, _ in registered]
+
+    # -- blocking transport contract ----------------------------------------
+
+    def _roundtrip(self, data: bytes) -> bytes:
+        entry, request_id, generation, sock = self._register(data)
+        try:
+            with self._send_lock:
+                sock.sendall(data)
+            return entry.wait(self._timeout)
+        except BaseException as exc:
+            self._discard(request_id, generation, entry)
+            if isinstance(exc, OSError) and not isinstance(exc, TimeoutError):
+                # The socket itself broke: everything in flight on this
+                # generation is lost.  (A timeout only abandons THIS call —
+                # other multiplexed calls may still be progressing.)
+                self._fail_generation(generation, exc)
+            raise
+
+    def __call__(self, data: bytes) -> bytes:
+        reused = self._sock is not None
+        try:
+            return self._roundtrip(data)
+        except (OSError, WireFormatError, TimeoutError) as exc:
+            if not reused:
+                raise ServiceError(f"transport failure: {exc}") from exc
+        # Half-open race: the pre-existing connection died under this call.
+        # Replay once on a fresh connection (safe: reads are idempotent and
+        # mutations are covered by server-side request dedup).
+        self.reconnects += 1
+        try:
+            return self._roundtrip(data)
+        except (OSError, WireFormatError, TimeoutError) as exc:
+            self.close()
+            raise ServiceError(f"transport failure: {exc}") from exc
+
+    def close(self) -> None:
+        with self._state:
+            self._drop_locked(ConnectionError("transport closed"))
+
+    def __enter__(self) -> "PipelinedTcpTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ConnectionPool:
+    """A thread-safe pool of serial transports.
+
+    N worker threads calling through one :class:`TcpTransport` serialize
+    on its single socket; a pool gives each concurrent call its own
+    connection, up to *size*, with LIFO reuse so hot sockets stay hot.
+    Failed transports are closed and their slot recycled (the next call
+    dials a fresh connection).  ``transport_factory`` lets tests wrap each
+    pooled transport (e.g. in a chaos
+    :class:`~repro.reliability.faults.FaultyTransport`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 8,
+        timeout: float = 10.0,
+        transport_factory: Callable[[], Callable[[bytes], bytes]] | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be positive")
+        self._factory = transport_factory or (
+            lambda: TcpTransport(host, port, timeout=timeout)
+        )
+        self.size = size
+        self._slots: queue.LifoQueue = queue.LifoQueue()
+        for _ in range(size):
+            self._slots.put(None)  # lazily dialed on first checkout
+        #: calls that had to dial a fresh connection
+        self.dials = 0
+
+    def __call__(self, data: bytes) -> bytes:
+        transport = self._slots.get()
+        if transport is None:
+            transport = self._factory()
+            self.dials += 1
+        try:
+            result = transport(data)
+        except BaseException:
+            # Never return a possibly-desynchronized transport to the pool.
+            try:
+                close = getattr(transport, "close", None)
+                if close is not None:
+                    close()
+            finally:
+                self._slots.put(None)
+            raise
+        self._slots.put(transport)
+        return result
+
+    def close(self) -> None:
+        drained = 0
+        while drained < self.size:
+            try:
+                transport = self._slots.get_nowait()
+            except queue.Empty:
+                break  # slots checked out by in-flight calls
+            drained += 1
+            if transport is not None:
+                close = getattr(transport, "close", None)
+                if close is not None:
+                    try:
+                        close()
+                    except Exception:  # noqa: BLE001 - teardown best-effort
+                        pass
+        for _ in range(drained):
+            self._slots.put(None)

@@ -1,14 +1,25 @@
-"""Wire format for the Gallery service (Section 4.1).
+"""Wire formats for the Gallery service (Section 4.1).
 
 Uber exposes Gallery through Thrift with language-specific clients.  This
-reproduction keeps the same shape — typed request/response structs, a binary
-framing, and language-neutral payloads — using length-prefixed JSON frames:
+reproduction keeps the same shape — typed request/response structs, binary
+framing, language-neutral payloads — and speaks **two dialects** behind one
+8-byte big-endian length prefix:
 
-* a frame is ``<8-byte big-endian length><utf-8 JSON body>``;
-* requests carry ``method`` + ``params``; responses carry either ``result``
-  or a structured ``error`` (type name + message) so clients can re-raise
-  the right exception class;
-* binary blobs cross the wire base64-encoded (JSON is text-only).
+* **JSON dialect** (legacy, ``DIALECT_JSON``) — the body is a UTF-8 JSON
+  object; binary blobs cross the wire base64-encoded.  Every frame body
+  starts with ``{`` (0x7B), which doubles as its dialect marker.
+* **Binary dialect** (``DIALECT_BINARY``) — a compact self-describing
+  encoding: one version byte (0x01, never a valid JSON start), a message
+  type, a fixed header, then struct-packed type-tagged values with
+  length-prefixed strings/bytes.  Blobs travel as **raw bytes** — no
+  base64 inflation, no JSON string escaping, one copy in and one out.
+
+Version negotiation is passive: decoders dispatch on the first body byte,
+and the server answers in the dialect the request arrived in (the request
+records it in :attr:`Request.dialect`).  A pre-binary client therefore
+keeps working unmodified: its JSON requests get JSON responses, and raw
+``bytes`` in a JSON response are transparently downgraded to base64
+strings (:func:`decode_blob` accepts both forms).
 """
 
 from __future__ import annotations
@@ -23,6 +34,42 @@ from repro import errors
 from repro.errors import WireFormatError
 
 _LENGTH = struct.Struct(">Q")
+
+#: Dialect names; also the values carried by :attr:`Request.dialect`.
+DIALECT_JSON = "json"
+DIALECT_BINARY = "binary"
+
+#: First body byte of a binary frame.  JSON object bodies start with ``{``
+#: (0x7B); 0x01 can never be confused for one, so one byte settles the
+#: dialect.  Bump on incompatible layout changes.
+BINARY_VERSION = 0x01
+
+_MSG_REQUEST = 0x00
+_MSG_RESPONSE = 0x01
+
+#: version u8 | msgtype u8 | request_id u64 — the request id sits at a
+#: fixed offset so pipelined transports can correlate frames without a
+#: full decode.
+_BIN_HEADER = struct.Struct(">BBQ")
+
+# Value type tags (binary dialect).
+_T_NULL = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_I64 = 0x03
+_T_F64 = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_MAP = 0x08
+_T_BIGINT = 0x09  # ints beyond i64, as length-prefixed decimal text
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
 
 #: Error type names the wire protocol can round-trip back into exceptions.
 _ERROR_TYPES = {
@@ -42,12 +89,18 @@ class Request:
     reuses both, and the server's dedup cache replays the stored response
     instead of executing the mutation twice.  An empty ``client_id`` opts
     out of deduplication (the pre-reliability wire format).
+
+    ``dialect`` records which encoding the frame used (set by
+    :func:`decode_request`); the server answers in the same dialect.  It
+    is carried alongside the request, not on the wire, and excluded from
+    equality so round-trip comparisons stay dialect-agnostic.
     """
 
     method: str
     params: Mapping[str, Any] = field(default_factory=dict)
     request_id: int = 0
     client_id: str = ""
+    dialect: str = field(default=DIALECT_JSON, compare=False)
 
     def __post_init__(self) -> None:
         if not self.method:
@@ -66,14 +119,57 @@ class Response:
     request_id: int = 0
 
     def raise_if_error(self) -> Any:
-        """Return the result, or re-raise the error as its original class."""
+        """Return the result, or re-raise the error as its original class.
+
+        Unknown error types fall back to :class:`~repro.errors.ServiceError`
+        but keep the original type name in the message, and every raised
+        exception exposes the wire-level name as ``exc.error_type`` so
+        callers can discriminate without string matching.
+        """
         if self.ok:
             return self.result
-        exc_class = _ERROR_TYPES.get(self.error_type, errors.ServiceError)
-        raise exc_class(self.error_message)
+        exc_class = _ERROR_TYPES.get(self.error_type)
+        if exc_class is None:
+            label = self.error_type or "UnknownError"
+            exc: Exception = errors.ServiceError(f"{label}: {self.error_message}")
+        else:
+            exc = exc_class(self.error_message)
+        exc.error_type = self.error_type  # type: ignore[attr-defined]
+        raise exc
 
 
-def encode_request(request: Request) -> bytes:
+# ---------------------------------------------------------------------------
+# Dialect dispatch
+# ---------------------------------------------------------------------------
+
+
+def _split_frame(data: bytes) -> memoryview:
+    """Validate the length prefix and return the body."""
+    if len(data) < _LENGTH.size:
+        raise WireFormatError("frame shorter than length prefix")
+    (length,) = _LENGTH.unpack_from(data)
+    body = memoryview(data)[_LENGTH.size:]
+    if len(body) != length:
+        raise WireFormatError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    if length == 0:
+        raise WireFormatError("empty frame body")
+    return body
+
+
+def _dialect_of(body: memoryview) -> str:
+    first = body[0]
+    if first == BINARY_VERSION:
+        return DIALECT_BINARY
+    if first == 0x7B:  # "{"
+        return DIALECT_JSON
+    raise WireFormatError(f"unknown wire dialect (first body byte 0x{first:02x})")
+
+
+def encode_request(request: Request, dialect: str = DIALECT_JSON) -> bytes:
+    if dialect == DIALECT_BINARY:
+        return _encode_request_binary(request)
     body = {
         "method": request.method,
         "params": request.params,
@@ -85,19 +181,25 @@ def encode_request(request: Request) -> bytes:
 
 
 def decode_request(data: bytes) -> Request:
-    body = _unframe(data)
+    body = _split_frame(data)
+    if _dialect_of(body) == DIALECT_BINARY:
+        return _decode_request_binary(body)
+    parsed = _parse_json(body)
     try:
         return Request(
-            method=body["method"],
-            params=body.get("params", {}),
-            request_id=body.get("request_id", 0),
-            client_id=body.get("client_id", ""),
+            method=parsed["method"],
+            params=parsed.get("params", {}),
+            request_id=parsed.get("request_id", 0),
+            client_id=parsed.get("client_id", ""),
+            dialect=DIALECT_JSON,
         )
     except KeyError as exc:
         raise WireFormatError(f"request frame missing key: {exc}") from exc
 
 
-def encode_response(response: Response) -> bytes:
+def encode_response(response: Response, dialect: str = DIALECT_JSON) -> bytes:
+    if dialect == DIALECT_BINARY:
+        return _encode_response_binary(response)
     body = {
         "ok": response.ok,
         "result": response.result,
@@ -105,18 +207,24 @@ def encode_response(response: Response) -> bytes:
         "error_message": response.error_message,
         "request_id": response.request_id,
     }
-    return _frame(body)
+    # Responses may carry raw blob bytes; for a JSON-dialect (legacy)
+    # client they are downgraded to base64 strings, which is exactly the
+    # pre-binary wire shape (decode_blob accepts both).
+    return _frame(body, downgrade_bytes=True)
 
 
 def decode_response(data: bytes) -> Response:
-    body = _unframe(data)
+    body = _split_frame(data)
+    if _dialect_of(body) == DIALECT_BINARY:
+        return _decode_response_binary(body)
+    parsed = _parse_json(body)
     try:
         return Response(
-            ok=body["ok"],
-            result=body.get("result"),
-            error_type=body.get("error_type", ""),
-            error_message=body.get("error_message", ""),
-            request_id=body.get("request_id", 0),
+            ok=parsed["ok"],
+            result=parsed.get("result"),
+            error_type=parsed.get("error_type", ""),
+            error_message=parsed.get("error_message", ""),
+            request_id=parsed.get("request_id", 0),
         )
     except KeyError as exc:
         raise WireFormatError(f"response frame missing key: {exc}") from exc
@@ -132,30 +240,324 @@ def error_response(exc: Exception, request_id: int = 0) -> Response:
     )
 
 
-def _frame(body: Mapping[str, Any]) -> bytes:
+def recover_request_id(data: bytes) -> tuple[int, str]:
+    """Best-effort (request_id, dialect) from a frame that failed to decode.
+
+    A malformed request still deserves an error reply the sender can
+    correlate: the binary header is fixed-offset, and a JSON body that
+    parses at all carries its id even when the request itself is invalid.
+    Never raises; falls back to ``(0, DIALECT_JSON)``.
+    """
     try:
-        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        body = _split_frame(data)
+    except WireFormatError:
+        # The prefix itself may be fine even when the body length is off.
+        if len(data) <= _LENGTH.size:
+            return 0, DIALECT_JSON
+        body = memoryview(data)[_LENGTH.size:]
+        if len(body) == 0:
+            return 0, DIALECT_JSON
+    if body[0] == BINARY_VERSION:
+        if len(body) >= _BIN_HEADER.size:
+            _, _, request_id = _BIN_HEADER.unpack_from(body)
+            return request_id, DIALECT_BINARY
+        return 0, DIALECT_BINARY
+    try:
+        parsed = json.loads(bytes(body).decode("utf-8"))
+        request_id = parsed.get("request_id", 0) if isinstance(parsed, dict) else 0
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            request_id = 0
+        return request_id, DIALECT_JSON
+    except Exception:  # noqa: BLE001 - recovery is strictly best-effort
+        return 0, DIALECT_JSON
+
+
+def peek_request_id(data: bytes) -> int:
+    """The request_id of an encoded request frame (cheap for binary)."""
+    body = _split_frame(data)
+    if body[0] == BINARY_VERSION:
+        if len(body) < _BIN_HEADER.size:
+            raise WireFormatError("binary frame shorter than its header")
+        _, msgtype, request_id = _BIN_HEADER.unpack_from(body)
+        if msgtype != _MSG_REQUEST:
+            raise WireFormatError("frame is not a request")
+        return request_id
+    return decode_request(data).request_id
+
+
+def peek_response_request_id(data: bytes) -> int:
+    """The request_id an encoded response frame answers (cheap for binary)."""
+    body = _split_frame(data)
+    if body[0] == BINARY_VERSION:
+        if len(body) < _BIN_HEADER.size:
+            raise WireFormatError("binary frame shorter than its header")
+        _, msgtype, request_id = _BIN_HEADER.unpack_from(body)
+        if msgtype != _MSG_RESPONSE:
+            raise WireFormatError("frame is not a response")
+        return request_id
+    return decode_response(data).request_id
+
+
+# ---------------------------------------------------------------------------
+# JSON dialect internals
+# ---------------------------------------------------------------------------
+
+
+def _json_downgrade(value: Any) -> str:
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return base64.b64encode(bytes(value)).decode("ascii")
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def _frame(body: Mapping[str, Any], downgrade_bytes: bool = False) -> bytes:
+    try:
+        payload = json.dumps(
+            body,
+            separators=(",", ":"),
+            default=_json_downgrade if downgrade_bytes else None,
+        ).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise WireFormatError(f"body is not JSON-serializable: {exc}") from exc
     return _LENGTH.pack(len(payload)) + payload
 
 
-def _unframe(data: bytes) -> dict[str, Any]:
-    if len(data) < _LENGTH.size:
-        raise WireFormatError("frame shorter than length prefix")
-    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
-    payload = data[_LENGTH.size:]
-    if len(payload) != length:
-        raise WireFormatError(
-            f"frame length mismatch: header says {length}, got {len(payload)}"
-        )
+def _parse_json(body: memoryview) -> dict[str, Any]:
     try:
-        body = json.loads(payload.decode("utf-8"))
+        parsed = json.loads(bytes(body).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireFormatError(f"frame body is not valid JSON: {exc}") from exc
-    if not isinstance(body, dict):
+    if not isinstance(parsed, dict):
         raise WireFormatError("frame body must be a JSON object")
-    return body
+    return parsed
+
+
+# ---------------------------------------------------------------------------
+# Binary dialect internals
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any, out: list[bytes]) -> None:
+    """Append the tagged encoding of *value* to *out* (list of chunks).
+
+    Chunks are joined once at frame assembly, so a multi-megabyte blob is
+    appended by reference and copied exactly once.
+    """
+    if value is None:
+        out.append(b"\x00")
+    elif value is True:
+        out.append(b"\x01")
+    elif value is False:
+        out.append(b"\x02")
+    elif type(value) is int or (isinstance(value, int) and not isinstance(value, bool)):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(b"\x03" + _I64.pack(value))
+        else:
+            text = str(value).encode("ascii")
+            out.append(b"\x09" + _U32.pack(len(text)) + text)
+    elif isinstance(value, float):
+        out.append(b"\x04" + _F64.pack(value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(b"\x05" + _U32.pack(len(encoded)))
+        out.append(encoded)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(b"\x06" + _U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"\x07" + _U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(b"\x08" + _U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireFormatError(
+                    f"map keys must be strings, got {type(key).__name__}"
+                )
+            encoded = key.encode("utf-8")
+            out.append(_U32.pack(len(encoded)) + encoded)
+            _encode_value(item, out)
+    else:
+        raise WireFormatError(
+            f"value of type {type(value).__name__} is not wire-encodable"
+        )
+
+
+class _Cursor:
+    """Bounds-checked reader over a frame body.
+
+    Every length field is validated against the remaining buffer before a
+    slice is taken, so the decoder is total: any byte string either decodes
+    or raises :class:`WireFormatError` — never an IndexError or a bogus
+    multi-gigabyte allocation.
+    """
+
+    __slots__ = ("_buf", "_pos", "_end")
+
+    def __init__(self, buf: memoryview, pos: int = 0) -> None:
+        self._buf = buf
+        self._pos = pos
+        self._end = len(buf)
+
+    def take(self, count: int) -> memoryview:
+        if count < 0 or self._end - self._pos < count:
+            raise WireFormatError("binary frame truncated")
+        start = self._pos
+        self._pos = start + count
+        return self._buf[start:self._pos]
+
+    def u8(self) -> int:
+        if self._pos >= self._end:
+            raise WireFormatError("binary frame truncated")
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        if self._end - self._pos < fmt.size:
+            raise WireFormatError("binary frame truncated")
+        values = fmt.unpack_from(self._buf, self._pos)
+        self._pos += fmt.size
+        return values
+
+    def text(self, length_struct: struct.Struct = _U32) -> str:
+        (length,) = self.unpack(length_struct)
+        try:
+            return bytes(self.take(length)).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in binary frame: {exc}") from exc
+
+    def done(self) -> bool:
+        return self._pos == self._end
+
+
+def _decode_value(cur: _Cursor) -> Any:
+    tag = cur.u8()
+    if tag == _T_NULL:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_I64:
+        return cur.unpack(_I64)[0]
+    if tag == _T_F64:
+        return cur.unpack(_F64)[0]
+    if tag == _T_STR:
+        return cur.text()
+    if tag == _T_BYTES:
+        (length,) = cur.unpack(_U32)
+        return bytes(cur.take(length))
+    if tag == _T_LIST:
+        (count,) = cur.unpack(_U32)
+        return [_decode_value(cur) for _ in range(count)]
+    if tag == _T_MAP:
+        (count,) = cur.unpack(_U32)
+        result = {}
+        for _ in range(count):
+            key = cur.text()
+            result[key] = _decode_value(cur)
+        return result
+    if tag == _T_BIGINT:
+        (length,) = cur.unpack(_U32)
+        text = bytes(cur.take(length))
+        try:
+            return int(text.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireFormatError(f"invalid bigint payload: {exc}") from exc
+    raise WireFormatError(f"unknown value tag 0x{tag:02x}")
+
+
+def _assemble(chunks: list[bytes]) -> bytes:
+    payload_len = sum(len(chunk) for chunk in chunks)
+    return b"".join([_LENGTH.pack(payload_len), *chunks])
+
+
+def _encode_request_binary(request: Request) -> bytes:
+    method = request.method.encode("utf-8")
+    client_id = request.client_id.encode("utf-8")
+    if request.request_id < 0 or request.request_id > 2**64 - 1:
+        raise WireFormatError("request_id out of range for the binary dialect")
+    chunks = [
+        _BIN_HEADER.pack(BINARY_VERSION, _MSG_REQUEST, request.request_id),
+        _U16.pack(len(method)),
+        method,
+        _U16.pack(len(client_id)),
+        client_id,
+    ]
+    _encode_value(request.params, chunks)
+    return _assemble(chunks)
+
+
+def _decode_request_binary(body: memoryview) -> Request:
+    cur = _Cursor(body)
+    version, msgtype, request_id = cur.unpack(_BIN_HEADER)
+    if version != BINARY_VERSION:
+        raise WireFormatError(f"unsupported binary wire version {version}")
+    if msgtype != _MSG_REQUEST:
+        raise WireFormatError("expected a request frame")
+    method = cur.text(_U16)
+    client_id = cur.text(_U16)
+    params = _decode_value(cur)
+    if not isinstance(params, dict):
+        raise WireFormatError("request params must decode to a map")
+    if not cur.done():
+        raise WireFormatError("trailing bytes after binary request")
+    return Request(
+        method=method,
+        params=params,
+        request_id=request_id,
+        client_id=client_id,
+        dialect=DIALECT_BINARY,
+    )
+
+
+def _encode_response_binary(response: Response) -> bytes:
+    error_type = response.error_type.encode("utf-8")
+    error_message = response.error_message.encode("utf-8")
+    request_id = response.request_id
+    if request_id < 0 or request_id > 2**64 - 1:
+        raise WireFormatError("request_id out of range for the binary dialect")
+    chunks = [
+        _BIN_HEADER.pack(BINARY_VERSION, _MSG_RESPONSE, request_id),
+        b"\x01" if response.ok else b"\x00",
+        _U16.pack(len(error_type)),
+        error_type,
+        _U32.pack(len(error_message)),
+        error_message,
+    ]
+    _encode_value(response.result, chunks)
+    return _assemble(chunks)
+
+
+def _decode_response_binary(body: memoryview) -> Response:
+    cur = _Cursor(body)
+    version, msgtype, request_id = cur.unpack(_BIN_HEADER)
+    if version != BINARY_VERSION:
+        raise WireFormatError(f"unsupported binary wire version {version}")
+    if msgtype != _MSG_RESPONSE:
+        raise WireFormatError("expected a response frame")
+    ok_byte = cur.u8()
+    if ok_byte not in (0, 1):
+        raise WireFormatError(f"invalid ok flag 0x{ok_byte:02x}")
+    error_type = cur.text(_U16)
+    error_message = cur.text(_U32)
+    result = _decode_value(cur)
+    if not cur.done():
+        raise WireFormatError("trailing bytes after binary response")
+    return Response(
+        ok=bool(ok_byte),
+        result=result,
+        error_type=error_type,
+        error_message=error_message,
+        request_id=request_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Blob helpers
+# ---------------------------------------------------------------------------
 
 
 def encode_blob(data: bytes) -> str:
@@ -163,8 +565,15 @@ def encode_blob(data: bytes) -> str:
     return base64.b64encode(data).decode("ascii")
 
 
-def decode_blob(text: str) -> bytes:
+def decode_blob(payload: str | bytes | bytearray | memoryview) -> bytes:
+    """Decode a wire blob: raw bytes (binary dialect) or base64 text (JSON)."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return bytes(payload)
+    if not isinstance(payload, str):
+        raise WireFormatError(
+            f"blob payload must be bytes or base64 text, got {type(payload).__name__}"
+        )
     try:
-        return base64.b64decode(text.encode("ascii"), validate=True)
+        return base64.b64decode(payload.encode("ascii"), validate=True)
     except Exception as exc:
         raise WireFormatError(f"invalid base64 blob: {exc}") from exc

@@ -43,7 +43,7 @@ from repro.reliability import (
 )
 from repro.service.client import GalleryClient, RetryingTransport
 from repro.service.server import GalleryService
-from repro.service.tcp import GalleryTcpServer, TcpTransport
+from repro.service.tcp import GalleryTcpServer, PipelinedTcpTransport, TcpTransport
 from repro.store.blob import FilesystemBlobStore
 from repro.store.cache import LRUBlobCache
 from repro.store.dal import DataAccessLayer
@@ -73,10 +73,19 @@ def build_stack(tmp_path, store_injector=None):
     return gallery, service
 
 
-def chaos_client(host, port, client_id, injector, seed):
-    """A Gallery client whose wire is flaky but whose retries are armed."""
+def chaos_client(host, port, client_id, injector, seed, pipelined=False):
+    """A Gallery client whose wire is flaky but whose retries are armed.
+
+    ``pipelined=True`` routes every frame through the overhauled
+    :class:`PipelinedTcpTransport` instead of the serial transport, so the
+    chaos suite exercises BOTH client paths against the event-loop server.
+    """
+    if pipelined:
+        inner = PipelinedTcpTransport(host, port, timeout=5.0)
+    else:
+        inner = TcpTransport(host, port, timeout=5.0)
     transport = RetryingTransport(
-        FaultyTransport(TcpTransport(host, port, timeout=5.0), injector),
+        FaultyTransport(inner, injector),
         policy=RetryPolicy(
             max_attempts=8,
             base_delay=0.05,
@@ -114,6 +123,30 @@ def test_harness_smoke_dedup_and_restart(tmp_path):
         server.stop()
 
 
+def test_harness_smoke_pipelined_dedup_and_restart(tmp_path):
+    """The pipelined transport under the same lost-response + restart drill."""
+    gallery, service = build_stack(tmp_path)
+    server = GalleryTcpServer(service).start()
+    host, port = server.address
+    injector = FaultInjector(seed=2, rate=0.0)
+    client, transport = chaos_client(
+        host, port, "smoke-pipelined", injector, seed=2, pipelined=True
+    )
+    try:
+        client.create_gallery_model("p", "demand")
+        injector.inject_next("call", FaultKind.LOST_RESPONSE)
+        client.upload_model("p", "demand", b"v1", metadata={"tag": "one"})
+        assert len(gallery.instances_of("demand")) == 1
+        assert service.dedup.hits == 1
+        server.stop()
+        server = GalleryTcpServer(service, host=host, port=port).start()
+        client.upload_model("p", "demand", b"v2", metadata={"tag": "two"})
+        assert len(gallery.instances_of("demand")) == 2
+    finally:
+        transport.close()
+        server.stop()
+
+
 @pytest.mark.chaos
 class TestConcurrentChaos:
     def test_no_lost_or_duplicated_updates_under_chaos(self, tmp_path):
@@ -140,8 +173,10 @@ class TestConcurrentChaos:
 
         def worker(ci: int) -> None:
             injector = FaultInjector(seed=100 + ci, rate=FAULT_RATE, kinds=WIRE_FAULTS)
+            # Odd-numbered clients ride the pipelined transport so the
+            # chaos invariants are enforced on both client paths at once.
             client, transport = chaos_client(
-                host, port, f"chaos-{ci}", injector, seed=ci
+                host, port, f"chaos-{ci}", injector, seed=ci, pipelined=ci % 2 == 1
             )
             if ci == 0:
                 # Guarantee at least one dedup-protected replay regardless

@@ -1,0 +1,338 @@
+"""Pipelined transport, connection pool, and client pipeline helpers.
+
+The overhauled serving plane allows many requests in flight at once:
+
+* :class:`PipelinedTcpTransport` multiplexes one connection by request_id
+  (responses may return in any order) and keeps the serial transport's
+  half-open restart semantics on the blocking path;
+* :class:`ConnectionPool` hands each concurrent caller its own socket;
+* :meth:`GalleryClient.pipeline` batches calls over either, falling back
+  to sequential exchanges on a plain transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import build_gallery
+from repro.core import ManualClock, SeededIdFactory
+from repro.errors import NotFoundError, ServiceError
+from repro.service import wire
+from repro.service.client import GalleryClient, connect_in_process
+from repro.service.server import GalleryService
+from repro.service.tcp import (
+    ConnectionPool,
+    GalleryTcpServer,
+    PipelinedTcpTransport,
+    ThreadedGalleryTcpServer,
+)
+
+
+def build_service():
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(9))
+    return gallery, GalleryService(gallery)
+
+
+@pytest.fixture
+def pipelined_stack():
+    gallery, service = build_service()
+    server = GalleryTcpServer(service).start()
+    host, port = server.address
+    transport = PipelinedTcpTransport(host, port, timeout=15.0)
+    client = GalleryClient(transport)
+    yield gallery, service, server, client, transport
+    transport.close()
+    server.stop()
+
+
+class TestBlockingContract:
+    def test_full_workflow_blocking_calls(self, pipelined_stack):
+        _, _, _, client, _ = pipelined_stack
+        client.create_gallery_model("p", "demand", owner="pipe")
+        instance = client.upload_model(
+            "p", "demand", b"pipelined-bytes", metadata={"model_name": "rf"}
+        )
+        hits = client.model_query(
+            [{"field": "modelName", "operator": "equal", "value": "rf"}]
+        )
+        assert [h["instance_id"] for h in hits] == [instance["instance_id"]]
+        assert client.load_model_blob(instance["instance_id"]) == b"pipelined-bytes"
+
+    def test_errors_cross_the_pipelined_socket(self, pipelined_stack):
+        _, _, _, client, _ = pipelined_stack
+        with pytest.raises(NotFoundError):
+            client.get_model("ghost")
+
+    def test_close_then_reuse_redials(self, pipelined_stack):
+        _, _, _, client, transport = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        transport.close()
+        assert client.audit_storage()["consistent"]
+
+    def test_reconnects_after_server_restart(self):
+        _, service = build_service()
+        server = GalleryTcpServer(service).start()
+        host, port = server.address
+        transport = PipelinedTcpTransport(host, port, timeout=15.0)
+        client = GalleryClient(transport)
+        try:
+            client.create_gallery_model("p", "demand")
+            server.stop()
+            server = GalleryTcpServer(service, host=host, port=port).start()
+            instance = client.upload_model("p", "demand", b"after-restart")
+            assert client.load_model_blob(instance["instance_id"]) == b"after-restart"
+        finally:
+            transport.close()
+            server.stop()
+
+    def test_fresh_connection_failure_surfaces(self):
+        _, service = build_service()
+        server = GalleryTcpServer(service).start()
+        host, port = server.address
+        server.stop()
+        transport = PipelinedTcpTransport(host, port, timeout=2.0)
+        client = GalleryClient(transport)
+        with pytest.raises((ServiceError, OSError)):
+            client.audit_storage()
+        transport.close()
+
+
+class TestMultiplexing:
+    def test_submit_many_resolves_every_handle(self, pipelined_stack):
+        _, _, _, client, transport = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        frames = [
+            wire.encode_request(
+                wire.Request(
+                    method="auditStorage", request_id=100 + i, client_id="mx"
+                ),
+                wire.DIALECT_BINARY,
+            )
+            for i in range(32)
+        ]
+        handles = transport.submit_many(frames)
+        for i, handle in enumerate(handles):
+            response = wire.decode_response(handle.wait(15.0))
+            assert response.ok
+            assert response.request_id == 100 + i
+
+    def test_out_of_order_responses_are_correlated(self, pipelined_stack):
+        # A cheap query and an expensive blob upload race on one socket;
+        # whichever finishes first, each response lands on its own handle.
+        _, _, _, client, transport = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        big = bytes(range(256)) * 4096  # 1 MiB upload: the slow request
+        slow = wire.encode_request(
+            wire.Request(
+                method="uploadModel",
+                params={
+                    "project": "p",
+                    "base_version_id": "demand",
+                    "blob": big,
+                    "metadata": None,
+                    "parent_instance_id": None,
+                },
+                request_id=7001,
+                client_id="mx",
+            ),
+            wire.DIALECT_BINARY,
+        )
+        fast = wire.encode_request(
+            wire.Request(method="auditStorage", request_id=7002, client_id="mx"),
+            wire.DIALECT_BINARY,
+        )
+        slow_handle = transport.submit(slow)
+        fast_handle = transport.submit(fast)
+        fast_response = wire.decode_response(fast_handle.wait(15.0))
+        slow_response = wire.decode_response(slow_handle.wait(15.0))
+        assert fast_response.request_id == 7002 and fast_response.ok
+        assert slow_response.request_id == 7001 and slow_response.ok
+
+    def test_many_threads_share_one_pipelined_transport(self, pipelined_stack):
+        gallery, _, _, client, _ = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for index in range(8):
+                    client.upload_model("p", "demand", f"w{worker_id}-{index}".encode())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(gallery.instances_of("demand")) == 48
+
+
+class TestConnectionPool:
+    def test_pooled_concurrent_writers(self):
+        gallery, service = build_service()
+        with GalleryTcpServer(service) as server:
+            host, port = server.address
+            pool = ConnectionPool(host, port, size=4)
+            client = GalleryClient(pool)
+            client.create_gallery_model("p", "demand")
+            errors: list[Exception] = []
+
+            def worker(worker_id: int) -> None:
+                try:
+                    for index in range(6):
+                        client.upload_model(
+                            "p", "demand", f"p{worker_id}-{index}".encode()
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert errors == []
+            assert len(gallery.instances_of("demand")) == 48
+            assert pool.dials <= pool.size  # connections were reused
+            pool.close()
+
+    def test_factory_hook_wraps_every_pooled_transport(self):
+        _, service = build_service()
+        with GalleryTcpServer(service) as server:
+            host, port = server.address
+            built = []
+
+            def factory():
+                from repro.service.tcp import TcpTransport
+
+                transport = TcpTransport(host, port)
+                built.append(transport)
+                return transport
+
+            pool = ConnectionPool(host, port, size=2, transport_factory=factory)
+            client = GalleryClient(pool)
+            client.create_gallery_model("p", "demand")
+            assert len(built) == 1  # lazily dialed, one caller -> one transport
+            pool.close()
+
+    def test_failed_transport_is_recycled_not_reused(self):
+        _, service = build_service()
+        server = GalleryTcpServer(service).start()
+        host, port = server.address
+        pool = ConnectionPool(host, port, size=1, timeout=2.0)
+        client = GalleryClient(pool)
+        client.create_gallery_model("p", "demand")
+        server.stop()
+        with pytest.raises((ServiceError, OSError)):
+            client.audit_storage()
+        # The dead transport was dropped; a fresh server on the same port
+        # is reachable through the same pool.
+        server = GalleryTcpServer(service, host=host, port=port).start()
+        try:
+            assert client.audit_storage()["consistent"]
+            assert pool.dials >= 2
+        finally:
+            pool.close()
+            server.stop()
+
+    def test_rejects_silly_sizes(self):
+        with pytest.raises(ValueError):
+            ConnectionPool("127.0.0.1", 1, size=0)
+
+
+class TestClientPipeline:
+    def test_pipeline_over_pipelined_transport(self, pipelined_stack):
+        _, _, _, client, _ = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        uploaded = [
+            client.upload_model("p", "demand", f"blob-{i}".encode()) for i in range(4)
+        ]
+        with client.pipeline() as pipe:
+            query = pipe.model_query([])
+            blobs = [pipe.load_model_blob(u["instance_id"]) for u in uploaded]
+            missing = pipe.get_model("ghost")
+        assert len(query.result()) == 4
+        for i, handle in enumerate(blobs):
+            assert handle.result() == f"blob-{i}".encode()
+        # One failed call parks its error without poisoning the batch.
+        with pytest.raises(NotFoundError):
+            missing.result()
+
+    def test_pipeline_falls_back_on_plain_transport(self):
+        _, service = build_service()
+        client = connect_in_process(service)
+        client.create_gallery_model("p", "demand")
+        instance = client.upload_model("p", "demand", b"plain")
+        with client.pipeline() as pipe:
+            blob = pipe.load_model_blob(instance["instance_id"])
+            latest = pipe.latest_instance("demand")
+        assert blob.result() == b"plain"
+        assert latest.result()["instance_id"] == instance["instance_id"]
+
+    def test_unflushed_handle_is_a_programming_error(self):
+        _, service = build_service()
+        client = connect_in_process(service)
+        pipe = client.pipeline()
+        handle = pipe.call("auditStorage")
+        assert not handle.done()
+        with pytest.raises(RuntimeError, match="not flushed"):
+            handle.result()
+        pipe.flush()
+        assert handle.result()["consistent"]
+
+    def test_exception_inside_with_block_skips_flush(self):
+        _, service = build_service()
+        client = connect_in_process(service)
+        with pytest.raises(ValueError):
+            with client.pipeline() as pipe:
+                pipe.call("auditStorage")
+                raise ValueError("caller bug")
+        # The queued call was never sent; its handle stays unresolved.
+
+    def test_batch_helpers(self, pipelined_stack):
+        _, _, _, client, _ = pipelined_stack
+        client.create_gallery_model("p", "demand")
+        instances = [
+            client.upload_model(
+                "p", "demand", f"b{i}".encode(), metadata={"model_name": "rf"}
+            )
+            for i in range(3)
+        ]
+        ids = [i["instance_id"] for i in instances]
+
+        blobs = client.load_model_blobs(ids)
+        assert blobs == {ids[i]: f"b{i}".encode() for i in range(3)}
+
+        metrics = client.insert_metrics_many(
+            {ids[0]: {"bias": 0.1, "rmse": 2.0}, ids[1]: {"bias": 0.2}}
+        )
+        assert len(metrics[ids[0]]) == 2
+        assert len(metrics[ids[1]]) == 1
+
+        results = client.model_query_many(
+            [
+                [{"field": "modelName", "operator": "equal", "value": "rf"}],
+                [{"field": "modelName", "operator": "equal", "value": "absent"}],
+            ]
+        )
+        assert len(results[0]) == 3
+        assert results[1] == []
+
+
+class TestAgainstLegacyServer:
+    """The new transports interoperate with the threaded baseline server."""
+
+    def test_pipelined_transport_against_threaded_server(self):
+        gallery, service = build_service()
+        with ThreadedGalleryTcpServer(service) as server:
+            host, port = server.address
+            with PipelinedTcpTransport(host, port, timeout=15.0) as transport:
+                client = GalleryClient(transport)
+                client.create_gallery_model("p", "demand")
+                instance = client.upload_model("p", "demand", b"legacy-server")
+                assert client.load_model_blob(instance["instance_id"]) == b"legacy-server"
+        assert len(gallery.instances_of("demand")) == 1

@@ -26,9 +26,11 @@ from repro.reliability import (
 )
 from repro.rules.engine import RuleEngine
 from repro.service.client import (
+    BLOB_METHODS,
     IDEMPOTENT_METHODS,
     GalleryClient,
     InProcessTransport,
+    MethodRetryPolicies,
     RetryingTransport,
 )
 from repro.service.server import MUTATING_METHODS, GalleryService
@@ -161,6 +163,93 @@ class TestTransientServerErrors:
         # Retries exhausted: the ORIGINAL wire error comes back, typed.
         with pytest.raises(MetadataStoreError, match="injected timeout"):
             client.get_model_instance(instance["instance_id"])
+
+
+class TestPerMethodRetryBudgets:
+    """One retry budget per method class, not one global compromise."""
+
+    def build(self, policies):
+        injector = FaultInjector(seed=21, rate=0.0)
+        dal = DataAccessLayer(
+            InMemoryMetadataStore(), InMemoryBlobStore(), LRUBlobCache(1 << 20)
+        )
+        gallery = Gallery(dal, clock=ManualClock(), id_factory=SeededIdFactory(2))
+        service = GalleryService(gallery, RuleEngine(gallery, clock=ManualClock()))
+        faulty = FaultyTransport(InProcessTransport(service), injector)
+        transport = RetryingTransport(faulty, policies=policies)
+        return GalleryClient(transport), injector, transport, gallery
+
+    @staticmethod
+    def budgets(read_attempts=4, blob_attempts=2, mutation_attempts=2):
+        sleepless = dict(base_delay=0.0, jitter=0.0, sleep=lambda _s: None)
+        return MethodRetryPolicies(
+            read=RetryPolicy(max_attempts=read_attempts, **sleepless),
+            blob=RetryPolicy(max_attempts=blob_attempts, **sleepless),
+            mutation=RetryPolicy(max_attempts=mutation_attempts, **sleepless),
+        )
+
+    def test_classification_covers_every_method(self, faulty_stack):
+        policies = self.budgets()
+        service = faulty_stack["service"]
+        for method in service.methods():
+            policy = policies.for_method(method)
+            if method in BLOB_METHODS:
+                assert policy is policies.blob
+            elif method in MUTATING_METHODS:
+                assert policy is policies.mutation
+            else:
+                assert policy is policies.read
+
+    def test_upload_model_is_budgeted_as_a_blob_transfer(self):
+        policies = self.budgets()
+        assert policies.for_method("uploadModel") is policies.blob
+        assert policies.for_method("loadModelBlob") is policies.blob
+        assert policies.for_method("deprecateModel") is policies.mutation
+        assert policies.for_method("modelQuery") is policies.read
+
+    def test_reads_get_the_deep_budget(self):
+        client, injector, transport, _ = self.build(self.budgets(read_attempts=4))
+        client.create_gallery_model("p", "demand")
+        instance = client.upload_model("p", "demand", b"weights")
+        before = transport.attempts
+        for _ in range(3):  # three failures still fit a 4-attempt read budget
+            injector.inject_next("call", FaultKind.DROP)
+        latest = client.latest_instance("demand")
+        assert latest["instance_id"] == instance["instance_id"]
+        assert transport.attempts == before + 4
+
+    def test_blob_budget_is_shallower_than_read_budget(self):
+        client, injector, transport, _ = self.build(
+            self.budgets(read_attempts=4, blob_attempts=2)
+        )
+        client.create_gallery_model("p", "demand")
+        instance = client.upload_model("p", "demand", b"weights")
+        before = transport.attempts
+        for _ in range(3):  # would fit the read budget, overruns the blob one
+            injector.inject_next("call", FaultKind.DROP)
+        with pytest.raises(ServiceError):
+            client.load_model_blob(instance["instance_id"])
+        assert transport.attempts == before + 2
+
+    def test_mutation_budget_still_dedup_safe(self):
+        client, injector, transport, gallery = self.build(self.budgets())
+        client.create_gallery_model("p", "demand")
+        injector.inject_next("call", FaultKind.LOST_RESPONSE)
+        client.upload_model("p", "demand", b"v1")
+        assert len(gallery.instances_of("demand")) == 1  # replay deduped
+
+    def test_default_budgets_are_ordered_sensibly(self):
+        policies = MethodRetryPolicies.default()
+        assert policies.read.max_attempts >= policies.blob.max_attempts
+        assert policies.blob.deadline > policies.read.deadline
+
+    def test_global_policy_and_per_method_policies_are_exclusive(self):
+        with pytest.raises(ValueError):
+            RetryingTransport(
+                lambda data: data,
+                policy=RetryPolicy(),
+                policies=MethodRetryPolicies.default(),
+            )
 
 
 class TestCircuitBreaker:

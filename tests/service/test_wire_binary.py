@@ -1,0 +1,369 @@
+"""Binary wire dialect: fuzz/property coverage plus version negotiation.
+
+Invariants:
+
+* encode/decode is the identity over arbitrary wire-encodable payloads,
+  including raw ``bytes`` (the whole point of the dialect) and integers
+  beyond i64 (the bigint escape hatch);
+* the decoder is **total**: any byte string either decodes or raises
+  :class:`WireFormatError` — truncations, mutations, and random garbage
+  never escape as other exceptions;
+* frames survive arbitrary packet fragmentation over a real socket;
+* version negotiation is per-frame: the server answers every frame in the
+  dialect it arrived in, so a pre-binary JSON client interoperates with
+  the new server unmodified;
+* malformed frames with a recoverable request_id are answered with that
+  id (pipelined clients must be able to correlate the failure), and
+  unknown error types survive ``raise_if_error`` with their name intact.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import build_gallery
+from repro.core import ManualClock, SeededIdFactory
+from repro.errors import ServiceError, WireFormatError
+from repro.service import wire
+from repro.service.client import GalleryClient
+from repro.service.server import GalleryService
+from repro.service.tcp import GalleryTcpServer, TcpTransport
+from repro.service.wire import (
+    BINARY_VERSION,
+    DIALECT_BINARY,
+    DIALECT_JSON,
+    Request,
+    Response,
+)
+
+_PREFIX = struct.Struct(">Q")
+
+wire_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**70), max_value=2**70),  # crosses the i64 line
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+        st.binary(max_size=64),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+wire_params = st.dictionaries(st.text(min_size=1, max_size=12), wire_values, max_size=5)
+
+
+def build_service():
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(5))
+    return GalleryService(gallery)
+
+
+class TestRoundTrips:
+    @given(
+        st.text(min_size=1, max_size=20),
+        wire_params,
+        st.integers(0, 2**64 - 1),
+        st.text(max_size=16),
+    )
+    @settings(max_examples=200)
+    def test_request_round_trip(self, method, params, request_id, client_id):
+        request = Request(
+            method=method, params=params, request_id=request_id, client_id=client_id
+        )
+        restored = wire.decode_request(wire.encode_request(request, DIALECT_BINARY))
+        assert restored == request
+        assert restored.dialect == DIALECT_BINARY
+
+    @given(wire_values, st.integers(0, 2**64 - 1))
+    @settings(max_examples=200)
+    def test_success_response_round_trip(self, result, request_id):
+        response = Response(ok=True, result=result, request_id=request_id)
+        restored = wire.decode_response(wire.encode_response(response, DIALECT_BINARY))
+        assert restored.ok
+        assert restored.result == result
+        assert restored.request_id == request_id
+
+    @given(st.text(max_size=30), st.text(max_size=60), st.integers(0, 2**32))
+    @settings(max_examples=100)
+    def test_error_response_round_trip(self, error_type, message, request_id):
+        response = Response(
+            ok=False,
+            error_type=error_type,
+            error_message=message,
+            request_id=request_id,
+        )
+        restored = wire.decode_response(wire.encode_response(response, DIALECT_BINARY))
+        assert not restored.ok
+        assert restored.error_type == error_type
+        assert restored.error_message == message
+        assert restored.request_id == request_id
+
+    def test_blobs_cross_as_raw_bytes_without_inflation(self):
+        payload = bytes(range(256)) * 64
+        response = Response(ok=True, result=payload, request_id=9)
+        frame = wire.encode_response(response, DIALECT_BINARY)
+        # Raw bytes plus a bounded header — no base64's 4/3 blow-up.
+        assert len(frame) < len(payload) + 64
+        assert wire.decode_response(frame).result == payload
+
+    def test_bigint_beyond_i64_round_trips(self):
+        huge = 2**80 + 17
+        request = Request(method="m", params={"n": huge, "m": -huge})
+        restored = wire.decode_request(wire.encode_request(request, DIALECT_BINARY))
+        assert restored.params == {"n": huge, "m": -huge}
+
+
+class TestDecoderTotality:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_total_over_binary_tagged_garbage(self, data):
+        body = bytes([BINARY_VERSION]) + data
+        frame = _PREFIX.pack(len(body)) + body
+        for decoder in (wire.decode_request, wire.decode_response):
+            try:
+                decoder(frame)
+            except WireFormatError:
+                pass
+
+    @given(
+        st.text(min_size=1, max_size=10),
+        wire_params,
+        st.integers(0, 2**32),
+        st.data(),
+    )
+    @settings(max_examples=200)
+    def test_any_proper_prefix_is_rejected(self, method, params, request_id, data):
+        frame = wire.encode_request(
+            Request(method=method, params=params, request_id=request_id),
+            DIALECT_BINARY,
+        )
+        body = frame[_PREFIX.size :]
+        cut = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+        truncated = _PREFIX.pack(cut) + body[:cut]
+        with pytest.raises(WireFormatError):
+            wire.decode_request(truncated)
+
+    @given(st.text(min_size=1, max_size=10), wire_params, st.data())
+    @settings(max_examples=200)
+    def test_single_byte_mutations_never_escape(self, method, params, data):
+        frame = bytearray(
+            wire.encode_request(Request(method=method, params=params), DIALECT_BINARY)
+        )
+        index = data.draw(st.integers(min_value=_PREFIX.size, max_value=len(frame) - 1))
+        frame[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            wire.decode_request(bytes(frame))
+        except WireFormatError:
+            pass
+
+    def test_unsupported_version_byte_is_rejected(self):
+        body = bytes([0x02]) + b"\x00" * 16
+        frame = _PREFIX.pack(len(body)) + body
+        with pytest.raises(WireFormatError, match="dialect"):
+            wire.decode_request(frame)
+
+
+class TestRequestIdRecovery:
+    """Satellite bugfix: malformed frames still answer with their id."""
+
+    def test_recover_from_malformed_binary_body(self):
+        body = wire._BIN_HEADER.pack(BINARY_VERSION, 0x00, 4242) + b"\xff\xff"
+        frame = _PREFIX.pack(len(body)) + body
+        with pytest.raises(WireFormatError):
+            wire.decode_request(frame)
+        assert wire.recover_request_id(frame) == (4242, DIALECT_BINARY)
+
+    def test_recover_from_json_missing_method(self):
+        body = b'{"request_id": 77, "params": {}}'
+        frame = _PREFIX.pack(len(body)) + body
+        with pytest.raises(WireFormatError):
+            wire.decode_request(frame)
+        assert wire.recover_request_id(frame) == (77, DIALECT_JSON)
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=300)
+    def test_recovery_never_raises(self, data):
+        request_id, dialect = wire.recover_request_id(data)
+        assert request_id >= 0
+        assert dialect in (DIALECT_JSON, DIALECT_BINARY)
+
+    def test_server_echoes_recoverable_id_on_wire_error(self):
+        service = build_service()
+        body = wire._BIN_HEADER.pack(BINARY_VERSION, 0x00, 911) + b"\xff"
+        frame = _PREFIX.pack(len(body)) + body
+        response = wire.decode_response(service.handle_frame(frame))
+        assert not response.ok
+        assert response.error_type == "WireFormatError"
+        assert response.request_id == 911
+
+
+class TestErrorTypePreservation:
+    """Satellite bugfix: unknown error types survive raise_if_error."""
+
+    def test_unknown_error_type_kept_in_message_and_attribute(self):
+        response = Response(
+            ok=False, error_type="FancyFutureError", error_message="boom"
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            response.raise_if_error()
+        assert "FancyFutureError" in str(excinfo.value)
+        assert "boom" in str(excinfo.value)
+        assert excinfo.value.error_type == "FancyFutureError"
+
+    def test_known_error_type_exposes_wire_name(self):
+        from repro.errors import NotFoundError
+
+        response = Response(ok=False, error_type="NotFoundError", error_message="gone")
+        with pytest.raises(NotFoundError) as excinfo:
+            response.raise_if_error()
+        assert excinfo.value.error_type == "NotFoundError"
+
+
+class TestVersionNegotiation:
+    """The server answers every frame in the dialect it arrived in."""
+
+    def test_binary_request_gets_binary_response(self):
+        service = build_service()
+        frame = wire.encode_request(
+            Request(method="auditStorage", request_id=3), DIALECT_BINARY
+        )
+        raw = service.handle_frame(frame)
+        assert raw[_PREFIX.size] == BINARY_VERSION
+        assert wire.decode_response(raw).ok
+
+    def test_json_request_gets_json_response(self):
+        service = build_service()
+        frame = wire.encode_request(Request(method="auditStorage", request_id=4))
+        raw = service.handle_frame(frame)
+        assert raw[_PREFIX.size] == 0x7B  # "{"
+        assert wire.decode_response(raw).ok
+
+    def test_dialects_can_interleave_on_one_connection(self):
+        service = build_service()
+        with GalleryTcpServer(service) as server:
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                for dialect, marker in (
+                    (DIALECT_JSON, 0x7B),
+                    (DIALECT_BINARY, BINARY_VERSION),
+                    (DIALECT_JSON, 0x7B),
+                ):
+                    frame = wire.encode_request(
+                        Request(method="auditStorage", request_id=1), dialect
+                    )
+                    raw = transport(frame)
+                    assert raw[_PREFIX.size] == marker
+                    assert wire.decode_response(raw).ok
+
+
+class TestJsonDialectCompatibility:
+    """A pre-binary (JSON-dialect) client against the new server stack."""
+
+    def test_legacy_client_full_workflow(self):
+        with GalleryTcpServer(build_service()) as server:
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                client = GalleryClient(transport, dialect=DIALECT_JSON)
+                client.create_gallery_model("p", "demand", owner="legacy")
+                payload = bytes(range(256)) * 512
+                instance = client.upload_model(
+                    "p", "demand", payload, metadata={"model_name": "rf"}
+                )
+                hits = client.model_query(
+                    [{"field": "modelName", "operator": "equal", "value": "rf"}]
+                )
+                assert [h["instance_id"] for h in hits] == [instance["instance_id"]]
+                # Blob bytes are transparently downgraded to base64 in the
+                # JSON response and restored by decode_blob.
+                assert client.load_model_blob(instance["instance_id"]) == payload
+
+    def test_legacy_blob_response_is_base64_text_on_the_wire(self):
+        with GalleryTcpServer(build_service()) as server:
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                client = GalleryClient(transport, dialect=DIALECT_JSON)
+                client.create_gallery_model("p", "demand")
+                instance = client.upload_model("p", "demand", b"legacy-bytes")
+                frame = wire.encode_request(
+                    Request(
+                        method="loadModelBlob",
+                        params={"instance_id": instance["instance_id"]},
+                        request_id=999,
+                    ),
+                    DIALECT_JSON,
+                )
+                response = wire.decode_response(transport(frame))
+                assert isinstance(response.result, str)  # base64, not bytes
+                assert wire.decode_blob(response.result) == b"legacy-bytes"
+
+
+class TestFragmentationOverSocket:
+    """Frames survive arbitrary TCP fragmentation in both directions."""
+
+    def _send_fragmented(self, sock, frame, rng):
+        offset = 0
+        while offset < len(frame):
+            step = rng.randint(1, 7)
+            sock.sendall(frame[offset : offset + step])
+            offset += step
+
+    def _read_frames(self, sock, count):
+        """Read exactly *count* frames, however TCP coalesces them."""
+        buf = bytearray()
+        frames = []
+        while len(frames) < count:
+            while True:
+                if len(buf) >= _PREFIX.size:
+                    (length,) = _PREFIX.unpack_from(buf)
+                    total = _PREFIX.size + length
+                    if len(buf) >= total:
+                        frames.append(bytes(buf[:total]))
+                        del buf[:total]
+                        if len(frames) == count:
+                            break
+                        continue
+                break
+            if len(frames) < count:
+                buf += sock.recv(65536)
+        return frames
+
+    def test_byte_dribbled_binary_request_decodes(self):
+        with GalleryTcpServer(build_service()) as server:
+            rng = random.Random(1234)
+            frame = wire.encode_request(
+                Request(method="auditStorage", request_id=21), DIALECT_BINARY
+            )
+            with socket.create_connection(server.address, timeout=10.0) as sock:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._send_fragmented(sock, frame, rng)
+                (raw,) = self._read_frames(sock, 1)
+                response = wire.decode_response(raw)
+                assert response.ok
+                assert response.request_id == 21
+
+    def test_two_frames_in_one_segment_both_answered(self):
+        with GalleryTcpServer(build_service()) as server:
+            frames = b"".join(
+                wire.encode_request(
+                    Request(method="auditStorage", request_id=i), DIALECT_BINARY
+                )
+                for i in (31, 32)
+            )
+            with socket.create_connection(server.address, timeout=10.0) as sock:
+                sock.sendall(frames)
+                first, second = self._read_frames(sock, 2)
+                ids = {
+                    wire.decode_response(first).request_id,
+                    wire.decode_response(second).request_id,
+                }
+                assert ids == {31, 32}
