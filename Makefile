@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos bench bench-pr1 bench-pr3 bench-all
+.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -19,6 +19,11 @@ lint:
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos -m chaos -q
+
+# Replica-kill scenario only: 3 servers over one store, 8 clients,
+# kill + restart a replica mid-workload.
+failover:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_failover_replicas.py -m chaos -q
 
 bench:
 	$(PYTHON) -m benchmarks.run_bench

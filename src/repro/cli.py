@@ -32,6 +32,8 @@ from typing import Any, Sequence
 from repro import build_gallery
 from repro.core.registry import Gallery
 from repro.errors import GalleryError
+from repro.reliability.deadletter import DurableDeadLetterQueue
+from repro.rules.actions import ActionRegistry
 
 
 def _open_gallery(data_dir: str) -> Gallery:
@@ -177,6 +179,31 @@ def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
     return {"removed_orphan_blobs": removed}
 
 
+def _cmd_dlq_list(gallery: Gallery, args: argparse.Namespace) -> Any:
+    queue = DurableDeadLetterQueue(gallery.dal)
+    letters = queue.entries(
+        rule_uuid=args.rule, action=args.action, error_type=args.error_type
+    )
+    return [letter.to_dict() for letter in letters]
+
+
+def _cmd_dlq_redrive(gallery: Gallery, args: argparse.Namespace) -> Any:
+    queue = DurableDeadLetterQueue(gallery.dal)
+    letter_ids = set(args.letter_ids) or None
+    results = queue.redrive(ActionRegistry(), letter_ids=letter_ids)
+    return {
+        "attempted": len(results),
+        "succeeded": sum(1 for result in results if result.ok),
+        "remaining": len(queue),
+    }
+
+
+def _cmd_dlq_purge(gallery: Gallery, args: argparse.Namespace) -> Any:
+    queue = DurableDeadLetterQueue(gallery.dal)
+    letter_ids = set(args.letter_ids) or None
+    return {"purged": queue.purge(letter_ids)}
+
+
 # -- parser ---------------------------------------------------------------
 
 
@@ -255,6 +282,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     gc = commands.add_parser("gc", help="collect orphan blobs")
     gc.set_defaults(handler=_cmd_gc)
+
+    dlq = commands.add_parser(
+        "dlq", help="inspect or redrive the durable dead-letter queue"
+    )
+    dlq_commands = dlq.add_subparsers(dest="dlq_command", required=True)
+
+    dlq_list = dlq_commands.add_parser("list", help="show parked action failures")
+    dlq_list.add_argument("--rule", default=None, help="filter by rule uuid")
+    dlq_list.add_argument("--action", default=None, help="filter by action name")
+    dlq_list.add_argument(
+        "--error-type", default=None, help="filter by error class name"
+    )
+    dlq_list.set_defaults(handler=_cmd_dlq_list)
+
+    dlq_redrive = dlq_commands.add_parser(
+        "redrive", help="re-execute parked actions (all, or the given ids)"
+    )
+    dlq_redrive.add_argument("letter_ids", nargs="*", type=int, metavar="letter_id")
+    dlq_redrive.set_defaults(handler=_cmd_dlq_redrive)
+
+    dlq_purge = dlq_commands.add_parser(
+        "purge", help="drop parked letters (all, or the given ids)"
+    )
+    dlq_purge.add_argument("letter_ids", nargs="*", type=int, metavar="letter_id")
+    dlq_purge.set_defaults(handler=_cmd_dlq_purge)
 
     return parser
 

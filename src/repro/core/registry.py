@@ -197,7 +197,7 @@ class Gallery:
         time without version bumps (Section 3.4.2 / Figure 5).
         """
         key = (project, base_version_id)
-        if key in self._model_by_base:
+        if key in self._model_by_base or self._adopt_peer_model(*key) is not None:
             raise ValidationError(
                 f"project {project!r} already has base version {base_version_id!r}"
             )
@@ -234,10 +234,47 @@ class Gallery:
         """Resolve a model by its human-meaningful coordinates."""
         model_id = self._model_by_base.get((project, base_version_id))
         if model_id is None:
+            model_id = self._adopt_peer_model(project, base_version_id)
+        if model_id is None:
             raise NotFoundError(
                 f"no model for project {project!r}, base {base_version_id!r}"
             )
         return self.get_model(model_id)
+
+    def _adopt_peer_model(self, project: str, base_version_id: str) -> str | None:
+        """Re-resolve a coordinate from the shared store and adopt the hit.
+
+        Replicas of a shared store only rehydrate at startup, so a model a
+        *peer* replica registered afterwards is durable but absent from
+        this process's coordinate map.  A miss therefore re-checks the
+        store; a hit is folded into the in-memory indexes exactly as
+        :meth:`_rehydrate` would have, keeping every replica able to serve
+        (and mutate under) models it did not create itself.
+        """
+        head: Model | None = None
+        for model in self._dal.metadata.iter_models():
+            if (model.project, model.base_version_id) != (project, base_version_id):
+                continue
+            # evolution chains share coordinates; the head (no next pointer)
+            # owns the lookup
+            if head is None or model.next_model_id is None:
+                head = model
+        if head is None:
+            return None
+        with self._write_lock:
+            existing = self._model_by_base.get((project, base_version_id))
+            if existing is not None:
+                return existing
+            self._model_by_base[(project, base_version_id)] = head.model_id
+            self.dependencies.add_model(head.model_id)
+            for upstream_id in head.upstream_model_ids:
+                try:
+                    self.dependencies.add_dependency(
+                        head.model_id, upstream_id, bump=False
+                    )
+                except GalleryError:
+                    continue  # tolerate pointers outside this deployment
+            return head.model_id
 
     def models(self, include_deprecated: bool = False) -> list[Model]:
         return [

@@ -138,3 +138,24 @@ class DeprecatedModelError(GalleryError):
     Section 3.7: deprecated models are flagged, not deleted; they are skipped
     during fetching and searching unless the caller explicitly includes them.
     """
+
+
+#: Every exception class this module defines, keyed by its class name —
+#: the same names the wire protocol carries as ``error_type`` strings.
+_ERROR_REGISTRY: dict[str, type[Exception]] = {
+    name: obj
+    for name, obj in list(globals().items())
+    if isinstance(obj, type) and issubclass(obj, Exception)
+}
+
+
+def error_class_for(name: str) -> type[Exception] | None:
+    """Resolve a wire ``error_type`` name to its typed exception class.
+
+    This is how :meth:`repro.service.wire.Response.raise_if_error` turns
+    server-side error strings back into the hierarchy above, so remote
+    callers write ``except NotFoundError`` instead of string-matching
+    ``exc.error_type``.  Returns ``None`` for names this library does not
+    define (callers fall back to :class:`ServiceError`).
+    """
+    return _ERROR_REGISTRY.get(name)

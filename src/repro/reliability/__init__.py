@@ -21,7 +21,11 @@ deterministically; the fault injector is seeded so chaos runs reproduce.
 """
 
 from repro.reliability.breaker import BreakerState, CircuitBreaker
-from repro.reliability.deadletter import DeadLetter, DeadLetterQueue
+from repro.reliability.deadletter import (
+    DeadLetter,
+    DeadLetterQueue,
+    DurableDeadLetterQueue,
+)
 from repro.reliability.faults import (
     FaultInjector,
     FaultKind,
@@ -37,6 +41,7 @@ __all__ = [
     "CircuitBreaker",
     "DeadLetter",
     "DeadLetterQueue",
+    "DurableDeadLetterQueue",
     "FaultInjector",
     "FaultKind",
     "FaultyBlobStore",

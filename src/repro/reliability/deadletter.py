@@ -20,6 +20,7 @@ just a slower way to fall over.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
@@ -40,6 +41,51 @@ class DeadLetter:
     attempts: int
     first_failed_at: float
     deliveries: int = 1  # how many times this letter has been (re)tried
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the durable queue's storage format)."""
+        return {
+            "letter_id": self.letter_id,
+            "context": {
+                "rule_uuid": self.context.rule_uuid,
+                "action": self.context.action,
+                "params": dict(self.context.params),
+                "instance_id": self.context.instance_id,
+                "document": dict(self.context.document),
+                "timestamp": self.context.timestamp,
+            },
+            "error": self.error,
+            "error_type": self.error_type,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "first_failed_at": self.first_failed_at,
+            "deliveries": self.deliveries,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, Any], letter_id: int | None = None
+    ) -> "DeadLetter":
+        from repro.rules.actions import ActionContext  # local: avoids a cycle
+
+        ctx = data["context"]
+        return cls(
+            letter_id=data["letter_id"] if letter_id is None else letter_id,
+            context=ActionContext(
+                rule_uuid=ctx["rule_uuid"],
+                action=ctx["action"],
+                params=ctx["params"],
+                instance_id=ctx["instance_id"],
+                document=ctx["document"],
+                timestamp=ctx["timestamp"],
+            ),
+            error=data["error"],
+            error_type=data["error_type"],
+            traceback=data["traceback"],
+            attempts=data["attempts"],
+            first_failed_at=data["first_failed_at"],
+            deliveries=data.get("deliveries", 1),
+        )
 
 
 class DeadLetterQueue:
@@ -156,6 +202,122 @@ class DeadLetterQueue:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class DurableDeadLetterQueue:
+    """Dead-letter queue persisted in the metadata store's ``dead_letters``
+    table (behind the DAL), so parked actions survive a full restart of
+    every service replica — and every replica over one shared store sees
+    the same queue.
+
+    Interface-compatible with :class:`DeadLetterQueue` (append / entries /
+    purge / redrive / len / bool plus the ``evicted`` and ``redriven_ok``
+    counters), so :class:`repro.rules.engine.RuleEngine` uses either
+    interchangeably.  Letters are stored as JSON documents alongside
+    promoted filter columns (rule_uuid, action, error_type); ids are
+    assigned by the store, monotone, and stable across restarts.
+    """
+
+    def __init__(self, dal: Any, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._dal = dal
+        self._max_entries = max_entries
+        #: lifetime counters for this process (the letters themselves are
+        #: shared; the counters describe local activity)
+        self.evicted = 0
+        self.redriven_ok = 0
+
+    def append(self, result: "ActionResult") -> DeadLetter:
+        """Park a failed :class:`ActionResult`; returns the stored letter."""
+        if result.ok:
+            raise ValueError("only failed action results are dead-lettered")
+        letter = DeadLetter(
+            letter_id=0,  # assigned by the store below
+            context=result.context,
+            error=result.error,
+            error_type=result.error_type,
+            traceback=result.traceback,
+            attempts=result.attempts,
+            first_failed_at=result.context.timestamp,
+        )
+        letter_id = self._dal.dead_letter_append(
+            result.context.rule_uuid,
+            result.context.action,
+            result.error_type,
+            json.dumps(letter.to_dict()),
+        )
+        letter = replace(letter, letter_id=letter_id)
+        self.evicted += self._dal.dead_letters_trim(self._max_entries)
+        return letter
+
+    def entries(
+        self,
+        rule_uuid: str | None = None,
+        action: str | None = None,
+        error_type: str | None = None,
+    ) -> list[DeadLetter]:
+        """Parked letters, oldest first, optionally filtered."""
+        rows = self._dal.dead_letters_list(
+            rule_uuid=rule_uuid, action=action, error_type=error_type
+        )
+        return [
+            DeadLetter.from_dict(json.loads(record), letter_id=letter_id)
+            for letter_id, record in rows
+        ]
+
+    def purge(self, letter_ids: set[int] | None = None) -> int:
+        """Drop letters by id (or everything); returns the count dropped."""
+        if letter_ids is None:
+            letter_ids = {letter_id for letter_id, _ in self._dal.dead_letters_list()}
+        return self._dal.dead_letters_delete(sorted(letter_ids))
+
+    def redrive(
+        self,
+        registry: "ActionRegistry",
+        policy: Any = None,
+        letter_ids: set[int] | None = None,
+    ) -> list["ActionResult"]:
+        """Re-execute parked actions; successes leave the table.
+
+        Letters that fail again are rewritten in place with ``deliveries``
+        bumped and their error fields refreshed, mirroring the in-memory
+        queue's semantics.
+        """
+        batch = [
+            letter
+            for letter in self.entries()
+            if letter_ids is None or letter.letter_id in letter_ids
+        ]
+        results: list["ActionResult"] = []
+        succeeded: list[int] = []
+        for letter in batch:
+            result = registry.execute(letter.context, policy=policy)
+            results.append(result)
+            if result.ok:
+                succeeded.append(letter.letter_id)
+                continue
+            updated = replace(
+                letter,
+                deliveries=letter.deliveries + 1,
+                error=result.error,
+                error_type=result.error_type,
+                traceback=result.traceback,
+            )
+            self._dal.dead_letter_update(
+                letter.letter_id,
+                updated.error_type,
+                json.dumps(updated.to_dict()),
+            )
+        if succeeded:
+            self.redriven_ok += self._dal.dead_letters_delete(succeeded)
+        return results
+
+    def __len__(self) -> int:
+        return int(self._dal.dead_letters_count())
 
     def __bool__(self) -> bool:
         return len(self) > 0

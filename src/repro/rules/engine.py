@@ -29,7 +29,11 @@ from typing import Any, Iterable, Mapping, Protocol, Sequence
 
 from repro.core.clock import Clock, SYSTEM_CLOCK
 from repro.errors import RuleError, RuleEvaluationError
-from repro.reliability.deadletter import DeadLetter, DeadLetterQueue
+from repro.reliability.deadletter import (
+    DeadLetter,
+    DeadLetterQueue,
+    DurableDeadLetterQueue,
+)
 from repro.reliability.policy import RetryPolicy
 from repro.rules.actions import ActionContext, ActionRegistry, ActionResult
 from repro.rules.events import Event, EventBus, EventKind
@@ -115,8 +119,19 @@ class RuleEngine:
         self._action_log: list[ActionResult] = []
         #: retry schedule applied to every callback action (None = one shot)
         self.action_policy = action_policy
-        #: failed actions park here instead of vanishing into the log
-        self.dead_letters = dead_letters or DeadLetterQueue()
+        #: failed actions park here instead of vanishing into the log; when
+        #: the candidate source is a Gallery over a file-backed store, the
+        #: queue is durable (and shared by every replica of that store)
+        if dead_letters is not None:
+            self.dead_letters: DeadLetterQueue | DurableDeadLetterQueue = (
+                dead_letters
+            )
+        else:
+            dal = getattr(source, "dal", None)
+            if dal is not None and getattr(dal, "supports_durable_state", False):
+                self.dead_letters = DurableDeadLetterQueue(dal)
+            else:
+                self.dead_letters = DeadLetterQueue()
         self.stats = EngineStats()
         if bus is not None:
             bus.subscribe(self.on_event)

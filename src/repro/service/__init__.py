@@ -1,4 +1,10 @@
-"""Service layer: wire protocol, stateless server, and client."""
+"""Service layer: wire protocol, stateless server, client, and failover.
+
+:func:`connect` is the front door — it turns a ``gallery://host:port,...``
+URL into a ready :class:`GalleryClient` over a breaker-aware
+:class:`FailoverTransport`.  The lower-level pieces remain public for
+tests and custom stacks.
+"""
 
 from repro.service.client import (
     ClientPipeline,
@@ -8,6 +14,12 @@ from repro.service.client import (
     PipelineHandle,
     RetryingTransport,
     connect_in_process,
+)
+from repro.service.endpoints import (
+    Endpoint,
+    EndpointSet,
+    FailoverTransport,
+    connect,
 )
 from repro.service.server import GalleryService
 from repro.service.wire import (
@@ -28,6 +40,9 @@ __all__ = [
     "ClientPipeline",
     "DIALECT_BINARY",
     "DIALECT_JSON",
+    "Endpoint",
+    "EndpointSet",
+    "FailoverTransport",
     "GalleryClient",
     "GalleryService",
     "InProcessTransport",
@@ -36,6 +51,7 @@ __all__ = [
     "Request",
     "Response",
     "RetryingTransport",
+    "connect",
     "connect_in_process",
     "decode_blob",
     "decode_request",

@@ -306,6 +306,27 @@ class GalleryClient:
         response = wire.decode_response(raw)
         return response.raise_if_error()
 
+    def close(self) -> None:
+        """Release every connection the transport stack holds.
+
+        Delegates to the transport's ``close()`` — which a
+        :class:`~repro.service.endpoints.FailoverTransport` fans out to all
+        endpoint connections and a
+        :class:`~repro.service.tcp.ConnectionPool` to every pooled socket —
+        so no call path leaks sockets.  In-process transports have nothing
+        to close and are a no-op.  The client remains usable afterwards:
+        the next call simply dials fresh connections.
+        """
+        close = getattr(self._transport, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "GalleryClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- pipelining ------------------------------------------------------------
 
     def pipeline(self, timeout: float | None = None) -> "ClientPipeline":

@@ -1,0 +1,537 @@
+"""Replicated serving plane: endpoint sets and client-side failover.
+
+Gallery at Uber runs its stateless service "horizontally scalable across
+different data centers" (Section 4) — any replica can answer any call
+because all state lives in the storage layer.  This module is the client
+half of that deployment:
+
+* :class:`EndpointSet` parses a ``gallery://host:port,host:port`` URL into
+  an ordered replica list plus connection options (wire dialect, timeout,
+  transport flavour);
+* :class:`FailoverTransport` spreads calls across the replicas — round-robin
+  for load, one :class:`~repro.reliability.breaker.CircuitBreaker` per
+  endpoint so a dead replica is skipped instead of re-probed on every call,
+  and mid-call failover on transport errors.  Replayed mutations stay
+  exactly-once because every replica shares the durable
+  ``(client_id, request_id)`` dedup table (see
+  :class:`repro.service.server.DurableRequestDedupCache`);
+* :func:`connect` is the one-line factory that replaces hand-assembled
+  transport stacks: ``client = connect("gallery://10.0.0.1:9000,10.0.0.2:9000")``.
+
+Recovered replicas rejoin automatically: an open breaker decays to
+half-open after its reset timeout, the rotation admits a single probe, and
+one success closes the circuit again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import CircuitOpenError, ServiceError, ValidationError
+from repro.reliability.breaker import CircuitBreaker
+from repro.service import wire
+from repro.service.client import (
+    IDEMPOTENT_METHODS,
+    TRANSIENT_ERROR_TYPES,
+    GalleryClient,
+    MethodRetryPolicies,
+    Transport,
+)
+from repro.service.server import MUTATING_METHODS
+from repro.service.tcp import PipelinedTcpTransport, TcpTransport
+
+#: URL scheme accepted by :meth:`EndpointSet.parse`.
+SCHEME = "gallery"
+
+_DIALECTS = {"binary": wire.DIALECT_BINARY, "json": wire.DIALECT_JSON}
+_TRANSPORTS = ("pipelined", "serial")
+
+
+@dataclass(frozen=True, slots=True)
+class Endpoint:
+    """One replica address."""
+
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True, slots=True)
+class EndpointSet:
+    """An ordered set of replica endpoints plus connection options.
+
+    Built either directly or from a URL::
+
+        gallery://10.0.0.1:9000,10.0.0.2:9000?dialect=binary&timeout=10
+
+    Query parameters: ``dialect`` (``binary``, the default, or ``json``),
+    ``timeout`` (per-call seconds, default 10), and ``transport``
+    (``pipelined``, the default, or ``serial`` for one-call-at-a-time
+    connections).  Unknown parameters, malformed ports, and duplicate
+    hosts are rejected loudly — a silently dropped replica is an outage
+    waiting to be discovered.
+    """
+
+    endpoints: tuple[Endpoint, ...]
+    dialect: str = wire.DIALECT_BINARY
+    timeout: float = 10.0
+    transport: str = "pipelined"
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ValidationError("an EndpointSet needs at least one endpoint")
+
+    def __len__(self) -> int:
+        return len(self.endpoints)
+
+    @classmethod
+    def parse(cls, url: str) -> "EndpointSet":
+        if "://" not in url:
+            raise ValidationError(
+                f"not an endpoint URL: {url!r} (expected gallery://host:port,...)"
+            )
+        scheme, rest = url.split("://", 1)
+        if scheme != SCHEME:
+            raise ValidationError(
+                f"unsupported scheme {scheme!r} (expected {SCHEME!r})"
+            )
+        netloc, _, query = rest.partition("?")
+        netloc = netloc.rstrip("/")
+        if not netloc:
+            raise ValidationError(f"no endpoints in URL {url!r}")
+
+        endpoints: list[Endpoint] = []
+        seen: set[tuple[str, int]] = set()
+        for part in netloc.split(","):
+            part = part.strip()
+            if not part:
+                raise ValidationError(f"empty endpoint in URL {url!r}")
+            host, sep, port_text = part.rpartition(":")
+            if not sep or not host:
+                raise ValidationError(
+                    f"endpoint {part!r} must be host:port (port is required)"
+                )
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise ValidationError(
+                    f"endpoint {part!r} has a non-numeric port"
+                ) from None
+            if not 0 < port < 65536:
+                raise ValidationError(f"endpoint {part!r} port out of range")
+            if (host, port) in seen:
+                raise ValidationError(f"duplicate endpoint {part!r} in URL")
+            seen.add((host, port))
+            endpoints.append(Endpoint(host, port))
+
+        dialect = wire.DIALECT_BINARY
+        timeout = 10.0
+        transport = "pipelined"
+        if query:
+            for pair in query.split("&"):
+                if not pair:
+                    continue
+                key, _, value = pair.partition("=")
+                if key == "dialect":
+                    if value not in _DIALECTS:
+                        raise ValidationError(
+                            f"unknown dialect {value!r} (binary or json)"
+                        )
+                    dialect = _DIALECTS[value]
+                elif key == "timeout":
+                    try:
+                        timeout = float(value)
+                    except ValueError:
+                        raise ValidationError(
+                            f"timeout {value!r} is not a number"
+                        ) from None
+                    if timeout <= 0:
+                        raise ValidationError("timeout must be positive")
+                elif key == "transport":
+                    if value not in _TRANSPORTS:
+                        raise ValidationError(
+                            f"unknown transport {value!r} (pipelined or serial)"
+                        )
+                    transport = value
+                else:
+                    raise ValidationError(f"unknown query parameter {key!r}")
+
+        return cls(
+            endpoints=tuple(endpoints),
+            dialect=dialect,
+            timeout=timeout,
+            transport=transport,
+        )
+
+
+class _ResolvedExchange:
+    """A pre-resolved stand-in for a pipelined exchange handle.
+
+    Used when a batch degrades to sequential round-trips (serial endpoint
+    transports): the work happens at submit time, the handle just replays
+    the outcome.
+    """
+
+    __slots__ = ("_error", "_frame")
+
+    def __init__(self, frame: bytes | None, error: BaseException | None) -> None:
+        self._frame = frame
+        self._error = error
+
+    def wait(self, timeout: float | None = None) -> bytes:
+        if self._error is not None:
+            raise self._error
+        assert self._frame is not None
+        return self._frame
+
+    def done(self) -> bool:
+        return True
+
+
+@dataclass
+class _EndpointState:
+    """One replica: its lazily dialed transport plus its circuit breaker."""
+
+    endpoint: Endpoint
+    factory: Callable[[Endpoint], Transport]
+    breaker: CircuitBreaker
+    _transport: Transport | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def transport(self) -> Transport:
+        with self._lock:
+            if self._transport is None:
+                self._transport = self.factory(self.endpoint)
+            return self._transport
+
+    def reset(self) -> None:
+        """Close and discard the transport; the next call dials fresh."""
+        with self._lock:
+            transport, self._transport = self._transport, None
+        if transport is not None:
+            close = getattr(transport, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 - teardown is best-effort
+                    pass
+
+    def close(self) -> None:
+        self.reset()
+
+
+class FailoverTransport:
+    """Routes frames across replica endpoints with breaker-aware failover.
+
+    * **Reads** rotate round-robin over the endpoints whose breaker admits
+      traffic, spreading load and skipping replicas that recently failed.
+    * **Transport errors** (connection refused/reset, wire breakage) count
+      against that endpoint's breaker, drop its connection, and fail the
+      call over to the next endpoint immediately — no backoff, because a
+      different replica is an independent resource.  Mutations are only
+      replayed when the frame carries a ``client_id``; the replicas'
+      shared dedup table then answers the replay with the original
+      response instead of executing it twice.
+    * **Transient server errors** (a flaky store relayed as
+      ``MetadataStoreError`` etc.) are retried with the per-method backoff
+      but do *not* trip the breaker — the replica answered; its store
+      hiccuped, and hammering a different replica of the same store gains
+      nothing beyond the rotation it gets anyway.
+    * A tripped breaker decays to half-open after ``reset_timeout``; the
+      rotation then admits one probe call, and a single success closes the
+      circuit (recovered replicas rejoin without operator action).
+
+    The retry budget is the same :class:`MethodRetryPolicies` the
+    single-endpoint stack uses, counted across *all* endpoints — a call
+    never takes more than one budget even when every replica is down.
+    """
+
+    def __init__(
+        self,
+        endpoints: EndpointSet | str | Sequence[Endpoint],
+        *,
+        policies: MethodRetryPolicies | None = None,
+        transport_factory: Callable[[Endpoint], Transport] | None = None,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        transient_errors: frozenset[str] = TRANSIENT_ERROR_TYPES,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if isinstance(endpoints, str):
+            endpoints = EndpointSet.parse(endpoints)
+        if isinstance(endpoints, EndpointSet):
+            endpoint_set = endpoints
+        else:
+            endpoint_set = EndpointSet(endpoints=tuple(endpoints))
+        self.endpoint_set = endpoint_set
+        if transport_factory is None:
+            transport_factory = self._default_factory(endpoint_set)
+        self._policies = policies or MethodRetryPolicies.default()
+        self._transient_errors = transient_errors
+        self._sleep = sleep
+        self._clock = clock
+        self._states = [
+            _EndpointState(
+                endpoint=endpoint,
+                factory=transport_factory,
+                breaker=CircuitBreaker(
+                    failure_threshold=failure_threshold,
+                    reset_timeout=reset_timeout,
+                    name=endpoint.address,
+                ),
+            )
+            for endpoint in endpoint_set.endpoints
+        ]
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+        #: total frames put on a wire (includes retries)
+        self.attempts = 0
+        #: calls that moved to a different endpoint after a transport error
+        self.failovers = 0
+
+    @staticmethod
+    def _default_factory(
+        endpoint_set: EndpointSet,
+    ) -> Callable[[Endpoint], Transport]:
+        if endpoint_set.transport == "serial":
+            return lambda ep: TcpTransport(
+                ep.host, ep.port, timeout=endpoint_set.timeout
+            )
+        return lambda ep: PipelinedTcpTransport(
+            ep.host, ep.port, timeout=endpoint_set.timeout
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def endpoints(self) -> tuple[Endpoint, ...]:
+        return self.endpoint_set.endpoints
+
+    def breaker_states(self) -> dict[str, str]:
+        """Endpoint address -> breaker state, for operators and tests."""
+        return {
+            state.endpoint.address: state.breaker.state.value
+            for state in self._states
+        }
+
+    # -- routing --------------------------------------------------------------
+
+    def _rotation(self) -> list[_EndpointState]:
+        with self._rr_lock:
+            start = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self._states)
+        count = len(self._states)
+        return [self._states[(start + i) % count] for i in range(count)]
+
+    def _admit(self) -> _EndpointState | None:
+        """Next endpoint whose breaker lets the call through, if any.
+
+        ``allow()`` is asked one endpoint at a time so a half-open breaker
+        spends its single probe only on a call that actually goes to that
+        endpoint.
+        """
+        for state in self._rotation():
+            try:
+                state.breaker.allow()
+            except CircuitOpenError:
+                continue
+            return state
+        return None
+
+    @staticmethod
+    def _can_retry(request: wire.Request | None) -> bool:
+        if request is None:  # opaque frame: be conservative
+            return False
+        if request.method in IDEMPOTENT_METHODS:
+            return True
+        return bool(request.client_id) and request.method in MUTATING_METHODS
+
+    def _policy_for(self, request: wire.Request | None):
+        method = request.method if request is not None else ""
+        return self._policies.for_method(method)
+
+    # -- transport contract ---------------------------------------------------
+
+    def __call__(self, data: bytes) -> bytes:
+        try:
+            request = wire.decode_request(data)
+        except Exception:  # noqa: BLE001 - opaque frame
+            request = None
+        retryable = self._can_retry(request)
+        policy = self._policy_for(request)
+        attempts_allowed = policy.max_attempts if retryable else 1
+        deadline = (
+            None if policy.deadline is None else self._clock() + policy.deadline
+        )
+
+        last_error: BaseException | None = None
+        transient_raw: bytes | None = None
+        backoff_next = False  # sleep before the next attempt?
+        retry_number = 1  # RetryPolicy.backoff is 1-based
+        for attempt in range(attempts_allowed):
+            if attempt and backoff_next:
+                delay = policy.backoff(retry_number)
+                retry_number += 1
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - self._clock()))
+                if delay > 0:
+                    self._sleep(delay)
+            if deadline is not None and self._clock() >= deadline and attempt:
+                break
+            state = self._admit()
+            if state is None:
+                # Every breaker is open: nothing to try right now.  Back
+                # off toward the reset timeout so a half-open probe becomes
+                # possible, then go around again.
+                last_error = CircuitOpenError(
+                    "no healthy endpoint: all circuit breakers are open "
+                    f"({', '.join(ep.address for ep in self.endpoints)})"
+                )
+                transient_raw = None
+                backoff_next = True
+                continue
+            self.attempts += 1
+            try:
+                raw = state.transport()(data)
+            except (ServiceError, OSError) as exc:
+                # The replica (or the path to it) is broken: penalize its
+                # breaker, drop its connection, and fail over immediately.
+                state.breaker.record_failure()
+                state.reset()
+                if retryable and attempt + 1 < attempts_allowed:
+                    self.failovers += 1
+                last_error = exc
+                transient_raw = None
+                backoff_next = False
+                continue
+            state.breaker.record_success()
+            try:
+                response = wire.decode_response(raw)
+            except Exception:  # noqa: BLE001 - hand back verbatim
+                return raw
+            if (
+                retryable
+                and not response.ok
+                and response.error_type in self._transient_errors
+            ):
+                # The replica is fine; its dependency flaked.  Retry with
+                # backoff (and rotation), but leave the breaker alone.
+                transient_raw = raw
+                last_error = None
+                backoff_next = True
+                continue
+            return raw
+
+        if transient_raw is not None:
+            return transient_raw  # retries exhausted: surface the real error
+        if isinstance(last_error, CircuitOpenError):
+            raise last_error
+        raise ServiceError(
+            f"all endpoints failed after {self.attempts} attempt(s): {last_error}"
+        ) from last_error
+
+    def submit_many(self, frames: list[bytes]) -> list[Any]:
+        """Ship a pipelined batch through one healthy endpoint.
+
+        Submission failures fail over to the next endpoint (safe: a batch
+        whose send fails never reaches the server, and the pipelined
+        transport discards its registrations when the connection drops).
+        Once submitted, individual exchanges resolve or fail on their own —
+        per-item retry is the caller's decision, exactly as with a direct
+        :class:`PipelinedTcpTransport`.
+        """
+        if not frames:
+            return []
+        last_error: BaseException | None = None
+        for _ in range(len(self._states)):
+            state = self._admit()
+            if state is None:
+                break
+            transport = state.transport()
+            submit = getattr(transport, "submit_many", None)
+            if submit is None:
+                # Serial endpoints: degrade to sequential failover calls.
+                return [self._resolved(frame) for frame in frames]
+            try:
+                exchanges = submit(frames)
+            except (ServiceError, OSError) as exc:
+                state.breaker.record_failure()
+                state.reset()
+                self.failovers += 1
+                last_error = exc
+                continue
+            state.breaker.record_success()
+            return exchanges
+        if last_error is not None:
+            raise ServiceError(
+                f"batch submission failed on every endpoint: {last_error}"
+            ) from last_error
+        raise CircuitOpenError(
+            "no healthy endpoint: all circuit breakers are open"
+        )
+
+    def _resolved(self, frame: bytes) -> _ResolvedExchange:
+        try:
+            return _ResolvedExchange(self(frame), None)
+        except BaseException as exc:  # noqa: BLE001 - delivered via wait()
+            return _ResolvedExchange(None, exc)
+
+    def close(self) -> None:
+        """Close every endpoint's connection (idle or active)."""
+        for state in self._states:
+            state.close()
+
+    def __enter__(self) -> "FailoverTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect(
+    url: str | EndpointSet,
+    *,
+    client_id: str | None = None,
+    policies: MethodRetryPolicies | None = None,
+    transport_factory: Callable[[Endpoint], Transport] | None = None,
+    failure_threshold: int = 3,
+    reset_timeout: float = 1.0,
+) -> GalleryClient:
+    """Open a Gallery client for one or more service replicas.
+
+    The one-line replacement for hand-assembled transport stacks::
+
+        client = connect("gallery://10.0.0.1:9000,10.0.0.2:9000")
+        client.upload_model("eta", "v1", blob)
+        client.close()
+
+    Accepts a ``gallery://`` URL (or a prebuilt :class:`EndpointSet`) and
+    returns a :class:`GalleryClient` over a :class:`FailoverTransport` —
+    round-robin reads, breaker-aware endpoint skipping, mid-call failover,
+    per-method retry budgets, and exactly-once mutations via the stable
+    ``client_id`` the server replicas deduplicate on.  Also works fine
+    with a single endpoint: the failover machinery then degrades to
+    reconnect-and-retry against that one address.
+
+    Close the client (or use it as a context manager) to release every
+    replica connection.
+    """
+    endpoint_set = EndpointSet.parse(url) if isinstance(url, str) else url
+    transport = FailoverTransport(
+        endpoint_set,
+        policies=policies,
+        transport_factory=transport_factory,
+        failure_threshold=failure_threshold,
+        reset_timeout=reset_timeout,
+    )
+    return GalleryClient(
+        transport, client_id=client_id, dialect=endpoint_set.dialect
+    )

@@ -19,7 +19,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.core.registry import Gallery
-from repro.errors import UnknownMethodError, ValidationError
+from repro.errors import ServiceError, UnknownMethodError, ValidationError
 from repro.rules.engine import RuleEngine
 from repro.rules.rule import Rule
 from repro.service import wire
@@ -51,6 +51,14 @@ class _RequestDedupCache:
     Only successful responses are stored: a transient error (flaky store,
     injected fault) must stay retryable, and replaying a cached *error* at
     a retrying client would pin the failure forever.
+
+    The cache speaks a claim/complete/release protocol rather than plain
+    get/put: :meth:`claim` atomically decides whether the caller should
+    execute the request (``owner``), replay a recorded response (``done``),
+    or back off because another worker is still executing the same frame
+    (``pending``).  Without the pending state, a client that fails over
+    while its first attempt is still running on an abandoned worker thread
+    would re-execute the mutation concurrently — a duplicate write.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -58,9 +66,39 @@ class _RequestDedupCache:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._entries: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._pending: set[tuple[str, int]] = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def claim(self, key: tuple[str, int]) -> tuple[str, bytes | None]:
+        """Return ``("done", response)``, ``("owner", None)``, or
+        ``("pending", None)`` for the given request key."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return "done", cached
+            if key in self._pending:
+                return "pending", None
+            self._pending.add(key)
+            self.misses += 1
+            return "owner", None
+
+    def complete(self, key: tuple[str, int], response: bytes) -> None:
+        with self._lock:
+            self._pending.discard(key)
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def release(self, key: tuple[str, int]) -> None:
+        with self._lock:
+            self._pending.discard(key)
+
+    # get/put survive for callers that predate the claim protocol.
 
     def get(self, key: tuple[str, int]) -> bytes | None:
         with self._lock:
@@ -74,6 +112,7 @@ class _RequestDedupCache:
 
     def put(self, key: tuple[str, int], response: bytes) -> None:
         with self._lock:
+            self._pending.discard(key)
             self._entries[key] = response
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
@@ -84,6 +123,57 @@ class _RequestDedupCache:
             return len(self._entries)
 
 
+class DurableRequestDedupCache:
+    """Request dedup backed by the metadata store, shared across replicas.
+
+    Several :class:`GalleryService` replicas serving one file-backed SQLite
+    store coordinate through the ``dedup_entries`` table: the claim is an
+    atomic PRIMARY KEY insert, so exactly one replica executes any
+    ``(client_id, request_id)`` no matter which endpoints a failing-over
+    client hits — and the recorded responses survive a full restart of
+    every replica.
+
+    A ``pending`` claim whose owner died mid-request is taken over after
+    ``takeover_after`` seconds (clients retry with backoff until then).
+    """
+
+    def __init__(
+        self,
+        dal: Any,
+        capacity: int = 4096,
+        takeover_after: float = 5.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._dal = dal
+        self._capacity = capacity
+        self._takeover_after = takeover_after
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def claim(self, key: tuple[str, int]) -> tuple[str, bytes | None]:
+        outcome, response = self._dal.dedup_claim(
+            key[0], key[1], takeover_after=self._takeover_after
+        )
+        with self._lock:
+            if outcome == "done":
+                self.hits += 1
+            elif outcome == "owner":
+                self.misses += 1
+        return outcome, response
+
+    def complete(self, key: tuple[str, int], response: bytes) -> None:
+        self._dal.dedup_complete(key[0], key[1], response)
+        self._dal.dedup_trim(self._capacity)
+
+    def release(self, key: tuple[str, int]) -> None:
+        self._dal.dedup_release(key[0], key[1])
+
+    def __len__(self) -> int:
+        return int(self._dal.dedup_count())
+
+
 class GalleryService:
     """Method-table dispatcher over a Gallery registry (+ optional engine)."""
 
@@ -92,10 +182,19 @@ class GalleryService:
         gallery: Gallery,
         engine: RuleEngine | None = None,
         dedup_capacity: int = 4096,
+        durable_dedup: bool | None = None,
     ) -> None:
         self._gallery = gallery
         self._engine = engine
-        self.dedup = _RequestDedupCache(dedup_capacity)
+        if durable_dedup is None:
+            durable_dedup = bool(
+                getattr(gallery.dal, "supports_durable_state", False)
+            )
+        self.dedup: _RequestDedupCache | DurableRequestDedupCache
+        if durable_dedup:
+            self.dedup = DurableRequestDedupCache(gallery.dal, dedup_capacity)
+        else:
+            self.dedup = _RequestDedupCache(dedup_capacity)
         self._methods: dict[str, Callable[..., Any]] = {
             # Listing 3
             "createGalleryModel": self._create_model,
@@ -184,14 +283,54 @@ class GalleryService:
             and request.method in MUTATING_METHODS
         ):
             dedup_key = (request.client_id, request.request_id)
-            cached = self.dedup.get(dedup_key)
-            if cached is not None:
-                return cached
-        response = self.dispatch(request)
-        encoded = wire.encode_response(response, request.dialect)
-        if dedup_key is not None and response.ok:
-            self.dedup.put(dedup_key, encoded)
+            try:
+                outcome, cached = self.dedup.claim(dedup_key)
+            except Exception as exc:  # noqa: BLE001 - store down: stay retryable
+                return wire.encode_response(
+                    wire.error_response(exc, request.request_id), request.dialect
+                )
+            if outcome == "done":
+                return cached  # type: ignore[return-value]
+            if outcome == "pending":
+                # Another replica (or an abandoned worker) is still executing
+                # this exact frame.  Answer with a transient error so the
+                # retrying client backs off instead of duplicating the write.
+                return wire.encode_response(
+                    wire.error_response(
+                        ServiceError(
+                            f"request {request.request_id} from client"
+                            f" {request.client_id!r} is still in flight;"
+                            " retry shortly"
+                        ),
+                        request.request_id,
+                    ),
+                    request.dialect,
+                )
+        try:
+            response = self.dispatch(request)
+            encoded = wire.encode_response(response, request.dialect)
+        except Exception:
+            if dedup_key is not None:
+                self._release_quietly(dedup_key)
+            raise
+        if dedup_key is not None:
+            try:
+                if response.ok:
+                    self.dedup.complete(dedup_key, encoded)
+                else:
+                    self.dedup.release(dedup_key)
+            except Exception:  # noqa: BLE001
+                # Bookkeeping hiccup (store flaked between dispatch and
+                # record): the response itself is still valid; a stale
+                # pending claim is reclaimed via the takeover timeout.
+                pass
         return encoded
+
+    def _release_quietly(self, dedup_key: tuple[str, int]) -> None:
+        try:
+            self.dedup.release(dedup_key)
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
 
     # -- handlers -------------------------------------------------------------
 

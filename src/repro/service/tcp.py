@@ -785,6 +785,14 @@ class PipelinedTcpTransport:
         self._generation += 1
         sock, self._sock = self._sock, None
         if sock is not None:
+            # shutdown() before close(): the reader thread is blocked in
+            # recv() on this socket and holds a kernel reference, so a bare
+            # close() would neither wake it nor send FIN — the connection
+            # (and the server's end of it) would leak until process exit.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:

@@ -71,13 +71,6 @@ _U16 = struct.Struct(">H")
 _I64_MIN = -(2**63)
 _I64_MAX = 2**63 - 1
 
-#: Error type names the wire protocol can round-trip back into exceptions.
-_ERROR_TYPES = {
-    name: getattr(errors, name)
-    for name in dir(errors)
-    if isinstance(getattr(errors, name), type)
-    and issubclass(getattr(errors, name), Exception)
-}
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,14 +114,19 @@ class Response:
     def raise_if_error(self) -> Any:
         """Return the result, or re-raise the error as its original class.
 
-        Unknown error types fall back to :class:`~repro.errors.ServiceError`
-        but keep the original type name in the message, and every raised
-        exception exposes the wire-level name as ``exc.error_type`` so
-        callers can discriminate without string matching.
+        The wire ``error_type`` string is resolved through
+        :func:`repro.errors.error_class_for`, so callers catch the real
+        exception classes (:class:`~repro.errors.NotFoundError`,
+        :class:`~repro.errors.ValidationError`,
+        :class:`~repro.errors.BlobCorruptionError`, ...).  Unknown error
+        types fall back to :class:`~repro.errors.ServiceError` but keep the
+        original type name in the message, and every raised exception
+        exposes the wire-level name as ``exc.error_type`` so legacy callers
+        can still discriminate on the string.
         """
         if self.ok:
             return self.result
-        exc_class = _ERROR_TYPES.get(self.error_type)
+        exc_class = errors.error_class_for(self.error_type)
         if exc_class is None:
             label = self.error_type or "UnknownError"
             exc: Exception = errors.ServiceError(f"{label}: {self.error_message}")

@@ -76,6 +76,75 @@ class DataAccessLayer:
     def cache(self) -> LRUBlobCache | None:
         return self._cache
 
+    @property
+    def supports_durable_state(self) -> bool:
+        """True when the metadata backend can persist serving-plane control
+        state (request-dedup entries, dead letters) across restarts."""
+        return bool(getattr(self._metadata, "supports_durable_state", False))
+
+    # -- durable control state ------------------------------------------------
+    #
+    # Thin pass-throughs so the server's dedup cache and the engine's durable
+    # dead-letter queue stay behind the DAL rather than reaching into the
+    # concrete store.  Only meaningful when ``supports_durable_state`` is True.
+
+    def dedup_claim(
+        self,
+        client_id: str,
+        request_id: int,
+        *,
+        takeover_after: float = 5.0,
+    ) -> tuple[str, bytes | None]:
+        return self._metadata.dedup_claim(
+            client_id, request_id, takeover_after=takeover_after
+        )
+
+    def dedup_complete(
+        self, client_id: str, request_id: int, response: bytes
+    ) -> None:
+        self._metadata.dedup_complete(client_id, request_id, response)
+
+    def dedup_release(self, client_id: str, request_id: int) -> None:
+        self._metadata.dedup_release(client_id, request_id)
+
+    def dedup_trim(self, capacity: int) -> int:
+        return self._metadata.dedup_trim(capacity)
+
+    def dedup_count(self) -> int:
+        return self._metadata.dedup_count()
+
+    def dead_letter_append(
+        self, rule_uuid: str, action: str, error_type: str, record: str
+    ) -> int:
+        return self._metadata.dead_letter_append(
+            rule_uuid, action, error_type, record
+        )
+
+    def dead_letters_list(
+        self,
+        *,
+        rule_uuid: str | None = None,
+        action: str | None = None,
+        error_type: str | None = None,
+    ) -> list[tuple[int, str]]:
+        return self._metadata.dead_letters_list(
+            rule_uuid=rule_uuid, action=action, error_type=error_type
+        )
+
+    def dead_letter_update(
+        self, letter_id: int, error_type: str, record: str
+    ) -> None:
+        self._metadata.dead_letter_update(letter_id, error_type, record)
+
+    def dead_letters_delete(self, letter_ids: Sequence[int]) -> int:
+        return self._metadata.dead_letters_delete(letter_ids)
+
+    def dead_letters_trim(self, max_entries: int) -> int:
+        return self._metadata.dead_letters_trim(max_entries)
+
+    def dead_letters_count(self) -> int:
+        return self._metadata.dead_letters_count()
+
     # -- write path -----------------------------------------------------------
 
     def save_model(self, model: Model) -> None:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -82,6 +83,11 @@ def _assert_only_mutable_changed(
 
 class MetadataStore(ABC):
     """Abstract relational store for models, instances, and metrics."""
+
+    #: Whether this backend can persist serving-plane control state (request
+    #: dedup entries, dead letters) across a full process restart.  Only
+    #: file-backed SQLite sets this; everything else keeps the in-memory forms.
+    supports_durable_state: bool = False
 
     # -- models -------------------------------------------------------------
 
@@ -361,6 +367,22 @@ CREATE TABLE IF NOT EXISTS metrics (
 CREATE INDEX IF NOT EXISTS idx_metrics_instance ON metrics(instance_id);
 CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics(name);
 CREATE INDEX IF NOT EXISTS idx_metrics_instance_name ON metrics(instance_id, name);
+CREATE TABLE IF NOT EXISTS dedup_entries (
+    client_id  TEXT    NOT NULL,
+    request_id INTEGER NOT NULL,
+    status     TEXT    NOT NULL,
+    response   BLOB,
+    updated    REAL    NOT NULL,
+    PRIMARY KEY (client_id, request_id)
+);
+CREATE INDEX IF NOT EXISTS idx_dedup_updated ON dedup_entries(status, updated);
+CREATE TABLE IF NOT EXISTS dead_letters (
+    letter_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    rule_uuid  TEXT NOT NULL,
+    action     TEXT NOT NULL,
+    error_type TEXT NOT NULL,
+    record     TEXT NOT NULL
+);
 """
 
 
@@ -382,6 +404,7 @@ class SQLiteMetadataStore(MetadataStore):
     def __init__(self, path: str = ":memory:", serialized: bool | None = None) -> None:
         self._path = path
         is_memory = path == ":memory:" or "mode=memory" in path
+        self._is_memory = is_memory
         self._serialized = is_memory if serialized is None else (serialized or is_memory)
         self._write_lock = threading.RLock()
         self._local = threading.local()
@@ -694,6 +717,241 @@ class SQLiteMetadataStore(MetadataStore):
             rows = self._read(f"SELECT COUNT(*) FROM {table}")  # noqa: S608
             out[table] = int(rows[0][0])
         return out
+
+    # -- durable control state (request dedup + dead letters) -----------------
+    #
+    # Several server replicas share one file-backed database, so the
+    # exactly-once bookkeeping lives here rather than in per-process memory.
+    # Claims are made atomic across replicas by the PRIMARY KEY insert (first
+    # writer wins) and by conditional UPDATEs checked via ``rowcount`` — the
+    # per-instance ``_write_lock`` only serializes threads of one process;
+    # SQLite's database write lock serializes the replicas themselves.
+
+    @property
+    def supports_durable_state(self) -> bool:  # type: ignore[override]
+        return not self._is_memory
+
+    def dedup_claim(
+        self,
+        client_id: str,
+        request_id: int,
+        *,
+        takeover_after: float = 5.0,
+        now: float | None = None,
+    ) -> tuple[str, bytes | None]:
+        """Claim the right to execute ``(client_id, request_id)``.
+
+        Returns one of:
+
+        * ``("owner", None)`` — caller must execute the request and then
+          call :meth:`dedup_complete` (success) or :meth:`dedup_release`.
+        * ``("done", response)`` — a replica already finished; replay the
+          recorded response bytes verbatim.
+        * ``("pending", None)`` — another replica is still executing it;
+          the caller should answer with a transient error so the client
+          retries after a backoff.
+
+        A ``pending`` row older than *takeover_after* seconds is presumed
+        abandoned (its replica died mid-request) and is taken over.
+        """
+        now = time.time() if now is None else now
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                conn.execute(
+                    "INSERT INTO dedup_entries"
+                    " (client_id, request_id, status, response, updated)"
+                    " VALUES (?, ?, 'pending', NULL, ?)",
+                    (client_id, request_id, now),
+                )
+                conn.commit()
+                return "owner", None
+            except sqlite3.IntegrityError:
+                conn.rollback()
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+            try:
+                rows = conn.execute(
+                    "SELECT status, response FROM dedup_entries"
+                    " WHERE client_id = ? AND request_id = ?",
+                    (client_id, request_id),
+                ).fetchall()
+                if not rows:
+                    # Row vanished between INSERT conflict and SELECT (a
+                    # concurrent release); let the client retry cleanly.
+                    return "pending", None
+                status, response = rows[0]
+                if status == "done":
+                    conn.execute(
+                        "UPDATE dedup_entries SET updated = ?"
+                        " WHERE client_id = ? AND request_id = ?",
+                        (now, client_id, request_id),
+                    )
+                    conn.commit()
+                    return "done", bytes(response)
+                cursor = conn.execute(
+                    "UPDATE dedup_entries SET updated = ?"
+                    " WHERE client_id = ? AND request_id = ?"
+                    " AND status = 'pending' AND updated <= ?",
+                    (now, client_id, request_id, now - takeover_after),
+                )
+                conn.commit()
+                if cursor.rowcount == 1:
+                    return "owner", None
+                return "pending", None
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dedup_complete(
+        self, client_id: str, request_id: int, response: bytes
+    ) -> None:
+        """Record the successful response for a claimed request."""
+        self._write(
+            "UPDATE dedup_entries SET status = 'done', response = ?, updated = ?"
+            " WHERE client_id = ? AND request_id = ?",
+            (response, time.time(), client_id, request_id),
+        )
+
+    def dedup_release(self, client_id: str, request_id: int) -> None:
+        """Drop a pending claim (the request failed; a retry may re-execute)."""
+        self._write(
+            "DELETE FROM dedup_entries WHERE client_id = ? AND request_id = ?"
+            " AND status = 'pending'",
+            (client_id, request_id),
+        )
+
+    def dedup_trim(self, capacity: int) -> int:
+        """Evict the oldest completed entries beyond *capacity*; return count."""
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                (total,) = conn.execute(
+                    "SELECT COUNT(*) FROM dedup_entries WHERE status = 'done'"
+                ).fetchone()
+                excess = int(total) - capacity
+                if excess <= 0:
+                    return 0
+                cursor = conn.execute(
+                    "DELETE FROM dedup_entries WHERE rowid IN ("
+                    " SELECT rowid FROM dedup_entries WHERE status = 'done'"
+                    " ORDER BY updated ASC LIMIT ?)",
+                    (excess,),
+                )
+                conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dedup_count(self) -> int:
+        rows = self._read(
+            "SELECT COUNT(*) FROM dedup_entries WHERE status = 'done'"
+        )
+        return int(rows[0][0])
+
+    def dead_letter_append(
+        self, rule_uuid: str, action: str, error_type: str, record: str
+    ) -> int:
+        """Insert a serialized dead letter; return its assigned id."""
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                cursor = conn.execute(
+                    "INSERT INTO dead_letters (rule_uuid, action, error_type,"
+                    " record) VALUES (?, ?, ?, ?)",
+                    (rule_uuid, action, error_type, record),
+                )
+                conn.commit()
+                return int(cursor.lastrowid)
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dead_letters_list(
+        self,
+        *,
+        rule_uuid: str | None = None,
+        action: str | None = None,
+        error_type: str | None = None,
+    ) -> list[tuple[int, str]]:
+        """Return ``(letter_id, record)`` pairs, oldest first."""
+        sql = "SELECT letter_id, record FROM dead_letters"
+        clauses: list[str] = []
+        params: tuple[Any, ...] = ()
+        for column, value in (
+            ("rule_uuid", rule_uuid),
+            ("action", action),
+            ("error_type", error_type),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params += (value,)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY letter_id"
+        return [(int(row[0]), row[1]) for row in self._read(sql, params)]
+
+    def dead_letter_update(
+        self, letter_id: int, error_type: str, record: str
+    ) -> None:
+        """Refresh a letter after a failed redrive attempt."""
+        self._write(
+            "UPDATE dead_letters SET error_type = ?, record = ?"
+            " WHERE letter_id = ?",
+            (error_type, record, letter_id),
+        )
+
+    def dead_letters_delete(self, letter_ids: Iterable[int]) -> int:
+        """Delete letters by id; return how many rows were removed."""
+        ids = list(letter_ids)
+        if not ids:
+            return 0
+        removed = 0
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                for chunk in _chunked(ids):
+                    placeholders = ",".join("?" * len(chunk))
+                    cursor = conn.execute(
+                        "DELETE FROM dead_letters WHERE letter_id IN"  # noqa: S608
+                        f" ({placeholders})",
+                        tuple(chunk),
+                    )
+                    removed += cursor.rowcount
+                conn.commit()
+                return removed
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dead_letters_trim(self, max_entries: int) -> int:
+        """Evict the oldest letters beyond *max_entries*; return count."""
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                (total,) = conn.execute(
+                    "SELECT COUNT(*) FROM dead_letters"
+                ).fetchone()
+                excess = int(total) - max_entries
+                if excess <= 0:
+                    return 0
+                cursor = conn.execute(
+                    "DELETE FROM dead_letters WHERE letter_id IN ("
+                    " SELECT letter_id FROM dead_letters"
+                    " ORDER BY letter_id ASC LIMIT ?)",
+                    (excess,),
+                )
+                conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dead_letters_count(self) -> int:
+        rows = self._read("SELECT COUNT(*) FROM dead_letters")
+        return int(rows[0][0])
 
 
 StoreFactory = Callable[[], MetadataStore]

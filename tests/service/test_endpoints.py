@@ -1,0 +1,507 @@
+"""Tests for the replicated serving plane: EndpointSet, FailoverTransport,
+and the ``connect()`` front door.
+
+The routing tests run against scripted in-memory transports so they are
+deterministic and fast; one regression test at the bottom drives a real
+:class:`GalleryTcpServer` to prove ``GalleryClient.close()`` releases every
+socket the failover stack opened (satellite: the close() leak fix).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    MetadataStoreError,
+    ServiceError,
+    ValidationError,
+)
+from repro.reliability import RetryPolicy
+from repro.service import connect
+from repro.service import wire
+from repro.service.client import MethodRetryPolicies
+from repro.service.endpoints import Endpoint, EndpointSet, FailoverTransport
+
+
+def fast_policies(attempts=4):
+    """Zero-delay retry budget so routing tests never sleep."""
+    policy = RetryPolicy(
+        max_attempts=attempts, base_delay=0.0, max_delay=0.0, jitter=0.0
+    )
+    return MethodRetryPolicies(read=policy, blob=policy, mutation=policy)
+
+
+def read_frame(request_id=1):
+    """An idempotent request (always retryable)."""
+    return wire.encode_request(
+        wire.Request(method="getModel", params={"model_id": "m"},
+                     request_id=request_id, client_id="test-client")
+    )
+
+
+def mutation_frame(request_id=1, client_id="test-client"):
+    return wire.encode_request(
+        wire.Request(method="uploadModel", params={},
+                     request_id=request_id, client_id=client_id)
+    )
+
+
+def ok_frame(result="ok", request_id=1):
+    return wire.encode_response(
+        wire.Response(ok=True, result=result, request_id=request_id)
+    )
+
+
+def error_frame(error_type, request_id=1):
+    return wire.encode_response(
+        wire.Response(ok=False, error_type=error_type,
+                      error_message="injected", request_id=request_id)
+    )
+
+
+class ScriptedTransport:
+    """A fake endpoint transport driven by a ``script(data)`` callable."""
+
+    def __init__(self, address, script):
+        self.address = address
+        self.script = script
+        self.calls = []
+        self.closed = 0
+
+    def __call__(self, data):
+        self.calls.append(data)
+        return self.script(data)
+
+    def close(self):
+        self.closed += 1
+
+
+class Fleet:
+    """Builds ScriptedTransports per endpoint and remembers every dial."""
+
+    def __init__(self, scripts):
+        #: address -> script callable
+        self.scripts = scripts
+        #: address -> every transport ever dialed to it
+        self.dialed = {address: [] for address in scripts}
+
+    def factory(self, endpoint):
+        transport = ScriptedTransport(
+            endpoint.address, self.scripts[endpoint.address]
+        )
+        self.dialed[endpoint.address].append(transport)
+        return transport
+
+    def calls(self, address):
+        return sum(len(t.calls) for t in self.dialed[address])
+
+
+def two_endpoints():
+    return (Endpoint("a", 1), Endpoint("b", 2))
+
+
+class TestEndpointParsing:
+    def test_basic_url_preserves_order_and_defaults(self):
+        es = EndpointSet.parse("gallery://10.0.0.1:9000,10.0.0.2:9001")
+        assert [e.address for e in es.endpoints] == [
+            "10.0.0.1:9000", "10.0.0.2:9001",
+        ]
+        assert len(es) == 2
+        assert es.dialect == wire.DIALECT_BINARY
+        assert es.timeout == 10.0
+        assert es.transport == "pipelined"
+
+    def test_query_parameters(self):
+        es = EndpointSet.parse(
+            "gallery://h:1?dialect=json&timeout=2.5&transport=serial"
+        )
+        assert es.dialect == wire.DIALECT_JSON
+        assert es.timeout == 2.5
+        assert es.transport == "serial"
+
+    def test_single_endpoint_is_fine(self):
+        es = EndpointSet.parse("gallery://localhost:9000")
+        assert es.endpoints == (Endpoint("localhost", 9000),)
+        assert es.endpoints[0].address == "localhost:9000"
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "http://h:1",                      # wrong scheme
+            "h:1,h:2",                         # no scheme at all
+            "gallery://",                      # empty netloc
+            "gallery://h:1,",                  # trailing empty endpoint
+            "gallery://hostonly",              # missing port
+            "gallery://:9000",                 # missing host
+            "gallery://h:abc",                 # non-numeric port
+            "gallery://h:0",                   # port out of range (low)
+            "gallery://h:70000",               # port out of range (high)
+            "gallery://h:1,h:1",               # duplicate endpoint
+            "gallery://h:1?bogus=1",           # unknown query parameter
+            "gallery://h:1?dialect=msgpack",   # unknown dialect
+            "gallery://h:1?timeout=soon",      # non-numeric timeout
+            "gallery://h:1?timeout=0",         # non-positive timeout
+            "gallery://h:1?transport=carrier-pigeon",
+        ],
+    )
+    def test_malformed_urls_are_rejected(self, url):
+        with pytest.raises(ValidationError):
+            EndpointSet.parse(url)
+
+    def test_empty_endpoint_set_is_rejected(self):
+        with pytest.raises(ValidationError):
+            EndpointSet(endpoints=())
+
+
+class TestRouting:
+    def test_round_robin_spreads_reads(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame("from-a"),
+                       "b:2": lambda d: ok_frame("from-b")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        for _ in range(4):
+            transport(read_frame())
+        assert fleet.calls("a:1") == 2
+        assert fleet.calls("b:2") == 2
+
+    def test_mid_call_failover_on_transport_error(self):
+        boom = {"armed": True}
+
+        def flaky(data):
+            if boom["armed"]:
+                boom["armed"] = False
+                raise ConnectionResetError("replica died mid-call")
+            return ok_frame("from-a")
+
+        fleet = Fleet({"a:1": flaky, "b:2": lambda d: ok_frame("from-b")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        raw = transport(read_frame())
+        assert wire.decode_response(raw).result == "from-b"
+        assert transport.failovers == 1
+        # the broken connection was dropped; the next dial is fresh
+        assert fleet.dialed["a:1"][0].closed == 1
+
+    def test_breaker_opens_and_dead_endpoint_is_skipped(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": lambda d: ok_frame("from-b")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory,
+            failure_threshold=2, reset_timeout=60.0,
+            sleep=lambda s: None,
+        )
+        for _ in range(6):
+            transport(read_frame())
+        assert transport.breaker_states()["a:1"] == "open"
+        dials_after_trip = fleet.calls("a:1")
+        for _ in range(6):
+            transport(read_frame())
+        # the open breaker keeps the dead replica out of the rotation
+        assert fleet.calls("a:1") == dials_after_trip
+        assert fleet.calls("b:2") >= 6
+
+    def test_recovered_endpoint_rejoins_via_half_open_probe(self):
+        state = {"healthy": False}
+
+        def flapping(data):
+            if not state["healthy"]:
+                raise ConnectionRefusedError("down")
+            return ok_frame("from-a")
+
+        fleet = Fleet({"a:1": flapping, "b:2": lambda d: ok_frame("from-b")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory,
+            failure_threshold=2, reset_timeout=0.05,
+            sleep=lambda s: None,
+        )
+        for _ in range(4):
+            transport(read_frame())
+        assert transport.breaker_states()["a:1"] == "open"
+        state["healthy"] = True
+        time.sleep(0.06)  # breaker decays to half-open
+        for _ in range(4):
+            transport(read_frame())
+        assert transport.breaker_states()["a:1"] == "closed"
+        assert fleet.calls("a:1") >= 3  # back in the rotation
+
+    def test_all_endpoints_dead_raises_service_error(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": dead})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(attempts=3),
+            transport_factory=fleet.factory,
+            failure_threshold=10, sleep=lambda s: None,
+        )
+        with pytest.raises(ServiceError):
+            transport(read_frame())
+        assert transport.attempts == 3  # one retry budget, not one per replica
+
+    def test_all_breakers_open_raises_circuit_open(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": dead})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(attempts=3),
+            transport_factory=fleet.factory,
+            failure_threshold=1, reset_timeout=60.0,
+            sleep=lambda s: None,
+        )
+        # First call trips both breakers (one failed attempt each), finds
+        # every circuit open on its third attempt, and surfaces that.
+        with pytest.raises(CircuitOpenError):
+            transport(read_frame())
+        with pytest.raises(CircuitOpenError):
+            transport(read_frame())
+        # the breakers shielded the dead replicas from the second call
+        assert fleet.calls("a:1") + fleet.calls("b:2") == 2
+
+    def test_transient_server_error_retries_without_breaker_penalty(self):
+        hiccups = {"left": 2}
+
+        def flaky_store(data):
+            if hiccups["left"]:
+                hiccups["left"] -= 1
+                return error_frame("MetadataStoreError")
+            return ok_frame("recovered")
+
+        fleet = Fleet({"a:1": flaky_store, "b:2": flaky_store})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        raw = transport(read_frame())
+        assert wire.decode_response(raw).result == "recovered"
+        assert transport.failovers == 0
+        assert set(transport.breaker_states().values()) == {"closed"}
+
+    def test_exhausted_transient_retries_surface_the_server_error(self):
+        fleet = Fleet({"a:1": lambda d: error_frame("MetadataStoreError"),
+                       "b:2": lambda d: error_frame("MetadataStoreError")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(attempts=2),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        raw = transport(read_frame())
+        response = wire.decode_response(raw)
+        assert not response.ok
+        with pytest.raises(MetadataStoreError):
+            response.raise_if_error()
+
+    def test_deterministic_errors_are_not_retried(self):
+        fleet = Fleet({"a:1": lambda d: error_frame("NotFoundError"),
+                       "b:2": lambda d: error_frame("NotFoundError")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        raw = transport(read_frame())
+        assert wire.decode_response(raw).error_type == "NotFoundError"
+        assert transport.attempts == 1
+
+    def test_mutation_without_client_id_is_single_shot(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": dead})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        with pytest.raises(ServiceError):
+            transport(mutation_frame(client_id=""))
+        assert transport.attempts == 1  # replay without dedup is unsafe
+
+    def test_mutation_with_client_id_fails_over(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": lambda d: ok_frame("landed")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        # The mutation must still land even when the rotation hands it the
+        # dead replica first (the shared dedup table makes the replay safe,
+        # so _can_retry admits it).
+        results = [wire.decode_response(transport(mutation_frame())).result
+                   for _ in range(2)]
+        assert results == ["landed", "landed"]
+        assert transport.failovers >= 1
+
+    def test_opaque_frame_is_single_shot(self):
+        def dead(data):
+            raise ConnectionRefusedError("nobody home")
+
+        fleet = Fleet({"a:1": dead, "b:2": dead})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        with pytest.raises(ServiceError):
+            transport(b"\x00\x00\x00\x00\x00\x00\x00\x02ok")
+        assert transport.attempts == 1
+
+    def test_close_closes_every_endpoint(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame(), "b:2": lambda d: ok_frame()})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        transport(read_frame())
+        transport(read_frame())
+        transport.close()
+        for dials in fleet.dialed.values():
+            assert all(t.closed for t in dials)
+
+    def test_context_manager_closes(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame(), "b:2": lambda d: ok_frame()})
+        with FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        ) as transport:
+            transport(read_frame())
+        assert all(t.closed for t in fleet.dialed["a:1"] + fleet.dialed["b:2"])
+
+
+class TestSubmitMany:
+    def test_serial_transports_degrade_to_sequential_calls(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame("a"),
+                       "b:2": lambda d: ok_frame("b")})
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=fleet.factory, sleep=lambda s: None,
+        )
+        exchanges = transport.submit_many([read_frame(i) for i in range(1, 4)])
+        assert len(exchanges) == 3
+        for exchange in exchanges:
+            assert exchange.done()
+            assert wire.decode_response(exchange.wait()).ok
+
+    def test_pipelined_submission_fails_over(self):
+        class PipelinedFake(ScriptedTransport):
+            def submit_many(self, frames):
+                return [self.script(frame) for frame in frames]
+
+        def dead(data):
+            raise ConnectionResetError("gone")
+
+        dialed = {}
+
+        def factory(endpoint):
+            script = dead if endpoint.address == "a:1" else (
+                lambda d: ok_frame("batched")
+            )
+            transport = PipelinedFake(endpoint.address, script)
+            dialed.setdefault(endpoint.address, []).append(transport)
+            return transport
+
+        transport = FailoverTransport(
+            two_endpoints(), policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+        )
+        frames = [read_frame(i) for i in range(1, 3)]
+        # Whichever replica the rotation picks first, the batch lands on a
+        # healthy one within a single submit_many call.
+        for _ in range(2):
+            results = transport.submit_many(frames)
+            assert len(results) == 2
+        assert transport.failovers >= 1
+        assert transport.submit_many([]) == []
+
+
+class TestConnect:
+    def test_connect_returns_a_working_client(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame({"model_id": "m"}),
+                       "b:2": lambda d: ok_frame({"model_id": "m"})})
+        client = connect(
+            "gallery://a:1,b:2",
+            client_id="conn-test",
+            policies=fast_policies(),
+            transport_factory=fleet.factory,
+        )
+        assert client.client_id == "conn-test"
+        assert client.call("getModel", model_id="m") == {"model_id": "m"}
+        client.close()
+
+    def test_connect_honours_url_dialect(self):
+        fleet = Fleet({"a:1": lambda d: ok_frame()})
+        client = connect(
+            "gallery://a:1?dialect=json",
+            policies=fast_policies(),
+            transport_factory=fleet.factory,
+        )
+        assert client.dialect == wire.DIALECT_JSON
+        client.call("getModel", model_id="m")
+        # the frame actually left in the JSON dialect
+        sent = fleet.dialed["a:1"][0].calls[0]
+        assert wire.decode_request(sent).dialect == wire.DIALECT_JSON
+
+    def test_connect_rejects_bad_urls(self):
+        with pytest.raises(ValidationError):
+            connect("https://a:1")
+
+
+def open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs /proc (Linux only)"
+)
+def test_client_close_releases_every_socket(tmp_path):
+    """Regression: ``connect()`` + pipeline use must not leak sockets.
+
+    Before the fix :class:`GalleryClient` had no ``close()`` at all — the
+    failover transport's per-endpoint connections (and the pipelined
+    reader threads' sockets) lived until interpreter exit.
+    """
+    from repro.core.clock import ManualClock
+    from repro.core.ids import SeededIdFactory
+    from repro.core.registry import Gallery
+    from repro.service.server import GalleryService
+    from repro.service.tcp import GalleryTcpServer
+    from repro.store.blob import FilesystemBlobStore
+    from repro.store.cache import LRUBlobCache
+    from repro.store.dal import DataAccessLayer
+    from repro.store.metadata_store import InMemoryMetadataStore
+
+    dal = DataAccessLayer(
+        InMemoryMetadataStore(), FilesystemBlobStore(tmp_path), LRUBlobCache(4)
+    )
+    gallery = Gallery(dal, clock=ManualClock(), id_factory=SeededIdFactory(3))
+    server = GalleryTcpServer(GalleryService(gallery)).start()
+    host, port = server.address
+    try:
+        baseline = open_fds()
+        client = connect(f"gallery://{host}:{port}", client_id="leak-probe")
+        client.create_gallery_model("p", "demand")
+        client.upload_model("p", "demand", b"w1", metadata={"tag": "one"})
+        with client.pipeline() as pipeline:
+            handle = pipeline.call("instancesOf", base_version_id="demand")
+        assert len(handle.result()) == 1
+        assert open_fds() > baseline  # the stack really opened sockets
+        client.close()
+        # The server side reaps its half on EOF; poll briefly for both
+        # halves to disappear.
+        deadline = time.monotonic() + 5.0
+        while open_fds() > baseline and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert open_fds() <= baseline, "client.close() leaked sockets"
+        # the client dials fresh and keeps working after close()
+        assert len(client.call("instancesOf", base_version_id="demand")) == 1
+        client.close()
+    finally:
+        server.stop()
