@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-all
+.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-pr5 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -25,14 +25,22 @@ chaos:
 failover:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_failover_replicas.py -m chaos -q
 
+# The PR5 suite runs via its pytest gate so `make bench` also *asserts*
+# the acceptance floors (document codec >= 1x JSON, blob codec >= 10x,
+# replica spread >= 1.5x) while writing BENCH_PR5.json.
 bench:
-	$(PYTHON) -m benchmarks.run_bench
+	$(PYTHON) -m benchmarks.run_bench pr1
+	$(PYTHON) -m benchmarks.run_bench pr3
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_docs.py -q
 
 bench-pr1:
 	$(PYTHON) -m benchmarks.run_bench pr1
 
 bench-pr3:
 	$(PYTHON) -m benchmarks.run_bench pr3
+
+bench-pr5:
+	$(PYTHON) -m benchmarks.run_bench pr5
 
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,4 +1,4 @@
-"""PERF-PR1 + PERF-PR3 — serving-path benchmark harness.
+"""PERF-PR1 + PERF-PR3 + PERF-PR5 — serving-path benchmark harness.
 
 **PR1 suite** (``BENCH_PR1.json``): drives N concurrent TCP clients
 through the serving hot loop (``modelQuery`` / ``loadModelBlob`` /
@@ -23,17 +23,34 @@ client):
   ``modelQuery``; the current stack drives them from 4 OS threads via
   ``submit_many`` batching instead of 32 blocking threads.
 
-Both suites run baseline and current on identical data through identical
+**PR5 suite** (``BENCH_PR5.json``): serving-plane throughput part 2 —
+
+* **document codec** — binary vs JSON round-trips on a document batch
+  (the workload where the binary dialect used to *lose* to C-accelerated
+  ``json``); best-of-N interleaved timing to defeat machine noise;
+* **blob codec** — the 1 MB blob round-trip, re-measured to show the
+  16x-class win survived the codec rewrite;
+* **replica spread** — one pipelined batch of multi-MB ``loadModelBlob``
+  calls against 3 live replicas: ``FailoverTransport.submit_many`` with
+  ``spread_batches=True`` (shard round-robin across every healthy
+  replica) vs ``spread_batches=False`` (the PR4 behaviour: whole batch
+  pinned to one replica connection).
+
+All suites run baseline and current on identical data through identical
 harnesses, so reported speedups isolate the named change.
 
 Run with ``make bench``, ``python -m benchmarks.run_bench``, or
-``python benchmarks/run_bench.py [pr1|pr3|all]`` (default: all).
+``python benchmarks/run_bench.py [pr1|pr3|pr5|all]`` (default: all).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
+import os
+import platform
+import statistics
 import sys
 import tempfile
 import threading
@@ -68,6 +85,18 @@ from repro.store.metadata_store import SQLiteMetadataStore  # noqa: E402
 
 OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
 OUTPUT_PATH_PR3 = REPO_ROOT / "BENCH_PR3.json"
+OUTPUT_PATH_PR5 = REPO_ROOT / "BENCH_PR5.json"
+
+
+def _env_metadata() -> dict:
+    """Where the numbers came from — stamped into every BENCH JSON."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 @dataclass
@@ -336,6 +365,7 @@ def run(cfg: BenchConfig | None = None) -> dict:
 
 
 def write_results(results: dict, path: Path = OUTPUT_PATH) -> Path:
+    results.setdefault("environment", _env_metadata())
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 
@@ -643,6 +673,7 @@ def run_pr3(cfg: WireBenchConfig | None = None) -> dict:
 
 
 def write_results_pr3(results: dict, path: Path = OUTPUT_PATH_PR3) -> Path:
+    results.setdefault("environment", _env_metadata())
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 
@@ -682,11 +713,311 @@ def format_pr3_report(results: dict) -> list[str]:
     return lines
 
 
+# ---------------------------------------------------------------------------
+# PERF-PR5 — serving-plane throughput, part 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pr5BenchConfig:
+    """Knobs for the PR5 codec/streaming/spread suite.
+
+    Codec numbers use best-of-``rounds`` *interleaved* timing: binary and
+    JSON alternate within each round and each takes its fastest round.
+    One-shot timings on a shared machine swing +/-10%, which is bigger
+    than the effect being measured for the document workload.
+    """
+
+    #: result sizes in the document mix: mostly-single responses
+    #: (latestInstance / getModel) plus modelQuery batches
+    doc_batches: tuple = (1, 2, 4, 8)
+    doc_iters: int = 1200
+    codec_rounds: int = 15
+    blob_bytes: int = 1024 * 1024
+    blob_iters: int = 40
+    replicas: int = 3
+    spread_blob_bytes: int = 2 * 1024 * 1024
+    spread_batch: int = 12
+    spread_rounds: int = 4
+    #: one serving lane per replica — the spread question is how many
+    #: replica lanes one client batch can occupy at once
+    replica_workers: int = 1
+    #: models the S3/HDFS-class read each blob fetch pays in the paper's
+    #: deployment (conservative vs typical S3 first-byte latency);
+    #: sleeping releases the GIL, so overlap is measurable even on a
+    #: single-CPU runner
+    remote_read_latency_s: float = 0.008
+
+
+def _bench_document() -> dict:
+    return {
+        "instance_id": "inst-000", "model_id": "model-000",
+        "metadata": {"model_name": "linear_regression", "city": "city-003"},
+        "metrics": [{"name": "mape", "value": 0.02, "scope": "Validation"}] * 4,
+        "deprecated": False, "created_time": 1700000000,
+    }
+
+
+def _best_of_interleaved(contenders: dict, iters: int, rounds: int) -> dict:
+    """Fastest wall per contender, alternating contenders within rounds."""
+    best = {name: float("inf") for name in contenders}
+    for _ in range(rounds):
+        for name, fn in contenders.items():
+            wall = _timed(lambda: [fn() for _ in range(iters)])
+            best[name] = min(best[name], wall)
+    return best
+
+
+def run_document_codec_bench(cfg: Pr5BenchConfig) -> dict:
+    """Binary vs JSON on the document workload — the PR5 codec headline.
+
+    Before the rewrite the binary dialect ran ~0.93x JSON here (pure-Python
+    tag dispatch vs C ``json``); the preallocated writer + embedded-JSON
+    fast path must put it at >= 1.0x without touching the wire format.
+
+    The workload mixes result sizes the serving plane actually returns:
+    single-document responses (``latestInstance``/``getModel``) and
+    ``modelQuery`` batches.  Noise discipline: within each round the two
+    dialects run back-to-back over the whole mix and contribute one
+    json/binary wall ratio — adjacent measurement cancels machine drift —
+    and the reported ratio is the median across rounds, GC paused.
+    """
+    responses = [
+        wire.Response(ok=True, result=[_bench_document()] * n, request_id=2)
+        for n in cfg.doc_batches
+    ]
+
+    def sweep(dialect) -> float:
+        start = time.perf_counter()
+        for response in responses:
+            for _ in range(cfg.doc_iters):
+                wire.decode_response(wire.encode_response(response, dialect))
+        return time.perf_counter() - start
+
+    ratios = []
+    binary_walls = []
+    json_walls = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(cfg.codec_rounds):
+            binary_wall = sweep(wire.DIALECT_BINARY)
+            json_wall = sweep(wire.DIALECT_JSON)
+            binary_walls.append(binary_wall)
+            json_walls.append(json_wall)
+            ratios.append(json_wall / binary_wall)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    roundtrips = len(responses) * cfg.doc_iters
+    return {
+        "documents_per_batch": list(cfg.doc_batches),
+        "binary_roundtrips_s": round(roundtrips / min(binary_walls), 1),
+        "json_roundtrips_s": round(roundtrips / min(json_walls), 1),
+        "binary_vs_json": round(statistics.median(ratios), 3),
+    }
+
+
+def run_blob_codec_bench(cfg: Pr5BenchConfig) -> dict:
+    """Re-measure the blob codec so PR5 proves the rewrite kept the win."""
+    blob = bytes(range(256)) * (cfg.blob_bytes // 256)
+    response = wire.Response(ok=True, result=blob, request_id=1)
+
+    def binary():
+        wire.decode_response(wire.encode_response(response, wire.DIALECT_BINARY))
+
+    def json_base64():
+        decoded = wire.decode_response(
+            wire.encode_response(response, wire.DIALECT_JSON)
+        )
+        wire.decode_blob(decoded.result)
+
+    best = _best_of_interleaved(
+        {"binary": binary, "json_base64": json_base64},
+        cfg.blob_iters, max(2, cfg.codec_rounds // 2),
+    )
+    mb = cfg.blob_iters * cfg.blob_bytes / 1e6
+    return {
+        "blob_mb": round(cfg.blob_bytes / 1e6, 2),
+        "binary_mb_s": round(mb / best["binary"], 1),
+        "json_base64_mb_s": round(mb / best["json_base64"], 1),
+        "binary_vs_json": round(best["json_base64"] / best["binary"], 2),
+    }
+
+
+def _replica_gallery(
+    data_dir: str, index: int, read_latency_s: float, seed: int = 51
+) -> Gallery:
+    """A serving replica: sqlite metadata + content-addressed fs blobs.
+
+    No blob cache on purpose — every ``loadModelBlob`` does the real
+    replica work: a sqlite lookup, a file read, the store's SHA-256
+    integrity check, and *read_latency_s* of simulated remote-storage
+    latency (the S3/HDFS read the paper's deployment pays; in-process
+    replicas would otherwise be unrealistically close to their blobs).
+    """
+    from repro.store.blob import FilesystemBlobStore
+
+    class RemoteLatencyBlobStore(FilesystemBlobStore):
+        def get(self, location: str) -> bytes:
+            time.sleep(read_latency_s)
+            return super().get(location)
+
+    base = Path(data_dir) / f"replica-{index}"
+    base.mkdir(parents=True, exist_ok=True)
+    metadata = SQLiteMetadataStore(str(base / "meta.sqlite"))
+    dal = DataAccessLayer(
+        metadata, RemoteLatencyBlobStore(base / "blobs"), cache=None
+    )
+    return Gallery(dal, clock=ManualClock(), id_factory=SeededIdFactory(seed))
+
+
+def run_replica_spread_bench(cfg: Pr5BenchConfig) -> dict:
+    """One pipelined blob batch against 3 replicas: spread vs pinned.
+
+    Every replica is an event-loop server in this process with ONE
+    serving lane (``workers=1``) and an identical gallery (same id seed,
+    same blob), so a spread shard and a pinned batch do identical
+    per-request server work.  What spread buys is occupancy: pinning the
+    batch to one replica (``spread_batches=False``, exactly the PR4 code
+    path) queues every request behind one replica's lane and pays its
+    remote-storage read latency serially, while sharding overlaps all
+    three replicas' lanes.  The latency sleep and the integrity hash
+    both release the GIL, so the overlap is real even on the single-CPU
+    runners this benchmark ships numbers from.
+    """
+    from repro.service.endpoints import Endpoint, FailoverTransport
+
+    payload = bytes(range(256)) * (cfg.spread_blob_bytes // 256)
+    with tempfile.TemporaryDirectory(prefix="bench-spread-") as data_dir:
+        servers = []
+        instance_id = None
+        try:
+            for index in range(cfg.replicas):
+                gallery = _replica_gallery(
+                    data_dir, index, cfg.remote_read_latency_s
+                )
+                gallery.create_model("marketplace", "demand")
+                instance = gallery.upload_model(
+                    "marketplace", "demand", payload,
+                    metadata={"model_name": "linear_regression"},
+                )
+                instance_id = instance.instance_id  # same on every replica
+                servers.append(
+                    GalleryTcpServer(
+                        GalleryService(gallery), workers=cfg.replica_workers
+                    ).__enter__()
+                )
+            endpoints = tuple(
+                Endpoint(*server.address) for server in servers
+            )
+            frames = [
+                wire.encode_request(
+                    wire.Request(
+                        method="loadModelBlob",
+                        params={"instance_id": instance_id},
+                        request_id=k + 1,
+                    ),
+                    wire.DIALECT_BINARY,
+                )
+                for k in range(cfg.spread_batch)
+            ]
+
+            def run_mode(spread: bool) -> float:
+                best = float("inf")
+                with FailoverTransport(
+                    endpoints, spread_batches=spread
+                ) as transport:
+                    # Correctness check once, outside the timed region —
+                    # a full 2 MB compare per response is GIL-bound client
+                    # work that would dilute what this scenario measures.
+                    warmup = transport.submit_many(frames)
+                    for exchange in warmup:
+                        response = wire.decode_response(exchange.wait(60.0))
+                        response.raise_if_error()
+                        assert response.result == payload
+                    for _ in range(cfg.spread_rounds):
+                        start = time.perf_counter()
+                        exchanges = transport.submit_many(frames)
+                        for exchange in exchanges:
+                            response = wire.decode_response(exchange.wait(60.0))
+                            response.raise_if_error()
+                            assert len(response.result) == len(payload)
+                        best = min(best, time.perf_counter() - start)
+                return best
+
+            pinned = run_mode(False)
+            spread = run_mode(True)
+        finally:
+            for server in servers:
+                server.__exit__(None, None, None)
+    moved = cfg.spread_batch * cfg.spread_blob_bytes
+    return {
+        "replicas": cfg.replicas,
+        "batch": cfg.spread_batch,
+        "blob_mb": round(cfg.spread_blob_bytes / 1e6, 2),
+        "pinned_mb_s": round(moved / pinned / 1e6, 1),
+        "spread_mb_s": round(moved / spread / 1e6, 1),
+        "spread_vs_pinned": round(pinned / spread, 2),
+    }
+
+
+def run_pr5(cfg: Pr5BenchConfig | None = None) -> dict:
+    cfg = cfg or Pr5BenchConfig()
+    documents = run_document_codec_bench(cfg)
+    blob = run_blob_codec_bench(cfg)
+    spread = run_replica_spread_bench(cfg)
+    return {
+        "benchmark": "PERF-PR5 serving-plane throughput, part 2",
+        "harness": "benchmarks/run_bench.py",
+        "config": asdict(cfg),
+        "document_codec": documents,
+        "blob_codec": blob,
+        "replica_spread": spread,
+        "speedup": {
+            "document_codec_binary_vs_json": documents["binary_vs_json"],
+            "blob_codec_binary_vs_json": blob["binary_vs_json"],
+            "submit_many_spread_vs_pinned": spread["spread_vs_pinned"],
+        },
+    }
+
+
+def write_results_pr5(results: dict, path: Path = OUTPUT_PATH_PR5) -> Path:
+    results.setdefault("environment", _env_metadata())
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def format_pr5_report(results: dict) -> list[str]:
+    documents = results["document_codec"]
+    blob = results["blob_codec"]
+    spread = results["replica_spread"]
+    batches = "/".join(str(n) for n in documents["documents_per_batch"])
+    return [
+        f"document codec (mixed {batches}-doc responses, "
+        f"median of round-local ratios):",
+        f"  binary {documents['binary_roundtrips_s']:>10.1f} rt/s",
+        f"  json   {documents['json_roundtrips_s']:>10.1f} rt/s"
+        f"   -> {documents['binary_vs_json']:.3f}x",
+        "",
+        f"blob codec ({blob['blob_mb']:.0f} MB round-trip):",
+        f"  binary      {blob['binary_mb_s']:>10.1f} MB/s",
+        f"  json+base64 {blob['json_base64_mb_s']:>10.1f} MB/s"
+        f"   -> {blob['binary_vs_json']:.1f}x",
+        "",
+        f"submit_many, {spread['batch']} x {spread['blob_mb']:.0f} MB blobs, "
+        f"{spread['replicas']} replicas:",
+        f"  pinned (PR4) {spread['pinned_mb_s']:>10.1f} MB/s",
+        f"  spread       {spread['spread_mb_s']:>10.1f} MB/s"
+        f"   -> {spread['spread_vs_pinned']:.2f}x",
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     suite = argv[0] if argv else "all"
-    if suite not in ("pr1", "pr3", "all"):
-        print(f"unknown suite {suite!r}; expected pr1, pr3, or all")
+    if suite not in ("pr1", "pr3", "pr5", "all"):
+        print(f"unknown suite {suite!r}; expected pr1, pr3, pr5, or all")
         return 2
     if suite in ("pr1", "all"):
         results = run()
@@ -697,6 +1028,11 @@ def main(argv: list[str] | None = None) -> int:
         results = run_pr3()
         path = write_results_pr3(results)
         print("\n".join(format_pr3_report(results)))
+        print(f"\nwrote {path}\n")
+    if suite in ("pr5", "all"):
+        results = run_pr5()
+        path = write_results_pr5(results)
+        print("\n".join(format_pr5_report(results)))
         print(f"\nwrote {path}")
     return 0
 

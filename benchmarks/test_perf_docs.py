@@ -1,0 +1,52 @@
+"""PERF-PR5 — serving-plane throughput part 2 as a pytest gate.
+
+Runs the PR5 suite from ``benchmarks/run_bench.py`` (document codec,
+blob codec, 3-replica ``submit_many`` spread), writes ``BENCH_PR5.json``
+at the repo root, and asserts the PR's acceptance criteria:
+
+* binary document round-trips ≥ 1.0× JSON on the pure document workload
+  — the case the original tagged codec lost (~0.93×) to C-accelerated
+  ``json``; the rewrite must at least break even while keeping the wire
+  format unchanged (typical observed: 1.01–1.07×);
+* blob codec ≥ 10× the base64/JSON path (typical observed: >40×);
+* ``submit_many`` across 3 replicas ≥ 1.5× the single-endpoint pinned
+  (PR4) baseline when each replica has one serving lane and realistic
+  remote-storage read latency (typical observed: ~1.7×).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+import run_bench
+
+
+def test_serving_plane_part2_speedups():
+    results = run_bench.run_pr5()
+    path = run_bench.write_results_pr5(results)
+    assert path.exists()
+
+    report("PERF-PR5_docs_streaming_spread", run_bench.format_pr5_report(results))
+
+    speedup = results["speedup"]
+    assert speedup["document_codec_binary_vs_json"] >= 1.0, (
+        f"binary document codec is "
+        f"{speedup['document_codec_binary_vs_json']:.3f}x JSON; the rewrite "
+        "must at least break even on the document workload"
+    )
+    assert speedup["blob_codec_binary_vs_json"] >= 10.0, (
+        f"blob codec only {speedup['blob_codec_binary_vs_json']:.1f}x "
+        "against base64/JSON; acceptance floor is 10x"
+    )
+    assert speedup["submit_many_spread_vs_pinned"] >= 1.5, (
+        f"replica-spread submit_many only "
+        f"{speedup['submit_many_spread_vs_pinned']:.2f}x the pinned "
+        "baseline; acceptance floor is 1.5x"
+    )
+    # The spread comparison really pitted spread against the pinned path
+    # on identical replicas.
+    spread = results["replica_spread"]
+    assert spread["replicas"] == 3
+    assert spread["batch"] >= spread["replicas"]
+    # Environment metadata is stamped so numbers are interpretable.
+    assert results["environment"]["cpu_count"] >= 1

@@ -175,8 +175,29 @@ def _cmd_audit(gallery: Gallery, args: argparse.Namespace) -> Any:
 
 
 def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
-    removed = gallery.dal.collect_orphan_blobs()
-    return {"removed_orphan_blobs": removed}
+    report: dict[str, Any] = {
+        "removed_orphan_blobs": gallery.dal.collect_orphan_blobs()
+    }
+    durable = bool(
+        getattr(gallery.dal, "supports_durable_state", False)
+    )
+    if args.dedup_max_age is not None:
+        if not durable:
+            raise SystemExit(
+                "gc: --dedup-max-age needs a durable (sqlite) metadata store"
+            )
+        report["expired_dedup_entries"] = gallery.dal.dedup_trim_age(
+            args.dedup_max_age
+        )
+    if args.dlq_max_age is not None:
+        if not durable:
+            raise SystemExit(
+                "gc: --dlq-max-age needs a durable (sqlite) metadata store"
+            )
+        report["expired_dead_letters"] = gallery.dal.dead_letters_trim_age(
+            args.dlq_max_age
+        )
+    return report
 
 
 def _cmd_dlq_list(gallery: Gallery, args: argparse.Namespace) -> Any:
@@ -280,7 +301,24 @@ def build_parser() -> argparse.ArgumentParser:
     audit = commands.add_parser("audit", help="storage consistency audit")
     audit.set_defaults(handler=_cmd_audit)
 
-    gc = commands.add_parser("gc", help="collect orphan blobs")
+    gc = commands.add_parser(
+        "gc",
+        help="collect orphan blobs and expire aged dedup/dead-letter rows",
+    )
+    gc.add_argument(
+        "--dedup-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also delete completed request-dedup entries older than this",
+    )
+    gc.add_argument(
+        "--dlq-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also delete dead letters older than this",
+    )
     gc.set_defaults(handler=_cmd_gc)
 
     dlq = commands.add_parser(

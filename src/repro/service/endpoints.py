@@ -264,6 +264,7 @@ class FailoverTransport:
         transient_errors: frozenset[str] = TRANSIENT_ERROR_TYPES,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        spread_batches: bool = True,
     ) -> None:
         if isinstance(endpoints, str):
             endpoints = EndpointSet.parse(endpoints)
@@ -292,6 +293,7 @@ class FailoverTransport:
         ]
         self._rr_lock = threading.Lock()
         self._rr_next = 0
+        self._spread_batches = spread_batches
         #: total frames put on a wire (includes retries)
         self.attempts = 0
         #: calls that moved to a different endpoint after a transport error
@@ -439,22 +441,87 @@ class FailoverTransport:
         ) from last_error
 
     def submit_many(self, frames: list[bytes]) -> list[Any]:
-        """Ship a pipelined batch through one healthy endpoint.
+        """Ship a pipelined batch across the healthy endpoints.
 
-        Submission failures fail over to the next endpoint (safe: a batch
-        whose send fails never reaches the server, and the pipelined
-        transport discards its registrations when the connection drops).
-        Once submitted, individual exchanges resolve or fail on their own —
+        With ``spread_batches`` (the default) the batch is sharded
+        round-robin across every breaker-admitted replica — each shard goes
+        out through its own connection, responses stream back concurrently,
+        and the returned handles are re-knit into the caller's original
+        frame order.  A shard whose submission fails fails over to the
+        next admitted endpoint before giving up (safe: a batch whose send
+        fails never reaches the server, and the pipelined transport
+        discards its registrations when the connection drops).  Once
+        submitted, individual exchanges resolve or fail on their own —
         per-item retry is the caller's decision, exactly as with a direct
         :class:`PipelinedTcpTransport`.
+
+        ``spread_batches=False`` pins the whole batch to one endpoint
+        (PR 4 behaviour), which benchmarks use as the baseline.
         """
         if not frames:
             return []
-        last_error: BaseException | None = None
-        for _ in range(len(self._states)):
-            state = self._admit()
-            if state is None:
+        # Admit at most as many endpoints as there are frames (and just one
+        # when pinning): a half-open breaker's allow() hands out its single
+        # recovery probe, so we must not admit an endpoint we won't use.
+        limit = len(frames) if self._spread_batches else 1
+        admitted = self._admitted_states(limit)
+        if not admitted:
+            raise CircuitOpenError(
+                "no healthy endpoint: all circuit breakers are open"
+            )
+        # Failover candidates beyond the admitted set; _submit_shard asks
+        # their breakers itself when it reaches them.
+        others = [
+            state
+            for state in self._states
+            if all(state is not used for used in admitted)
+        ]
+        if len(admitted) == 1:
+            return self._submit_shard(frames, admitted + others)
+        shard_count = len(admitted)
+        exchanges: list[Any] = [None] * len(frames)
+        for shard in range(shard_count):
+            indices = range(shard, len(frames), shard_count)
+            shard_frames = [frames[index] for index in indices]
+            # Each shard prefers its own replica; on submission failure it
+            # fails over to the other admitted ones, then the rest.
+            preference = admitted[shard:] + admitted[:shard] + others
+            try:
+                resolved = self._submit_shard(shard_frames, preference)
+            except BaseException as exc:  # noqa: BLE001 - park per shard
+                resolved = [
+                    _ResolvedExchange(None, exc) for _ in shard_frames
+                ]
+            for index, exchange in zip(indices, resolved):
+                exchanges[index] = exchange
+        return exchanges
+
+    def _admitted_states(self, limit: int) -> list[_EndpointState]:
+        """Up to *limit* endpoints whose breakers admit traffic right now."""
+        admitted: list[_EndpointState] = []
+        for state in self._rotation():
+            if len(admitted) >= limit:
                 break
+            try:
+                state.breaker.allow()
+            except CircuitOpenError:
+                continue
+            admitted.append(state)
+        return admitted
+
+    def _submit_shard(
+        self, frames: list[bytes], states: list[_EndpointState]
+    ) -> list[Any]:
+        """Submit one batch to the first workable endpoint in *states*."""
+        last_error: BaseException | None = None
+        for attempt, state in enumerate(states):
+            if attempt:
+                # Failover target: re-check the breaker (the preferred
+                # endpoint consumed its admission when the shard was cut).
+                try:
+                    state.breaker.allow()
+                except CircuitOpenError:
+                    continue
             transport = state.transport()
             submit = getattr(transport, "submit_many", None)
             if submit is None:

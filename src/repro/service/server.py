@@ -276,6 +276,46 @@ class GalleryService:
             return wire.encode_response(
                 wire.error_response(exc, request_id), dialect
             )
+        return self._handle_request(request)
+
+    def handle_frame_stream(
+        self, data: bytes, chunk_size: int = wire.DEFAULT_CHUNK_SIZE
+    ) -> wire.ResponseStream:
+        """Stream-aware variant of :meth:`handle_frame`.
+
+        Large binary-dialect responses come back as a chunk sequence so the
+        server never materializes more than *chunk_size* of encoded body per
+        in-flight response.  Everything that must stay a single frame does:
+        JSON-dialect requests, undecodable frames, and deduplicated
+        mutations (the dedup cache stores replayable single-frame bytes).
+        """
+        try:
+            request = wire.decode_request(data)
+        except Exception as exc:  # noqa: BLE001
+            request_id, dialect = wire.recover_request_id(data)
+            frame = wire.encode_response(
+                wire.error_response(exc, request_id), dialect
+            )
+            return wire.ResponseStream(single=frame, request_id=request_id)
+        if (
+            request.dialect != wire.DIALECT_BINARY
+            or chunk_size <= 0
+            or (
+                request.client_id
+                and request.request_id
+                and request.method in MUTATING_METHODS
+            )
+        ):
+            return wire.ResponseStream(
+                single=self._handle_request(request),
+                request_id=request.request_id,
+            )
+        response = self.dispatch(request)
+        return wire.encode_response_stream(
+            response, request.dialect, chunk_size=chunk_size
+        )
+
+    def _handle_request(self, request: wire.Request) -> bytes:
         dedup_key: tuple[str, int] | None = None
         if (
             request.client_id

@@ -140,10 +140,50 @@ class _Connection:
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.inbuf = bytearray()
-        self.out: deque[memoryview] = deque()
+        self.out: "deque[memoryview | _StreamOut]" = deque()
         self.events = 0  # currently registered selector interest (0 = none)
         self.read_closed = False
         self.in_flight = 0  # frames dispatched to workers, response pending
+
+
+class _StreamOut:
+    """A ``conn.out`` entry that yields one encoded chunk frame at a time.
+
+    The server-side memory bound lives here: the next chunk frame is only
+    materialized after the previous one has been fully written to the
+    socket, so a multi-MB response never occupies more than ~chunk_size of
+    encoded body.  An exception raised by the underlying iterator turns
+    into an abort frame so the client's reassembler surfaces a typed error
+    instead of hanging on a forever-incomplete response.
+    """
+
+    __slots__ = ("_frames", "_request_id", "buf", "_done")
+
+    def __init__(self, stream: wire.ResponseStream) -> None:
+        self._frames = iter(stream)
+        self._request_id = stream.request_id
+        self.buf: memoryview | None = None
+        self._done = False
+
+    def current(self) -> memoryview | None:
+        """The in-progress chunk frame, pulling the next one if needed."""
+        if self.buf is not None:
+            return self.buf
+        if self._done:
+            return None
+        try:
+            frame = next(self._frames)
+        except StopIteration:
+            self._done = True
+            return None
+        except Exception as exc:  # noqa: BLE001 - producer failed mid-stream
+            self._done = True
+            self.buf = memoryview(
+                wire.encode_response_abort(exc, self._request_id)
+            )
+            return self.buf
+        self.buf = memoryview(frame)
+        return self.buf
 
 
 class _EventLoopCore:
@@ -154,9 +194,14 @@ class _EventLoopCore:
     """
 
     def __init__(
-        self, address: tuple[str, int], service: GalleryService, workers: int
+        self,
+        address: tuple[str, int],
+        service: GalleryService,
+        workers: int,
+        chunk_size: int = wire.DEFAULT_CHUNK_SIZE,
     ) -> None:
         self._service = service
+        self._chunk_size = chunk_size
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -172,7 +217,9 @@ class _EventLoopCore:
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
-        self._completed: deque[tuple[_Connection, bytes]] = deque()
+        self._completed: deque[
+            tuple[_Connection, "bytes | wire.ResponseStream"]
+        ] = deque()
         self._conns: dict[socket.socket, _Connection] = {}
         self._stopping = False
         self.pool = _WorkerPool(workers)
@@ -189,7 +236,9 @@ class _EventLoopCore:
         self._stopping = True
         self.wake()
 
-    def _complete(self, conn: _Connection, response: bytes) -> None:
+    def _complete(
+        self, conn: _Connection, response: "bytes | wire.ResponseStream"
+    ) -> None:
         """Worker thread: hand a finished response back to the loop."""
         self._completed.append((conn, response))
         self.wake()
@@ -248,7 +297,7 @@ class _EventLoopCore:
             pass
 
     def _drain_completed(self) -> None:
-        per_conn: dict[_Connection, list[bytes]] = {}
+        per_conn: dict[_Connection, list["bytes | wire.ResponseStream"]] = {}
         while True:
             try:
                 conn, response = self._completed.popleft()
@@ -259,9 +308,26 @@ class _EventLoopCore:
             conn.in_flight -= len(responses)
             if conn.sock not in self._conns:
                 continue  # connection died while the worker was busy
-            # Coalesce: one buffer, one send for a burst of pipelined
-            # responses instead of a syscall per frame.
-            conn.out.append(memoryview(b"".join(responses)))
+            # Coalesce single frames: one buffer, one send for a burst of
+            # pipelined responses instead of a syscall per frame.  Chunked
+            # streams stay lazy — they enter the queue as _StreamOut and
+            # materialize one chunk at a time as the socket drains.
+            batch: list[bytes] = []
+            for item in responses:
+                single: bytes | None
+                if isinstance(item, wire.ResponseStream):
+                    single = item.single
+                else:
+                    single = item
+                if single is not None:
+                    batch.append(single)
+                    continue
+                if batch:
+                    conn.out.append(memoryview(b"".join(batch)))
+                    batch = []
+                conn.out.append(_StreamOut(item))  # type: ignore[arg-type]
+            if batch:
+                conn.out.append(memoryview(b"".join(batch)))
             self._flush(conn)
 
     def _readable(self, conn: _Connection) -> None:
@@ -312,8 +378,11 @@ class _EventLoopCore:
     def _process(self, conn: _Connection, frame: bytes) -> None:
         """Worker thread: run one frame; a response ALWAYS comes back so
         the connection's in-flight accounting can never leak."""
+        response: bytes | wire.ResponseStream
         try:
-            response = self._service.handle_frame(frame)
+            response = self._service.handle_frame_stream(
+                frame, self._chunk_size
+            )
         except Exception as exc:  # noqa: BLE001 - dispatcher isolation
             logger.exception("handle_frame raised; answering with an error")
             response = wire.encode_response(wire.error_response(exc))
@@ -326,7 +395,14 @@ class _EventLoopCore:
 
     def _flush(self, conn: _Connection) -> None:
         while conn.out:
-            buf = conn.out[0]
+            head = conn.out[0]
+            if isinstance(head, _StreamOut):
+                buf = head.current()
+                if buf is None:  # stream exhausted
+                    conn.out.popleft()
+                    continue
+            else:
+                buf = head
             try:
                 sent = conn.sock.send(buf)
             except (BlockingIOError, InterruptedError):
@@ -335,9 +411,16 @@ class _EventLoopCore:
                 self._close_conn(conn)
                 return
             if sent < len(buf):
-                conn.out[0] = buf[sent:]
+                remaining = buf[sent:]
+                if isinstance(head, _StreamOut):
+                    head.buf = remaining
+                else:
+                    conn.out[0] = remaining
                 break
-            conn.out.popleft()
+            if isinstance(head, _StreamOut):
+                head.buf = None  # chunk fully written; pull the next lazily
+            else:
+                conn.out.popleft()
         self._update_interest(conn)
         self._maybe_close(conn)
 
@@ -398,12 +481,13 @@ class GalleryTcpServer:
     """Serves a :class:`GalleryService` on a TCP port via an event loop.
 
     One daemon thread runs the non-blocking accept/read/write loop; a
-    bounded pool of daemon workers executes ``service.handle_frame``.
+    bounded pool of daemon workers executes ``service.handle_frame_stream``.
     Idle connections cost a selector entry, not a thread, and responses
     are written back (coalesced) as workers finish — possibly out of
-    request order, which pipelined clients resolve by request_id.
-    Stateless by construction: all state lives behind the dispatched
-    service.
+    request order, which pipelined clients resolve by request_id.  Large
+    binary-dialect responses are streamed as *chunk_size* chunk frames so
+    a multi-MB blob never sits fully encoded in server memory.  Stateless
+    by construction: all state lives behind the dispatched service.
     """
 
     def __init__(
@@ -412,8 +496,11 @@ class GalleryTcpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 16,
+        chunk_size: int = wire.DEFAULT_CHUNK_SIZE,
     ) -> None:
-        self._core = _EventLoopCore((host, port), service, workers)
+        self._core = _EventLoopCore(
+            (host, port), service, workers, chunk_size=chunk_size
+        )
         self._thread: threading.Thread | None = None
         #: outcome of the last stop(): False when the loop or a worker had
         #: to be abandoned past its join timeout.
@@ -653,10 +740,14 @@ class TcpTransport:
 
     def _exchange(self, sock: socket.socket, data: bytes) -> bytes:
         sock.sendall(data)
-        frame = read_frame(sock)
-        if frame is None:
-            raise ConnectionResetError("server closed the connection")
-        return frame
+        reassembler = wire.ChunkReassembler()
+        while True:
+            frame = read_frame(sock)
+            if frame is None:
+                raise ConnectionResetError("server closed the connection")
+            complete = reassembler.feed(frame)
+            if complete is not None:
+                return complete
 
     def __call__(self, data: bytes) -> bytes:
         reused = self._sock is not None
@@ -812,6 +903,10 @@ class PipelinedTcpTransport:
 
     def _read_loop(self, sock: socket.socket, generation: int) -> None:
         buf = bytearray()
+        # Chunked responses for different request_ids may interleave on the
+        # wire; the reassembler tracks each id independently and hands back
+        # one complete response frame at a time.
+        reassembler = wire.ChunkReassembler()
         try:
             while True:
                 while len(buf) >= _LENGTH.size:
@@ -825,7 +920,9 @@ class PipelinedTcpTransport:
                         break
                     frame = bytes(buf[:total])
                     del buf[:total]
-                    self._dispatch_response(generation, frame)
+                    complete = reassembler.feed(frame)
+                    if complete is not None:
+                        self._dispatch_response(generation, complete)
                 chunk = sock.recv(_RECV_CHUNK)
                 if not chunk:
                     raise ConnectionResetError("server closed the connection")
@@ -958,6 +1055,32 @@ class PipelinedTcpTransport:
         self.close()
 
 
+class _PooledExchange:
+    """A pre-resolved pipeline handle: :meth:`ConnectionPool.submit_many`
+    finishes every call before returning, so ``wait`` never blocks."""
+
+    __slots__ = ("_frame", "_error")
+
+    def __init__(self) -> None:
+        self._frame: bytes | None = None
+        self._error: BaseException | None = None
+
+    def resolve(self, frame: bytes) -> None:
+        self._frame = frame
+
+    def fail(self, exc: BaseException) -> None:
+        self._error = exc
+
+    def wait(self, timeout: float | None = None) -> bytes:
+        if self._error is not None:
+            raise self._error
+        assert self._frame is not None
+        return self._frame
+
+    def done(self) -> bool:
+        return self._frame is not None or self._error is not None
+
+
 class ConnectionPool:
     """A thread-safe pool of serial transports.
 
@@ -968,6 +1091,10 @@ class ConnectionPool:
     dials a fresh connection).  ``transport_factory`` lets tests wrap each
     pooled transport (e.g. in a chaos
     :class:`~repro.reliability.faults.FaultyTransport`).
+
+    ``submit_many`` gives :class:`~repro.service.client.ClientPipeline`
+    something better than one-frame-at-a-time: the batch is sharded
+    round-robin across up to *size* concurrent connections.
     """
 
     def __init__(
@@ -1008,6 +1135,40 @@ class ConnectionPool:
             raise
         self._slots.put(transport)
         return result
+
+    def submit_many(self, frames: list[bytes]) -> list[_PooledExchange]:
+        """Spread one batch across the pool's connections.
+
+        Frames shard round-robin over up to ``min(size, len(frames))``
+        worker threads, each draining its shard through the pool's normal
+        checkout/recycle path (so a transport that fails mid-shard is
+        closed and replaced, not reused).  Per-frame failures park in
+        their own handle; every handle is resolved on return.
+        """
+        if not frames:
+            return []
+        handles = [_PooledExchange() for _ in frames]
+        workers = min(self.size, len(frames))
+
+        def run(worker: int) -> None:
+            for index in range(worker, len(frames), workers):
+                try:
+                    handles[index].resolve(self(frames[index]))
+                except BaseException as exc:  # noqa: BLE001 - park per frame
+                    handles[index].fail(exc)
+
+        threads = [
+            threading.Thread(
+                target=run, args=(worker,), name="gallery-pool-flush"
+            )
+            for worker in range(1, workers)
+        ]
+        for thread in threads:
+            thread.start()
+        run(0)
+        for thread in threads:
+            thread.join()
+        return handles
 
     def close(self) -> None:
         drained = 0

@@ -46,11 +46,23 @@ BINARY_VERSION = 0x01
 
 _MSG_REQUEST = 0x00
 _MSG_RESPONSE = 0x01
+_MSG_RESPONSE_CHUNK = 0x02
+_MSG_RESPONSE_ABORT = 0x03
 
 #: version u8 | msgtype u8 | request_id u64 — the request id sits at a
 #: fixed offset so pipelined transports can correlate frames without a
 #: full decode.
 _BIN_HEADER = struct.Struct(">BBQ")
+
+#: Chunk frames extend the header with the total reassembled body length
+#: and this chunk's offset into it: version u8 | msgtype u8 | request_id
+#: u64 | total_len u64 | offset u64.  The first chunk's total_len lets the
+#: receiver preallocate the whole reassembly buffer up front.
+_CHUNK_HEADER = struct.Struct(">BBQQQ")
+
+#: Default streaming chunk size: responses whose encoded body exceeds this
+#: are shipped as a sequence of chunk frames instead of one big frame.
+DEFAULT_CHUNK_SIZE = 256 * 1024
 
 # Value type tags (binary dialect).
 _T_NULL = 0x00
@@ -63,13 +75,29 @@ _T_BYTES = 0x06
 _T_LIST = 0x07
 _T_MAP = 0x08
 _T_BIGINT = 0x09  # ints beyond i64, as length-prefixed decimal text
+_T_JSON = 0x0A  # a blob-free subtree as length-prefixed UTF-8 JSON
 
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 _U32 = struct.Struct(">I")
 _U16 = struct.Struct(">H")
+_TAG_I64 = struct.Struct(">Bq")
+_TAG_F64 = struct.Struct(">Bd")
+_TAG_U32 = struct.Struct(">BI")
 _I64_MIN = -(2**63)
 _I64_MAX = 2**63 - 1
+
+#: bytes payloads at least this large are carried by reference through the
+#: writer instead of being copied into its buffer (one copy total, at frame
+#: assembly — or zero when the frame is streamed as chunks).
+_INLINE_LIMIT = 4096
+
+#: The document fast path serializes blob-free subtrees with the stdlib's
+#: C-accelerated JSON encoder.  One prebuilt encoder, not json.dumps —
+#: dumps constructs a fresh encoder per call.
+_JSON_ENCODER = json.JSONEncoder(separators=(",", ":"))
+_json_encode = _JSON_ENCODER.encode
+_json_loads = json.loads
 
 
 
@@ -284,13 +312,18 @@ def peek_request_id(data: bytes) -> int:
 
 
 def peek_response_request_id(data: bytes) -> int:
-    """The request_id an encoded response frame answers (cheap for binary)."""
+    """The request_id an encoded response frame answers (cheap for binary).
+
+    Accepts anything that carries a response: plain response frames, chunk
+    frames, and abort frames — all three put the request id at the same
+    fixed header offset.
+    """
     body = _split_frame(data)
     if body[0] == BINARY_VERSION:
         if len(body) < _BIN_HEADER.size:
             raise WireFormatError("binary frame shorter than its header")
         _, msgtype, request_id = _BIN_HEADER.unpack_from(body)
-        if msgtype != _MSG_RESPONSE:
+        if msgtype not in (_MSG_RESPONSE, _MSG_RESPONSE_CHUNK, _MSG_RESPONSE_ABORT):
             raise WireFormatError("frame is not a response")
         return request_id
     return decode_response(data).request_id
@@ -334,48 +367,171 @@ def _parse_json(body: memoryview) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def _encode_value(value: Any, out: list[bytes]) -> None:
-    """Append the tagged encoding of *value* to *out* (list of chunks).
+class _Writer:
+    """Zero-copy-minded frame writer for the binary dialect.
 
-    Chunks are joined once at frame assembly, so a multi-megabyte blob is
-    appended by reference and copied exactly once.
+    Small values pack straight into one growing ``bytearray`` with
+    ``pack_into`` — no per-value ``bytes`` objects, no intermediate
+    concatenation (the PR-3 encoder built every tag + length + payload as a
+    fresh ``bytes``, an allocation storm on document-heavy responses).
+    Payloads of :data:`_INLINE_LIMIT` bytes or more are carried *by
+    reference*: the filled prefix of the buffer is sealed into the parts
+    list as a ``memoryview`` and the payload object itself follows it, so a
+    multi-megabyte blob is copied at most once (into the assembled frame)
+    and not at all when the response is streamed as chunks.
     """
-    if value is None:
-        out.append(b"\x00")
-    elif value is True:
-        out.append(b"\x01")
-    elif value is False:
-        out.append(b"\x02")
-    elif type(value) is int or (isinstance(value, int) and not isinstance(value, bool)):
+
+    __slots__ = ("_buf", "_pos", "_parts")
+
+    def __init__(self, initial: int = 512) -> None:
+        self._buf = bytearray(initial)
+        self._pos = 0
+        self._parts: list[Any] = []
+
+    def _grow(self, need: int) -> None:
+        target = self._pos + need
+        size = len(self._buf)
+        if target > size:
+            self._buf.extend(bytes(max(target - size, size)))
+
+    def pack(self, fmt: struct.Struct, *values: Any) -> None:
+        self._grow(fmt.size)
+        fmt.pack_into(self._buf, self._pos, *values)
+        self._pos += fmt.size
+
+    def u8(self, value: int) -> None:
+        self._grow(1)
+        self._buf[self._pos] = value
+        self._pos += 1
+
+    def raw_small(self, data: bytes) -> None:
+        count = len(data)
+        self._grow(count)
+        self._buf[self._pos:self._pos + count] = data
+        self._pos += count
+
+    def raw(self, data: bytes) -> None:
+        """Append a payload; large ones ride by reference, uncopied."""
+        if len(data) >= _INLINE_LIMIT:
+            self._seal()
+            self._parts.append(data)
+        else:
+            self.raw_small(data)
+
+    def _seal(self) -> None:
+        if self._pos:
+            # The sealed prefix is never mutated again: the writer moves to
+            # a fresh buffer, so exposing it as a memoryview is safe.
+            self._parts.append(memoryview(self._buf)[:self._pos])
+            self._buf = bytearray(512)
+            self._pos = 0
+
+    def parts(self) -> list[Any]:
+        """The frame body as an ordered list of buffers (no join yet)."""
+        self._seal()
+        return self._parts
+
+
+def _encode_document(value: Any, writer: _Writer) -> bool:
+    """Try the embedded-JSON fast path for a blob-free subtree.
+
+    Documents (modelQuery results, instance/metric dicts) are exactly the
+    payloads the stdlib's C JSON encoder serializes fastest; wrapping that
+    output in a single :data:`_T_JSON` value beats walking the tree in
+    Python by a wide margin.  Subtrees carrying ``bytes`` (or anything else
+    JSON cannot express) report False and fall back to the tagged walk —
+    note the fast path inherits JSON's key semantics (int keys coerce to
+    strings), matching what the JSON dialect has always done.
+    """
+    if type(value) is not dict and type(value) is not list:
+        return False
+    try:
+        text = _json_encode(value).encode("utf-8")
+    except (TypeError, ValueError):
+        return False
+    writer.pack(_TAG_U32, _T_JSON, len(text))
+    writer.raw(text)
+    return True
+
+
+def _encode_value(value: Any, writer: _Writer) -> None:
+    """Write the tagged encoding of *value* into *writer*."""
+    tp = type(value)
+    if tp is str:
+        encoded = value.encode("utf-8")
+        writer.pack(_TAG_U32, _T_STR, len(encoded))
+        writer.raw(encoded)
+    elif tp is bool:
+        writer.u8(_T_TRUE if value else _T_FALSE)
+    elif tp is int:
         if _I64_MIN <= value <= _I64_MAX:
-            out.append(b"\x03" + _I64.pack(value))
+            writer.pack(_TAG_I64, _T_I64, value)
         else:
             text = str(value).encode("ascii")
-            out.append(b"\x09" + _U32.pack(len(text)) + text)
-    elif isinstance(value, float):
-        out.append(b"\x04" + _F64.pack(value))
-    elif isinstance(value, str):
-        encoded = value.encode("utf-8")
-        out.append(b"\x05" + _U32.pack(len(encoded)))
-        out.append(encoded)
-    elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
-        out.append(b"\x06" + _U32.pack(len(raw)))
-        out.append(raw)
-    elif isinstance(value, (list, tuple)):
-        out.append(b"\x07" + _U32.pack(len(value)))
-        for item in value:
-            _encode_value(item, out)
-    elif isinstance(value, dict):
-        out.append(b"\x08" + _U32.pack(len(value)))
+            writer.pack(_TAG_U32, _T_BIGINT, len(text))
+            writer.raw(text)
+    elif value is None:
+        writer.u8(_T_NULL)
+    elif tp is float:
+        writer.pack(_TAG_F64, _T_F64, value)
+    elif tp is bytes:
+        writer.pack(_TAG_U32, _T_BYTES, len(value))
+        writer.raw(value)
+    elif tp is dict:
+        writer.pack(_TAG_U32, _T_MAP, len(value))
         for key, item in value.items():
             if not isinstance(key, str):
                 raise WireFormatError(
                     f"map keys must be strings, got {type(key).__name__}"
                 )
             encoded = key.encode("utf-8")
-            out.append(_U32.pack(len(encoded)) + encoded)
-            _encode_value(item, out)
+            writer.pack(_U32, len(encoded))
+            writer.raw(encoded)
+            _encode_value(item, writer)
+    elif tp is list or tp is tuple:
+        writer.pack(_TAG_U32, _T_LIST, len(value))
+        for item in value:
+            _encode_value(item, writer)
+    else:
+        _encode_value_other(value, writer)
+
+
+def _encode_value_other(value: Any, writer: _Writer) -> None:
+    """Subclasses and buffer types the exact-type fast checks skipped."""
+    if isinstance(value, bool):
+        writer.u8(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            writer.pack(_TAG_I64, _T_I64, int(value))
+        else:
+            text = str(int(value)).encode("ascii")
+            writer.pack(_TAG_U32, _T_BIGINT, len(text))
+            writer.raw(text)
+    elif isinstance(value, float):
+        writer.pack(_TAG_F64, _T_F64, float(value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        writer.pack(_TAG_U32, _T_STR, len(encoded))
+        writer.raw(encoded)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        writer.pack(_TAG_U32, _T_BYTES, len(raw))
+        writer.raw(raw)
+    elif isinstance(value, (list, tuple)):
+        writer.pack(_TAG_U32, _T_LIST, len(value))
+        for item in value:
+            _encode_value(item, writer)
+    elif isinstance(value, dict):
+        writer.pack(_TAG_U32, _T_MAP, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireFormatError(
+                    f"map keys must be strings, got {type(key).__name__}"
+                )
+            encoded = key.encode("utf-8")
+            writer.pack(_U32, len(encoded))
+            writer.raw(encoded)
+            _encode_value(item, writer)
     else:
         raise WireFormatError(
             f"value of type {type(value).__name__} is not wire-encodable"
@@ -464,11 +620,20 @@ def _decode_value(cur: _Cursor) -> Any:
             return int(text.decode("ascii"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise WireFormatError(f"invalid bigint payload: {exc}") from exc
+    if tag == _T_JSON:
+        (length,) = cur.unpack(_U32)
+        raw = cur.take(length)
+        try:
+            # Decoding to str first skips json.loads' bytes sniffing
+            # (detect_encoding + surrogatepass) — measurably faster.
+            return _json_loads(bytes(raw).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireFormatError(f"invalid embedded JSON: {exc}") from exc
     raise WireFormatError(f"unknown value tag 0x{tag:02x}")
 
 
-def _assemble(chunks: list[bytes]) -> bytes:
-    payload_len = sum(len(chunk) for chunk in chunks)
+def _assemble(chunks: list[Any]) -> bytes:
+    payload_len = sum(map(len, chunks))
     return b"".join([_LENGTH.pack(payload_len), *chunks])
 
 
@@ -477,15 +642,15 @@ def _encode_request_binary(request: Request) -> bytes:
     client_id = request.client_id.encode("utf-8")
     if request.request_id < 0 or request.request_id > 2**64 - 1:
         raise WireFormatError("request_id out of range for the binary dialect")
-    chunks = [
-        _BIN_HEADER.pack(BINARY_VERSION, _MSG_REQUEST, request.request_id),
-        _U16.pack(len(method)),
-        method,
-        _U16.pack(len(client_id)),
-        client_id,
-    ]
-    _encode_value(request.params, chunks)
-    return _assemble(chunks)
+    writer = _Writer()
+    writer.pack(_BIN_HEADER, BINARY_VERSION, _MSG_REQUEST, request.request_id)
+    writer.pack(_U16, len(method))
+    writer.raw_small(method)
+    writer.pack(_U16, len(client_id))
+    writer.raw_small(client_id)
+    if not _encode_document(request.params, writer):
+        _encode_value(request.params, writer)
+    return _assemble(writer.parts())
 
 
 def _decode_request_binary(body: memoryview) -> Request:
@@ -511,25 +676,92 @@ def _decode_request_binary(body: memoryview) -> Request:
     )
 
 
-def _encode_response_binary(response: Response) -> bytes:
+def _encode_response_binary_parts(response: Response) -> list[Any]:
+    """The encoded response body as an ordered list of buffers.
+
+    Splitting body assembly from frame assembly is what chunked streaming
+    rides on: a blob response's parts are a small packed head plus the blob
+    object *by reference*, so the server can slice chunk frames out of the
+    logical body without ever materializing it.
+    """
     error_type = response.error_type.encode("utf-8")
     error_message = response.error_message.encode("utf-8")
     request_id = response.request_id
     if request_id < 0 or request_id > 2**64 - 1:
         raise WireFormatError("request_id out of range for the binary dialect")
-    chunks = [
-        _BIN_HEADER.pack(BINARY_VERSION, _MSG_RESPONSE, request_id),
-        b"\x01" if response.ok else b"\x00",
-        _U16.pack(len(error_type)),
-        error_type,
-        _U32.pack(len(error_message)),
-        error_message,
-    ]
-    _encode_value(response.result, chunks)
-    return _assemble(chunks)
+    result = response.result
+    if type(result) is dict or type(result) is list:
+        # Document fast path: one C-accelerated JSON encode of the result,
+        # head assembled in a single join (measured faster than incremental
+        # writes for this fixed small layout).
+        try:
+            text = _json_encode(result).encode("utf-8")
+        except (TypeError, ValueError):
+            text = None  # bytes (or other non-JSON) inside: tagged walk
+        if text is not None:
+            if response.ok and not error_type and not error_message:
+                head = (
+                    _BIN_HEADER.pack(BINARY_VERSION, _MSG_RESPONSE, request_id)
+                    + _OK_NO_ERROR
+                    + _TAG_U32.pack(_T_JSON, len(text))
+                )
+            else:
+                head = b"".join(
+                    (
+                        _BIN_HEADER.pack(BINARY_VERSION, _MSG_RESPONSE, request_id),
+                        b"\x01" if response.ok else b"\x00",
+                        _U16.pack(len(error_type)),
+                        error_type,
+                        _U32.pack(len(error_message)),
+                        error_message,
+                        _TAG_U32.pack(_T_JSON, len(text)),
+                    )
+                )
+            return [head, text]
+    writer = _Writer()
+    writer.pack(_BIN_HEADER, BINARY_VERSION, _MSG_RESPONSE, request_id)
+    writer.u8(1 if response.ok else 0)
+    writer.pack(_U16, len(error_type))
+    writer.raw_small(error_type)
+    writer.pack(_U32, len(error_message))
+    writer.raw_small(error_message)
+    _encode_value(result, writer)
+    return writer.parts()
+
+
+def _encode_response_binary(response: Response) -> bytes:
+    return _assemble(_encode_response_binary_parts(response))
+
+
+#: ok=1 plus empty error_type (u16) and error_message (u32) — the fixed
+#: middle section of every successful binary response.
+_OK_NO_ERROR = b"\x01\x00\x00\x00\x00\x00\x00"
+_FAST_RESULT_AT = _BIN_HEADER.size + len(_OK_NO_ERROR)  # tag byte offset
 
 
 def _decode_response_binary(body: memoryview) -> Response:
+    # Fast path for the dominant shape — a successful response whose result
+    # is one embedded-JSON document: fixed-offset compares, one u32, one
+    # slice into the C JSON parser.  Anything else (errors, tagged values,
+    # malformed bytes) falls through to the total bounds-checked decoder.
+    if (
+        len(body) >= _FAST_RESULT_AT + 5
+        and body[1] == _MSG_RESPONSE
+        and body[_FAST_RESULT_AT] == _T_JSON
+        and body[_BIN_HEADER.size:_FAST_RESULT_AT] == _OK_NO_ERROR
+    ):
+        (length,) = _U32.unpack_from(body, _FAST_RESULT_AT + 1)
+        start = _FAST_RESULT_AT + 5
+        if start + length == len(body):
+            try:
+                result = _json_loads(bytes(body[start:]).decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise WireFormatError(f"invalid embedded JSON: {exc}") from exc
+            return Response(
+                ok=True,
+                result=result,
+                request_id=_BIN_HEADER.unpack_from(body)[2],
+            )
     cur = _Cursor(body)
     version, msgtype, request_id = cur.unpack(_BIN_HEADER)
     if version != BINARY_VERSION:
@@ -551,6 +783,243 @@ def _decode_response_binary(body: memoryview) -> Response:
         error_message=error_message,
         request_id=request_id,
     )
+
+
+# ---------------------------------------------------------------------------
+# Chunked response streaming
+# ---------------------------------------------------------------------------
+
+#: Ceiling for one reassembled chunked response — same bound the TCP layer
+#: enforces per frame, applied here to the *logical* body so a bogus
+#: total_len cannot trigger a multi-gigabyte preallocation.
+MAX_REASSEMBLED_BYTES = 256 * 1024 * 1024
+
+
+def _chunk_frame(
+    request_id: int, total: int, offset: int, payload: list[Any], count: int
+) -> bytes:
+    head = _LENGTH.pack(_CHUNK_HEADER.size + count) + _CHUNK_HEADER.pack(
+        BINARY_VERSION, _MSG_RESPONSE_CHUNK, request_id, total, offset
+    )
+    return b"".join([head, *payload])
+
+
+def _iter_chunk_frames(
+    parts: list[Any], total: int, request_id: int, chunk_size: int
+):
+    """Yield chunk frames over the logical concatenation of *parts*.
+
+    Only one chunk's worth of body is materialized at a time; everything
+    else stays as memoryview slices of the original part buffers.
+    """
+    offset = 0
+    pending: list[Any] = []
+    pending_len = 0
+    for part in parts:
+        view = memoryview(part)
+        while len(view) > 0:
+            take = min(chunk_size - pending_len, len(view))
+            pending.append(view[:take])
+            pending_len += take
+            view = view[take:]
+            if pending_len == chunk_size:
+                yield _chunk_frame(request_id, total, offset, pending, pending_len)
+                offset += pending_len
+                pending = []
+                pending_len = 0
+    if pending_len:
+        yield _chunk_frame(request_id, total, offset, pending, pending_len)
+
+
+class ResponseStream:
+    """One encoded response: a single frame, or a bounded chunk sequence.
+
+    ``single`` holds the complete frame when the response fits in (or must
+    ship as) one frame; otherwise it is ``None`` and iterating the stream
+    yields chunk frames one at a time — the producer never holds more than
+    one ``chunk_size`` slice of encoded body at once, which is the
+    server-side memory bound chunked streaming exists for.
+    """
+
+    __slots__ = ("single", "request_id", "total", "_parts", "_chunk_size")
+
+    def __init__(
+        self,
+        *,
+        single: bytes | None = None,
+        request_id: int = 0,
+        parts: list[Any] | None = None,
+        total: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.single = single
+        self.request_id = request_id
+        self.total = total
+        self._parts = parts
+        self._chunk_size = chunk_size
+
+    def __iter__(self):
+        if self.single is not None:
+            return iter((self.single,))
+        assert self._parts is not None
+        return _iter_chunk_frames(
+            self._parts, self.total, self.request_id, self._chunk_size
+        )
+
+
+def encode_response_stream(
+    response: Response,
+    dialect: str = DIALECT_JSON,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ResponseStream:
+    """Encode a response for streaming delivery.
+
+    Binary-dialect responses whose encoded body exceeds *chunk_size* come
+    back as a chunk sequence; everything else — small responses, any JSON
+    response, ``chunk_size <= 0`` — is a single frame, which is also the
+    transparent fallback for pre-streaming clients (they only ever see
+    chunk frames if they sent a binary request to a streaming server, and
+    every binary client in this codebase reassembles them).
+    """
+    if dialect != DIALECT_BINARY:
+        return ResponseStream(
+            single=encode_response(response, dialect),
+            request_id=response.request_id,
+        )
+    parts = _encode_response_binary_parts(response)
+    total = sum(map(len, parts))
+    if chunk_size <= 0 or total <= chunk_size:
+        return ResponseStream(
+            single=_assemble(parts), request_id=response.request_id, total=total
+        )
+    return ResponseStream(
+        request_id=response.request_id,
+        parts=parts,
+        total=total,
+        chunk_size=chunk_size,
+    )
+
+
+def encode_response_abort(exc: Exception, request_id: int) -> bytes:
+    """An abort frame: a mid-stream failure, typed like a wire error.
+
+    Sent after one or more chunk frames when the remainder of a chunked
+    response cannot be produced; the receiver discards its partial
+    reassembly and surfaces the carried error instead of hanging.
+    """
+    error_type = type(exc).__name__.encode("utf-8")
+    error_message = str(exc).encode("utf-8")
+    writer = _Writer()
+    writer.pack(_BIN_HEADER, BINARY_VERSION, _MSG_RESPONSE_ABORT, request_id)
+    writer.pack(_U16, len(error_type))
+    writer.raw_small(error_type)
+    writer.pack(_U32, len(error_message))
+    writer.raw_small(error_message)
+    return _assemble(writer.parts())
+
+
+class ChunkReassembler:
+    """Client-side reassembly of chunked responses, per request id.
+
+    ``feed`` takes one frame off the wire and returns a complete response
+    frame when one is available, else ``None``:
+
+    * plain response frames (either dialect) pass straight through;
+    * chunk frames accumulate into a buffer preallocated from the first
+      chunk's total_len — offsets must arrive in order, the payload lands
+      via one slice assignment per chunk;
+    * an abort frame discards the partial body and comes back as a
+      synthesized binary error response, so callers surface a typed wire
+      error through the normal decode path instead of hanging.
+
+    Anything malformed — mid-stream start, out-of-order offset, total
+    mismatch, overrun, oversized or empty chunks — raises
+    :class:`WireFormatError`: the stream is desynchronized and the
+    connection is beyond saving, exactly like a bad length prefix.
+    """
+
+    __slots__ = ("_partial",)
+
+    def __init__(self) -> None:
+        # request_id -> [buffer (length prefix preplaced), received bytes]
+        self._partial: dict[int, list[Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._partial)
+
+    def feed(self, frame: bytes) -> bytes | None:
+        body = _split_frame(frame)
+        if body[0] != BINARY_VERSION:
+            return frame  # JSON frames are always complete
+        if len(body) < _BIN_HEADER.size:
+            raise WireFormatError("binary frame shorter than its header")
+        _, msgtype, request_id = _BIN_HEADER.unpack_from(body)
+        if msgtype == _MSG_RESPONSE_CHUNK:
+            return self._feed_chunk(request_id, body)
+        if msgtype == _MSG_RESPONSE_ABORT:
+            return self._feed_abort(request_id, body)
+        return frame  # complete request/response frame: pass through
+
+    def _feed_abort(self, request_id: int, body: memoryview) -> bytes:
+        cur = _Cursor(body, _BIN_HEADER.size)
+        error_type = cur.text(_U16)
+        error_message = cur.text(_U32)
+        if not cur.done():
+            raise WireFormatError("trailing bytes after abort frame")
+        self._partial.pop(request_id, None)
+        return encode_response(
+            Response(
+                ok=False,
+                error_type=error_type,
+                error_message=error_message,
+                request_id=request_id,
+            ),
+            DIALECT_BINARY,
+        )
+
+    def _feed_chunk(self, request_id: int, body: memoryview) -> bytes | None:
+        if len(body) < _CHUNK_HEADER.size:
+            raise WireFormatError("chunk frame shorter than its header")
+        _, _, _, total, offset = _CHUNK_HEADER.unpack_from(body)
+        payload = body[_CHUNK_HEADER.size:]
+        if len(payload) == 0:
+            raise WireFormatError("empty chunk payload")
+        entry = self._partial.get(request_id)
+        if entry is None:
+            if offset != 0:
+                raise WireFormatError(
+                    f"chunked response for request {request_id} began at "
+                    f"offset {offset}, not 0"
+                )
+            if total == 0 or total > MAX_REASSEMBLED_BYTES:
+                raise WireFormatError(
+                    f"chunked response total of {total} bytes is out of range"
+                )
+            # Preplace the length prefix so completion is a single copy.
+            buffer = bytearray(_LENGTH.size + total)
+            buffer[:_LENGTH.size] = _LENGTH.pack(total)
+            entry = [buffer, 0]
+            self._partial[request_id] = entry
+        buffer, received = entry
+        total_expected = len(buffer) - _LENGTH.size
+        if total != total_expected:
+            raise WireFormatError(
+                f"chunk total changed mid-stream ({total_expected} -> {total})"
+            )
+        if offset != received:
+            raise WireFormatError(
+                f"out-of-order chunk for request {request_id}: expected "
+                f"offset {received}, got {offset}"
+            )
+        if offset + len(payload) > total_expected:
+            raise WireFormatError("chunk payload overruns the declared total")
+        start = _LENGTH.size + offset
+        buffer[start:start + len(payload)] = payload
+        entry[1] = received + len(payload)
+        if entry[1] == total_expected:
+            del self._partial[request_id]
+            return bytes(buffer)
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -110,6 +110,9 @@ class DataAccessLayer:
     def dedup_trim(self, capacity: int) -> int:
         return self._metadata.dedup_trim(capacity)
 
+    def dedup_trim_age(self, max_age: float, now: float | None = None) -> int:
+        return self._metadata.dedup_trim_age(max_age, now)
+
     def dedup_count(self) -> int:
         return self._metadata.dedup_count()
 
@@ -141,6 +144,11 @@ class DataAccessLayer:
 
     def dead_letters_trim(self, max_entries: int) -> int:
         return self._metadata.dead_letters_trim(max_entries)
+
+    def dead_letters_trim_age(
+        self, max_age: float, now: float | None = None
+    ) -> int:
+        return self._metadata.dead_letters_trim_age(max_age, now)
 
     def dead_letters_count(self) -> int:
         return self._metadata.dead_letters_count()

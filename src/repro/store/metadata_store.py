@@ -381,7 +381,8 @@ CREATE TABLE IF NOT EXISTS dead_letters (
     rule_uuid  TEXT NOT NULL,
     action     TEXT NOT NULL,
     error_type TEXT NOT NULL,
-    record     TEXT NOT NULL
+    record     TEXT NOT NULL,
+    created_at REAL NOT NULL DEFAULT 0
 );
 """
 
@@ -418,7 +419,28 @@ class SQLiteMetadataStore(MetadataStore):
         with self._write_lock:
             conn = self._connection()
             conn.executescript(_SCHEMA)
+            self._migrate(conn)
             conn.commit()
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring a pre-existing database file up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves old tables untouched, so
+        columns added after a table first shipped need a guarded ALTER.
+        Rows predating a migration keep the column default (``created_at
+        = 0``), which age-based trims deliberately skip — unknown age is
+        never grounds for deletion.
+        """
+        columns = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(dead_letters)")
+        }
+        if "created_at" not in columns:
+            conn.execute(
+                "ALTER TABLE dead_letters"
+                " ADD COLUMN created_at REAL NOT NULL DEFAULT 0"
+            )
 
     # -- connection management ----------------------------------------------
 
@@ -845,6 +867,27 @@ class SQLiteMetadataStore(MetadataStore):
                 conn.rollback()
                 raise MetadataStoreError(str(exc)) from exc
 
+    def dedup_trim_age(self, max_age: float, now: float | None = None) -> int:
+        """Evict completed entries older than *max_age* seconds.
+
+        Only ``done`` rows are eligible: a pending claim is owned by a
+        live (or about-to-be-taken-over) request and must not vanish.
+        """
+        now = time.time() if now is None else now
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                cursor = conn.execute(
+                    "DELETE FROM dedup_entries WHERE status = 'done'"
+                    " AND updated <= ?",
+                    (now - max_age,),
+                )
+                conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
     def dedup_count(self) -> int:
         rows = self._read(
             "SELECT COUNT(*) FROM dedup_entries WHERE status = 'done'"
@@ -860,8 +903,8 @@ class SQLiteMetadataStore(MetadataStore):
             try:
                 cursor = conn.execute(
                     "INSERT INTO dead_letters (rule_uuid, action, error_type,"
-                    " record) VALUES (?, ?, ?, ?)",
-                    (rule_uuid, action, error_type, record),
+                    " record, created_at) VALUES (?, ?, ?, ?, ?)",
+                    (rule_uuid, action, error_type, record, time.time()),
                 )
                 conn.commit()
                 return int(cursor.lastrowid)
@@ -942,6 +985,30 @@ class SQLiteMetadataStore(MetadataStore):
                     " SELECT letter_id FROM dead_letters"
                     " ORDER BY letter_id ASC LIMIT ?)",
                     (excess,),
+                )
+                conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def dead_letters_trim_age(
+        self, max_age: float, now: float | None = None
+    ) -> int:
+        """Evict letters older than *max_age* seconds; return count.
+
+        Letters written before the ``created_at`` column existed carry the
+        migration default of 0 and are never age-trimmed — an unknown age
+        is not an old age.
+        """
+        now = time.time() if now is None else now
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                cursor = conn.execute(
+                    "DELETE FROM dead_letters WHERE created_at > 0"
+                    " AND created_at <= ?",
+                    (now - max_age,),
                 )
                 conn.commit()
                 return cursor.rowcount

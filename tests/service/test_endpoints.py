@@ -422,6 +422,155 @@ class TestSubmitMany:
         assert transport.submit_many([]) == []
 
 
+class TestSubmitManySpread:
+    """PR 5: ``submit_many`` shards one batch across every healthy replica."""
+
+    @staticmethod
+    def _echo(address):
+        """Script replying with ``"<address>#<request_id>"``."""
+        def script(data):
+            request = wire.decode_request(data)
+            return ok_frame(f"{address}#{request.request_id}",
+                            request.request_id)
+        return script
+
+    def _pipelined_fleet(self, scripts):
+        class FakeExchange:
+            def __init__(self, frame):
+                self._frame = frame
+
+            def wait(self, timeout=None):
+                return self._frame
+
+            def done(self):
+                return True
+
+        class PipelinedFake(ScriptedTransport):
+            def submit_many(self, frames):
+                # Like the real pipelined transport: the whole batch is on
+                # the wire before any handle resolves, and a send failure
+                # raises out of submit_many itself.
+                return [FakeExchange(self(frame)) for frame in frames]
+
+        dialed = {address: [] for address in scripts}
+
+        def factory(endpoint):
+            transport = PipelinedFake(
+                endpoint.address, scripts[endpoint.address]
+            )
+            dialed[endpoint.address].append(transport)
+            return transport
+
+        def calls(address):
+            return sum(len(t.calls) for t in dialed[address])
+
+        return factory, calls
+
+    def three_endpoints(self):
+        return (Endpoint("a", 1), Endpoint("b", 2), Endpoint("c", 3))
+
+    def test_batch_spreads_over_all_replicas_and_reknits_in_order(self):
+        endpoints = self.three_endpoints()
+        factory, calls = self._pipelined_fleet(
+            {e.address: self._echo(e.address) for e in endpoints}
+        )
+        transport = FailoverTransport(
+            endpoints, policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+        )
+        frames = [read_frame(i) for i in range(1, 10)]
+        exchanges = transport.submit_many(frames)
+        results = [wire.decode_response(x.wait()).result for x in exchanges]
+        # Responses come back re-knit in request order even though shards
+        # landed on three different replicas...
+        assert [int(r.split("#")[1]) for r in results] == list(range(1, 10))
+        # ...and each replica really served a share of the batch.
+        for endpoint in endpoints:
+            assert calls(endpoint.address) == 3
+
+    def test_spread_batches_false_pins_batch_to_one_replica(self):
+        endpoints = self.three_endpoints()
+        factory, calls = self._pipelined_fleet(
+            {e.address: self._echo(e.address) for e in endpoints}
+        )
+        transport = FailoverTransport(
+            endpoints, policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+            spread_batches=False,
+        )
+        exchanges = transport.submit_many([read_frame(i) for i in range(1, 7)])
+        served = {
+            wire.decode_response(x.wait()).result.split("#")[0]
+            for x in exchanges
+        }
+        assert len(served) == 1  # whole batch pinned to a single replica
+        used = sum(1 for e in endpoints if calls(e.address) > 0)
+        assert used == 1
+
+    def test_dead_replica_shard_fails_over_and_order_survives(self):
+        endpoints = self.three_endpoints()
+
+        def dead(data):
+            raise ConnectionResetError("replica b is gone")
+
+        factory, calls = self._pipelined_fleet({
+            "a:1": self._echo("a:1"),
+            "b:2": dead,
+            "c:3": self._echo("c:3"),
+        })
+        transport = FailoverTransport(
+            endpoints, policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+        )
+        frames = [read_frame(i) for i in range(1, 10)]
+        exchanges = transport.submit_many(frames)
+        results = [wire.decode_response(x.wait()).result for x in exchanges]
+        # Every request answered by a healthy replica, still in order.
+        assert [int(r.split("#")[1]) for r in results] == list(range(1, 10))
+        assert all(r.split("#")[0] in {"a:1", "c:3"} for r in results)
+        assert transport.failovers >= 1
+
+    def test_open_breaker_excludes_replica_from_the_spread(self):
+        endpoints = self.three_endpoints()
+
+        def dead(data):
+            raise ConnectionResetError("down")
+
+        factory, calls = self._pipelined_fleet({
+            "a:1": self._echo("a:1"),
+            "b:2": dead,
+            "c:3": self._echo("c:3"),
+        })
+        transport = FailoverTransport(
+            endpoints, policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+        )
+        # Trip b's breaker with repeated single-shot failures.
+        for i in range(20, 30):
+            wire.decode_response(transport(read_frame(i)))
+        b_calls_before = calls("b:2")
+        exchanges = transport.submit_many([read_frame(i) for i in range(1, 7)])
+        assert all(wire.decode_response(x.wait()).ok for x in exchanges)
+        # The open breaker kept b out of the batch entirely.
+        assert calls("b:2") == b_calls_before
+
+    def test_small_batch_admits_at_most_one_probe_per_frame(self):
+        # A 1-frame batch must not consume half-open probes on replicas it
+        # will never use (that would wedge their breakers).
+        endpoints = self.three_endpoints()
+        factory, calls = self._pipelined_fleet(
+            {e.address: self._echo(e.address) for e in endpoints}
+        )
+        transport = FailoverTransport(
+            endpoints, policies=fast_policies(),
+            transport_factory=factory, sleep=lambda s: None,
+        )
+        exchanges = transport.submit_many([read_frame(1)])
+        assert wire.decode_response(exchanges[0].wait()).ok
+        used = sum(1 for e in endpoints if calls(e.address) > 0)
+        assert used == 1
+
+
 class TestConnect:
     def test_connect_returns_a_working_client(self):
         fleet = Fleet({"a:1": lambda d: ok_frame({"model_id": "m"}),

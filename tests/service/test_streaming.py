@@ -1,0 +1,270 @@
+"""Server-side chunked response streaming over the event-loop server.
+
+The acceptance bar for PR 5's streaming layer:
+
+* serving a 4 MiB blob on the binary dialect never puts more than
+  ``chunk_size`` of encoded body in any one wire frame (verified by
+  instrumenting frame sizes on a raw socket);
+* JSON-dialect clients see exactly the old single-frame behaviour;
+* an error raised mid-stream (after the first chunk is already on the
+  wire) surfaces to the client as a typed wire error, not a hung
+  reassembly;
+* the pooled/pipelined client paths reassemble transparently.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro import build_gallery
+from repro.core import ManualClock, SeededIdFactory
+from repro.errors import ServiceError
+from repro.service import wire
+from repro.service.client import GalleryClient
+from repro.service.server import GalleryService
+from repro.service.tcp import (
+    ConnectionPool,
+    GalleryTcpServer,
+    PipelinedTcpTransport,
+    TcpTransport,
+)
+from repro.service.wire import DIALECT_BINARY, DIALECT_JSON, Request
+
+_PREFIX = struct.Struct(">Q")
+_BLOB = bytes(range(256)) * (4 * 4096)  # 4 MiB
+
+
+def build_service():
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(7))
+    return GalleryService(gallery)
+
+
+def upload_blob(address, blob=_BLOB):
+    with TcpTransport(*address) as transport:
+        client = GalleryClient(transport, dialect=DIALECT_BINARY)
+        client.create_gallery_model("p", "demand")
+        instance = client.upload_model(
+            "p", "demand", blob, metadata={"model_name": "rf"}
+        )
+    return instance["instance_id"]
+
+
+def read_frames_until_complete(sock):
+    """Read whole frames off *sock* until the reassembler emits a response.
+
+    Returns ``(frame_sizes, complete_response_frame)``.
+    """
+    reassembler = wire.ChunkReassembler()
+    sizes = []
+    buf = bytearray()
+    while True:
+        while len(buf) >= _PREFIX.size:
+            (length,) = _PREFIX.unpack_from(buf)
+            total = _PREFIX.size + length
+            if len(buf) < total:
+                break
+            frame = bytes(buf[:total])
+            del buf[:total]
+            sizes.append(len(frame))
+            complete = reassembler.feed(frame)
+            if complete is not None:
+                return sizes, complete
+        chunk = sock.recv(1 << 16)
+        if not chunk:
+            raise AssertionError("connection closed before a full response")
+        buf += chunk
+
+
+class TestServerFrameBounds:
+    def test_4mib_blob_streams_in_bounded_frames(self):
+        chunk_size = wire.DEFAULT_CHUNK_SIZE  # 256 KiB
+        with GalleryTcpServer(build_service()) as server:
+            instance_id = upload_blob(server.address)
+            request = wire.encode_request(
+                Request(
+                    method="loadModelBlob",
+                    params={"instance_id": instance_id},
+                    request_id=41,
+                ),
+                DIALECT_BINARY,
+            )
+            with socket.create_connection(server.address, timeout=10.0) as sock:
+                sock.sendall(request)
+                sizes, complete = read_frames_until_complete(sock)
+        # The response was actually chunked...
+        assert len(sizes) >= len(_BLOB) // chunk_size
+        # ...and no frame ever carried more than chunk_size of body (plus
+        # the fixed length-prefix + chunk-header overhead).
+        limit = _PREFIX.size + wire._CHUNK_HEADER.size + chunk_size
+        assert max(sizes) <= limit
+        response = wire.decode_response(complete)
+        assert response.ok
+        assert response.result == _BLOB
+
+    def test_custom_chunk_size_is_honoured(self):
+        chunk_size = 32 * 1024
+        service = build_service()
+        with GalleryTcpServer(service, chunk_size=chunk_size) as server:
+            instance_id = upload_blob(server.address, b"x" * 200_000)
+            request = wire.encode_request(
+                Request(
+                    method="loadModelBlob",
+                    params={"instance_id": instance_id},
+                    request_id=42,
+                ),
+                DIALECT_BINARY,
+            )
+            with socket.create_connection(server.address, timeout=10.0) as sock:
+                sock.sendall(request)
+                sizes, complete = read_frames_until_complete(sock)
+        limit = _PREFIX.size + wire._CHUNK_HEADER.size + chunk_size
+        assert len(sizes) > 1
+        assert max(sizes) <= limit
+        assert wire.decode_response(complete).result == b"x" * 200_000
+
+    def test_json_client_gets_one_frame(self):
+        with GalleryTcpServer(build_service()) as server:
+            instance_id = upload_blob(server.address)
+            request = wire.encode_request(
+                Request(
+                    method="loadModelBlob",
+                    params={"instance_id": instance_id},
+                    request_id=43,
+                ),
+                DIALECT_JSON,
+            )
+            with socket.create_connection(server.address, timeout=10.0) as sock:
+                sock.sendall(request)
+                sizes, complete = read_frames_until_complete(sock)
+        assert len(sizes) == 1  # JSON dialect: single frame, as before
+        response = wire.decode_response(complete)
+        assert wire.decode_blob(response.result) == _BLOB
+
+
+class _AbortAfterFirstChunk(wire.ResponseStream):
+    """A chunked stream whose producer dies after the first chunk."""
+
+    def __iter__(self):
+        inner = super().__iter__()
+
+        def frames():
+            yield next(inner)
+            raise RuntimeError("backing store vanished mid-stream")
+
+        return frames()
+
+
+class _MidStreamFailingService:
+    """Delegates to a real service but breaks every chunked stream."""
+
+    def __init__(self, service):
+        self._service = service
+
+    def __getattr__(self, name):
+        return getattr(self._service, name)
+
+    def handle_frame_stream(self, data, chunk_size=wire.DEFAULT_CHUNK_SIZE):
+        stream = self._service.handle_frame_stream(data, chunk_size)
+        if stream.single is not None:
+            return stream
+        return _AbortAfterFirstChunk(
+            parts=stream._parts,
+            total=stream.total,
+            request_id=stream.request_id,
+            chunk_size=stream._chunk_size,
+        )
+
+
+class TestMidStreamErrors:
+    """Regression: a producer failure after chunk 1 must not hang clients."""
+
+    def test_serial_client_sees_typed_error_not_a_hang(self):
+        service = _MidStreamFailingService(build_service())
+        with GalleryTcpServer(service) as server:
+            instance_id = upload_blob(server.address)
+            with TcpTransport(*server.address, timeout=10.0) as transport:
+                client = GalleryClient(transport, dialect=DIALECT_BINARY)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.load_model_blob(instance_id)
+        assert "RuntimeError" in str(excinfo.value)
+
+    def test_pipelined_client_sees_typed_error_not_a_hang(self):
+        service = _MidStreamFailingService(build_service())
+        with GalleryTcpServer(service) as server:
+            instance_id = upload_blob(server.address)
+            with PipelinedTcpTransport(*server.address, timeout=10.0) as t:
+                client = GalleryClient(t, dialect=DIALECT_BINARY)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.load_model_blob(instance_id)
+        assert "RuntimeError" in str(excinfo.value)
+
+    def test_small_responses_unaffected_by_breaking_wrapper(self):
+        # Single-frame responses never enter the stream path, so the same
+        # wrapped server still answers document calls.
+        service = _MidStreamFailingService(build_service())
+        with GalleryTcpServer(service) as server:
+            with TcpTransport(*server.address) as transport:
+                client = GalleryClient(transport, dialect=DIALECT_BINARY)
+                assert client.audit_storage()["consistent"]
+
+
+class TestPooledStreaming:
+    def test_pool_submit_many_spreads_and_reassembles(self):
+        with GalleryTcpServer(build_service()) as server:
+            instance_id = upload_blob(server.address)
+            pool = ConnectionPool(*server.address, size=4)
+            try:
+                client = GalleryClient(pool, dialect=DIALECT_BINARY)
+                with client.pipeline() as pipe:
+                    handles = [
+                        pipe.load_model_blob(instance_id) for _ in range(8)
+                    ]
+                assert all(handle.result() == _BLOB for handle in handles)
+                assert pool.dials > 1  # the batch really used several sockets
+            finally:
+                pool.close()
+
+    def test_pool_concurrent_checkout_and_close_stress(self):
+        """close() racing live checkouts must neither deadlock nor wedge."""
+        with GalleryTcpServer(build_service()) as server:
+            pool = ConnectionPool(*server.address, size=4)
+            frame = wire.encode_request(
+                Request(method="auditStorage", request_id=1), DIALECT_BINARY
+            )
+            errors: list[BaseException] = []
+            done = threading.Event()
+
+            def hammer():
+                for _ in range(40):
+                    try:
+                        response = wire.decode_response(pool(frame))
+                        assert response.ok
+                    except ServiceError:
+                        pass  # a concurrently closed socket is acceptable
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            def closer():
+                while not done.is_set():
+                    pool.close()
+
+            workers = [threading.Thread(target=hammer) for _ in range(8)]
+            close_thread = threading.Thread(target=closer)
+            for worker in workers:
+                worker.start()
+            close_thread.start()
+            for worker in workers:
+                worker.join(timeout=60.0)
+                assert not worker.is_alive(), "pool call deadlocked"
+            done.set()
+            close_thread.join(timeout=10.0)
+            assert not close_thread.is_alive()
+            assert errors == []
+            # The pool still serves after all that.
+            assert wire.decode_response(pool(frame)).ok
+            pool.close()

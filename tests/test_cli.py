@@ -247,3 +247,37 @@ class TestDlq:
         assert code == 0 and outcome == {"purged": 1}
         code, letters = run(capsys, "--data-dir", data_dir, "dlq", "list")
         assert letters == []
+
+
+class TestGcRetention:
+    def test_gc_expires_aged_dedup_and_dead_letters(self, capsys, data_dir):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        park_failed_action(data_dir)
+        gallery = build_gallery(
+            metadata_backend="sqlite", blob_backend="fs", data_dir=Path(data_dir)
+        )
+        gallery.dal.dedup_claim("cli-client", 7)
+        gallery.dal.dedup_complete("cli-client", 7, b"resp")
+        # A generous horizon keeps everything.
+        code, kept = run(
+            capsys, "--data-dir", data_dir, "gc",
+            "--dedup-max-age", 10**9, "--dlq-max-age", 10**9,
+        )
+        assert code == 0
+        assert kept["expired_dedup_entries"] == 0
+        assert kept["expired_dead_letters"] == 0
+        # A zero-second horizon expires both tables.
+        code, swept = run(
+            capsys, "--data-dir", data_dir, "gc",
+            "--dedup-max-age", 0, "--dlq-max-age", 0,
+        )
+        assert code == 0
+        assert swept["expired_dedup_entries"] == 1
+        assert swept["expired_dead_letters"] == 1
+
+    def test_plain_gc_leaves_retention_alone(self, capsys, data_dir):
+        run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+        code, report = run(capsys, "--data-dir", data_dir, "gc")
+        assert code == 0
+        assert "expired_dedup_entries" not in report
+        assert "expired_dead_letters" not in report
