@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-pr5 bench-all
+.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -41,6 +41,12 @@ bench-pr3:
 
 bench-pr5:
 	$(PYTHON) -m benchmarks.run_bench pr5
+
+# Full PR6 suite (1M-instance load -> BENCH_PR6.json), then the fast
+# write-scaling gate so the run also *asserts* the sharding floors.
+bench-pr6:
+	$(PYTHON) -m benchmarks.run_bench pr6
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_shards.py -q
 
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,50 @@
+"""PERF-PR6 — the sharded metadata plane's write-scaling gate.
+
+The full suite (``python -m benchmarks.run_bench pr6``) loads 1M+
+instances and writes ``BENCH_PR6.json``; that takes minutes, so this
+gate asserts the load-bearing claim on a scaled-down ladder instead:
+under concurrent writers whose commits pay a remote-commit RTT (see
+``_CommitLatencyShard`` in ``run_bench``), aggregate ``save_instance``
+throughput must scale with the shard count, because independent shards
+commit independently while a single store serializes every writer behind
+one write lock.
+
+The floor is deliberately below the full suite's typical numbers
+(8 shards land ~3-4x on the benchmark box; the 16-shard BENCH_PR6
+acceptance is >= 2x): the gate must stay green under CI scheduler noise
+while still failing loudly if shard routing ever reintroduces a global
+serialization point.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+import run_bench
+
+
+def test_concurrent_writes_scale_with_shards():
+    cfg = run_bench.Pr6BenchConfig(
+        write_shards=(1, 8),
+        writers=8,
+        writes_per_writer=60,
+        write_rounds=2,
+        commit_latency_s=0.001,
+    )
+    writes = run_bench.run_shard_write_bench(cfg)
+    ladder = writes["ladder"]
+
+    lines = [
+        f"{rung['shards']:>2} shards  {rung['ops_s']:>8,.0f} ops/s"
+        f"  ({rung['vs_1_shard']:.2f}x vs 1 shard)"
+        for rung in ladder
+    ]
+    report("PERF-PR6_shard_write_scaling", lines)
+
+    assert ladder[0]["shards"] == 1
+    speedup = ladder[-1]["vs_1_shard"]
+    assert speedup >= 1.8, (
+        f"8-shard aggregate save_instance throughput is only "
+        f"{speedup:.2f}x a single shard under {cfg.writers} writers; "
+        "independent shards must overlap commits (floor: 1.8x)"
+    )

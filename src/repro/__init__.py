@@ -35,6 +35,7 @@ from repro.store.metadata_store import (
     MetadataStore,
     SQLiteMetadataStore,
 )
+from repro.store.sharding import open_sharded_store
 
 __version__ = "1.0.0"
 
@@ -49,21 +50,34 @@ def build_gallery(
     clock: Clock | None = None,
     id_factory: IdFactory | None = None,
     bus: EventBus | None = None,
+    shard_count: int | None = None,
 ) -> Gallery:
     """Assemble a Gallery with the requested storage backends.
 
     ``metadata_backend`` is ``"memory"`` or ``"sqlite"``; ``blob_backend`` is
     ``"memory"`` or ``"fs"``.  Durable backends need *data_dir*.  Pass
-    ``cache_bytes=None`` to disable the blob read cache.
+    ``cache_bytes=None`` to disable the blob read cache.  With the sqlite
+    backend, ``shard_count`` > 1 (or an existing ``shards/`` layout under
+    *data_dir*) selects the hash-partitioned sharded metadata plane.
     """
     metadata: MetadataStore
     if metadata_backend == "memory":
+        if shard_count is not None and shard_count > 1:
+            raise ValueError("shard_count requires metadata_backend='sqlite'")
         metadata = InMemoryMetadataStore()
     elif metadata_backend == "sqlite":
-        path = ":memory:" if data_dir is None else os.path.join(
-            os.fspath(data_dir), "gallery.sqlite"
-        )
-        metadata = SQLiteMetadataStore(path)
+        if data_dir is None:
+            if shard_count is not None and shard_count > 1:
+                raise ValueError("sharded sqlite backend requires data_dir")
+            metadata = SQLiteMetadataStore(":memory:")
+        else:
+            shards_dir = os.path.join(os.fspath(data_dir), "shards")
+            if shard_count is not None or os.path.isdir(shards_dir):
+                metadata = open_sharded_store(shards_dir, shard_count)
+            else:
+                metadata = SQLiteMetadataStore(
+                    os.path.join(os.fspath(data_dir), "gallery.sqlite")
+                )
     else:
         raise ValueError(f"unknown metadata backend {metadata_backend!r}")
 

@@ -34,6 +34,12 @@ from repro.core.registry import Gallery
 from repro.errors import GalleryError
 from repro.reliability.deadletter import DurableDeadLetterQueue
 from repro.rules.actions import ActionRegistry
+from repro.store.sharding import (
+    init_sharded_layout,
+    open_sharded_store,
+    split_shard,
+    verify_layout,
+)
 
 
 def _open_gallery(data_dir: str) -> Gallery:
@@ -175,12 +181,16 @@ def _cmd_audit(gallery: Gallery, args: argparse.Namespace) -> Any:
 
 
 def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
-    report: dict[str, Any] = {
-        "removed_orphan_blobs": gallery.dal.collect_orphan_blobs()
-    }
     durable = bool(
         getattr(gallery.dal, "supports_durable_state", False)
     )
+    report: dict[str, Any] = {}
+    if durable:
+        # storage_summary now surfaces the control-table row counts, so gc
+        # can show before/after instead of only the trimmed deltas.
+        report["dedup_entries_before"] = gallery.dal.dedup_count()
+        report["dead_letters_before"] = gallery.dal.dead_letters_count()
+    report["removed_orphan_blobs"] = gallery.dal.collect_orphan_blobs()
     if args.dedup_max_age is not None:
         if not durable:
             raise SystemExit(
@@ -197,6 +207,9 @@ def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
         report["expired_dead_letters"] = gallery.dal.dead_letters_trim_age(
             args.dlq_max_age
         )
+    if durable:
+        report["dedup_entries_after"] = gallery.dal.dedup_count()
+        report["dead_letters_after"] = gallery.dal.dead_letters_count()
     return report
 
 
@@ -223,6 +236,44 @@ def _cmd_dlq_purge(gallery: Gallery, args: argparse.Namespace) -> Any:
     queue = DurableDeadLetterQueue(gallery.dal)
     letter_ids = set(args.letter_ids) or None
     return {"purged": queue.purge(letter_ids)}
+
+
+# -- shard administration (offline: operates on closed shard files) ------------
+
+
+def _shards_dir(data_dir: str) -> str:
+    return str(Path(data_dir) / "shards")
+
+
+def _cmd_shard_init(gallery: None, args: argparse.Namespace) -> Any:
+    legacy = Path(args.data_dir) / "gallery.sqlite"
+    report = init_sharded_layout(
+        _shards_dir(args.data_dir),
+        args.count,
+        legacy_db=str(legacy) if legacy.exists() else None,
+    )
+    if legacy.exists() and report["adopted"]:
+        # The rows now live in the shard files; park the legacy database so
+        # nothing mistakes it for the live store.
+        legacy.rename(legacy.with_suffix(".sqlite.adopted"))
+        report["legacy_db"] = str(legacy.with_suffix(".sqlite.adopted"))
+    return report
+
+
+def _cmd_shard_split(gallery: None, args: argparse.Namespace) -> Any:
+    return split_shard(_shards_dir(args.data_dir), args.shard)
+
+
+def _cmd_shard_status(gallery: None, args: argparse.Namespace) -> Any:
+    store = open_sharded_store(_shards_dir(args.data_dir))
+    try:
+        return store.shard_topology()
+    finally:
+        store.close()
+
+
+def _cmd_shard_verify(gallery: None, args: argparse.Namespace) -> Any:
+    return verify_layout(_shards_dir(args.data_dir), repair=args.repair)
 
 
 # -- parser ---------------------------------------------------------------
@@ -346,13 +397,49 @@ def build_parser() -> argparse.ArgumentParser:
     dlq_purge.add_argument("letter_ids", nargs="*", type=int, metavar="letter_id")
     dlq_purge.set_defaults(handler=_cmd_dlq_purge)
 
+    shard = commands.add_parser(
+        "shard", help="manage the hash-partitioned metadata plane"
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_init = shard_commands.add_parser(
+        "init",
+        help="create a sharded layout (adopting any legacy single-file db)",
+    )
+    shard_init.add_argument("count", type=int, help="number of shards")
+    shard_init.set_defaults(handler=_cmd_shard_init, offline=True)
+
+    shard_split = shard_commands.add_parser(
+        "split",
+        help="offline rebalance: halve one shard's hash range into a new shard",
+    )
+    shard_split.add_argument("shard", type=int, help="shard index to split")
+    shard_split.set_defaults(handler=_cmd_shard_split, offline=True)
+
+    shard_status = shard_commands.add_parser(
+        "status", help="shard map epoch, ranges, and per-shard row counts"
+    )
+    shard_status.set_defaults(handler=_cmd_shard_status, offline=True)
+
+    shard_verify = shard_commands.add_parser(
+        "verify", help="check every row routes to its resident shard"
+    )
+    shard_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="delete misplaced rows (stale copies from an interrupted split)",
+    )
+    shard_verify.set_defaults(handler=_cmd_shard_verify, offline=True)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    gallery = _open_gallery(args.data_dir)
+    # Shard administration runs offline — the split/verify tools require
+    # that no store is open over the shard files.
+    gallery = None if getattr(args, "offline", False) else _open_gallery(args.data_dir)
     try:
         result = args.handler(gallery, args)
     except GalleryError as exc:

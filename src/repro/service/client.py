@@ -57,6 +57,7 @@ IDEMPOTENT_METHODS = frozenset(
         "lineageOf",
         "auditStorage",
         "selectModel",
+        "shardTopology",
     }
 )
 
@@ -532,6 +533,10 @@ class GalleryClient:
 
     def audit_storage(self) -> dict[str, Any]:
         return self.call("auditStorage")
+
+    def shard_topology(self) -> dict[str, Any]:
+        """The serving replica's metadata shard map (epoch, ranges, counts)."""
+        return self.call("shardTopology")
 
     def collect_orphans(self) -> list[str]:
         return self.call("collectOrphans")

@@ -34,6 +34,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import CircuitOpenError, ServiceError, ValidationError
 from repro.reliability.breaker import CircuitBreaker
 from repro.service import wire
+from repro.store.sharding import ShardMap
 from repro.service.client import (
     IDEMPOTENT_METHODS,
     TRANSIENT_ERROR_TYPES,
@@ -49,6 +50,7 @@ SCHEME = "gallery"
 
 _DIALECTS = {"binary": wire.DIALECT_BINARY, "json": wire.DIALECT_JSON}
 _TRANSPORTS = ("pipelined", "serial")
+_ROUTINGS = ("roundrobin", "shard")
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,17 +74,20 @@ class EndpointSet:
         gallery://10.0.0.1:9000,10.0.0.2:9000?dialect=binary&timeout=10
 
     Query parameters: ``dialect`` (``binary``, the default, or ``json``),
-    ``timeout`` (per-call seconds, default 10), and ``transport``
+    ``timeout`` (per-call seconds, default 10), ``transport``
     (``pipelined``, the default, or ``serial`` for one-call-at-a-time
-    connections).  Unknown parameters, malformed ports, and duplicate
-    hosts are rejected loudly — a silently dropped replica is an outage
-    waiting to be discovered.
+    connections), and ``routing`` (``roundrobin``, the default, or
+    ``shard`` to prefer the replica owning a read's model coordinate —
+    see :class:`FailoverTransport`).  Unknown parameters, malformed
+    ports, and duplicate hosts are rejected loudly — a silently dropped
+    replica is an outage waiting to be discovered.
     """
 
     endpoints: tuple[Endpoint, ...]
     dialect: str = wire.DIALECT_BINARY
     timeout: float = 10.0
     transport: str = "pipelined"
+    routing: str = "roundrobin"
 
     def __post_init__(self) -> None:
         if not self.endpoints:
@@ -134,6 +139,7 @@ class EndpointSet:
         dialect = wire.DIALECT_BINARY
         timeout = 10.0
         transport = "pipelined"
+        routing = "roundrobin"
         if query:
             for pair in query.split("&"):
                 if not pair:
@@ -160,6 +166,12 @@ class EndpointSet:
                             f"unknown transport {value!r} (pipelined or serial)"
                         )
                     transport = value
+                elif key == "routing":
+                    if value not in _ROUTINGS:
+                        raise ValidationError(
+                            f"unknown routing {value!r} (roundrobin or shard)"
+                        )
+                    routing = value
                 else:
                     raise ValidationError(f"unknown query parameter {key!r}")
 
@@ -168,6 +180,7 @@ class EndpointSet:
             dialect=dialect,
             timeout=timeout,
             transport=transport,
+            routing=routing,
         )
 
 
@@ -247,6 +260,17 @@ class FailoverTransport:
     * A tripped breaker decays to half-open after ``reset_timeout``; the
       rotation then admits one probe call, and a single success closes the
       circuit (recovered replicas rejoin without operator action).
+    * With ``routing=shard`` (opt-in via the URL or ``shard_routing=True``)
+      the transport lazily fetches the replicas' shard map once via the
+      ``shardTopology`` method and then *prefers* the replica owning a
+      read's model coordinate — shard ``s`` maps to endpoint ``s % N`` —
+      so repeated queries for one coordinate keep hitting the replica
+      whose page cache and document cache already hold it.  Routable reads
+      are those carrying a ``base_version_id`` param or a ``baseVersionId``
+      equality constraint; everything else (and every mutation) keeps the
+      round-robin rotation, and an unhealthy owner falls back to any
+      admitted replica.  A failed topology fetch degrades silently to
+      round-robin; call :meth:`refresh_topology` after a rebalance.
 
     The retry budget is the same :class:`MethodRetryPolicies` the
     single-endpoint stack uses, counted across *all* endpoints — a call
@@ -265,6 +289,7 @@ class FailoverTransport:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         spread_batches: bool = True,
+        shard_routing: bool | None = None,
     ) -> None:
         if isinstance(endpoints, str):
             endpoints = EndpointSet.parse(endpoints)
@@ -294,6 +319,12 @@ class FailoverTransport:
         self._rr_lock = threading.Lock()
         self._rr_next = 0
         self._spread_batches = spread_batches
+        if shard_routing is None:
+            shard_routing = endpoint_set.routing == "shard"
+        self._shard_routing = shard_routing
+        self._shard_map: ShardMap | None = None
+        self._topology_lock = threading.Lock()
+        self._topology_attempted = False
         #: total frames put on a wire (includes retries)
         self.attempts = 0
         #: calls that moved to a different endpoint after a transport error
@@ -333,20 +364,116 @@ class FailoverTransport:
         count = len(self._states)
         return [self._states[(start + i) % count] for i in range(count)]
 
-    def _admit(self) -> _EndpointState | None:
+    def _admit(
+        self, preferred: _EndpointState | None = None
+    ) -> _EndpointState | None:
         """Next endpoint whose breaker lets the call through, if any.
 
         ``allow()`` is asked one endpoint at a time so a half-open breaker
         spends its single probe only on a call that actually goes to that
-        endpoint.
+        endpoint.  A *preferred* endpoint (shard-aware routing) is tried
+        first; the rotation is the fallback.
         """
-        for state in self._rotation():
+        candidates = self._rotation()
+        if preferred is not None:
+            candidates = [preferred] + [
+                state for state in candidates if state is not preferred
+            ]
+        for state in candidates:
             try:
                 state.breaker.allow()
             except CircuitOpenError:
                 continue
             return state
         return None
+
+    # -- shard-aware read routing ---------------------------------------------
+
+    @staticmethod
+    def _route_key(request: wire.Request | None) -> str | None:
+        """The model coordinate a read targets, when it names one."""
+        if request is None or request.method in MUTATING_METHODS:
+            return None
+        key = request.params.get("base_version_id")
+        if isinstance(key, str) and key:
+            return key
+        if request.method == "modelQuery":
+            for constraint in request.params.get("constraints") or ():
+                if (
+                    isinstance(constraint, dict)
+                    and constraint.get("field")
+                    in ("baseVersionId", "base_version_id")
+                    and constraint.get("operator") == "equal"
+                    and isinstance(constraint.get("value"), str)
+                ):
+                    return constraint["value"]
+        return None
+
+    def _topology(self, dialect: str) -> ShardMap | None:
+        """The replicas' shard map, fetched lazily (once) off the rotation.
+
+        Any failure — no healthy replica yet, an old server without the
+        ``shardTopology`` method, a malformed payload — leaves the map
+        unset and routing degrades to plain round-robin.
+        """
+        if self._shard_map is not None:
+            return self._shard_map
+        with self._topology_lock:
+            if self._shard_map is not None or self._topology_attempted:
+                return self._shard_map
+            self._topology_attempted = True
+            frame = wire.encode_request(
+                wire.Request(
+                    method="shardTopology",
+                    params={},
+                    request_id=1,
+                    client_id="",
+                ),
+                dialect,
+            )
+            for state in self._rotation():
+                try:
+                    state.breaker.allow()
+                except CircuitOpenError:
+                    continue
+                try:
+                    response = wire.decode_response(state.transport()(frame))
+                    if not response.ok:
+                        continue
+                    self._shard_map = ShardMap.from_dict(response.result)
+                    return self._shard_map
+                except Exception:  # noqa: BLE001 - degrade to round-robin
+                    continue
+            return None
+
+    def refresh_topology(self) -> None:
+        """Forget the cached shard map; the next routable read re-fetches
+        it (use after a ``gallery shard split`` rebalance)."""
+        with self._topology_lock:
+            self._shard_map = None
+            self._topology_attempted = False
+
+    @property
+    def topology_epoch(self) -> int | None:
+        """Epoch of the cached shard map, or None before the first fetch."""
+        shard_map = self._shard_map
+        return None if shard_map is None else shard_map.epoch
+
+    def _preferred_state(
+        self, request: wire.Request | None
+    ) -> _EndpointState | None:
+        """The endpoint owning a routable read's shard, under shard routing."""
+        if not self._shard_routing or len(self._states) < 2:
+            return None
+        key = self._route_key(request)
+        if key is None:
+            return None
+        shard_map = self._topology(
+            request.dialect if request is not None else wire.DIALECT_BINARY
+        )
+        if shard_map is None:
+            return None
+        return self._states[shard_map.shard_for(key) % len(self._states)]
 
     @staticmethod
     def _can_retry(request: wire.Request | None) -> bool:
@@ -369,6 +496,7 @@ class FailoverTransport:
             request = None
         retryable = self._can_retry(request)
         policy = self._policy_for(request)
+        preferred = self._preferred_state(request)
         attempts_allowed = policy.max_attempts if retryable else 1
         deadline = (
             None if policy.deadline is None else self._clock() + policy.deadline
@@ -388,7 +516,9 @@ class FailoverTransport:
                     self._sleep(delay)
             if deadline is not None and self._clock() >= deadline and attempt:
                 break
-            state = self._admit()
+            # Only the first attempt honours shard preference: a failed
+            # owner should not be re-picked over healthy fallbacks.
+            state = self._admit(preferred if attempt == 0 else None)
             if state is None:
                 # Every breaker is open: nothing to try right now.  Back
                 # off toward the reset timeout so a half-open probe becomes

@@ -227,6 +227,7 @@ class GalleryService:
             # storage operations
             "auditStorage": self._audit_storage,
             "collectOrphans": self._collect_orphans,
+            "shardTopology": self._shard_topology,
             # rule engine
             "selectModel": self._select_model,
             "triggerRule": self._trigger_rule,
@@ -547,6 +548,22 @@ class GalleryService:
 
     def _collect_orphans(self) -> list[str]:
         return self._gallery.dal.collect_orphan_blobs()
+
+    def _shard_topology(self) -> dict[str, Any]:
+        """Advertise the metadata plane's shard map (epoch, ranges, counts).
+
+        Unsharded replicas answer with the degenerate one-shard topology so
+        shard-aware clients need no capability probe.
+        """
+        topology = getattr(self._gallery.dal.metadata, "shard_topology", None)
+        if topology is not None:
+            return topology()
+        return {
+            "epoch": 0,
+            "num_shards": 1,
+            "ranges": [[0, 1 << 32, 0]],
+            "shard_counts": [dict(self._gallery.dal.metadata.counts())],
+        }
 
     def _require_engine(self) -> RuleEngine:
         if self._engine is None:

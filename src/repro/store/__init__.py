@@ -1,4 +1,4 @@
-"""Storage substrate: blob stores, metadata stores, cache, and the DAL."""
+"""Storage substrate: blob stores, metadata stores, sharding, cache, DAL."""
 
 from repro.store.blob import (
     BlobStore,
@@ -15,6 +15,16 @@ from repro.store.metadata_store import (
     MetadataStore,
     SQLiteMetadataStore,
 )
+from repro.store.sharding import (
+    ShardedMetadataStore,
+    ShardMap,
+    ShardRange,
+    coordinate_hash,
+    init_sharded_layout,
+    open_sharded_store,
+    split_shard,
+    verify_layout,
+)
 
 __all__ = [
     "BlobStore",
@@ -29,5 +39,13 @@ __all__ = [
     "LRUBlobCache",
     "MetadataStore",
     "SQLiteMetadataStore",
+    "ShardMap",
+    "ShardRange",
+    "ShardedMetadataStore",
     "content_address",
+    "coordinate_hash",
+    "init_sharded_layout",
+    "open_sharded_store",
+    "split_shard",
+    "verify_layout",
 ]

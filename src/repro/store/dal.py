@@ -242,10 +242,18 @@ class DataAccessLayer:
         return list(report.orphan_blobs)
 
     def storage_summary(self) -> dict[str, Any]:
-        """Operational snapshot used by scale benchmarks."""
+        """Operational snapshot used by scale benchmarks and ``gallery gc``."""
         summary: dict[str, Any] = dict(self._metadata.counts())
         summary["blob_count"] = len(self._blobs.locations())
         if self._cache is not None:
             summary["cache_entries"] = len(self._cache)
             summary["cache_hit_rate"] = self._cache.stats.hit_rate
+        if self.supports_durable_state:
+            # Surface the serving-plane control tables so gc can print
+            # before/after counts instead of only the trimmed deltas.
+            summary["dedup_entries"] = self._metadata.dedup_count()
+            summary["dead_letters"] = self._metadata.dead_letters_count()
+        topology = getattr(self._metadata, "shard_topology", None)
+        if topology is not None:
+            summary["shards"] = topology()
         return summary

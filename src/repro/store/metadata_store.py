@@ -113,6 +113,13 @@ class MetadataStore(ABC):
     @abstractmethod
     def insert_instance(self, instance: ModelInstance) -> None: ...
 
+    def insert_instances(self, instances: Sequence[ModelInstance]) -> None:
+        """Insert a batch of instances in one transaction where the backend
+        supports it; the default simply loops.  Bulk-load surface for the
+        scale benchmarks and the sharded store's parallel loader."""
+        for instance in instances:
+            self.insert_instance(instance)
+
     @abstractmethod
     def get_instance(self, instance_id: str) -> ModelInstance: ...
 
@@ -246,6 +253,19 @@ class InMemoryMetadataStore(MetadataStore):
                 self._field_index.setdefault((field_name, value), []).append(
                     instance.instance_id
                 )
+
+    def insert_instances(self, instances: Sequence[ModelInstance]) -> None:
+        # Validate first so a duplicate anywhere leaves the store untouched
+        # (matches the SQLite backend's transactional rollback).
+        seen: set[str] = set()
+        for instance in instances:
+            if instance.instance_id in self._instances or instance.instance_id in seen:
+                raise DuplicateError(
+                    f"model instance {instance.instance_id!r} already exists"
+                )
+            seen.add(instance.instance_id)
+        for instance in instances:
+            self.insert_instance(instance)
 
     def get_instance(self, instance_id: str) -> ModelInstance:
         try:
@@ -584,26 +604,38 @@ class SQLiteMetadataStore(MetadataStore):
 
     # -- instances ------------------------------------------------------------
 
-    def insert_instance(self, instance: ModelInstance) -> None:
+    _INSERT_INSTANCE_SQL = (
+        "INSERT INTO instances (instance_id, model_id, base_version_id,"
+        " model_name, model_type, model_domain, city, team,"
+        " serving_environment, created_time, record)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def _instance_row(instance: ModelInstance) -> tuple[Any, ...]:
         meta = instance.metadata
-        self._write(
-            "INSERT INTO instances (instance_id, model_id, base_version_id,"
-            " model_name, model_type, model_domain, city, team,"
-            " serving_environment, created_time, record)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                instance.instance_id,
-                instance.model_id,
-                instance.base_version_id,
-                meta.get("model_name"),
-                meta.get("model_type"),
-                meta.get("model_domain"),
-                meta.get("city"),
-                meta.get("team"),
-                meta.get("serving_environment"),
-                instance.created_time,
-                json.dumps(instance.to_dict()),
-            ),
+        return (
+            instance.instance_id,
+            instance.model_id,
+            instance.base_version_id,
+            meta.get("model_name"),
+            meta.get("model_type"),
+            meta.get("model_domain"),
+            meta.get("city"),
+            meta.get("team"),
+            meta.get("serving_environment"),
+            instance.created_time,
+            json.dumps(instance.to_dict()),
+        )
+
+    def insert_instance(self, instance: ModelInstance) -> None:
+        self._write(self._INSERT_INSTANCE_SQL, self._instance_row(instance))
+
+    def insert_instances(self, instances: Sequence[ModelInstance]) -> None:
+        """Bulk insert in one transaction: all rows land or none do."""
+        self._write_many(
+            self._INSERT_INSTANCE_SQL,
+            [self._instance_row(instance) for instance in instances],
         )
 
     def get_instance(self, instance_id: str) -> ModelInstance:

@@ -5,9 +5,11 @@ This is the deployment the paper describes in Section 4 — a stateless
 service tier, horizontally scaled, in front of a shared storage layer —
 driven through :func:`repro.service.connect`:
 
-* every replica is a full stack (its own :class:`SQLiteMetadataStore`
-  connection set, DAL, :class:`Gallery`, :class:`GalleryService`, TCP
-  server) over ONE SQLite file + one blob tree;
+* every replica is a full stack (its own **sharded** metadata store —
+  :func:`repro.store.sharding.open_sharded_store` over a shared 3-shard
+  layout, exercising PR 6's partitioned metadata plane under kill/restart
+  — plus DAL, :class:`Gallery`, :class:`GalleryService`, TCP server) over
+  one shard directory + one blob tree;
 * clients hold a single ``gallery://`` URL naming every replica; the
   :class:`FailoverTransport` rotates reads, skips tripped breakers, and
   replays interrupted mutations against a different replica;
@@ -42,17 +44,18 @@ from repro.service.tcp import GalleryTcpServer, TcpTransport
 from repro.store.blob import FilesystemBlobStore
 from repro.store.cache import LRUBlobCache
 from repro.store.dal import DataAccessLayer
-from repro.store.metadata_store import SQLiteMetadataStore
+from repro.store.sharding import open_sharded_store
 
 CLIENTS = 8
 ITEMS_PER_CLIENT = 12
+SHARDS = 3
 
 
 class Replica:
-    """One full serving stack over the shared store file + blob tree."""
+    """One full serving stack over the shared shard layout + blob tree."""
 
     def __init__(self, tmp_path, host="127.0.0.1", port=0):
-        self.store = SQLiteMetadataStore(str(tmp_path / "gallery.db"))
+        self.store = open_sharded_store(str(tmp_path / "shards"), SHARDS)
         self.dal = DataAccessLayer(
             self.store,
             FilesystemBlobStore(tmp_path / "blobs"),
@@ -86,7 +89,7 @@ def url_for(replicas, **params):
 
 def verification_gallery(tmp_path):
     """A fresh, replica-independent view of the shared store."""
-    store = SQLiteMetadataStore(str(tmp_path / "gallery.db"))
+    store = open_sharded_store(str(tmp_path / "shards"), SHARDS)
     dal = DataAccessLayer(
         store, FilesystemBlobStore(tmp_path / "blobs"), LRUBlobCache(8)
     )

@@ -1,0 +1,87 @@
+"""CLI coverage for the sharded metadata plane: ``gallery shard
+init/split/status/verify`` and the gc before/after counters (PR 6)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main([str(a) for a in argv])
+    output = capsys.readouterr().out
+    return code, json.loads(output)
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return tmp_path / "gallery"
+
+
+@pytest.fixture
+def blob_file(tmp_path):
+    path = tmp_path / "model.bin"
+    path.write_bytes(b"serialized-model-bytes")
+    return path
+
+
+def test_init_adopts_then_split_then_verify(capsys, data_dir, blob_file):
+    # seed a legacy single-file gallery
+    run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+    run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file,
+        "--meta", "city=sf")
+    assert (data_dir / "gallery.sqlite").exists()
+
+    code, report = run(capsys, "--data-dir", data_dir, "shard", "init", "4")
+    assert code == 0
+    assert report["num_shards"] == 4
+    assert report["adopted"]["instances"] == 1
+    # the legacy file is parked, the shard layout is live
+    assert not (data_dir / "gallery.sqlite").exists()
+    assert (data_dir / "shards" / "shard_map.json").exists()
+
+    # the data remains queryable through the ordinary commands
+    code, hits = run(capsys, "--data-dir", data_dir, "query",
+                     "baseVersionId:equal:demand")
+    assert code == 0 and len(hits) == 1
+
+    code, split = run(capsys, "--data-dir", data_dir, "shard", "split", "0")
+    assert code == 0
+    assert split["new_shard"] == 4 and split["epoch"] == 1
+
+    code, status = run(capsys, "--data-dir", data_dir, "shard", "status")
+    assert code == 0
+    assert status["num_shards"] == 5
+    assert sum(c["instances"] for c in status["shard_counts"]) == 1
+
+    code, verify = run(capsys, "--data-dir", data_dir, "shard", "verify")
+    assert code == 0 and verify["ok"]
+
+    # still queryable after the rebalance
+    code, hits = run(capsys, "--data-dir", data_dir, "query",
+                     "baseVersionId:equal:demand")
+    assert code == 0 and len(hits) == 1
+
+
+def test_fresh_layout_without_legacy(capsys, data_dir, blob_file):
+    code, report = run(capsys, "--data-dir", data_dir, "shard", "init", "2")
+    assert code == 0 and report["adopted"] == {}
+    run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+    code, instance = run(capsys, "--data-dir", data_dir, "upload", "p",
+                         "demand", blob_file)
+    assert code == 0
+    code, audit = run(capsys, "--data-dir", data_dir, "audit")
+    assert code == 0 and audit["consistent"]
+    assert audit["summary"]["shards"]["num_shards"] == 2
+
+
+def test_gc_reports_before_and_after_counts(capsys, data_dir):
+    run(capsys, "--data-dir", data_dir, "shard", "init", "2")
+    code, report = run(capsys, "--data-dir", data_dir, "gc",
+                       "--dedup-max-age", "0", "--dlq-max-age", "0")
+    assert code == 0
+    assert report["dedup_entries_before"] == 0
+    assert report["dedup_entries_after"] == 0
+    assert report["dead_letters_before"] == 0
+    assert report["dead_letters_after"] == 0
