@@ -265,7 +265,10 @@ def _cmd_shard_split(gallery: None, args: argparse.Namespace) -> Any:
 
 
 def _cmd_shard_status(gallery: None, args: argparse.Namespace) -> Any:
-    store = open_sharded_store(_shards_dir(args.data_dir))
+    # Open-only: a status probe against a legacy (unsharded) data dir must
+    # fail loudly, not plant an empty shards/ layout that would shadow the
+    # existing gallery.sqlite on every subsequent open.
+    store = open_sharded_store(_shards_dir(args.data_dir), create=False)
     try:
         return store.shard_topology()
     finally:

@@ -52,6 +52,14 @@ _DIALECTS = {"binary": wire.DIALECT_BINARY, "json": wire.DIALECT_JSON}
 _TRANSPORTS = ("pipelined", "serial")
 _ROUTINGS = ("roundrobin", "shard")
 
+#: request_id for the transport's internal ``shardTopology`` fetch.  The
+#: fetch shares the pipelined connection with client calls, and the
+#: pipelined transport forbids two in-flight frames with the same id —
+#: :class:`~repro.service.client.GalleryClient` counts up from 1, so the
+#: internal fetch sits at the top of the binary dialect's u64 range where
+#: a collision is impossible.
+TOPOLOGY_REQUEST_ID = 2**64 - 1
+
 
 @dataclass(frozen=True, slots=True)
 class Endpoint:
@@ -426,7 +434,7 @@ class FailoverTransport:
                 wire.Request(
                     method="shardTopology",
                     params={},
-                    request_id=1,
+                    request_id=TOPOLOGY_REQUEST_ID,
                     client_id="",
                 ),
                 dialect,
@@ -436,10 +444,20 @@ class FailoverTransport:
                     state.breaker.allow()
                 except CircuitOpenError:
                     continue
+                # allow() may have handed out a half-open breaker's single
+                # recovery probe — the outcome must be recorded either way
+                # or the breaker stays wedged rejecting this endpoint.
                 try:
-                    response = wire.decode_response(state.transport()(frame))
+                    raw = state.transport()(frame)
+                except Exception:  # noqa: BLE001 - replica unreachable
+                    state.breaker.record_failure()
+                    state.reset()
+                    continue
+                state.breaker.record_success()
+                try:
+                    response = wire.decode_response(raw)
                     if not response.ok:
-                        continue
+                        continue  # e.g. an old server without the method
                     self._shard_map = ShardMap.from_dict(response.result)
                     return self._shard_map
                 except Exception:  # noqa: BLE001 - degrade to round-robin

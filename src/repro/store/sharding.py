@@ -49,8 +49,10 @@ memoised in bounded routing caches so the blob read path
 Dead-letter ids are globalised as ``local_id * SHARD_STRIDE + shard`` so
 ``dead_letter_update`` / ``dead_letters_delete`` can decode the owning
 shard from the id alone.  Capacity trims (``dedup_trim`` /
-``dead_letters_trim``) apply their budget **per shard** — the global
-ceiling is ``num_shards * capacity`` — while age trims behave globally.
+``dead_letters_trim``) **divide** their budget across shards (remainder
+to the lowest indices), so the configured cap stays a global ceiling —
+a skewed shard may be trimmed below its fair share — while age trims
+behave globally by construction.
 """
 
 from __future__ import annotations
@@ -247,7 +249,7 @@ class ShardedMetadataStore(MetadataStore):
 
     Single-coordinate operations route to the owning shard; keyless lookups
     scatter-gather on a shared worker pool.  See the module docstring for
-    the routing table and the per-shard semantics of capacity trims.
+    the routing table and the budget-division semantics of capacity trims.
     """
 
     def __init__(
@@ -302,6 +304,8 @@ class ShardedMetadataStore(MetadataStore):
 
     def _pool(self) -> ThreadPoolExecutor:
         with self._executor_lock:
+            if self._closed:
+                raise MetadataStoreError("sharded metadata store is closed")
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self._max_workers,
@@ -314,6 +318,27 @@ class ShardedMetadataStore(MetadataStore):
         if len(self._shards) == 1:
             return [fn(self._shards[0])]
         return list(self._pool().map(fn, self._shards))
+
+    def _scatter_zip(
+        self, fn: Callable[[MetadataStore, Any], Any], args: Sequence[Any]
+    ) -> list[Any]:
+        """Run ``fn(shard, arg)`` pairing each shard with its own argument."""
+        if len(self._shards) == 1:
+            return [fn(self._shards[0], args[0])]
+        return list(self._pool().map(fn, self._shards, args))
+
+    def _split_budget(self, budget: int) -> list[int]:
+        """Divide a global row budget across shards, remainder first.
+
+        Capacity trims use this so the configured cap stays a *global*
+        ceiling (each shard keeps at most its slice); a skewed shard may
+        be trimmed below its fair share, which is what a hard cap means.
+        """
+        base, extra = divmod(max(int(budget), 0), len(self._shards))
+        return [
+            base + (1 if index < extra else 0)
+            for index in range(len(self._shards))
+        ]
 
     def _shard_for_key(self, key: str) -> MetadataStore:
         return self._shards[self._map.shard_for(key)]
@@ -559,8 +584,8 @@ class ShardedMetadataStore(MetadataStore):
         }
 
     def close(self) -> None:
-        self._closed = True
         with self._executor_lock:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
@@ -573,7 +598,8 @@ class ShardedMetadataStore(MetadataStore):
     #
     # Routed by natural key so a claim/letter lives on exactly one shard and
     # the cross-replica atomicity argument of the single-file store carries
-    # over unchanged.  Capacity trims apply their budget per shard.
+    # over unchanged.  Capacity trims divide their budget across shards so
+    # the configured cap stays a global ceiling.
 
     @property
     def supports_durable_state(self) -> bool:  # type: ignore[override]
@@ -605,7 +631,14 @@ class ShardedMetadataStore(MetadataStore):
         self._shard_for_key(client_id).dedup_release(client_id, request_id)
 
     def dedup_trim(self, capacity: int) -> int:
-        return sum(self._scatter(lambda shard: shard.dedup_trim(capacity)))
+        """Trim toward a *global* capacity: the budget is divided across
+        shards, so the total resident count is bounded by *capacity*."""
+        return sum(
+            self._scatter_zip(
+                lambda shard, budget: shard.dedup_trim(budget),
+                self._split_budget(capacity),
+            )
+        )
 
     def dedup_trim_age(self, max_age: float, now: float | None = None) -> int:
         return sum(
@@ -686,8 +719,13 @@ class ShardedMetadataStore(MetadataStore):
         )
 
     def dead_letters_trim(self, max_entries: int) -> int:
+        """Trim toward a *global* cap: the budget is divided across
+        shards, so the total resident count is bounded by *max_entries*."""
         return sum(
-            self._scatter(lambda shard: shard.dead_letters_trim(max_entries))
+            self._scatter_zip(
+                lambda shard, budget: shard.dead_letters_trim(budget),
+                self._split_budget(max_entries),
+            )
         )
 
     def dead_letters_trim_age(
@@ -715,14 +753,20 @@ def open_sharded_store(
     shard_count: int | None = None,
     *,
     max_workers: int | None = None,
+    create: bool = True,
 ) -> ShardedMetadataStore:
     """Open (creating if needed) the sharded layout rooted at *directory*.
 
     A persisted ``shard_map.json`` is authoritative; *shard_count* only
     applies when creating a fresh layout, and conflicts with an existing
     map are an error rather than a silent re-partition.
+
+    ``create=False`` makes this strictly open-only: a missing shard map is
+    an error and nothing is written to disk.  Read-only tooling (e.g.
+    ``gallery shard status``) must use it — planting an empty ``shards/``
+    layout next to a legacy ``gallery.sqlite`` would shadow all existing
+    data, because :func:`repro.build_gallery` auto-detects ``shards/``.
     """
-    os.makedirs(directory, exist_ok=True)
     map_path = os.path.join(directory, SHARD_MAP_FILENAME)
     if os.path.exists(map_path):
         shard_map = ShardMap.load(map_path)
@@ -732,7 +776,13 @@ def open_sharded_store(
                 f" refusing to open as {shard_count}"
                 " (use 'gallery shard split' to rebalance)"
             )
+    elif not create:
+        raise MetadataStoreError(
+            f"no sharded layout at {directory!r}"
+            f" (missing {SHARD_MAP_FILENAME}; run 'gallery shard init' first)"
+        )
     else:
+        os.makedirs(directory, exist_ok=True)
         shard_map = ShardMap.uniform(shard_count or 1)
         shard_map.save(map_path)
     shards = [

@@ -3,12 +3,20 @@ names a model coordinate prefers the replica owning its shard, falls back
 to any admitted replica when the owner is down, and degrades silently to
 round-robin when topology is unavailable."""
 
+import time
+
 import pytest
 
 from repro import build_gallery
 from repro.errors import ValidationError
+from repro.reliability.breaker import BreakerState
 from repro.service import wire
-from repro.service.endpoints import Endpoint, EndpointSet, FailoverTransport
+from repro.service.endpoints import (
+    TOPOLOGY_REQUEST_ID,
+    Endpoint,
+    EndpointSet,
+    FailoverTransport,
+)
 from repro.service.server import GalleryService
 
 SHARDS = 8
@@ -24,11 +32,14 @@ class CountingTransport:
         self.counts = counts
         self.index = index
         self.dead = False
+        self.seen = []  # (method, request_id) of every served frame
 
     def __call__(self, frame):
         if self.dead:
             raise ConnectionRefusedError("replica down")
         self.counts[self.index] += 1
+        request = wire.decode_request(frame)
+        self.seen.append((request.method, request.request_id))
         return self.service.handle_frame(frame)
 
     def close(self):
@@ -148,6 +159,42 @@ def test_refresh_topology_refetches(stack):
     assert failover.topology_epoch is None
     assert wire.decode_response(failover(read_frame())).ok
     assert failover.topology_epoch == 0
+
+
+def test_topology_fetch_uses_reserved_request_id(stack):
+    # The internal shardTopology fetch shares the pipelined connection with
+    # client calls, which allocate request_ids counting up from 1 — the
+    # fetch must use the reserved id so it can never collide in flight.
+    failover, transports, _counts, _gallery = stack
+    assert wire.decode_response(failover(read_frame())).ok
+    topology_ids = [
+        request_id
+        for transport in transports
+        for method, request_id in transport.seen
+        if method == "shardTopology"
+    ]
+    assert topology_ids == [TOPOLOGY_REQUEST_ID]
+
+
+def test_topology_probe_settles_a_half_open_breaker(stack):
+    failover, transports, _counts, _gallery = stack
+    state = failover._states[0]  # noqa: SLF001
+    # Trip endpoint 0's breaker while its replica is down, then let it
+    # decay to half-open: the lazy topology fetch will consume the single
+    # recovery probe that allow() hands out.
+    transports[0].dead = True
+    for _ in range(3):
+        state.breaker.record_failure()
+    time.sleep(0.06)  # reset_timeout=0.05: OPEN decays to HALF_OPEN
+    assert failover._topology(wire.DIALECT_BINARY) is not None  # noqa: SLF001
+    # The failed probe must be recorded (re-opening the breaker) — a
+    # dangling probe would reject this endpoint on every future call.
+    assert state.breaker.state is BreakerState.OPEN
+    transports[0].dead = False
+    time.sleep(0.06)
+    state.breaker.allow()  # recovered replica admits a probe again
+    state.breaker.record_success()
+    assert state.breaker.state is BreakerState.CLOSED
 
 
 def test_mutations_never_shard_route(stack):

@@ -133,6 +133,27 @@ class TestRoutingAndSurface:
         assert reopened.num_shards == SHARDS
         reopened.close()
 
+    def test_open_only_mode_never_creates_a_layout(self, tmp_path):
+        # create=False is the contract for read-only tooling: a missing
+        # layout is an error and nothing may be written to disk.
+        target = tmp_path / "shards"
+        with pytest.raises(MetadataStoreError):
+            open_sharded_store(str(target), create=False)
+        assert not target.exists()
+        open_sharded_store(str(target), SHARDS).close()
+        reopened = open_sharded_store(str(target), create=False)
+        assert reopened.num_shards == SHARDS
+        reopened.close()
+
+    def test_closed_store_refuses_scatter(self, tmp_path):
+        store = open_sharded_store(str(tmp_path / "shards"), SHARDS)
+        store.close()
+        # A scatter after close() must not silently resurrect the worker
+        # pool (which would leak threads nobody ever shuts down).
+        with pytest.raises(MetadataStoreError):
+            store.shard_counts()
+        assert store._executor is None  # noqa: SLF001
+
 
 class TestDurableState:
     def test_dedup_claims_stay_on_one_shard(self, store):
@@ -167,6 +188,19 @@ class TestDurableState:
         assert store.dead_letters_delete(ids[:3]) == 3
         assert store.dead_letters_count() == 3
         assert store.dead_letters_trim_age(0.0) == 3
+
+    def test_capacity_trims_enforce_a_global_ceiling(self, store):
+        # The budget is divided across shards, so the configured cap bounds
+        # the *total* resident count — not num_shards * capacity.
+        for i in range(20):
+            store.dedup_claim(f"client-{i}", 1)
+            store.dedup_complete(f"client-{i}", 1, b"r")
+        for i in range(20):
+            store.dead_letter_append(f"rule-{i}", "act", "Err", "{}")
+        store.dedup_trim(6)
+        assert store.dedup_count() <= 6
+        store.dead_letters_trim(6)
+        assert store.dead_letters_count() <= 6
 
 
 class TestRebalanceTools:

@@ -76,6 +76,23 @@ def test_fresh_layout_without_legacy(capsys, data_dir, blob_file):
     assert audit["summary"]["shards"]["num_shards"] == 2
 
 
+def test_status_never_plants_a_layout_over_a_legacy_dir(capsys, data_dir,
+                                                        blob_file):
+    # A read-only status probe against an unsharded data dir must fail
+    # loudly instead of creating an empty shards/ layout that would shadow
+    # gallery.sqlite on every subsequent open.
+    run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+    run(capsys, "--data-dir", data_dir, "upload", "p", "demand", blob_file)
+    code, report = run(capsys, "--data-dir", data_dir, "shard", "status")
+    assert code == 1
+    assert report["error"] == "MetadataStoreError"
+    assert not (data_dir / "shards").exists()
+    # the legacy store still serves its data
+    code, hits = run(capsys, "--data-dir", data_dir, "query",
+                     "baseVersionId:equal:demand")
+    assert code == 0 and len(hits) == 1
+
+
 def test_gc_reports_before_and_after_counts(capsys, data_dir):
     run(capsys, "--data-dir", data_dir, "shard", "init", "2")
     code, report = run(capsys, "--data-dir", data_dir, "gc",
