@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-all
+.PHONY: test lint chaos failover drain bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -24,6 +24,11 @@ chaos:
 # kill + restart a replica mid-workload.
 failover:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_failover_replicas.py -m chaos -q
+
+# Graceful-drain scenario only: 3 replicas behind a registry file, 8
+# clients, drain + kill one mid-workload, undrain a rebuilt one.
+drain:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_drain_fleet.py -m chaos -q
 
 # The PR5 suite runs via its pytest gate so `make bench` also *asserts*
 # the acceptance floors (document codec >= 1x JSON, blob codec >= 10x,

@@ -109,12 +109,17 @@ OUTPUT_PATH_PR5 = REPO_ROOT / "BENCH_PR5.json"
 OUTPUT_PATH_PR6 = REPO_ROOT / "BENCH_PR6.json"
 
 
-def _env_metadata(shard_topology: dict | None = None) -> dict:
+def _env_metadata(
+    shard_topology: dict | None = None, fleet: dict | None = None
+) -> dict:
     """Where the numbers came from — stamped into every BENCH JSON.
 
     Every suite records the shard topology its stores ran with; the
     pre-sharding suites run a single-file store, which is exactly a
-    degenerate one-shard layout.
+    degenerate one-shard layout.  Likewise every suite records the fleet
+    it served from — size plus the routing policy the clients used —
+    since a number measured against 1 replica under round-robin is not
+    comparable to one measured against 3 under p2c.
     """
     return {
         "python": platform.python_version(),
@@ -124,6 +129,7 @@ def _env_metadata(shard_topology: dict | None = None) -> dict:
         "cpu_count": os.cpu_count(),
         "shard_topology": shard_topology
         or {"epoch": 0, "num_shards": 1, "ranges": [[0, 1 << 32, 0]]},
+        "fleet": fleet or {"size": 1, "routing": "p2c"},
     }
 
 
@@ -1011,7 +1017,11 @@ def run_pr5(cfg: Pr5BenchConfig | None = None) -> dict:
 
 
 def write_results_pr5(results: dict, path: Path = OUTPUT_PATH_PR5) -> Path:
-    results.setdefault("environment", _env_metadata())
+    fleet = {
+        "size": results["replica_spread"]["replicas"],
+        "routing": "p2c",
+    }
+    results.setdefault("environment", _env_metadata(fleet=fleet))
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 

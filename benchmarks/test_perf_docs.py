@@ -50,3 +50,6 @@ def test_serving_plane_part2_speedups():
     assert spread["batch"] >= spread["replicas"]
     # Environment metadata is stamped so numbers are interpretable.
     assert results["environment"]["cpu_count"] >= 1
+    fleet = results["environment"]["fleet"]
+    assert fleet["size"] == spread["replicas"]
+    assert fleet["routing"] in ("p2c", "roundrobin", "shard")

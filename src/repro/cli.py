@@ -279,6 +279,68 @@ def _cmd_shard_verify(gallery: None, args: argparse.Namespace) -> Any:
     return verify_layout(_shards_dir(args.data_dir), repair=args.repair)
 
 
+# -- fleet administration (online: talks to serving replicas) ------------------
+
+
+def _fleet_client(address: str):
+    """A single-replica client for targeted admin verbs."""
+    from repro.service import connect
+
+    return connect(f"gallery://{address}", client_id="gallery-cli")
+
+
+def _cmd_fleet_status(gallery: None, args: argparse.Namespace) -> Any:
+    from repro.service.membership import fleet_endpoints
+
+    replicas = []
+    for address in fleet_endpoints(args.url):
+        entry: dict[str, Any] = {"address": address}
+        try:
+            client = _fleet_client(address)
+            try:
+                entry.update(client.fleet_status())
+            finally:
+                client.close()
+        except GalleryError as exc:
+            entry["status"] = "unreachable"
+            entry["error"] = str(exc)
+        replicas.append(entry)
+    serving = sum(1 for r in replicas if r.get("status") == "serving")
+    return {"fleet": replicas, "size": len(replicas), "serving": serving}
+
+
+def _cmd_fleet_drain(gallery: None, args: argparse.Namespace) -> Any:
+    import time as _time
+
+    client = _fleet_client(args.address)
+    try:
+        status = client.fleet_drain()
+        if args.wait is not None:
+            deadline = _time.monotonic() + args.wait
+            while status.get("in_flight", 0) > 0:
+                if _time.monotonic() >= deadline:
+                    status["drained"] = False
+                    status["address"] = args.address
+                    return status
+                _time.sleep(0.05)
+                status = client.fleet_status()
+            status["drained"] = True
+        status["address"] = args.address
+        return status
+    finally:
+        client.close()
+
+
+def _cmd_fleet_undrain(gallery: None, args: argparse.Namespace) -> Any:
+    client = _fleet_client(args.address)
+    try:
+        status = client.fleet_undrain()
+        status["address"] = args.address
+        return status
+    finally:
+        client.close()
+
+
 # -- parser ---------------------------------------------------------------
 
 
@@ -433,6 +495,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete misplaced rows (stale copies from an interrupted split)",
     )
     shard_verify.set_defaults(handler=_cmd_shard_verify, offline=True)
+
+    fleet = commands.add_parser(
+        "fleet", help="observe and drain serving replicas over the wire"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_status = fleet_commands.add_parser(
+        "status", help="serving/draining state of every replica in a fleet"
+    )
+    fleet_status.add_argument(
+        "url",
+        help="fleet URL: gallery://h:p,... or a gallery+file:///registry "
+        "/ gallery+http://host/path registry source",
+    )
+    fleet_status.set_defaults(handler=_cmd_fleet_status, offline=True)
+
+    fleet_drain = fleet_commands.add_parser(
+        "drain",
+        help="gracefully drain one replica (finish in-flight, refuse new work)",
+    )
+    fleet_drain.add_argument("address", help="replica host:port")
+    fleet_drain.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="block until the replica reports zero in-flight requests",
+    )
+    fleet_drain.set_defaults(handler=_cmd_fleet_drain, offline=True)
+
+    fleet_undrain = fleet_commands.add_parser(
+        "undrain", help="return a drained replica to service"
+    )
+    fleet_undrain.add_argument("address", help="replica host:port")
+    fleet_undrain.set_defaults(handler=_cmd_fleet_undrain, offline=True)
 
     return parser
 

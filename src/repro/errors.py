@@ -128,6 +128,26 @@ class UnknownMethodError(ServiceError):
     """The service was asked to dispatch a method it does not export."""
 
 
+class ReplicaDrainingError(ServiceError):
+    """The replica is draining and refuses *new* work.
+
+    Answered by a server whose operator ran ``gallery fleet drain``:
+    in-flight requests finish, new ones get this typed rejection.  It is a
+    *routing* signal, not a failure — the request was never executed, so a
+    failover client re-sends it to a different replica without penalizing
+    the draining one's circuit breaker.
+    """
+
+
+class FleetRegistryError(ServiceError):
+    """A fleet registry source could not be read or parsed.
+
+    Raised loudly on malformed registry lines, duplicate endpoints, or an
+    empty registry — a silently dropped replica is an outage waiting to be
+    discovered, and an empty fleet can serve nothing at all.
+    """
+
+
 class LifecycleError(GalleryError):
     """An illegal lifecycle-stage transition was requested (Figure 1)."""
 

@@ -21,6 +21,14 @@ from repro.service.endpoints import (
     FailoverTransport,
     connect,
 )
+from repro.service.membership import (
+    FileRegistrySource,
+    FleetRegistry,
+    HttpRegistrySource,
+    StaticRegistrySource,
+    fleet_from_url,
+    parse_registry,
+)
 from repro.service.server import GalleryService
 from repro.service.wire import (
     DIALECT_BINARY,
@@ -43,16 +51,22 @@ __all__ = [
     "Endpoint",
     "EndpointSet",
     "FailoverTransport",
+    "FileRegistrySource",
+    "FleetRegistry",
     "GalleryClient",
     "GalleryService",
+    "HttpRegistrySource",
     "InProcessTransport",
     "MethodRetryPolicies",
     "PipelineHandle",
     "Request",
     "Response",
     "RetryingTransport",
+    "StaticRegistrySource",
     "connect",
     "connect_in_process",
+    "fleet_from_url",
+    "parse_registry",
     "decode_blob",
     "decode_request",
     "decode_response",

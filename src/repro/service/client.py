@@ -58,6 +58,11 @@ IDEMPOTENT_METHODS = frozenset(
         "auditStorage",
         "selectModel",
         "shardTopology",
+        # fleet control plane: drain/undrain are idempotent flips, status
+        # is a pure read — all safe to retry without a client_id.
+        "fleetStatus",
+        "fleetDrain",
+        "fleetUndrain",
     }
 )
 
@@ -537,6 +542,18 @@ class GalleryClient:
     def shard_topology(self) -> dict[str, Any]:
         """The serving replica's metadata shard map (epoch, ranges, counts)."""
         return self.call("shardTopology")
+
+    def fleet_status(self) -> dict[str, Any]:
+        """The answering replica's serving/draining state."""
+        return self.call("fleetStatus")
+
+    def fleet_drain(self) -> dict[str, Any]:
+        """Flip the answering replica into draining (idempotent)."""
+        return self.call("fleetDrain")
+
+    def fleet_undrain(self) -> dict[str, Any]:
+        """Return the answering replica to service (idempotent)."""
+        return self.call("fleetUndrain")
 
     def collect_orphans(self) -> list[str]:
         return self.call("collectOrphans")

@@ -1,4 +1,4 @@
-"""Replicated serving plane: endpoint sets and client-side failover.
+"""Replicated serving plane: endpoint sets, live membership, and failover.
 
 Gallery at Uber runs its stateless service "horizontally scalable across
 different data centers" (Section 4) — any replica can answer any call
@@ -7,32 +7,54 @@ half of that deployment:
 
 * :class:`EndpointSet` parses a ``gallery://host:port,host:port`` URL into
   an ordered replica list plus connection options (wire dialect, timeout,
-  transport flavour);
-* :class:`FailoverTransport` spreads calls across the replicas — round-robin
-  for load, one :class:`~repro.reliability.breaker.CircuitBreaker` per
-  endpoint so a dead replica is skipped instead of re-probed on every call,
-  and mid-call failover on transport errors.  Replayed mutations stay
+  transport flavour, routing policy);
+* :class:`FailoverTransport` spreads calls across the replicas with
+  **load-aware routing**: per-endpoint latency EWMA plus in-flight depth,
+  power-of-two-choices pick among breaker-admitted non-draining replicas
+  (``routing=roundrobin`` keeps the blind rotation as a baseline), one
+  :class:`~repro.reliability.breaker.CircuitBreaker` per endpoint so a
+  dead replica is skipped instead of re-probed on every call, and
+  mid-call failover on transport errors.  Replayed mutations stay
   exactly-once because every replica shares the durable
   ``(client_id, request_id)`` dedup table (see
   :class:`repro.service.server.DurableRequestDedupCache`);
-* :func:`connect` is the one-line factory that replaces hand-assembled
-  transport stacks: ``client = connect("gallery://10.0.0.1:9000,10.0.0.2:9000")``.
+* **membership is live**: :meth:`FailoverTransport.update_endpoints`
+  swaps the replica set atomically under an epoch stamp — new endpoints
+  join the rotation, departed ones have their connections closed (at once
+  when idle, deferred until their in-flight calls finish otherwise), and
+  surviving endpoints keep their breakers and warm connections.  A
+  :class:`repro.service.membership.FleetRegistry` feeds these swaps from
+  a file/HTTP registry so replicas are added or drained without any
+  client restart;
+* **graceful drain**: a replica answering
+  :class:`~repro.errors.ReplicaDrainingError` is marked draining for a
+  short TTL and routed around — the rejection is a routing signal, not an
+  endpoint failure, so it neither trips the breaker nor consumes the
+  caller's retry budget (the server guarantees a drain-rejected request
+  was never executed, which makes the re-route safe even for mutations);
+* :func:`connect` is the one-line factory:
+  ``connect("gallery://10.0.0.1:9000,10.0.0.2:9000")`` for a static
+  fleet, ``connect("gallery+file:///etc/gallery/fleet.txt")`` for a
+  registry-driven one.
 
 Recovered replicas rejoin automatically: an open breaker decays to
-half-open after its reset timeout, the rotation admits a single probe, and
-one success closes the circuit again.
+half-open after its reset timeout, the pick admits a single probe, and
+one success closes the circuit again.  Undrained replicas rejoin the
+same way — the drain mark expires after its TTL and the next pick either
+sticks (server still draining: re-marked) or serves.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import CircuitOpenError, ServiceError, ValidationError
-from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.breaker import BreakerState, CircuitBreaker
 from repro.service import wire
 from repro.store.sharding import ShardMap
 from repro.service.client import (
@@ -45,12 +67,27 @@ from repro.service.client import (
 from repro.service.server import MUTATING_METHODS
 from repro.service.tcp import PipelinedTcpTransport, TcpTransport
 
+if TYPE_CHECKING:
+    from repro.service.membership import FleetRegistry
+
 #: URL scheme accepted by :meth:`EndpointSet.parse`.
 SCHEME = "gallery"
 
 _DIALECTS = {"binary": wire.DIALECT_BINARY, "json": wire.DIALECT_JSON}
 _TRANSPORTS = ("pipelined", "serial")
-_ROUTINGS = ("roundrobin", "shard")
+_ROUTINGS = ("p2c", "roundrobin", "shard")
+
+#: EWMA smoothing factor for per-endpoint latency (higher = snappier).
+_EWMA_ALPHA = 0.2
+
+#: Seconds a drain rejection keeps an endpoint out of the pick.  Cheap to
+#: keep short: when the mark expires the next pick re-probes the replica,
+#: and a still-draining server just re-marks it with one wasted frame.
+DEFAULT_DRAIN_TTL = 3.0
+
+#: A shard owner is skipped as "overloaded" when its in-flight depth
+#: exceeds the least-loaded admitted replica's by more than this.
+OVERLOAD_DEPTH = 4
 
 #: request_id for the transport's internal ``shardTopology`` fetch.  The
 #: fetch shares the pipelined connection with client calls, and the
@@ -73,29 +110,82 @@ class Endpoint:
         return f"{self.host}:{self.port}"
 
 
+def parse_endpoint_options(query: str) -> dict[str, Any]:
+    """Parse a ``gallery://`` URL's query string into EndpointSet options.
+
+    Shared by :meth:`EndpointSet.parse` and the fleet-URL parser in
+    :mod:`repro.service.membership`.  Unknown keys are rejected loudly.
+    """
+    options: dict[str, Any] = {}
+    if not query:
+        return options
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        if key == "dialect":
+            if value not in _DIALECTS:
+                raise ValidationError(
+                    f"unknown dialect {value!r} (binary or json)"
+                )
+            options["dialect"] = _DIALECTS[value]
+        elif key == "timeout":
+            try:
+                timeout = float(value)
+            except ValueError:
+                raise ValidationError(
+                    f"timeout {value!r} is not a number"
+                ) from None
+            if timeout <= 0:
+                raise ValidationError("timeout must be positive")
+            options["timeout"] = timeout
+        elif key == "transport":
+            if value not in _TRANSPORTS:
+                raise ValidationError(
+                    f"unknown transport {value!r} (pipelined or serial)"
+                )
+            options["transport"] = value
+        elif key == "routing":
+            if value not in _ROUTINGS:
+                raise ValidationError(
+                    f"unknown routing {value!r} (p2c, roundrobin, or shard)"
+                )
+            options["routing"] = value
+        else:
+            raise ValidationError(f"unknown query parameter {key!r}")
+    return options
+
+
 @dataclass(frozen=True, slots=True)
 class EndpointSet:
     """An ordered set of replica endpoints plus connection options.
 
-    Built either directly or from a URL::
+    Built either from a URL or by the membership layer::
 
         gallery://10.0.0.1:9000,10.0.0.2:9000?dialect=binary&timeout=10
 
     Query parameters: ``dialect`` (``binary``, the default, or ``json``),
     ``timeout`` (per-call seconds, default 10), ``transport``
     (``pipelined``, the default, or ``serial`` for one-call-at-a-time
-    connections), and ``routing`` (``roundrobin``, the default, or
-    ``shard`` to prefer the replica owning a read's model coordinate —
-    see :class:`FailoverTransport`).  Unknown parameters, malformed
-    ports, and duplicate hosts are rejected loudly — a silently dropped
-    replica is an outage waiting to be discovered.
+    connections), and ``routing`` (``p2c``, the default — latency-EWMA ×
+    in-flight power-of-two-choices; ``roundrobin`` for the blind
+    rotation; ``shard`` to additionally prefer the replica owning a
+    read's model coordinate — see :class:`FailoverTransport`).  Unknown
+    parameters, malformed ports, and duplicate hosts are rejected
+    loudly — a silently dropped replica is an outage waiting to be
+    discovered.
+
+    Application code should not construct this directly (ruff TID251
+    enforces it): go through :func:`connect` or a
+    :class:`~repro.service.membership.FleetRegistry`, which keep the set
+    in sync with the live fleet.
     """
 
     endpoints: tuple[Endpoint, ...]
     dialect: str = wire.DIALECT_BINARY
     timeout: float = 10.0
     transport: str = "pipelined"
-    routing: str = "roundrobin"
+    routing: str = "p2c"
 
     def __post_init__(self) -> None:
         if not self.endpoints:
@@ -144,51 +234,8 @@ class EndpointSet:
             seen.add((host, port))
             endpoints.append(Endpoint(host, port))
 
-        dialect = wire.DIALECT_BINARY
-        timeout = 10.0
-        transport = "pipelined"
-        routing = "roundrobin"
-        if query:
-            for pair in query.split("&"):
-                if not pair:
-                    continue
-                key, _, value = pair.partition("=")
-                if key == "dialect":
-                    if value not in _DIALECTS:
-                        raise ValidationError(
-                            f"unknown dialect {value!r} (binary or json)"
-                        )
-                    dialect = _DIALECTS[value]
-                elif key == "timeout":
-                    try:
-                        timeout = float(value)
-                    except ValueError:
-                        raise ValidationError(
-                            f"timeout {value!r} is not a number"
-                        ) from None
-                    if timeout <= 0:
-                        raise ValidationError("timeout must be positive")
-                elif key == "transport":
-                    if value not in _TRANSPORTS:
-                        raise ValidationError(
-                            f"unknown transport {value!r} (pipelined or serial)"
-                        )
-                    transport = value
-                elif key == "routing":
-                    if value not in _ROUTINGS:
-                        raise ValidationError(
-                            f"unknown routing {value!r} (roundrobin or shard)"
-                        )
-                    routing = value
-                else:
-                    raise ValidationError(f"unknown query parameter {key!r}")
-
         return cls(
-            endpoints=tuple(endpoints),
-            dialect=dialect,
-            timeout=timeout,
-            transport=transport,
-            routing=routing,
+            endpoints=tuple(endpoints), **parse_endpoint_options(query)
         )
 
 
@@ -216,21 +263,88 @@ class _ResolvedExchange:
         return True
 
 
-@dataclass
+@dataclass(eq=False)
 class _EndpointState:
-    """One replica: its lazily dialed transport plus its circuit breaker."""
+    """One replica: lazily dialed transport, breaker, and load meters.
+
+    ``eq=False`` keeps identity semantics (states live in sets during
+    drain re-routing, and two states for the same address are still two
+    different connections).
+    """
 
     endpoint: Endpoint
     factory: Callable[[Endpoint], Transport]
     breaker: CircuitBreaker
     _transport: Transport | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock)
+    _meter: threading.Lock = field(default_factory=threading.Lock)
+    #: latency EWMA over successful calls, seconds (None until measured)
+    ewma: float | None = None
+    #: calls currently on the wire to this endpoint
+    in_flight: int = 0
+    #: monotonic timestamp until which the endpoint is considered draining
+    draining_until: float = 0.0
+    #: set when the endpoint left the membership; close deferred until
+    #: its in-flight calls finish
+    retired: bool = False
 
     def transport(self) -> Transport:
         with self._lock:
             if self._transport is None:
                 self._transport = self.factory(self.endpoint)
             return self._transport
+
+    # -- load metering --------------------------------------------------------
+
+    def begin(self) -> None:
+        with self._meter:
+            self.in_flight += 1
+
+    def end(self) -> None:
+        close_now = False
+        with self._meter:
+            self.in_flight -= 1
+            close_now = self.retired and self.in_flight <= 0
+        if close_now:
+            self.close()
+
+    def observe(self, latency: float) -> None:
+        """Fold one successful call's latency into the EWMA."""
+        if latency < 0:
+            return
+        with self._meter:
+            if self.ewma is None:
+                self.ewma = latency
+            else:
+                self.ewma += _EWMA_ALPHA * (latency - self.ewma)
+
+    def score(self) -> float:
+        """Load score: latency estimate scaled by queue depth.
+
+        Unmeasured endpoints score 0 — the most attractive — so a fresh
+        replica gets probed (and measured) quickly instead of starving.
+        """
+        with self._meter:
+            return (self.ewma or 0.0) * (1 + self.in_flight)
+
+    # -- drain / retirement ---------------------------------------------------
+
+    def mark_draining(self, until: float) -> None:
+        self.draining_until = until
+
+    def is_draining(self, now: float) -> bool:
+        return now < self.draining_until
+
+    def retire(self) -> None:
+        """Departed from membership: close as soon as in-flight drains."""
+        close_now = False
+        with self._meter:
+            self.retired = True
+            close_now = self.in_flight <= 0
+        if close_now:
+            self.close()
+
+    # -- connection lifecycle -------------------------------------------------
 
     def reset(self) -> None:
         """Close and discard the transport; the next call dials fresh."""
@@ -251,8 +365,29 @@ class _EndpointState:
 class FailoverTransport:
     """Routes frames across replica endpoints with breaker-aware failover.
 
-    * **Reads** rotate round-robin over the endpoints whose breaker admits
-      traffic, spreading load and skipping replicas that recently failed.
+    * **Load-aware picks** (the ``p2c`` default): every endpoint carries a
+      latency EWMA (updated on each answered call) and an in-flight
+      counter; a pick samples two distinct breaker-admitted, non-draining
+      replicas and takes the lower ``ewma × (1 + in_flight)`` score.  A
+      measurably slow or busy replica keeps serving — just much less —
+      and unmeasured replicas score 0 so new endpoints are probed
+      immediately.  ``routing=roundrobin`` restores the blind rotation.
+    * **Live membership**: :meth:`update_endpoints` atomically swaps the
+      replica set under an epoch stamp.  Surviving endpoints keep their
+      breakers, EWMA, and warm connections; departed ones are retired —
+      closed at once when idle, or as soon as their last in-flight call
+      finishes, so a membership change never cuts a request mid-flight.
+      Wire a :class:`~repro.service.membership.FleetRegistry` to this via
+      ``registry.subscribe(transport.update_endpoints)``.
+    * **Graceful drain**: a replica answering
+      :class:`~repro.errors.ReplicaDrainingError` was *never going to
+      execute the request*, so the call is transparently re-sent to a
+      different replica — no breaker penalty, no retry-budget charge —
+      and the draining endpoint is kept out of picks for
+      ``drain_ttl`` seconds (after which it is re-probed; an undrained
+      replica rejoins with no push notification needed).  Only when every
+      replica reports draining does the typed error surface to the
+      caller, who can retry later.
     * **Transport errors** (connection refused/reset, wire breakage) count
       against that endpoint's breaker, drop its connection, and fail the
       call over to the next endpoint immediately — no backoff, because a
@@ -266,19 +401,19 @@ class FailoverTransport:
       hiccuped, and hammering a different replica of the same store gains
       nothing beyond the rotation it gets anyway.
     * A tripped breaker decays to half-open after ``reset_timeout``; the
-      rotation then admits one probe call, and a single success closes the
+      pick then admits one probe call, and a single success closes the
       circuit (recovered replicas rejoin without operator action).
-    * With ``routing=shard`` (opt-in via the URL or ``shard_routing=True``)
-      the transport lazily fetches the replicas' shard map once via the
-      ``shardTopology`` method and then *prefers* the replica owning a
-      read's model coordinate — shard ``s`` maps to endpoint ``s % N`` —
-      so repeated queries for one coordinate keep hitting the replica
-      whose page cache and document cache already hold it.  Routable reads
-      are those carrying a ``base_version_id`` param or a ``baseVersionId``
-      equality constraint; everything else (and every mutation) keeps the
-      round-robin rotation, and an unhealthy owner falls back to any
-      admitted replica.  A failed topology fetch degrades silently to
-      round-robin; call :meth:`refresh_topology` after a rebalance.
+    * With ``routing=shard`` the transport lazily fetches the replicas'
+      shard map once via the ``shardTopology`` method and then *prefers*
+      the replica owning a read's model coordinate — shard ``s`` maps to
+      endpoint ``s % N`` — so repeated queries for one coordinate keep
+      hitting the replica whose page cache and document cache already
+      hold it.  The owner is skipped when it is draining or overloaded
+      (its in-flight depth exceeds the least-loaded replica's by more
+      than :data:`OVERLOAD_DEPTH`); everything unroutable (and every
+      mutation) falls back to the p2c pick, and a failed topology fetch
+      degrades silently.  Call :meth:`refresh_topology` after a
+      rebalance.
 
     The retry budget is the same :class:`MethodRetryPolicies` the
     single-endpoint stack uses, counted across *all* endpoints — a call
@@ -298,6 +433,8 @@ class FailoverTransport:
         clock: Callable[[], float] = time.monotonic,
         spread_batches: bool = True,
         shard_routing: bool | None = None,
+        drain_ttl: float = DEFAULT_DRAIN_TTL,
+        rng: random.Random | None = None,
     ) -> None:
         if isinstance(endpoints, str):
             endpoints = EndpointSet.parse(endpoints)
@@ -308,35 +445,57 @@ class FailoverTransport:
         self.endpoint_set = endpoint_set
         if transport_factory is None:
             transport_factory = self._default_factory(endpoint_set)
+        self._transport_factory = transport_factory
+        self._failure_threshold = failure_threshold
+        self._reset_timeout = reset_timeout
         self._policies = policies or MethodRetryPolicies.default()
         self._transient_errors = transient_errors
         self._sleep = sleep
         self._clock = clock
+        self._drain_ttl = drain_ttl
+        # Seeded by default so routing decisions are reproducible run to
+        # run (and in tests); inject an rng to vary or pin them.
+        self._rng = rng or random.Random(0x9E3779B9)
+        routing = endpoint_set.routing
+        if shard_routing is True:
+            routing = "shard"
+        elif shard_routing is False and routing == "shard":
+            routing = "p2c"
+        self._routing = routing
         self._states = [
-            _EndpointState(
-                endpoint=endpoint,
-                factory=transport_factory,
-                breaker=CircuitBreaker(
-                    failure_threshold=failure_threshold,
-                    reset_timeout=reset_timeout,
-                    name=endpoint.address,
-                ),
-            )
-            for endpoint in endpoint_set.endpoints
+            self._new_state(endpoint) for endpoint in endpoint_set.endpoints
         ]
         self._rr_lock = threading.Lock()
         self._rr_next = 0
+        self._swap_lock = threading.Lock()
+        self._retiring: list[_EndpointState] = []
+        self._registry: "FleetRegistry | None" = None
         self._spread_batches = spread_batches
-        if shard_routing is None:
-            shard_routing = endpoint_set.routing == "shard"
-        self._shard_routing = shard_routing
         self._shard_map: ShardMap | None = None
         self._topology_lock = threading.Lock()
         self._topology_attempted = False
+        #: epoch of the membership set currently routing (0 = the initial
+        #: set; registry swaps stamp their epoch here)
+        self.membership_epoch = 0
+        #: total membership swaps applied via update_endpoints()
+        self.membership_swaps = 0
         #: total frames put on a wire (includes retries)
         self.attempts = 0
         #: calls that moved to a different endpoint after a transport error
         self.failovers = 0
+        #: calls transparently re-routed off a draining replica
+        self.drain_reroutes = 0
+
+    def _new_state(self, endpoint: Endpoint) -> _EndpointState:
+        return _EndpointState(
+            endpoint=endpoint,
+            factory=self._transport_factory,
+            breaker=CircuitBreaker(
+                failure_threshold=self._failure_threshold,
+                reset_timeout=self._reset_timeout,
+                name=endpoint.address,
+            ),
+        )
 
     @staticmethod
     def _default_factory(
@@ -356,6 +515,10 @@ class FailoverTransport:
     def endpoints(self) -> tuple[Endpoint, ...]:
         return self.endpoint_set.endpoints
 
+    @property
+    def routing(self) -> str:
+        return self._routing
+
     def breaker_states(self) -> dict[str, str]:
         """Endpoint address -> breaker state, for operators and tests."""
         return {
@@ -363,31 +526,159 @@ class FailoverTransport:
             for state in self._states
         }
 
+    def load_report(self) -> dict[str, dict[str, Any]]:
+        """Per-endpoint routing signals, for operators and tests."""
+        now = self._clock()
+        report = {}
+        for state in self._states:
+            report[state.endpoint.address] = {
+                "ewma_ms": None if state.ewma is None else state.ewma * 1000.0,
+                "in_flight": state.in_flight,
+                "draining": state.is_draining(now),
+                "breaker": state.breaker.state.value,
+            }
+        return report
+
+    # -- live membership ------------------------------------------------------
+
+    def update_endpoints(
+        self,
+        endpoints: EndpointSet | Sequence[Endpoint],
+        epoch: int | None = None,
+    ) -> bool:
+        """Atomically swap the replica set; True when membership changed.
+
+        Endpoints present in both sets keep their state (breaker, EWMA,
+        warm connection); new ones join cold; departed ones are retired —
+        their connections close immediately when idle, or as soon as
+        their in-flight calls finish, so a swap never cuts a request
+        mid-flight.  The swap is a single list-reference assignment:
+        concurrent calls that already snapshotted the old list finish on
+        the old set, everything after sees the new one.
+        """
+        if isinstance(endpoints, EndpointSet):
+            new_endpoints = endpoints.endpoints
+        else:
+            new_endpoints = tuple(endpoints)
+        if not new_endpoints:
+            raise ValidationError(
+                "refusing to swap in an empty endpoint set; a fleet needs "
+                "at least one replica"
+            )
+        with self._swap_lock:
+            current = {state.endpoint: state for state in self._states}
+            changed = tuple(current) != new_endpoints
+            states = [
+                current.pop(endpoint, None) or self._new_state(endpoint)
+                for endpoint in new_endpoints
+            ]
+            departed = list(current.values())
+            self._states = states
+            self.endpoint_set = replace(
+                self.endpoint_set, endpoints=new_endpoints
+            )
+            if epoch is not None:
+                self.membership_epoch = epoch
+            elif changed:
+                self.membership_epoch += 1
+            if changed:
+                self.membership_swaps += 1
+            if departed:
+                self._retiring = [
+                    state
+                    for state in self._retiring + departed
+                    if state.in_flight > 0
+                ]
+        for state in departed:
+            state.retire()
+        return changed
+
+    def attach_registry(self, registry: "FleetRegistry") -> None:
+        """Adopt a registry's lifecycle: ``close()`` stops its poller."""
+        self._registry = registry
+
     # -- routing --------------------------------------------------------------
 
-    def _rotation(self) -> list[_EndpointState]:
+    def _rotation(self, states: list[_EndpointState]) -> list[_EndpointState]:
+        if not states:
+            return []
         with self._rr_lock:
             start = self._rr_next
-            self._rr_next = (self._rr_next + 1) % len(self._states)
-        count = len(self._states)
-        return [self._states[(start + i) % count] for i in range(count)]
+            self._rr_next = (self._rr_next + 1) % len(states)
+        count = len(states)
+        return [states[(start + i) % count] for i in range(count)]
+
+    def _pick_order(
+        self,
+        preferred: _EndpointState | None,
+        exclude: set[_EndpointState],
+    ) -> list[_EndpointState]:
+        """Candidate endpoints, best first.
+
+        Open breakers are filtered out by *peeking* at their state (the
+        winner's ``allow()`` is what consumes a half-open probe — peeking
+        never does).  Draining replicas go last, as a better-than-nothing
+        fallback when the whole fleet is draining.
+        """
+        now = self._clock()
+        active: list[_EndpointState] = []
+        draining: list[_EndpointState] = []
+        for state in self._rotation(self._states):
+            if state in exclude or state.breaker.state is BreakerState.OPEN:
+                continue
+            (draining if state.is_draining(now) else active).append(state)
+        if self._routing == "roundrobin" or len(active) < 2:
+            ordered = active + draining
+        else:
+            winner = self._p2c_pick(active)
+            ordered = (
+                [winner]
+                + [state for state in active if state is not winner]
+                + draining
+            )
+        if preferred is not None and self._prefer(preferred, active):
+            ordered = [preferred] + [
+                state for state in ordered if state is not preferred
+            ]
+        return ordered
+
+    def _p2c_pick(self, active: list[_EndpointState]) -> _EndpointState:
+        """Power of two choices over *active* (rotation-ordered, len >= 2).
+
+        Ties (e.g. several unmeasured endpoints) break toward rotation
+        order, so an idle homogeneous fleet still spreads instead of
+        pinning.
+        """
+        if len(active) == 2:
+            pair = active
+        else:
+            pair = self._rng.sample(active, 2)
+        return min(pair, key=lambda state: (state.score(), active.index(state)))
+
+    @staticmethod
+    def _prefer(
+        preferred: _EndpointState, active: list[_EndpointState]
+    ) -> bool:
+        """Shard owners win only while healthy, non-draining, and not
+        carrying :data:`OVERLOAD_DEPTH` more in-flight calls than the
+        least-loaded admitted replica."""
+        if not any(state is preferred for state in active):
+            return False  # draining, breaker-open, excluded, or departed
+        least_loaded = min(state.in_flight for state in active)
+        return preferred.in_flight <= least_loaded + OVERLOAD_DEPTH
 
     def _admit(
-        self, preferred: _EndpointState | None = None
+        self,
+        preferred: _EndpointState | None = None,
+        exclude: set[_EndpointState] | None = None,
     ) -> _EndpointState | None:
-        """Next endpoint whose breaker lets the call through, if any.
+        """Best endpoint whose breaker lets the call through, if any.
 
         ``allow()`` is asked one endpoint at a time so a half-open breaker
         spends its single probe only on a call that actually goes to that
-        endpoint.  A *preferred* endpoint (shard-aware routing) is tried
-        first; the rotation is the fallback.
+        endpoint.
         """
-        candidates = self._rotation()
-        if preferred is not None:
-            candidates = [preferred] + [
-                state for state in candidates if state is not preferred
-            ]
-        for state in candidates:
+        for state in self._pick_order(preferred, exclude or set()):
             try:
                 state.breaker.allow()
             except CircuitOpenError:
@@ -422,7 +713,7 @@ class FailoverTransport:
 
         Any failure — no healthy replica yet, an old server without the
         ``shardTopology`` method, a malformed payload — leaves the map
-        unset and routing degrades to plain round-robin.
+        unset and routing degrades to the plain load-aware pick.
         """
         if self._shard_map is not None:
             return self._shard_map
@@ -439,7 +730,7 @@ class FailoverTransport:
                 ),
                 dialect,
             )
-            for state in self._rotation():
+            for state in self._rotation(self._states):
                 try:
                     state.breaker.allow()
                 except CircuitOpenError:
@@ -460,7 +751,7 @@ class FailoverTransport:
                         continue  # e.g. an old server without the method
                     self._shard_map = ShardMap.from_dict(response.result)
                     return self._shard_map
-                except Exception:  # noqa: BLE001 - degrade to round-robin
+                except Exception:  # noqa: BLE001 - degrade to p2c
                     continue
             return None
 
@@ -481,7 +772,8 @@ class FailoverTransport:
         self, request: wire.Request | None
     ) -> _EndpointState | None:
         """The endpoint owning a routable read's shard, under shard routing."""
-        if not self._shard_routing or len(self._states) < 2:
+        states = self._states
+        if self._routing != "shard" or len(states) < 2:
             return None
         key = self._route_key(request)
         if key is None:
@@ -491,7 +783,7 @@ class FailoverTransport:
         )
         if shard_map is None:
             return None
-        return self._states[shard_map.shard_for(key) % len(self._states)]
+        return states[shard_map.shard_for(key) % len(states)]
 
     @staticmethod
     def _can_retry(request: wire.Request | None) -> bool:
@@ -522,9 +814,18 @@ class FailoverTransport:
 
         last_error: BaseException | None = None
         transient_raw: bytes | None = None
+        draining_raw: bytes | None = None
+        drained: set[_EndpointState] = set()
+        # Endpoints that already failed *this call* at the transport level.
+        # Without this exclusion the load-aware pick re-selects a freshly
+        # dead replica every attempt — it has no EWMA measurement, so it
+        # scores 0 ("most attractive") until its breaker finally opens,
+        # burning the whole retry budget on one corpse.
+        failed: set[_EndpointState] = set()
         backoff_next = False  # sleep before the next attempt?
         retry_number = 1  # RetryPolicy.backoff is 1-based
-        for attempt in range(attempts_allowed):
+        attempt = 0
+        while attempt < attempts_allowed:
             if attempt and backoff_next:
                 delay = policy.backoff(retry_number)
                 retry_number += 1
@@ -536,8 +837,19 @@ class FailoverTransport:
                 break
             # Only the first attempt honours shard preference: a failed
             # owner should not be re-picked over healthy fallbacks.
-            state = self._admit(preferred if attempt == 0 else None)
+            state = self._admit(
+                preferred if attempt == 0 else None, drained | failed
+            )
+            if state is None and failed:
+                # Every non-excluded endpoint is out; give already-failed
+                # ones another chance rather than faking a full outage.
+                failed.clear()
+                state = self._admit(None, drained)
             if state is None:
+                if draining_raw is not None:
+                    # Every reachable replica is draining: surface the
+                    # typed retryable error instead of faking an outage.
+                    return draining_raw
                 # Every breaker is open: nothing to try right now.  Back
                 # off toward the reset timeout so a half-open probe becomes
                 # possible, then go around again.
@@ -547,41 +859,65 @@ class FailoverTransport:
                 )
                 transient_raw = None
                 backoff_next = True
+                attempt += 1
                 continue
             self.attempts += 1
+            state.begin()
+            started = self._clock()
             try:
                 raw = state.transport()(data)
             except (ServiceError, OSError) as exc:
+                state.end()
                 # The replica (or the path to it) is broken: penalize its
                 # breaker, drop its connection, and fail over immediately.
                 state.breaker.record_failure()
                 state.reset()
+                failed.add(state)
                 if retryable and attempt + 1 < attempts_allowed:
                     self.failovers += 1
                 last_error = exc
                 transient_raw = None
                 backoff_next = False
+                attempt += 1
                 continue
+            state.end()
             state.breaker.record_success()
             try:
                 response = wire.decode_response(raw)
             except Exception:  # noqa: BLE001 - hand back verbatim
+                state.observe(self._clock() - started)
                 return raw
+            if not response.ok and response.error_type == "ReplicaDrainingError":
+                # A routing signal, not a failure: the server never
+                # executed the request (safe to re-send anywhere, even a
+                # mutation without a client_id), so route elsewhere for
+                # free — no breaker penalty, no retry-budget charge.  The
+                # drain mark keeps this endpoint out of picks until its
+                # TTL expires and the replica is re-probed.
+                state.mark_draining(self._clock() + self._drain_ttl)
+                drained.add(state)
+                draining_raw = raw
+                self.drain_reroutes += 1
+                continue
+            state.observe(self._clock() - started)
             if (
                 retryable
                 and not response.ok
                 and response.error_type in self._transient_errors
             ):
                 # The replica is fine; its dependency flaked.  Retry with
-                # backoff (and rotation), but leave the breaker alone.
+                # backoff (and a fresh pick), but leave the breaker alone.
                 transient_raw = raw
                 last_error = None
                 backoff_next = True
+                attempt += 1
                 continue
             return raw
 
         if transient_raw is not None:
             return transient_raw  # retries exhausted: surface the real error
+        if draining_raw is not None and last_error is None:
+            return draining_raw
         if isinstance(last_error, CircuitOpenError):
             raise last_error
         raise ServiceError(
@@ -592,16 +928,16 @@ class FailoverTransport:
         """Ship a pipelined batch across the healthy endpoints.
 
         With ``spread_batches`` (the default) the batch is sharded
-        round-robin across every breaker-admitted replica — each shard goes
-        out through its own connection, responses stream back concurrently,
-        and the returned handles are re-knit into the caller's original
-        frame order.  A shard whose submission fails fails over to the
-        next admitted endpoint before giving up (safe: a batch whose send
-        fails never reaches the server, and the pipelined transport
-        discards its registrations when the connection drops).  Once
-        submitted, individual exchanges resolve or fail on their own —
-        per-item retry is the caller's decision, exactly as with a direct
-        :class:`PipelinedTcpTransport`.
+        round-robin across every breaker-admitted, non-draining replica —
+        each shard goes out through its own connection, responses stream
+        back concurrently, and the returned handles are re-knit into the
+        caller's original frame order.  A shard whose submission fails
+        fails over to the next admitted endpoint before giving up (safe:
+        a batch whose send fails never reaches the server, and the
+        pipelined transport discards its registrations when the
+        connection drops).  Once submitted, individual exchanges resolve
+        or fail on their own — per-item retry is the caller's decision,
+        exactly as with a direct :class:`PipelinedTcpTransport`.
 
         ``spread_batches=False`` pins the whole batch to one endpoint
         (PR 4 behaviour), which benchmarks use as the baseline.
@@ -645,9 +981,19 @@ class FailoverTransport:
         return exchanges
 
     def _admitted_states(self, limit: int) -> list[_EndpointState]:
-        """Up to *limit* endpoints whose breakers admit traffic right now."""
+        """Up to *limit* endpoints whose breakers admit traffic right now.
+
+        Draining replicas are only admitted when nothing else is — a
+        batch pinned to a draining server would bounce off its drain gate
+        frame by frame.
+        """
+        now = self._clock()
+        ordered = self._rotation(self._states)
+        candidates = [s for s in ordered if not s.is_draining(now)] + [
+            s for s in ordered if s.is_draining(now)
+        ]
         admitted: list[_EndpointState] = []
-        for state in self._rotation():
+        for state in candidates:
             if len(admitted) >= limit:
                 break
             try:
@@ -700,8 +1046,18 @@ class FailoverTransport:
             return _ResolvedExchange(None, exc)
 
     def close(self) -> None:
-        """Close every endpoint's connection (idle or active)."""
-        for state in self._states:
+        """Close every endpoint's connection (idle, active, or retiring)
+        and stop the attached fleet registry's poller, if any."""
+        registry, self._registry = self._registry, None
+        if registry is not None:
+            try:
+                registry.stop()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        with self._swap_lock:
+            retiring, self._retiring = self._retiring, []
+            states = list(self._states)
+        for state in states + retiring:
             state.close()
 
     def __enter__(self) -> "FailoverTransport":
@@ -730,16 +1086,31 @@ def connect(
 
     Accepts a ``gallery://`` URL (or a prebuilt :class:`EndpointSet`) and
     returns a :class:`GalleryClient` over a :class:`FailoverTransport` —
-    round-robin reads, breaker-aware endpoint skipping, mid-call failover,
-    per-method retry budgets, and exactly-once mutations via the stable
-    ``client_id`` the server replicas deduplicate on.  Also works fine
-    with a single endpoint: the failover machinery then degrades to
-    reconnect-and-retry against that one address.
+    load-aware reads, breaker-aware endpoint skipping, mid-call failover,
+    graceful-drain re-routing, per-method retry budgets, and exactly-once
+    mutations via the stable ``client_id`` the server replicas
+    deduplicate on.  Also works fine with a single endpoint: the failover
+    machinery then degrades to reconnect-and-retry against that address.
 
-    Close the client (or use it as a context manager) to release every
-    replica connection.
+    A ``gallery+file://`` or ``gallery+http(s)://`` URL names a **fleet
+    registry** instead of a fixed endpoint list::
+
+        client = connect("gallery+file:///etc/gallery/fleet.txt?poll=1")
+
+    The registry is polled in the background and every membership change
+    is swapped into the transport live — replicas are added, drained, and
+    removed without the client restarting.  Closing the client stops the
+    poller along with every replica connection.
     """
-    endpoint_set = EndpointSet.parse(url) if isinstance(url, str) else url
+    registry = None
+    if isinstance(url, str) and url.partition("://")[0].startswith(
+        f"{SCHEME}+"
+    ):
+        from repro.service.membership import fleet_from_url
+
+        registry, endpoint_set = fleet_from_url(url)
+    else:
+        endpoint_set = EndpointSet.parse(url) if isinstance(url, str) else url
     transport = FailoverTransport(
         endpoint_set,
         policies=policies,
@@ -747,6 +1118,10 @@ def connect(
         failure_threshold=failure_threshold,
         reset_timeout=reset_timeout,
     )
+    if registry is not None:
+        registry.subscribe(transport.update_endpoints, replay=False)
+        transport.attach_registry(registry)
+        registry.start()
     return GalleryClient(
         transport, client_id=client_id, dialect=endpoint_set.dialect
     )

@@ -14,12 +14,18 @@ error responses that clients re-raise as the original exception classes.
 from __future__ import annotations
 
 import threading
+import time
 
 from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.core.registry import Gallery
-from repro.errors import ServiceError, UnknownMethodError, ValidationError
+from repro.errors import (
+    ReplicaDrainingError,
+    ServiceError,
+    UnknownMethodError,
+    ValidationError,
+)
 from repro.rules.engine import RuleEngine
 from repro.rules.rule import Rule
 from repro.service import wire
@@ -42,6 +48,16 @@ MUTATING_METHODS = frozenset(
         "collectOrphans",
         "triggerRule",
     }
+)
+
+#: Control-plane methods a replica keeps answering even while draining —
+#: operators must be able to observe and reverse a drain over the same
+#: wire that refuses data-plane work, and topology discovery must keep
+#: working so clients can learn *where else* to go.  These are also
+#: excluded from the in-flight count a drain waits on, so a
+#: ``fleet drain --wait`` issued over the wire cannot deadlock on itself.
+ADMIN_METHODS = frozenset(
+    {"fleetStatus", "fleetDrain", "fleetUndrain", "shardTopology"}
 )
 
 
@@ -228,10 +244,111 @@ class GalleryService:
             "auditStorage": self._audit_storage,
             "collectOrphans": self._collect_orphans,
             "shardTopology": self._shard_topology,
+            # fleet control plane
+            "fleetStatus": self._fleet_status,
+            "fleetDrain": self._fleet_drain,
+            "fleetUndrain": self._fleet_undrain,
             # rule engine
             "selectModel": self._select_model,
             "triggerRule": self._trigger_rule,
         }
+        # -- drain state: flip via drain()/undrain(); data-plane requests
+        # are refused (typed, retryable) while set, in-flight ones finish.
+        self._draining = threading.Event()
+        self._drain_started_at: float | None = None
+        self._inflight = 0
+        self._drain_cond = threading.Condition()
+
+    # -- graceful drain -------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def active_requests(self) -> int:
+        """Data-plane requests currently executing (admin calls excluded)."""
+        return self._inflight
+
+    def drain(self) -> None:
+        """Stop accepting new data-plane work; in-flight requests finish.
+
+        Idempotent.  New non-admin requests are answered with a typed,
+        retryable :class:`ReplicaDrainingError` — a routing signal failover
+        clients obey by re-sending elsewhere without penalizing this
+        replica's breaker.
+        """
+        if not self._draining.is_set():
+            self._drain_started_at = time.time()
+            self._draining.set()
+
+    def undrain(self) -> None:
+        """Return the replica to service (idempotent)."""
+        self._draining.clear()
+        self._drain_started_at = None
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight data-plane request has finished.
+
+        Returns ``False`` if *timeout* elapsed with work still in flight.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._drain_cond:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drain_cond.wait(remaining)
+        return True
+
+    def _refusal_frame(self, request: wire.Request) -> bytes | None:
+        """The drain rejection for *request*, or ``None`` when admitted."""
+        if not self._draining.is_set() or request.method in ADMIN_METHODS:
+            return None
+        return wire.encode_response(
+            wire.error_response(
+                ReplicaDrainingError(
+                    "replica is draining: request was not executed;"
+                    " send it to another replica"
+                ),
+                request.request_id,
+            ),
+            request.dialect,
+        )
+
+    def _begin_request(self, request: wire.Request) -> bool:
+        """Count *request* in-flight; admin methods are never counted."""
+        if request.method in ADMIN_METHODS:
+            return False
+        with self._drain_cond:
+            self._inflight += 1
+        return True
+
+    def _end_request(self) -> None:
+        with self._drain_cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._drain_cond.notify_all()
+
+    def _fleet_status(self) -> dict[str, Any]:
+        """This replica's serving state, as advertised on the wire."""
+        draining = self._draining.is_set()
+        return {
+            "status": "draining" if draining else "serving",
+            "draining": draining,
+            "in_flight": self._inflight,
+            "drain_started_at": self._drain_started_at,
+        }
+
+    def _fleet_drain(self) -> dict[str, Any]:
+        self.drain()
+        return self._fleet_status()
+
+    def _fleet_undrain(self) -> dict[str, Any]:
+        self.undrain()
+        return self._fleet_status()
 
     # -- dispatch -------------------------------------------------------------
 
@@ -311,12 +428,33 @@ class GalleryService:
                 single=self._handle_request(request),
                 request_id=request.request_id,
             )
-        response = self.dispatch(request)
+        refusal = self._refusal_frame(request)
+        if refusal is not None:
+            return wire.ResponseStream(
+                single=refusal, request_id=request.request_id
+            )
+        counted = self._begin_request(request)
+        try:
+            response = self.dispatch(request)
+        finally:
+            if counted:
+                self._end_request()
         return wire.encode_response_stream(
             response, request.dialect, chunk_size=chunk_size
         )
 
     def _handle_request(self, request: wire.Request) -> bytes:
+        refusal = self._refusal_frame(request)
+        if refusal is not None:
+            return refusal
+        counted = self._begin_request(request)
+        try:
+            return self._execute_request(request)
+        finally:
+            if counted:
+                self._end_request()
+
+    def _execute_request(self, request: wire.Request) -> bytes:
         dedup_key: tuple[str, int] | None = None
         if (
             request.client_id
@@ -557,13 +695,19 @@ class GalleryService:
         """
         topology = getattr(self._gallery.dal.metadata, "shard_topology", None)
         if topology is not None:
-            return topology()
-        return {
-            "epoch": 0,
-            "num_shards": 1,
-            "ranges": [[0, 1 << 32, 0]],
-            "shard_counts": [dict(self._gallery.dal.metadata.counts())],
-        }
+            payload = dict(topology())
+        else:
+            payload = {
+                "epoch": 0,
+                "num_shards": 1,
+                "ranges": [[0, 1 << 32, 0]],
+                "shard_counts": [dict(self._gallery.dal.metadata.counts())],
+            }
+        # Piggyback the serving state so shard-aware clients learn about a
+        # drain from the topology fetch they already make.  ShardMap reads
+        # only the keys it knows, so old clients ignore this for free.
+        payload["fleet"] = self._fleet_status()
+        return payload
 
     def _require_engine(self) -> RuleEngine:
         if self._engine is None:

@@ -501,6 +501,7 @@ class GalleryTcpServer:
         self._core = _EventLoopCore(
             (host, port), service, workers, chunk_size=chunk_size
         )
+        self._service = service
         self._thread: threading.Thread | None = None
         #: outcome of the last stop(): False when the loop or a worker had
         #: to be abandoned past its join timeout.
@@ -510,6 +511,26 @@ class GalleryTcpServer:
     def address(self) -> tuple[str, int]:
         host, port = self._core.address
         return str(host), int(port)
+
+    @property
+    def draining(self) -> bool:
+        return self._service.draining
+
+    def drain(self, wait_timeout: float | None = None) -> bool:
+        """Flip the replica into draining and wait for in-flight work.
+
+        New data-plane requests are refused with a typed retryable
+        :class:`~repro.errors.ReplicaDrainingError`; admin methods keep
+        answering.  Returns ``True`` once every in-flight request finished
+        (``False`` if *wait_timeout* elapsed first).  The listener stays
+        up — call :meth:`stop` afterwards for a zero-loss shutdown, or
+        :meth:`undrain` to return to service.
+        """
+        self._service.drain()
+        return self._service.wait_drained(wait_timeout)
+
+    def undrain(self) -> None:
+        self._service.undrain()
 
     def start(self) -> "GalleryTcpServer":
         if self._thread is not None:
@@ -646,6 +667,7 @@ class ThreadedGalleryTcpServer:
     def __init__(self, service: GalleryService, host: str = "127.0.0.1", port: int = 0) -> None:
         self._server = _ThreadedServer((host, port), _ConnectionHandler)
         self._server.gallery_service = service  # type: ignore[attr-defined]
+        self._service = service
         self._thread: threading.Thread | None = None
         self.stopped_cleanly = True
 
@@ -653,6 +675,18 @@ class ThreadedGalleryTcpServer:
     def address(self) -> tuple[str, int]:
         host, port = self._server.server_address[:2]
         return str(host), int(port)
+
+    @property
+    def draining(self) -> bool:
+        return self._service.draining
+
+    def drain(self, wait_timeout: float | None = None) -> bool:
+        """Same drain semantics as :meth:`GalleryTcpServer.drain`."""
+        self._service.drain()
+        return self._service.wait_drained(wait_timeout)
+
+    def undrain(self) -> None:
+        self._service.undrain()
 
     def start(self) -> "ThreadedGalleryTcpServer":
         if self._thread is not None:
@@ -1114,10 +1148,16 @@ class ConnectionPool:
         self._slots: queue.LifoQueue = queue.LifoQueue()
         for _ in range(size):
             self._slots.put(None)  # lazily dialed on first checkout
+        #: bumped by close(): transports checked out under an older
+        #: generation are closed on return instead of re-pooled, so a
+        #: membership swap that closes the pool mid-call cannot leak the
+        #: in-flight socket back into a pool nobody will close again.
+        self._generation = 0
         #: calls that had to dial a fresh connection
         self.dials = 0
 
     def __call__(self, data: bytes) -> bytes:
+        generation = self._generation
         transport = self._slots.get()
         if transport is None:
             transport = self._factory()
@@ -1133,8 +1173,23 @@ class ConnectionPool:
             finally:
                 self._slots.put(None)
             raise
-        self._slots.put(transport)
+        if generation != self._generation:
+            # The pool was closed while this call was on the wire: the
+            # endpoint left the fleet.  Close instead of re-pooling.
+            self._close_transport(transport)
+            self._slots.put(None)
+        else:
+            self._slots.put(transport)
         return result
+
+    @staticmethod
+    def _close_transport(transport: object) -> None:
+        close = getattr(transport, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
 
     def submit_many(self, frames: list[bytes]) -> list[_PooledExchange]:
         """Spread one batch across the pool's connections.
@@ -1171,6 +1226,9 @@ class ConnectionPool:
         return handles
 
     def close(self) -> None:
+        # Bump first: any call already holding a transport sees the new
+        # generation when it returns and closes its socket itself.
+        self._generation += 1
         drained = 0
         while drained < self.size:
             try:
@@ -1179,11 +1237,6 @@ class ConnectionPool:
                 break  # slots checked out by in-flight calls
             drained += 1
             if transport is not None:
-                close = getattr(transport, "close", None)
-                if close is not None:
-                    try:
-                        close()
-                    except Exception:  # noqa: BLE001 - teardown best-effort
-                        pass
+                self._close_transport(transport)
         for _ in range(drained):
             self._slots.put(None)

@@ -138,7 +138,14 @@ def replay_frame(request_id=4242, client_id="replay-probe", tag="replayed"):
 def test_failover_smoke_replicas_share_state_and_dedup(tmp_path):
     """Tier-1 coverage of the replica harness (fast, deterministic)."""
     replicas = start_replicas(tmp_path, count=3)
-    client = connect(url_for(replicas), client_id="smoke", reset_timeout=0.2)
+    # roundrobin keeps this test's failover assertions deterministic (the
+    # default p2c router may route *around* a corpse without ever dialing
+    # it) and covers the ?routing= baseline escape hatch.
+    client = connect(
+        url_for(replicas, routing="roundrobin"),
+        client_id="smoke",
+        reset_timeout=0.2,
+    )
     try:
         # file-backed store => every replica auto-selected durable dedup
         for replica in replicas:

@@ -160,7 +160,8 @@ class TestRouting:
         fleet = Fleet({"a:1": lambda d: ok_frame("from-a"),
                        "b:2": lambda d: ok_frame("from-b")})
         transport = FailoverTransport(
-            two_endpoints(), policies=fast_policies(),
+            EndpointSet(endpoints=two_endpoints(), routing="roundrobin"),
+            policies=fast_policies(),
             transport_factory=fleet.factory, sleep=lambda s: None,
         )
         for _ in range(4):
@@ -654,3 +655,238 @@ def test_client_close_releases_every_socket(tmp_path):
         client.close()
     finally:
         server.stop()
+
+
+# ---------------------------------------------------------------------------
+# load-aware routing (EWMA + power of two choices)
+# ---------------------------------------------------------------------------
+
+
+class TickingClock:
+    """A manual clock the fake transports advance by their 'latency'."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def latency_script(clock, latency, result="ok"):
+    def script(data):
+        clock.advance(latency)
+        return ok_frame(result)
+    return script
+
+
+def three_endpoints():
+    return (Endpoint("a", 1), Endpoint("b", 2), Endpoint("c", 3))
+
+
+class TestLoadAwareRouting:
+    def build(self, clock, fleet, routing=None):
+        endpoint_set = (
+            EndpointSet(endpoints=three_endpoints())
+            if routing is None
+            else EndpointSet(endpoints=three_endpoints(), routing=routing)
+        )
+        return FailoverTransport(
+            endpoint_set,
+            policies=fast_policies(),
+            transport_factory=fleet.factory,
+            sleep=lambda s: None,
+            clock=clock,
+        )
+
+    def test_default_routing_is_p2c(self):
+        clock = TickingClock()
+        fleet = Fleet({a: latency_script(clock, 0.001)
+                       for a in ("a:1", "b:2", "c:3")})
+        assert self.build(clock, fleet).routing == "p2c"
+
+    def test_p2c_sends_slow_replica_under_quarter_of_reads(self):
+        """Acceptance criterion: a +10ms replica in a 3-replica fleet gets
+        < 25% of reads under the EWMA/P2C router."""
+        clock = TickingClock()
+        fleet = Fleet({
+            "a:1": latency_script(clock, 0.012),  # the slow one
+            "b:2": latency_script(clock, 0.002),
+            "c:3": latency_script(clock, 0.002),
+        })
+        transport = self.build(clock, fleet)
+        total = 300
+        for n in range(total):
+            transport(read_frame(request_id=n + 1))
+        assert fleet.calls("a:1") + fleet.calls("b:2") + fleet.calls("c:3") == total
+        assert fleet.calls("a:1") < total * 0.25, (
+            f"slow replica got {fleet.calls('a:1')}/{total} reads"
+        )
+        # the fast replicas carry the traffic (and both participate)
+        assert fleet.calls("b:2") > 50 and fleet.calls("c:3") > 50
+
+    def test_roundrobin_baseline_stays_selectable_and_blind(self):
+        clock = TickingClock()
+        fleet = Fleet({
+            "a:1": latency_script(clock, 0.012),
+            "b:2": latency_script(clock, 0.002),
+            "c:3": latency_script(clock, 0.002),
+        })
+        transport = self.build(clock, fleet, routing="roundrobin")
+        for n in range(300):
+            transport(read_frame(request_id=n + 1))
+        # blind rotation: the slow replica gets its full third
+        assert fleet.calls("a:1") == 100
+
+    def test_fresh_replica_is_probed_not_starved(self):
+        clock = TickingClock()
+        fleet = Fleet({
+            "a:1": latency_script(clock, 0.005),
+            "b:2": latency_script(clock, 0.005),
+            "c:3": latency_script(clock, 0.001),
+        })
+        transport = self.build(clock, fleet)
+        for n in range(10):
+            transport(read_frame(request_id=n + 1))
+        # c joins late (unmeasured => score 0 => most attractive)
+        transport.update_endpoints(three_endpoints())
+        before = fleet.calls("c:3")
+        for n in range(10):
+            transport(read_frame(request_id=100 + n))
+        assert fleet.calls("c:3") > before
+
+    def test_in_flight_depth_inflates_score(self):
+        clock = TickingClock()
+        fleet = Fleet({a: latency_script(clock, 0.004)
+                       for a in ("a:1", "b:2", "c:3")})
+        transport = self.build(clock, fleet)
+        for n in range(6):
+            transport(read_frame(request_id=n + 1))
+        states = {s.endpoint.address: s
+                  for s in transport._states}  # noqa: SLF001 - test probe
+        idle_score = states["a:1"].score()
+        states["a:1"].begin()
+        try:
+            assert states["a:1"].score() == pytest.approx(idle_score * 2)
+        finally:
+            states["a:1"].end()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain routing
+# ---------------------------------------------------------------------------
+
+
+class TestDrainRouting:
+    def build(self, fleet, attempts=4, drain_ttl=3.0, clock=time.monotonic):
+        return FailoverTransport(
+            EndpointSet(endpoints=two_endpoints(), routing="roundrobin"),
+            policies=fast_policies(attempts),
+            transport_factory=fleet.factory,
+            sleep=lambda s: None,
+            drain_ttl=drain_ttl,
+            clock=clock,
+        )
+
+    def test_draining_replica_rerouted_without_breaker_penalty(self):
+        fleet = Fleet({
+            "a:1": lambda d: error_frame("ReplicaDrainingError"),
+            "b:2": lambda d: ok_frame("from-b"),
+        })
+        transport = self.build(fleet)
+        raw = transport(read_frame())
+        assert wire.decode_response(raw).result == "from-b"
+        assert transport.drain_reroutes == 1
+        assert transport.failovers == 0  # a drain is not a failure
+        # satellite fix: the drained replica's breaker stays closed
+        assert transport.breaker_states()["a:1"] == "closed"
+        # ...and the drain mark keeps it out of subsequent picks entirely
+        before = fleet.calls("a:1")
+        for n in range(4):
+            transport(read_frame(request_id=10 + n))
+        assert fleet.calls("a:1") == before
+
+    def test_drain_reroute_is_free_of_retry_budget(self):
+        # max_attempts=1: a transport failure would exhaust the budget,
+        # but a drain rejection re-routes without charging an attempt.
+        fleet = Fleet({
+            "a:1": lambda d: error_frame("ReplicaDrainingError"),
+            "b:2": lambda d: ok_frame("from-b"),
+        })
+        transport = self.build(fleet, attempts=1)
+        raw = transport(read_frame())
+        assert wire.decode_response(raw).result == "from-b"
+
+    def test_drain_reroutes_mutation_without_client_id(self):
+        # Never executed server-side => safe to re-send anywhere, even a
+        # mutation that carries no dedup identity.
+        fleet = Fleet({
+            "a:1": lambda d: error_frame("ReplicaDrainingError"),
+            "b:2": lambda d: ok_frame("landed"),
+        })
+        transport = self.build(fleet)
+        raw = transport(mutation_frame(client_id=""))
+        assert wire.decode_response(raw).result == "landed"
+
+    def test_whole_fleet_draining_surfaces_typed_error(self):
+        from repro.errors import ReplicaDrainingError
+
+        fleet = Fleet({
+            "a:1": lambda d: error_frame("ReplicaDrainingError"),
+            "b:2": lambda d: error_frame("ReplicaDrainingError"),
+        })
+        transport = self.build(fleet)
+        response = wire.decode_response(transport(read_frame()))
+        with pytest.raises(ReplicaDrainingError):
+            response.raise_if_error()
+
+    def test_drain_mark_expires_and_replica_rejoins(self):
+        clock = TickingClock()
+        a_state = {"draining": True, "calls": 0}
+
+        def a_script(data):
+            a_state["calls"] += 1
+            if a_state["draining"]:
+                return error_frame("ReplicaDrainingError")
+            return ok_frame("from-a")
+
+        fleet = Fleet({"a:1": a_script, "b:2": lambda d: ok_frame("from-b")})
+        transport = self.build(fleet, drain_ttl=3.0, clock=clock)
+        transport(read_frame())  # a answers draining; call lands on b
+        dialed_while_draining = a_state["calls"]
+        transport(read_frame(request_id=2))  # still inside the TTL
+        assert a_state["calls"] == dialed_while_draining
+        # the operator undrains; the TTL expires; a is re-probed
+        a_state["draining"] = False
+        clock.advance(3.1)
+        for n in range(4):
+            transport(read_frame(request_id=10 + n))
+        assert a_state["calls"] > dialed_while_draining
+
+    def test_drain_end_to_end_over_real_services(self):
+        from repro.core.registry import Gallery
+        from repro.service.client import GalleryClient
+        from repro.service.server import GalleryService
+        from repro.store.blob import InMemoryBlobStore
+        from repro.store.dal import DataAccessLayer
+        from repro.store.metadata_store import InMemoryMetadataStore
+
+        gallery = Gallery(
+            DataAccessLayer(InMemoryMetadataStore(), InMemoryBlobStore())
+        )
+        svc_a, svc_b = GalleryService(gallery), GalleryService(gallery)
+        fleet = Fleet({"a:1": svc_a.handle_frame, "b:2": svc_b.handle_frame})
+        transport = self.build(fleet)
+        client = GalleryClient(transport, client_id="drain-e2e")
+        client.create_gallery_model("p", "m")
+        svc_a.drain()
+        # zero client-visible errors while one replica drains
+        for n in range(6):
+            client.upload_model("p", "m", b"w%d" % n, metadata={"n": n})
+        assert len(client.call("instancesOf", base_version_id="m")) == 6
+        assert transport.drain_reroutes >= 1
+        assert transport.breaker_states()["a:1"] == "closed"
+        assert svc_a.draining and not svc_b.draining
+        assert client.fleet_status()["status"] in ("serving", "draining")

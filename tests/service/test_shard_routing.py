@@ -95,7 +95,9 @@ def owner_index(failover):
 def test_url_routing_param():
     parsed = EndpointSet.parse("gallery://a:1,b:2?routing=shard")
     assert parsed.routing == "shard"
-    assert EndpointSet.parse("gallery://a:1").routing == "roundrobin"
+    assert EndpointSet.parse("gallery://a:1").routing == "p2c"
+    parsed_rr = EndpointSet.parse("gallery://a:1,b:2?routing=roundrobin")
+    assert parsed_rr.routing == "roundrobin"
     with pytest.raises(ValidationError):
         EndpointSet.parse("gallery://a:1?routing=nope")
 
