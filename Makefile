@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover drain bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-all
+.PHONY: test lint chaos failover drain bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -30,13 +30,15 @@ failover:
 drain:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_drain_fleet.py -m chaos -q
 
-# The PR5 suite runs via its pytest gate so `make bench` also *asserts*
-# the acceptance floors (document codec >= 1x JSON, blob codec >= 10x,
-# replica spread >= 1.5x) while writing BENCH_PR5.json.
+# The PR5 and PR8 suites run via their pytest gates so `make bench` also
+# *asserts* the acceptance floors (document codec >= 1x JSON, blob codec
+# >= 10x, replica spread >= 1.5x, sendfile egress >= 3x the spread
+# baseline) while writing BENCH_PR5.json and BENCH_PR8.json.
 bench:
 	$(PYTHON) -m benchmarks.run_bench pr1
 	$(PYTHON) -m benchmarks.run_bench pr3
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_docs.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_blob_fastpath.py -q
 
 bench-pr1:
 	$(PYTHON) -m benchmarks.run_bench pr1
@@ -52,6 +54,11 @@ bench-pr5:
 bench-pr6:
 	$(PYTHON) -m benchmarks.run_bench pr6
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_shards.py -q
+
+# Full PR8 suite (sendfile egress, e2e fetch, range reads ->
+# BENCH_PR8.json) via its gate so the run asserts the fast-path floors.
+bench-pr8:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_blob_fastpath.py -q
 
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

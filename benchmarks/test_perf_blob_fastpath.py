@@ -1,0 +1,71 @@
+"""PERF-PR8 — the zero-copy blob fast path as a pytest gate.
+
+Runs the PR8 suite from ``benchmarks/run_bench.py`` (server egress with a
+drain client, end-to-end pipelined fetch, digest-verified range reads),
+writes ``BENCH_PR8.json`` at the repo root, and asserts the PR's
+acceptance criteria with deliberately conservative floors:
+
+* sendfile egress >= 3x the BENCH_PR5 replica-spread headline (~315-321
+  MB/s) — the acceptance number itself; typical observed: 4.5-5.5x, so
+  the 3x floor leaves headroom for a noisy shared box;
+* sendfile >= the fallback copy path on the egress scenario (typical
+  observed: 1.1-1.3x; the floor only demands "never slower", because on
+  a loopback GIL-shared process pair the copy path is already fast);
+* end-to-end fetch >= 1.5x the PR5 spread baseline (typical observed:
+  ~2-3x — reassembly and decode cap this one well below raw egress);
+* a 1 MB range read beats refetching the 64 MB blob by >= 10x per window
+  (typical observed: >50x).
+
+On a platform without ``os.sendfile`` the suite still runs — both modes
+travel the fallback path and the sendfile-specific ratios are skipped —
+so the gate keeps exercising the wire format everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+import run_bench
+
+
+def test_zero_copy_blob_fastpath_speedups():
+    results = run_bench.run_pr8()
+    path = run_bench.write_results_pr8(results)
+    assert path.exists()
+
+    report("PERF-PR8_blob_fastpath", run_bench.format_pr8_report(results))
+
+    speedup = results["speedup"]
+    sendfile_available = results["sendfile_available"]
+    if sendfile_available:
+        assert speedup["egress_sendfile_vs_pr5_spread"] >= 3.0, (
+            f"sendfile egress only "
+            f"{speedup['egress_sendfile_vs_pr5_spread']:.2f}x the PR5 "
+            "spread baseline; acceptance floor is 3x"
+        )
+        assert speedup["egress_sendfile_vs_fallback"] >= 1.0, (
+            f"sendfile egress ran "
+            f"{speedup['egress_sendfile_vs_fallback']:.2f}x the copy "
+            "fallback; the zero-copy path must never be slower"
+        )
+        assert speedup["e2e_sendfile_vs_pr5_spread"] >= 1.5, (
+            f"end-to-end sendfile fetch only "
+            f"{speedup['e2e_sendfile_vs_pr5_spread']:.2f}x the PR5 spread "
+            "baseline; conservative floor is 1.5x"
+        )
+    assert speedup["range_read_vs_full_fetch"] >= 10.0, (
+        f"a range window was only "
+        f"{speedup['range_read_vs_full_fetch']:.1f}x faster than "
+        "refetching the whole blob; floor is 10x"
+    )
+    # The range path moves ~1/64th of the bytes; the wall-clock win must
+    # at least be visible next to that ceiling.
+    ranges = results["range_reads"]
+    assert ranges["bytes_saved_ratio"] >= 10.0
+
+    # Environment metadata is stamped so numbers are interpretable —
+    # in particular whether the headline ran the sendfile path at all.
+    environment = results["environment"]
+    assert isinstance(environment["sendfile_available"], bool)
+    assert environment["sendfile_available"] == sendfile_available
+    assert environment["cpu_count"] >= 1

@@ -444,6 +444,18 @@ class Gallery:
         """Fetch the serialized model for serving (cache-assisted)."""
         return self._dal.load_blob(instance_id)
 
+    def load_instance_blob_payload(self, instance_id: str):
+        """Serving-path blob fetch: bytes, or a zero-copy file region.
+
+        Used by the network service so file-backed blobs can leave via
+        ``os.sendfile``; see :meth:`DataAccessLayer.load_blob_payload`.
+        """
+        return self._dal.load_blob_payload(instance_id)
+
+    def load_instance_blob_range(self, instance_id: str, offset: int, length: int):
+        """Digest-carrying sub-range read of an instance's blob."""
+        return self._dal.load_blob_range(instance_id, offset, length)
+
     def instances_of(
         self, base_version_id: str, include_deprecated: bool = False
     ) -> list[ModelInstance]:

@@ -22,13 +22,14 @@ New in the serving-plane overhaul:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.ids import random_uuid
-from repro.errors import CircuitOpenError, ServiceError
+from repro.errors import BlobCorruptionError, CircuitOpenError, ServiceError
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.policy import RetryPolicy
 from repro.service import wire
@@ -46,6 +47,7 @@ IDEMPOTENT_METHODS = frozenset(
         "getModel",
         "getModelInstance",
         "loadModelBlob",
+        "loadModelBlobRange",
         "latestInstance",
         "instancesOf",
         "metricsOf",
@@ -76,7 +78,25 @@ TRANSIENT_ERROR_TYPES = frozenset(
 #: Methods that move model artifacts (megabytes, not rows).  They deserve a
 #: different retry budget than cheap metadata reads: fewer attempts, longer
 #: per-call patience.
-BLOB_METHODS = frozenset({"loadModelBlob", "uploadModel"})
+BLOB_METHODS = frozenset({"loadModelBlob", "loadModelBlobRange", "uploadModel"})
+
+
+def _verified_range(result: Mapping[str, Any]) -> bytes:
+    """Decode a ``loadModelBlobRange`` result and verify its digest.
+
+    Range reads cannot be checked against the whole-blob content address,
+    so the server ships a SHA-256 of exactly the returned bytes; a mismatch
+    means the payload was damaged somewhere past the server's own
+    verification and must never be handed to a model loader.
+    """
+    data = wire.decode_blob(result["data"])
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != result["digest"]:
+        raise BlobCorruptionError(
+            "blob range failed its SHA-256 digest check: expected "
+            f"{result['digest']}, got {digest}"
+        )
+    return data
 
 
 @dataclass(frozen=True)
@@ -481,6 +501,22 @@ class GalleryClient:
     def load_model_blob(self, instance_id: str) -> bytes:
         return wire.decode_blob(self.call("loadModelBlob", instance_id=instance_id))
 
+    def load_blob_range(self, instance_id: str, offset: int, length: int) -> bytes:
+        """Fetch ``blob[offset : offset + length]`` with digest verification.
+
+        Requests past EOF clamp server-side (``offset == size`` returns
+        empty bytes; a length overrunning the blob is truncated), so hot
+        tensor slices can be read without knowing the artifact size first.
+        """
+        return _verified_range(
+            self.call(
+                "loadModelBlobRange",
+                instance_id=instance_id,
+                offset=offset,
+                length=length,
+            )
+        )
+
     def latest_instance(self, base_version_id: str) -> dict[str, Any]:
         return self.call("latestInstance", base_version_id=base_version_id)
 
@@ -692,6 +728,17 @@ class ClientPipeline:
     def load_model_blob(self, instance_id: str) -> PipelineHandle:
         return self.call(
             "loadModelBlob", _decode=wire.decode_blob, instance_id=instance_id
+        )
+
+    def load_blob_range(
+        self, instance_id: str, offset: int, length: int
+    ) -> PipelineHandle:
+        return self.call(
+            "loadModelBlobRange",
+            _decode=_verified_range,
+            instance_id=instance_id,
+            offset=offset,
+            length=length,
         )
 
     def latest_instance(self, base_version_id: str) -> PipelineHandle:

@@ -224,6 +224,7 @@ class GalleryService:
             "getModel": self._get_model,
             "getModelInstance": self._get_instance,
             "loadModelBlob": self._load_blob,
+            "loadModelBlobRange": self._load_blob_range,
             "latestInstance": self._latest_instance,
             "instancesOf": self._instances_of,
             "metricsOf": self._metrics_of,
@@ -589,10 +590,31 @@ class GalleryService:
     def _get_instance(self, instance_id: str) -> dict[str, Any]:
         return self._gallery.get_instance(instance_id).to_dict()
 
-    def _load_blob(self, instance_id: str) -> bytes:
-        # Raw bytes: the binary dialect ships them as-is, and the JSON
-        # encoder downgrades them to base64 for legacy clients.
-        return self._gallery.load_instance_blob(instance_id)
+    def _load_blob(self, instance_id: str):
+        # Raw bytes (or a zero-copy file region from a file-backed store —
+        # the wire layer serves regions via os.sendfile on the event-loop
+        # server and materializes them everywhere else): the binary dialect
+        # ships the payload as-is, the JSON encoder downgrades it to base64.
+        return self._gallery.load_instance_blob_payload(instance_id)
+
+    def _load_blob_range(
+        self, instance_id: str, offset: int, length: int
+    ) -> dict[str, Any]:
+        # Hot-slice reads: model loaders fetch tensor ranges without pulling
+        # the whole artifact.  ``digest`` covers exactly the returned bytes
+        # so clients verify sub-ranges end-to-end.  ``data`` is last so a
+        # region payload sits at the tail of the encoded frame, which is
+        # what lets the event-loop server sendfile it.
+        blob_range = self._gallery.load_instance_blob_range(
+            instance_id, offset, length
+        )
+        return {
+            "offset": blob_range.offset,
+            "length": blob_range.length,
+            "blob_size": blob_range.blob_size,
+            "digest": blob_range.digest,
+            "data": blob_range.payload,
+        }
 
     def _latest_instance(self, base_version_id: str) -> dict[str, Any]:
         return self._gallery.latest_instance(base_version_id).to_dict()

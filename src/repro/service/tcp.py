@@ -29,6 +29,7 @@ arbitrary packet fragmentation.
 from __future__ import annotations
 
 import logging
+import os
 import queue
 import select
 import selectors
@@ -49,6 +50,16 @@ _LENGTH = struct.Struct(">Q")
 #: Upper bound on a single frame; protects the server from bogus prefixes.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 _RECV_CHUNK = 1 << 16
+
+#: ``os.sendfile`` where the platform provides it (Linux, macOS, most BSDs).
+#: Held as a module global so tests can monkeypatch it to ``None`` and force
+#: the copy fallback; everything that serves regions checks this at use time.
+_sendfile = getattr(os, "sendfile", None)
+
+
+def sendfile_available() -> bool:
+    """True when the zero-copy server fast path is active."""
+    return _sendfile is not None
 
 
 def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -146,44 +157,84 @@ class _Connection:
         self.in_flight = 0  # frames dispatched to workers, response pending
 
 
+class _SendfileTask:
+    """In-progress kernel copy: the chunk body leaving via ``os.sendfile``."""
+
+    __slots__ = ("fd", "offset", "remaining")
+
+    def __init__(self, fd: int, offset: int, remaining: int) -> None:
+        self.fd = fd
+        self.offset = offset  # absolute file offset of the next byte
+        self.remaining = remaining
+
+
 class _StreamOut:
     """A ``conn.out`` entry that yields one encoded chunk frame at a time.
 
     The server-side memory bound lives here: the next chunk frame is only
     materialized after the previous one has been fully written to the
     socket, so a multi-MB response never occupies more than ~chunk_size of
-    encoded body.  An exception raised by the underlying iterator turns
-    into an abort frame so the client's reassembler surfaces a typed error
-    instead of hanging on a forever-incomplete response.
+    encoded body.  File-region chunks do even better: only the chunk
+    *header* is materialized (exposed via ``buf``); the body follows as a
+    :class:`_SendfileTask` the flush loop hands to ``os.sendfile``, so blob
+    bytes never enter userspace at all.  When ``os.sendfile`` is missing
+    (or monkeypatched away) region chunks materialize through ``pread`` and
+    take the ordinary copy path.  An exception raised by the underlying
+    iterator turns into an abort frame so the client's reassembler surfaces
+    a typed error instead of hanging on a forever-incomplete response.
     """
 
-    __slots__ = ("_frames", "_request_id", "buf", "_done")
+    __slots__ = ("_items", "_request_id", "_stream", "buf", "sendfile", "_done")
 
     def __init__(self, stream: wire.ResponseStream) -> None:
-        self._frames = iter(stream)
+        self._stream = stream
+        self._items = stream.wire_chunks()
         self._request_id = stream.request_id
         self.buf: memoryview | None = None
+        self.sendfile: _SendfileTask | None = None
         self._done = False
 
-    def current(self) -> memoryview | None:
+    def current(self) -> "memoryview | _SendfileTask | None":
         """The in-progress chunk frame, pulling the next one if needed."""
         if self.buf is not None:
             return self.buf
+        if self.sendfile is not None:
+            return self.sendfile
         if self._done:
             return None
         try:
-            frame = next(self._frames)
+            item = next(self._items)
+            if isinstance(item, wire.RegionChunk):
+                if _sendfile is not None:
+                    self.sendfile = _SendfileTask(
+                        item.region.fileno(),
+                        item.region.offset + item.offset,
+                        item.length,
+                    )
+                    self.buf = memoryview(item.head)
+                else:
+                    self.buf = memoryview(item.to_bytes())
+            else:
+                self.buf = memoryview(item)
         except StopIteration:
             self._done = True
+            self._stream.close()
             return None
         except Exception as exc:  # noqa: BLE001 - producer failed mid-stream
             self._done = True
+            self._stream.close()
+            self.sendfile = None
             self.buf = memoryview(
                 wire.encode_response_abort(exc, self._request_id)
             )
-            return self.buf
-        self.buf = memoryview(frame)
         return self.buf
+
+    def close(self) -> None:
+        """Drop buffered state and release region file descriptors."""
+        self._done = True
+        self.buf = None
+        self.sendfile = None
+        self._stream.close()
 
 
 class _EventLoopCore:
@@ -307,7 +358,12 @@ class _EventLoopCore:
         for conn, responses in per_conn.items():
             conn.in_flight -= len(responses)
             if conn.sock not in self._conns:
-                continue  # connection died while the worker was busy
+                # Connection died while the worker was busy; release any
+                # file regions the orphaned streams were holding.
+                for item in responses:
+                    if isinstance(item, wire.ResponseStream):
+                        item.close()
+                continue
             # Coalesce single frames: one buffer, one send for a burst of
             # pipelined responses instead of a syscall per frame.  Chunked
             # streams stay lazy — they enter the queue as _StreamOut and
@@ -401,6 +457,28 @@ class _EventLoopCore:
                 if buf is None:  # stream exhausted
                     conn.out.popleft()
                     continue
+                if isinstance(buf, _SendfileTask):
+                    try:
+                        sent = _sendfile(
+                            conn.sock.fileno(), buf.fd, buf.offset, buf.remaining
+                        )
+                    except (BlockingIOError, InterruptedError):
+                        break
+                    except (OSError, ValueError):
+                        self._close_conn(conn)
+                        return
+                    if sent == 0:
+                        # The *file* ran dry mid-chunk (truncated under us).
+                        # The chunk header already promised these bytes, so
+                        # the stream is unrecoverable — drop the connection
+                        # and let the client's reassembler surface the EOF.
+                        self._close_conn(conn)
+                        return
+                    buf.offset += sent
+                    buf.remaining -= sent
+                    if buf.remaining == 0:
+                        head.sendfile = None  # body done; pull the next chunk
+                    continue
             else:
                 buf = head
             try:
@@ -452,6 +530,10 @@ class _EventLoopCore:
     def _close_conn(self, conn: _Connection) -> None:
         if self._conns.pop(conn.sock, None) is None:
             return
+        for item in conn.out:
+            if isinstance(item, _StreamOut):
+                item.close()
+        conn.out.clear()
         if conn.events:
             try:
                 self._selector.unregister(conn.sock)
@@ -728,6 +810,92 @@ class ThreadedGalleryTcpServer:
 # ---------------------------------------------------------------------------
 
 
+class _FrameReceiver:
+    """Per-connection frame reader with zero-copy chunk reassembly.
+
+    The PR 5 client read path buffered every chunk frame as ``bytes`` and
+    then copied it into the reassembly buffer.  This receiver classifies
+    each frame from its first bytes: binary chunk frames get their payload
+    ``recv_into``'d straight into the reassembler's preallocated buffer
+    (one kernel→user copy, no intermediate per-chunk ``bytes``), while
+    everything else — JSON frames, single responses, aborts — accumulates
+    and goes through :meth:`wire.ChunkReassembler.feed` unchanged.
+
+    EOF at a frame boundary with nothing partial raises
+    :class:`ConnectionResetError` (orderly close); EOF anywhere else raises
+    :class:`WireFormatError` — either way a truncated response can never be
+    returned as complete.
+    """
+
+    __slots__ = ("_sock", "_buf", "_reassembler")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+        # Chunked responses for different request_ids may interleave on the
+        # wire; the reassembler tracks each id independently.
+        self._reassembler = wire.ChunkReassembler()
+
+    def _fill(self, need: int, at_boundary: bool) -> None:
+        buf = self._buf
+        while len(buf) < need:
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                if at_boundary and not buf and not len(self._reassembler):
+                    raise ConnectionResetError("server closed the connection")
+                raise WireFormatError("connection closed mid-frame")
+            buf += chunk
+
+    def _recv_chunk_frame(self, length: int) -> bytes | None:
+        """recv_into the payload of the chunk frame whose header is buffered."""
+        buf = self._buf
+        _, _, request_id, total, offset = wire._CHUNK_HEADER.unpack_from(
+            buf, _LENGTH.size
+        )
+        size = length - wire._CHUNK_HEADER.size
+        dest = self._reassembler.begin_chunk(request_id, total, offset, size)
+        del buf[:_LENGTH.size + wire._CHUNK_HEADER.size]
+        have = min(len(buf), size)
+        if have:
+            dest[:have] = buf[:have]
+            del buf[:have]
+        filled = have
+        while filled < size:
+            received = self._sock.recv_into(dest[filled:])
+            if received == 0:
+                raise WireFormatError("connection closed mid-frame")
+            filled += received
+        return self._reassembler.commit_chunk(request_id, size)
+
+    def next_response(self) -> bytes:
+        """Block until one complete (reassembled) response frame arrives."""
+        buf = self._buf
+        while True:
+            self._fill(_LENGTH.size, at_boundary=True)
+            (length,) = _LENGTH.unpack_from(buf)
+            if length > MAX_FRAME_BYTES:
+                raise WireFormatError(
+                    f"frame of {length} bytes exceeds the limit"
+                )
+            if length >= wire._CHUNK_HEADER.size:
+                self._fill(_LENGTH.size + wire._CHUNK_HEADER.size, at_boundary=False)
+                if (
+                    buf[_LENGTH.size] == wire.BINARY_VERSION
+                    and buf[_LENGTH.size + 1] == wire._MSG_RESPONSE_CHUNK
+                ):
+                    complete = self._recv_chunk_frame(length)
+                    if complete is not None:
+                        return complete
+                    continue
+            total = _LENGTH.size + length
+            self._fill(total, at_boundary=False)
+            frame = bytes(buf[:total])
+            del buf[:total]
+            complete = self._reassembler.feed(frame)
+            if complete is not None:
+                return complete
+
+
 class TcpTransport:
     """Client-side transport: one persistent connection, frame in/frame out.
 
@@ -746,6 +914,7 @@ class TcpTransport:
         self._address = (host, port)
         self._timeout = timeout
         self._sock: socket.socket | None = None
+        self._receiver: _FrameReceiver | None = None
         #: half-open sockets detected and transparently replaced
         self.reconnects = 0
 
@@ -754,6 +923,7 @@ class TcpTransport:
             sock = socket.create_connection(self._address, timeout=self._timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
+            self._receiver = _FrameReceiver(sock)
         return self._sock
 
     @staticmethod
@@ -774,14 +944,8 @@ class TcpTransport:
 
     def _exchange(self, sock: socket.socket, data: bytes) -> bytes:
         sock.sendall(data)
-        reassembler = wire.ChunkReassembler()
-        while True:
-            frame = read_frame(sock)
-            if frame is None:
-                raise ConnectionResetError("server closed the connection")
-            complete = reassembler.feed(frame)
-            if complete is not None:
-                return complete
+        assert self._receiver is not None
+        return self._receiver.next_response()
 
     def __call__(self, data: bytes) -> bytes:
         reused = self._sock is not None
@@ -810,6 +974,7 @@ class TcpTransport:
             raise ServiceError(f"transport failure: {exc}") from exc
 
     def close(self) -> None:
+        self._receiver = None
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -936,31 +1101,11 @@ class PipelinedTcpTransport:
     # -- reader thread -------------------------------------------------------
 
     def _read_loop(self, sock: socket.socket, generation: int) -> None:
-        buf = bytearray()
-        # Chunked responses for different request_ids may interleave on the
-        # wire; the reassembler tracks each id independently and hands back
-        # one complete response frame at a time.
-        reassembler = wire.ChunkReassembler()
+        receiver = _FrameReceiver(sock)
         try:
             while True:
-                while len(buf) >= _LENGTH.size:
-                    (length,) = _LENGTH.unpack_from(buf)
-                    if length > MAX_FRAME_BYTES:
-                        raise WireFormatError(
-                            f"frame of {length} bytes exceeds the limit"
-                        )
-                    total = _LENGTH.size + length
-                    if len(buf) < total:
-                        break
-                    frame = bytes(buf[:total])
-                    del buf[:total]
-                    complete = reassembler.feed(frame)
-                    if complete is not None:
-                        self._dispatch_response(generation, complete)
-                chunk = sock.recv(_RECV_CHUNK)
-                if not chunk:
-                    raise ConnectionResetError("server closed the connection")
-                buf += chunk
+                frame = receiver.next_response()
+                self._dispatch_response(generation, frame)
         except Exception as exc:  # noqa: BLE001 - all failures fail the conn
             self._fail_generation(generation, exc)
 

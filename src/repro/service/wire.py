@@ -337,6 +337,8 @@ def peek_response_request_id(data: bytes) -> int:
 def _json_downgrade(value: Any) -> str:
     if isinstance(value, (bytes, bytearray, memoryview)):
         return base64.b64encode(bytes(value)).decode("ascii")
+    if _is_region(value):
+        return base64.b64encode(_region_bytes(value)).decode("ascii")
     raise TypeError(f"not JSON-serializable: {type(value).__name__}")
 
 
@@ -365,6 +367,24 @@ def _parse_json(body: memoryview) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 # Binary dialect internals
 # ---------------------------------------------------------------------------
+
+
+def _is_region(value: Any) -> bool:
+    """True for file-backed blob regions (``repro.store.blob.BlobRegion``).
+
+    Duck-typed on the ``is_file_region`` marker so the wire layer stays
+    import-free of the store layer.  Regions carry ``__len__``, ``fileno``,
+    ``pread(rel_offset, count)`` and ``close``.
+    """
+    return getattr(value, "is_file_region", False) is True
+
+
+def _region_bytes(region: Any) -> bytes:
+    """Materialize a region (copy fallback paths) and release its fd."""
+    try:
+        return region.read()
+    finally:
+        region.close()
 
 
 class _Writer:
@@ -417,6 +437,19 @@ class _Writer:
             self._parts.append(data)
         else:
             self.raw_small(data)
+
+    def raw_region(self, region: Any) -> None:
+        """Append a file region by reference; small ones are materialized.
+
+        Sub-``_INLINE_LIMIT`` regions are not worth carrying an open fd
+        for — copy them inline and close.  Larger ones ride as parts, so
+        chunked streaming can hand them to ``os.sendfile`` uncopied.
+        """
+        if len(region) < _INLINE_LIMIT:
+            self.raw_small(_region_bytes(region))
+        else:
+            self._seal()
+            self._parts.append(region)
 
     def _seal(self) -> None:
         if self._pos:
@@ -532,6 +565,11 @@ def _encode_value_other(value: Any, writer: _Writer) -> None:
             writer.pack(_U32, len(encoded))
             writer.raw(encoded)
             _encode_value(item, writer)
+    elif _is_region(value):
+        # File-backed blob region: encoded as _T_BYTES on the wire, but the
+        # payload travels by reference so the server can sendfile it.
+        writer.pack(_TAG_U32, _T_BYTES, len(value))
+        writer.raw_region(value)
     else:
         raise WireFormatError(
             f"value of type {type(value).__name__} is not wire-encodable"
@@ -634,6 +672,8 @@ def _decode_value(cur: _Cursor) -> Any:
 
 def _assemble(chunks: list[Any]) -> bytes:
     payload_len = sum(map(len, chunks))
+    if any(map(_is_region, chunks)):
+        chunks = [_region_bytes(c) if _is_region(c) else c for c in chunks]
     return b"".join([_LENGTH.pack(payload_len), *chunks])
 
 
@@ -804,18 +844,71 @@ def _chunk_frame(
     return b"".join([head, *payload])
 
 
-def _iter_chunk_frames(
+class RegionChunk:
+    """One chunk frame whose payload tail is a file-region slice.
+
+    ``head`` is fully materialized: the frame length prefix, the chunk
+    header, and any literal body bytes that share this chunk.  The rest of
+    the payload is ``region[offset : offset + length]`` (region-relative)
+    and is meant to leave the process via ``os.sendfile``; :meth:`to_bytes`
+    materializes the whole frame for copy fallbacks.  The region is shared
+    across the chunks sliced from it — closing it is the stream's job, not
+    the chunk's.
+    """
+
+    __slots__ = ("head", "region", "offset", "length")
+
+    def __init__(self, head: bytes, region: Any, offset: int, length: int) -> None:
+        self.head = head
+        self.region = region
+        self.offset = offset
+        self.length = length
+
+    def to_bytes(self) -> bytes:
+        return self.head + self.region.pread(self.offset, self.length)
+
+
+def _iter_wire_chunks(
     parts: list[Any], total: int, request_id: int, chunk_size: int
 ):
-    """Yield chunk frames over the logical concatenation of *parts*.
+    """Yield ``bytes`` chunk frames and :class:`RegionChunk` items.
 
-    Only one chunk's worth of body is materialized at a time; everything
-    else stays as memoryview slices of the original part buffers.
+    Literal parts chunk exactly as before — one chunk's worth of body
+    materialized at a time, the rest as memoryview slices.  A file region
+    part is sliced into :class:`RegionChunk` items instead; literal bytes
+    pending when a region starts are folded into the first region chunk's
+    head so chunk boundaries match the all-literal layout.
     """
     offset = 0
     pending: list[Any] = []
     pending_len = 0
     for part in parts:
+        if _is_region(part):
+            pos = 0
+            remaining = len(part)
+            while remaining > 0:
+                take = min(chunk_size - pending_len, remaining)
+                count = pending_len + take
+                head = b"".join(
+                    [
+                        _LENGTH.pack(_CHUNK_HEADER.size + count),
+                        _CHUNK_HEADER.pack(
+                            BINARY_VERSION,
+                            _MSG_RESPONSE_CHUNK,
+                            request_id,
+                            total,
+                            offset,
+                        ),
+                        *pending,
+                    ]
+                )
+                pending = []
+                pending_len = 0
+                yield RegionChunk(head, part, pos, take)
+                offset += count
+                pos += take
+                remaining -= take
+            continue
         view = memoryview(part)
         while len(view) > 0:
             take = min(chunk_size - pending_len, len(view))
@@ -829,6 +922,14 @@ def _iter_chunk_frames(
                 pending_len = 0
     if pending_len:
         yield _chunk_frame(request_id, total, offset, pending, pending_len)
+
+
+def _iter_chunk_frames(
+    parts: list[Any], total: int, request_id: int, chunk_size: int
+):
+    """Yield fully-materialized chunk frames (copy path / tests)."""
+    for item in _iter_wire_chunks(parts, total, request_id, chunk_size):
+        yield item if isinstance(item, bytes) else item.to_bytes()
 
 
 class ResponseStream:
@@ -862,9 +963,40 @@ class ResponseStream:
         if self.single is not None:
             return iter((self.single,))
         assert self._parts is not None
-        return _iter_chunk_frames(
+        return self._iter_materialized()
+
+    def _iter_materialized(self):
+        try:
+            yield from _iter_chunk_frames(
+                self._parts, self.total, self.request_id, self._chunk_size
+            )
+        finally:
+            self.close()
+
+    def wire_chunks(self):
+        """Frames for sendfile-capable writers: ``bytes`` | ``RegionChunk``.
+
+        The consumer owns calling :meth:`close` once done (normally or
+        not) so region file descriptors are released deterministically.
+        Subclasses that override ``__iter__`` (fault injection, custom
+        frame production) keep their semantics: their materialized frames
+        are served as-is and the zero-copy path stays out of the way.
+        """
+        if type(self).__iter__ is not ResponseStream.__iter__:
+            return iter(self)
+        if self.single is not None:
+            return iter((self.single,))
+        assert self._parts is not None
+        return _iter_wire_chunks(
             self._parts, self.total, self.request_id, self._chunk_size
         )
+
+    def close(self) -> None:
+        """Release any file regions held by an unconsumed/partial stream."""
+        if self._parts:
+            for part in self._parts:
+                if _is_region(part):
+                    part.close()
 
 
 def encode_response_stream(
@@ -982,7 +1114,21 @@ class ChunkReassembler:
             raise WireFormatError("chunk frame shorter than its header")
         _, _, _, total, offset = _CHUNK_HEADER.unpack_from(body)
         payload = body[_CHUNK_HEADER.size:]
-        if len(payload) == 0:
+        dest = self.begin_chunk(request_id, total, offset, len(payload))
+        dest[:] = payload
+        return self.commit_chunk(request_id, len(payload))
+
+    def begin_chunk(
+        self, request_id: int, total: int, offset: int, size: int
+    ) -> memoryview:
+        """Validate a chunk header and expose its destination window.
+
+        This is the zero-copy half of :meth:`feed`: transports that read
+        the chunk header themselves call this, ``recv_into`` the payload
+        straight into the returned memoryview, then :meth:`commit_chunk`.
+        All the ordering/bounds checks of the copy path apply.
+        """
+        if size == 0:
             raise WireFormatError("empty chunk payload")
         entry = self._partial.get(request_id)
         if entry is None:
@@ -1011,13 +1157,17 @@ class ChunkReassembler:
                 f"out-of-order chunk for request {request_id}: expected "
                 f"offset {received}, got {offset}"
             )
-        if offset + len(payload) > total_expected:
+        if offset + size > total_expected:
             raise WireFormatError("chunk payload overruns the declared total")
         start = _LENGTH.size + offset
-        buffer[start:start + len(payload)] = payload
-        entry[1] = received + len(payload)
-        if entry[1] == total_expected:
-            del self._partial[request_id]
+        return memoryview(buffer)[start:start + size]
+
+    def commit_chunk(self, request_id: int, size: int) -> bytes | None:
+        """Account *size* received payload bytes; returns the complete frame."""
+        entry = self._partial[request_id]
+        entry[1] += size
+        if entry[1] == len(entry[0]) - _LENGTH.size:
+            buffer, _ = self._partial.pop(request_id)
             return bytes(buffer)
         return None
 

@@ -28,7 +28,7 @@ from typing import Any, Sequence
 
 from repro.core.records import MetricRecord, Model, ModelInstance
 from repro.errors import BlobStoreError, ConsistencyError, MetadataStoreError
-from repro.store.blob import BlobStore
+from repro.store.blob import BlobRange, BlobRegion, BlobStore, range_of_bytes
 from repro.store.cache import LRUBlobCache
 from repro.store.metadata_store import MetadataStore
 
@@ -203,6 +203,52 @@ class DataAccessLayer:
         if self._cache is not None:
             self._cache.put(location, data)
         return data
+
+    def _blob_location(self, instance_id: str) -> str:
+        instance = self._metadata.get_instance(instance_id)
+        location = instance.blob_location
+        if not location:
+            raise ConsistencyError(
+                f"instance {instance_id!r} has no blob location recorded"
+            )
+        return location
+
+    def load_blob_payload(self, instance_id: str) -> "bytes | BlobRegion":
+        """Fetch an instance's blob for *serving*: zero-copy when possible.
+
+        Prefers, in order: the blob cache (bytes, no I/O), an open
+        :class:`BlobRegion` from a file-backed store (the server hands it
+        to ``os.sendfile`` — the caller owns closing it), and finally a
+        plain :meth:`load_blob`-style copy read (which populates the
+        cache).
+        """
+        location = self._blob_location(instance_id)
+        if self._cache is not None:
+            cached = self._cache.get(location)
+            if cached is not None:
+                return cached
+        region = self._blobs.open_region(location)
+        if region is not None:
+            return region
+        data = self._blobs.get(location)
+        if self._cache is not None:
+            self._cache.put(location, data)
+        return data
+
+    def load_blob_range(self, instance_id: str, offset: int, length: int) -> BlobRange:
+        """Fetch a digest-carrying sub-range of an instance's blob.
+
+        Serves from the blob cache when the whole blob is already resident;
+        otherwise delegates to the store's range read (zero-copy on
+        file-backed stores).  Range reads never populate the cache — the
+        point of a range is to avoid materializing the artifact.
+        """
+        location = self._blob_location(instance_id)
+        if self._cache is not None:
+            cached = self._cache.get(location)
+            if cached is not None:
+                return range_of_bytes(cached, offset, length)
+        return self._blobs.get_range(location, offset, length)
 
     # -- maintenance --------------------------------------------------------
 
