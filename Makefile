@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover drain bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-all
+.PHONY: test lint chaos failover drain scenario bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -29,6 +29,12 @@ failover:
 # clients, drain + kill one mid-workload, undrain a rebuilt one.
 drain:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos/test_drain_fleet.py -m chaos -q
+
+# Fleet-scale family-switching scenario (Section 4.2) in fast seeded
+# small-fleet mode: 3 replicas over one sharded store, rule-driven
+# switch_family, propagation + MAPE measurement -> BENCH_PR9.json.
+scenario:
+	PYTHONPATH=src $(PYTHON) examples/family_switch_fleet.py --fast
 
 # The PR5 and PR8 suites run via their pytest gates so `make bench` also
 # *asserts* the acceptance floors (document codec >= 1x JSON, blob codec

@@ -19,7 +19,7 @@ from repro.forecasting import (
     HOURS_PER_WEEK,
     ModelCache,
     ModelSpecification,
-    Switchboard,
+    RegistrySwitchboard,
     build_city_fleet,
     generate_city_demand,
     simulate_serving,
@@ -73,7 +73,7 @@ def main() -> None:
     )
 
     # -- serve with rule-driven event switching --------------------------------
-    switchboard = Switchboard()
+    switchboard = RegistrySwitchboard(gallery)
     controller = EventSwitchingController(gallery, engine, switchboard)
     cache = ModelCache(gallery)
     print(f"\n{'city':<10}{'static MAPE':>12}{'dynamic MAPE':>14}{'event improv.':>15}{'switches':>10}")

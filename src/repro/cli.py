@@ -93,6 +93,7 @@ def _cmd_create_model(gallery: Gallery, args: argparse.Namespace) -> Any:
         owner=args.owner,
         description=args.description,
         metadata=_parse_meta(args.meta),
+        family=args.family,
     )
     return model.to_dict()
 
@@ -105,6 +106,8 @@ def _cmd_upload(gallery: Gallery, args: argparse.Namespace) -> Any:
         blob=blob,
         metadata=_parse_meta(args.meta),
         parent_instance_id=args.parent,
+        family=args.family,
+        enabled=not args.disabled,
     )
     return instance.to_dict()
 
@@ -238,6 +241,53 @@ def _cmd_dlq_purge(gallery: Gallery, args: argparse.Namespace) -> Any:
     return {"purged": queue.purge(letter_ids)}
 
 
+# -- families & serving assignments ---------------------------------------------
+
+
+def _cmd_family_list(gallery: Gallery, args: argparse.Namespace) -> Any:
+    if args.models:
+        records = gallery.models_in_family(
+            args.family, include_deprecated=args.include_deprecated
+        )
+    else:
+        records = gallery.instances_in_family(
+            args.family,
+            include_disabled=args.include_disabled,
+            include_deprecated=args.include_deprecated,
+        )
+    return [record.to_dict() for record in records]
+
+
+def _cmd_family_enable(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return gallery.enable_instance(args.instance_id).to_dict()
+
+
+def _cmd_family_disable(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return gallery.disable_instance(args.instance_id).to_dict()
+
+
+def _cmd_family_serving(gallery: Gallery, args: argparse.Namespace) -> Any:
+    if args.scope is not None:
+        return gallery.serving_for(args.scope).to_dict()
+    return [assignment.to_dict() for assignment in gallery.serving_assignments()]
+
+
+def _cmd_family_assign(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return gallery.assign_serving(
+        args.scope, args.instance_id, reason=args.reason
+    ).to_dict()
+
+
+def _cmd_family_switch(gallery: Gallery, args: argparse.Namespace) -> Any:
+    return gallery.switch_family(
+        args.scope,
+        args.family,
+        metric=args.metric,
+        mode=args.mode,
+        reason=args.reason,
+    ).to_dict()
+
+
 # -- shard administration (offline: operates on closed shard files) ------------
 
 
@@ -362,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--owner", default="")
     create.add_argument("--description", default="")
     create.add_argument("--meta", action="append", default=[])
+    create.add_argument(
+        "--family",
+        default="",
+        help="family grouping; instances inherit it unless overridden",
+    )
     create.set_defaults(handler=_cmd_create_model)
 
     upload = commands.add_parser("upload", help="upload a trained instance blob")
@@ -370,6 +425,17 @@ def build_parser() -> argparse.ArgumentParser:
     upload.add_argument("blob_file")
     upload.add_argument("--meta", action="append", default=[])
     upload.add_argument("--parent", default=None)
+    upload.add_argument(
+        "--family",
+        default=None,
+        help="override the owning model's family for this instance",
+    )
+    upload.add_argument(
+        "--disabled",
+        action="store_true",
+        help="register behind the review gate (cannot win serving assignments"
+        " until enabled)",
+    )
     upload.set_defaults(handler=_cmd_upload)
 
     metric = commands.add_parser("metric", help="record a performance metric")
@@ -461,6 +527,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dlq_purge.add_argument("letter_ids", nargs="*", type=int, metavar="letter_id")
     dlq_purge.set_defaults(handler=_cmd_dlq_purge)
+
+    family = commands.add_parser(
+        "family", help="model families and serving assignments"
+    )
+    family_commands = family.add_subparsers(dest="family_command", required=True)
+
+    family_list = family_commands.add_parser(
+        "list", help="members of a family (servable instances by default)"
+    )
+    family_list.add_argument("family")
+    family_list.add_argument(
+        "--models", action="store_true", help="list models instead of instances"
+    )
+    family_list.add_argument("--include-disabled", action="store_true")
+    family_list.add_argument("--include-deprecated", action="store_true")
+    family_list.set_defaults(handler=_cmd_family_list)
+
+    family_enable = family_commands.add_parser(
+        "enable", help="pass an instance through the review gate"
+    )
+    family_enable.add_argument("instance_id")
+    family_enable.set_defaults(handler=_cmd_family_enable)
+
+    family_disable = family_commands.add_parser(
+        "disable", help="pull an instance back behind the review gate"
+    )
+    family_disable.add_argument("instance_id")
+    family_disable.set_defaults(handler=_cmd_family_disable)
+
+    family_serving = family_commands.add_parser(
+        "serving", help="current serving assignment(s)"
+    )
+    family_serving.add_argument(
+        "scope", nargs="?", default=None, help="one scope, or omit to list all"
+    )
+    family_serving.set_defaults(handler=_cmd_family_serving)
+
+    family_assign = family_commands.add_parser(
+        "assign", help="re-point a scope at an enabled instance"
+    )
+    family_assign.add_argument("scope")
+    family_assign.add_argument("instance_id")
+    family_assign.add_argument("--reason", default="")
+    family_assign.set_defaults(handler=_cmd_family_assign)
+
+    family_switch = family_commands.add_parser(
+        "switch", help="re-point a scope at the best enabled instance of a family"
+    )
+    family_switch.add_argument("scope")
+    family_switch.add_argument("family")
+    family_switch.add_argument(
+        "--metric", default=None, help="rank candidates by this metric"
+    )
+    family_switch.add_argument(
+        "--mode", default="min", choices=("min", "max"),
+        help="lower-is-better (min) or higher-is-better (max)",
+    )
+    family_switch.add_argument("--reason", default="")
+    family_switch.set_defaults(handler=_cmd_family_switch)
 
     shard = commands.add_parser(
         "shard", help="manage the hash-partitioned metadata plane"

@@ -95,6 +95,13 @@ class Model:
     downstream_model_ids: tuple[str, ...] = ()
     metadata: Mapping[str, Any] = field(default_factory=dict)
     deprecated: bool = False
+    #: Family grouping (e.g. ``"{feature_set}_{loss}"``): models sharing a
+    #: family are interchangeable candidates for one serving scope.  Empty
+    #: string = ungrouped; documents written before families existed load
+    #: with that default.
+    family: str = ""
+    #: Review gate: disabled models never win serving assignments.
+    enabled: bool = True
 
     def __post_init__(self) -> None:
         if not self.model_id:
@@ -150,6 +157,8 @@ class Model:
             "downstream_model_ids": list(self.downstream_model_ids),
             "metadata": dict(self.metadata),
             "deprecated": self.deprecated,
+            "family": self.family,
+            "enabled": self.enabled,
         }
 
     @classmethod
@@ -181,6 +190,12 @@ class ModelInstance:
     created_time: float = 0.0
     metadata: Mapping[str, Any] = field(default_factory=dict)
     deprecated: bool = False
+    #: Family inherited from (or overriding) the owning model's grouping.
+    family: str = ""
+    #: Review gate (Section 4.2 workflow): training auto-registers instances
+    #: and a human or rule flips ``enabled`` before they may serve.  Pre-PR9
+    #: documents load as enabled so existing serving keeps working.
+    enabled: bool = True
 
     def __post_init__(self) -> None:
         if not self.instance_id:
@@ -195,6 +210,10 @@ class ModelInstance:
         """Return a deprecated copy of this instance."""
         return dataclasses.replace(self, deprecated=True)
 
+    def with_enablement(self, enabled: bool) -> "ModelInstance":
+        """Return a copy with the review gate flipped."""
+        return dataclasses.replace(self, enabled=enabled)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "instance_id": self.instance_id,
@@ -206,10 +225,54 @@ class ModelInstance:
             "created_time": self.created_time,
             "metadata": dict(self.metadata),
             "deprecated": self.deprecated,
+            "family": self.family,
+            "enabled": self.enabled,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ModelInstance":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True, slots=True)
+class ServingAssignment:
+    """The durable "what is serving right now" row for one scope.
+
+    A *scope* is the serving slot rules and clients agree on — for the
+    forecasting case study it is the city name.  Assignments live in the
+    metadata store (not process memory) so every replica over a shared
+    store observes a switch without restart; ``previous_instance_id`` and
+    ``reason`` make the switch history auditable.
+    """
+
+    scope: str
+    instance_id: str
+    family: str = ""
+    assigned_time: float = 0.0
+    previous_instance_id: str | None = None
+    reason: str = ""
+    switch_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.scope:
+            raise ValidationError("serving scope must be non-empty")
+        if not self.instance_id:
+            raise ValidationError("serving instance_id must be non-empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scope": self.scope,
+            "instance_id": self.instance_id,
+            "family": self.family,
+            "assigned_time": self.assigned_time,
+            "previous_instance_id": self.previous_instance_id,
+            "reason": self.reason,
+            "switch_count": self.switch_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingAssignment":
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

@@ -29,7 +29,13 @@ from repro.core.dependencies import DependencyGraph, PropagationEvent
 from repro.core.health import DriftDetector, HealthReport, health_report
 from repro.core.ids import IdFactory, random_uuid
 from repro.core.lifecycle import LifecycleStage, LifecycleTracker
-from repro.core.records import MetricRecord, MetricScope, Model, ModelInstance
+from repro.core.records import (
+    MetricRecord,
+    MetricScope,
+    Model,
+    ModelInstance,
+    ServingAssignment,
+)
 from repro.core.search import ConstraintSet, Constraint, flatten_instance_document
 from repro.core.versioning import LineageTracker
 from repro.errors import (
@@ -190,11 +196,15 @@ class Gallery:
         metadata: Mapping[str, Any] | None = None,
         upstream_model_ids: Sequence[str] = (),
         model_id: str | None = None,
+        family: str = "",
     ) -> Model:
         """Register a new model under a base version id (Listing 3).
 
         Dependencies named in *upstream_model_ids* are wired at registration
-        time without version bumps (Section 3.4.2 / Figure 5).
+        time without version bumps (Section 3.4.2 / Figure 5).  *family*
+        groups interchangeable models (e.g. ``"{feature_set}_{loss}"``) so
+        serving assignments can be re-pointed within the group; instances
+        inherit it unless they override it at upload time.
         """
         key = (project, base_version_id)
         if key in self._model_by_base or self._adopt_peer_model(*key) is not None:
@@ -209,6 +219,7 @@ class Gallery:
             description=description,
             created_time=self._clock.now(),
             upstream_model_ids=tuple(upstream_model_ids),
+            family=family,
         )
         if metadata:
             model = replace(model, metadata=dict(metadata))
@@ -388,6 +399,8 @@ class Gallery:
         parent_instance_id: str | None = None,
         instance_id: str | None = None,
         initial_stage: LifecycleStage | str = LifecycleStage.EVALUATION,
+        family: str | None = None,
+        enabled: bool = True,
     ) -> ModelInstance:
         """Upload a trained model instance (the paper's ``uploadModel``).
 
@@ -396,6 +409,11 @@ class Gallery:
         lineage of its base version id, the dependency graph records an
         instance update (propagating minor bumps downstream), and an
         INSTANCE_CREATED event fires for the rule engine.
+
+        The instance inherits the owning model's *family* unless overridden.
+        Auto-registration pipelines pass ``enabled=False`` so a human or rule
+        must flip the review gate before the instance can win a serving
+        assignment (Section 4.2's training workflow).
         """
         model = self.find_model(project, base_version_id)
         if model.deprecated:
@@ -410,6 +428,8 @@ class Gallery:
             parent_instance_id=parent_instance_id,
             created_time=created,
             metadata=dict(metadata) if metadata else {},
+            family=model.family if family is None else family,
+            enabled=enabled,
         )
         events = self.dependencies.record_instance_update(model.model_id)
         instance = replace(
@@ -515,6 +535,192 @@ class Gallery:
             )
         )
         return self.get_instance(instance_id)
+
+    # ------------------------------------------------------------------
+    # Families & serving assignments (Section 4.2)
+    # ------------------------------------------------------------------
+
+    @_locked
+    def enable_instance(self, instance_id: str) -> ModelInstance:
+        """Pass an instance through the review gate (Section 4.2).
+
+        Only enabled instances may win serving assignments; the flip is
+        persisted on the record and the search-document cache entry is
+        invalidated so queries constraining on ``enabled`` see it at once.
+        """
+        return self._set_enablement(instance_id, True)
+
+    @_locked
+    def disable_instance(self, instance_id: str) -> ModelInstance:
+        """Pull an instance back behind the review gate.
+
+        Disabling does not tear down an existing assignment that points at
+        the instance (serving keeps working while humans investigate), but
+        the instance can no longer *win* new assignments or family switches.
+        """
+        return self._set_enablement(instance_id, False)
+
+    def _set_enablement(self, instance_id: str, enabled: bool) -> ModelInstance:
+        instance = self.get_instance(instance_id)
+        if instance.enabled == enabled:
+            return instance
+        self._dal.metadata.replace_instance(instance.with_enablement(enabled))
+        self._documents.invalidate_instance(instance_id)
+        self.bus.publish(
+            Event(
+                kind=EventKind.INSTANCE_ENABLEMENT,
+                timestamp=self._clock.now(),
+                model_id=instance.model_id,
+                instance_id=instance_id,
+                payload={"enabled": enabled},
+            )
+        )
+        return self.get_instance(instance_id)
+
+    def models_in_family(self, family: str, include_deprecated: bool = False) -> list[Model]:
+        """All models grouped under *family*, oldest first."""
+        models = self._dal.models_in_family(family)
+        if include_deprecated:
+            return models
+        return [m for m in models if not m.deprecated]
+
+    def instances_in_family(
+        self,
+        family: str,
+        include_disabled: bool = False,
+        include_deprecated: bool = False,
+    ) -> list[ModelInstance]:
+        """Instances grouped under *family*, oldest first.
+
+        By default only the *servable* ones: enabled and not deprecated —
+        the candidate pool a family switch selects from.
+        """
+        instances = self._dal.instances_in_family(family)
+        return [
+            i
+            for i in instances
+            if (include_disabled or i.enabled)
+            and (include_deprecated or not i.deprecated)
+        ]
+
+    def serving_for(self, scope: str) -> ServingAssignment:
+        """The durable "what is serving now" row for *scope*.
+
+        Always a live store read (never cached, never process memory):
+        replicas over a shared store must observe a peer's switch on their
+        very next call, without restart.
+        """
+        return self._dal.serving_assignment(scope)
+
+    def serving_assignments(self) -> list[ServingAssignment]:
+        """Every scope's current assignment, sorted by scope."""
+        return self._dal.serving_assignments()
+
+    @_locked
+    def assign_serving(
+        self, scope: str, instance_id: str, reason: str = ""
+    ) -> ServingAssignment:
+        """Atomically re-point *scope*'s serving assignment (enablement-gated).
+
+        The target must exist, be enabled, and not be deprecated — the
+        registry is the gatekeeper, so no rule action or wire client can
+        route traffic at an unreviewed instance.  Re-assigning the current
+        instance is a no-op (the switch count does not move).
+        """
+        instance = self.get_instance(instance_id)
+        if instance.deprecated:
+            raise ValidationError(
+                f"instance {instance_id!r} is deprecated and cannot serve"
+            )
+        if not instance.enabled:
+            raise ValidationError(
+                f"instance {instance_id!r} is disabled (review gate) and cannot serve"
+            )
+        try:
+            already_serving = self.serving_for(scope).instance_id == instance_id
+        except NotFoundError:
+            already_serving = False
+        assignment = self._dal.assign_serving(
+            scope,
+            instance_id,
+            family=instance.family,
+            now=self._clock.now(),
+            reason=reason,
+        )
+        self._documents.invalidate_instance(instance_id)
+        # The stored row cannot distinguish a replayed no-op from the switch
+        # that created it (previous_instance_id keeps pointing at the old
+        # instance), so "did this call change anything" comes from the
+        # pre-read above — done under the registry write lock.
+        if not already_serving:
+            self.bus.publish(
+                Event(
+                    kind=EventKind.SERVING_SWITCHED,
+                    timestamp=assignment.assigned_time,
+                    model_id=instance.model_id,
+                    instance_id=instance_id,
+                    payload={
+                        "scope": scope,
+                        "family": assignment.family,
+                        "previous_instance_id": assignment.previous_instance_id,
+                        "reason": reason,
+                        "switch_count": assignment.switch_count,
+                    },
+                )
+            )
+        return assignment
+
+    def best_in_family(
+        self,
+        family: str,
+        metric: str | None = None,
+        mode: str = "min",
+        scope: MetricScope | str | None = None,
+    ) -> ModelInstance:
+        """The servable instance of *family* a switch should route to.
+
+        With a *metric* name, candidates are ranked by their latest value
+        (``mode="min"`` for losses like MAPE, ``"max"`` for scores);
+        candidates that never reported the metric lose to any that did.
+        Without one, the newest servable instance wins.
+        """
+        candidates = self.instances_in_family(family)
+        if not candidates:
+            raise NotFoundError(f"family {family!r} has no servable instances")
+        if metric is None:
+            return candidates[-1]
+        if mode not in ("min", "max"):
+            raise ValidationError(f"mode must be 'min' or 'max', got {mode!r}")
+        scored = [
+            (instance, self.latest_metric(instance.instance_id, metric, scope=scope))
+            for instance in candidates
+        ]
+        measured = [(i, v) for i, v in scored if v is not None]
+        if not measured:
+            return candidates[-1]
+        pick = min if mode == "min" else max
+        return pick(measured, key=lambda pair: pair[1])[0]
+
+    @_locked
+    def switch_family(
+        self,
+        scope: str,
+        family: str,
+        metric: str | None = None,
+        mode: str = "min",
+        reason: str = "",
+    ) -> ServingAssignment:
+        """Re-point *scope* at the best servable instance of *family*.
+
+        One atomic read-modify-write against the store: selection and
+        assignment happen under the registry write lock, and the store-level
+        upsert is transactional, so racing switches across replicas cannot
+        interleave into a half-applied state.
+        """
+        best = self.best_in_family(family, metric=metric, mode=mode)
+        return self.assign_serving(
+            scope, best.instance_id, reason=reason or f"switch_family:{family}"
+        )
 
     # ------------------------------------------------------------------
     # Metrics (Listing 4)

@@ -104,6 +104,7 @@ class ForecastingPipeline:
                 owner=self._team,
                 description=f"{quantity} forecasting with {spec.name}",
                 metadata={"team": self._team, "quantity": quantity},
+                family=base,
             )
         return model.model_id
 
@@ -116,6 +117,7 @@ class ForecastingPipeline:
         quantity: str = "demand",
         train_hours: int | None = None,
         record_metrics: bool = True,
+        enabled: bool = True,
     ) -> TrainedInstance:
         """Train one (city, model) instance and register it in Gallery.
 
@@ -123,6 +125,11 @@ class ForecastingPipeline:
         of Section 6.2: feature list, hyperparameters, training-data pointer
         (the city + window), framework tag, and the seed-bearing
         hyperparameters of stochastic models.
+
+        The instance joins the per-city family ``"{city}:{spec}"`` — the
+        serving-scope grouping ``switch_family`` selects from.  Training
+        pipelines that auto-register pass ``enabled=False`` so a reviewer
+        (or rule) must flip the gate before the instance can serve.
         """
         self.ensure_model(spec, quantity)
         values = series.values if train_hours is None else series.values[:train_hours]
@@ -158,6 +165,8 @@ class ForecastingPipeline:
             base_version_id=spec.base_version_id(quantity),
             blob=serialize(model),
             metadata=metadata,
+            family=f"{series.city}:{spec.name}",
+            enabled=enabled,
         )
         if record_metrics:
             self._gallery.insert_metrics(

@@ -7,10 +7,11 @@ models for the duration of the event."
 
 Mechanics reproduced here:
 
-* a :class:`Switchboard` is the serving system's configuration — which
-  instance each city serves right now — updated only through the
-  ``switch_model`` callback action, mirroring the paper's "configuration
-  change, via http request";
+* a :class:`RegistrySwitchboard` is the serving system's configuration —
+  which instance each city serves right now — backed by the registry's
+  durable serving assignments, so every replica over a shared store
+  observes a switch without restart.  The old in-memory
+  :class:`Switchboard` survives as a deprecated shim;
 * :class:`EventSwitchingController` owns the Gallery selection rules that
   pick the event-aware or base champion per city, and the action rules that
   push switches onto the switchboard as events start and end;
@@ -20,6 +21,8 @@ Mechanics reproduced here:
 """
 
 from __future__ import annotations
+
+import warnings
 
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -47,10 +50,66 @@ class SwitchRecord:
     reason: str = ""
 
 
+class RegistrySwitchboard:
+    """The serving system's live model-version configuration (registry-backed).
+
+    Each city's "what is serving now" is a durable
+    :class:`~repro.core.records.ServingAssignment` row in the Gallery
+    registry: a switch made here (or by a rule action, a wire client, or a
+    peer replica over the same store) is immediately visible to every
+    reader of :meth:`Gallery.serving_for`.  ``history`` keeps this
+    process's hour-stamped view of the switches *it* made — the simulation
+    replay needs hours, which durable rows do not carry.
+    """
+
+    def __init__(self, gallery: Gallery) -> None:
+        self._gallery = gallery
+        self.history: list[SwitchRecord] = []
+
+    def assign(self, city: str, instance_id: str, hour: int = 0, reason: str = "") -> None:
+        try:
+            current: str | None = self._gallery.serving_for(city).instance_id
+        except NotFoundError:
+            current = None
+        if current == instance_id:
+            return  # no-op switches are not configuration changes
+        self._gallery.assign_serving(city, instance_id, reason=reason)
+        self.history.append(
+            SwitchRecord(city=city, instance_id=instance_id, hour=hour, reason=reason)
+        )
+
+    def serving(self, city: str) -> str:
+        return self._gallery.serving_for(city).instance_id
+
+    def switch_count(self, city: str | None = None) -> int:
+        """Durable switch totals — they include peer replicas' switches."""
+        if city is None:
+            return sum(
+                assignment.switch_count
+                for assignment in self._gallery.serving_assignments()
+            )
+        try:
+            return self._gallery.serving_for(city).switch_count
+        except NotFoundError:
+            return 0
+
+
 class Switchboard:
-    """The serving system's live model-version configuration."""
+    """Deprecated in-memory switchboard (pre-registry serving state).
+
+    Nothing outside this process can see its assignments — no replica, rule
+    action, or wire client — which is exactly the gap serving assignments
+    closed.  Kept as a shim so old simulation scripts keep running.
+    """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "Switchboard is deprecated: serving state now lives in the "
+            "registry — use RegistrySwitchboard(gallery) or "
+            "Gallery.assign_serving/serving_for",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._serving: dict[str, str] = {}
         self.history: list[SwitchRecord] = []
 
@@ -75,7 +134,12 @@ class Switchboard:
         return sum(1 for record in self.history if record.city == city)
 
 
-def register_switch_action(actions: ActionRegistry, switchboard: Switchboard) -> None:
+#: Anything that can record "city -> instance" switches: the registry-backed
+#: board or the deprecated in-memory shim.
+AnySwitchboard = RegistrySwitchboard | Switchboard
+
+
+def register_switch_action(actions: ActionRegistry, switchboard: AnySwitchboard) -> None:
     """Install the ``switch_model`` callback action onto a registry."""
 
     def _switch(context: ActionContext) -> str:
@@ -107,17 +171,25 @@ class EventSwitchingController:
         self,
         gallery: Gallery,
         engine: RuleEngine,
-        switchboard: Switchboard,
+        switchboard: AnySwitchboard | None = None,
         team: str = "forecasting",
         quality_gate: str = "metrics.mape < 0.5",
     ) -> None:
         self._gallery = gallery
         self._engine = engine
-        self._switchboard = switchboard
+        # Default to the registry-backed board so controller switches are
+        # durable rows every replica (and the wire API) can observe.
+        self._switchboard = (
+            RegistrySwitchboard(gallery) if switchboard is None else switchboard
+        )
         self._team = team
         self._quality_gate = quality_gate
         self._rules: dict[tuple[str, bool], Rule] = {}
-        register_switch_action(engine.actions, switchboard)
+        register_switch_action(engine.actions, self._switchboard)
+
+    @property
+    def switchboard(self) -> AnySwitchboard:
+        return self._switchboard
 
     def _rule_for(self, city: str, event_aware: bool) -> Rule:
         key = (city, event_aware)

@@ -1,6 +1,11 @@
 """Orchestration rule engine: expression language, rules, repo, engine."""
 
-from repro.rules.actions import ActionContext, ActionRegistry, ActionResult
+from repro.rules.actions import (
+    ActionContext,
+    ActionRegistry,
+    ActionResult,
+    register_switch_family_action,
+)
 from repro.rules.engine import (
     CandidateDocument,
     CandidateSource,
@@ -36,5 +41,6 @@ __all__ = [
     "SelectionResult",
     "action_rule",
     "build_static_source",
+    "register_switch_family_action",
     "selection_rule",
 ]

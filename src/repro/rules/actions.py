@@ -138,3 +138,48 @@ class ActionRegistry:
     def sent(self, name: str) -> list[ActionContext]:
         """Contexts captured by a default action's outbox."""
         return list(self.outbox.get(name, []))
+
+
+def register_switch_family_action(
+    actions: ActionRegistry, registry: Any, replace: bool = True
+) -> None:
+    """Install the ``switch_family`` callback action onto an action registry.
+
+    *registry* is a :class:`repro.core.registry.Gallery` (duck-typed here to
+    keep the rules package free of core imports).  The action atomically
+    re-points a serving scope at the best *enabled* instance of a family:
+
+    ``params``:
+      * ``scope``  — serving slot to re-point (falls back to the candidate
+        document's ``city``, the forecasting scope convention);
+      * ``family`` — family to select from (falls back to the document's);
+      * ``metric`` / ``mode`` — optional ranking, e.g. ``mape`` / ``min``;
+      * ``reason`` — audit string stamped onto the assignment row.
+
+    Selection and assignment happen inside ``Gallery.switch_family`` under
+    the registry write lock plus a transactional store upsert, so racing
+    rule firings across replicas cannot interleave.
+    """
+
+    def _switch_family(context: ActionContext) -> str:
+        scope = str(context.params.get("scope") or context.document.get("city", ""))
+        family = str(
+            context.params.get("family") or context.document.get("family", "")
+        )
+        if not scope or not family:
+            raise ActionError(
+                "switch_family needs 'scope' and 'family' (params or document)"
+            )
+        metric = context.params.get("metric")
+        assignment = registry.switch_family(
+            scope,
+            family,
+            metric=str(metric) if metric is not None else None,
+            mode=str(context.params.get("mode", "min")),
+            reason=str(
+                context.params.get("reason", f"rule {context.rule_uuid}")
+            ),
+        )
+        return f"switched {scope} -> {assignment.instance_id}"
+
+    actions.register("switch_family", _switch_family, replace=replace)

@@ -20,6 +20,8 @@ class EventKind(str, Enum):
     METRIC_UPDATED = "metric_updated"
     METADATA_UPDATED = "metadata_updated"
     INSTANCE_DEPRECATED = "instance_deprecated"
+    INSTANCE_ENABLEMENT = "instance_enablement"
+    SERVING_SWITCHED = "serving_switched"
     DIRECT_TRIGGER = "direct_trigger"
 
 

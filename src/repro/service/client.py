@@ -58,6 +58,11 @@ IDEMPOTENT_METHODS = frozenset(
         "metricHistory",
         "lineageOf",
         "auditStorage",
+        # families & serving assignments: pure reads.  assignServing and the
+        # enablement flips are mutations and retry only under request-id
+        # dedup like every other write.
+        "familyQuery",
+        "servingFor",
         "selectModel",
         "shardTopology",
         # fleet control plane: drain/undrain are idempotent flips, status
@@ -417,6 +422,7 @@ class GalleryClient:
         description: str = "",
         metadata: Mapping[str, Any] | None = None,
         upstream_model_ids: list[str] | None = None,
+        family: str = "",
     ) -> dict[str, Any]:
         return self.call(
             "createGalleryModel",
@@ -426,6 +432,7 @@ class GalleryClient:
             description=description,
             metadata=metadata,
             upstream_model_ids=upstream_model_ids,
+            family=family,
         )
 
     def upload_model(
@@ -435,6 +442,8 @@ class GalleryClient:
         blob: bytes,
         metadata: Mapping[str, Any] | None = None,
         parent_instance_id: str | None = None,
+        family: str | None = None,
+        enabled: bool = True,
     ) -> dict[str, Any]:
         return self.call(
             "uploadModel",
@@ -443,6 +452,8 @@ class GalleryClient:
             blob=self._encode_blob_param(blob),
             metadata=metadata,
             parent_instance_id=parent_instance_id,
+            family=family,
+            enabled=enabled,
         )
 
     # -- Listing 4 ---------------------------------------------------------------
@@ -556,6 +567,42 @@ class GalleryClient:
 
     def downstream_of(self, model_id: str, transitive: bool = False) -> list[str]:
         return self.call("downstreamOf", model_id=model_id, transitive=transitive)
+
+    # -- families & serving assignments ------------------------------------------------
+
+    def family_query(
+        self,
+        family: str,
+        include_disabled: bool = False,
+        include_deprecated: bool = False,
+        models: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Members of *family*: servable instances by default, or models."""
+        return self.call(
+            "familyQuery",
+            family=family,
+            include_disabled=include_disabled,
+            include_deprecated=include_deprecated,
+            models=models,
+        )
+
+    def serving_for(self, scope: str) -> dict[str, Any]:
+        """The durable serving assignment for *scope* (live store read)."""
+        return self.call("servingFor", scope=scope)
+
+    def assign_serving(
+        self, scope: str, instance_id: str, reason: str = ""
+    ) -> dict[str, Any]:
+        """Atomically re-point *scope* at an enabled instance."""
+        return self.call(
+            "assignServing", scope=scope, instance_id=instance_id, reason=reason
+        )
+
+    def enable_instance(self, instance_id: str) -> dict[str, Any]:
+        return self.call("enableInstance", instance_id=instance_id)
+
+    def disable_instance(self, instance_id: str) -> dict[str, Any]:
+        return self.call("disableInstance", instance_id=instance_id)
 
     # -- health / rules -------------------------------------------------------------
 

@@ -44,6 +44,9 @@ MUTATING_METHODS = frozenset(
         "insertModelInstanceMetrics",
         "deprecateModel",
         "deprecateInstance",
+        "enableInstance",
+        "disableInstance",
+        "assignServing",
         "addDependency",
         "collectOrphans",
         "triggerRule",
@@ -232,6 +235,12 @@ class GalleryService:
             # lifecycle / deprecation
             "deprecateModel": self._deprecate_model,
             "deprecateInstance": self._deprecate_instance,
+            # families & serving assignments
+            "familyQuery": self._family_query,
+            "servingFor": self._serving_for,
+            "assignServing": self._assign_serving,
+            "enableInstance": self._enable_instance,
+            "disableInstance": self._disable_instance,
             # dependencies
             "addDependency": self._add_dependency,
             "upstreamOf": self._upstream_of,
@@ -522,6 +531,7 @@ class GalleryService:
         description: str = "",
         metadata: Mapping[str, Any] | None = None,
         upstream_model_ids: list[str] | None = None,
+        family: str = "",
     ) -> dict[str, Any]:
         model = self._gallery.create_model(
             project=project,
@@ -530,6 +540,7 @@ class GalleryService:
             description=description,
             metadata=metadata,
             upstream_model_ids=tuple(upstream_model_ids or ()),
+            family=family,
         )
         return model.to_dict()
 
@@ -540,6 +551,8 @@ class GalleryService:
         blob: str | bytes,
         metadata: Mapping[str, Any] | None = None,
         parent_instance_id: str | None = None,
+        family: str | None = None,
+        enabled: bool = True,
     ) -> dict[str, Any]:
         # ``blob`` arrives as raw bytes from binary-dialect clients and as
         # base64 text from JSON-dialect ones; decode_blob handles both.
@@ -549,6 +562,8 @@ class GalleryService:
             blob=wire.decode_blob(blob),
             metadata=metadata,
             parent_instance_id=parent_instance_id,
+            family=family,
+            enabled=enabled,
         )
         return instance.to_dict()
 
@@ -644,6 +659,42 @@ class GalleryService:
 
     def _deprecate_instance(self, instance_id: str) -> dict[str, Any]:
         return self._gallery.deprecate_instance(instance_id).to_dict()
+
+    def _family_query(
+        self,
+        family: str,
+        include_disabled: bool = False,
+        include_deprecated: bool = False,
+        models: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Members of a family: servable instances by default, or models."""
+        if models:
+            records = self._gallery.models_in_family(
+                family, include_deprecated=include_deprecated
+            )
+        else:
+            records = self._gallery.instances_in_family(
+                family,
+                include_disabled=include_disabled,
+                include_deprecated=include_deprecated,
+            )
+        return [record.to_dict() for record in records]
+
+    def _serving_for(self, scope: str) -> dict[str, Any]:
+        return self._gallery.serving_for(scope).to_dict()
+
+    def _assign_serving(
+        self, scope: str, instance_id: str, reason: str = ""
+    ) -> dict[str, Any]:
+        return self._gallery.assign_serving(
+            scope, instance_id, reason=reason
+        ).to_dict()
+
+    def _enable_instance(self, instance_id: str) -> dict[str, Any]:
+        return self._gallery.enable_instance(instance_id).to_dict()
+
+    def _disable_instance(self, instance_id: str) -> dict[str, Any]:
+        return self._gallery.disable_instance(instance_id).to_dict()
 
     def _add_dependency(self, downstream_id: str, upstream_id: str) -> list[dict[str, Any]]:
         events = self._gallery.add_dependency(downstream_id, upstream_id)

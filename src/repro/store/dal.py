@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
-from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.core.records import (
+    MetricRecord,
+    Model,
+    ModelInstance,
+    ServingAssignment,
+)
 from repro.errors import BlobStoreError, ConsistencyError, MetadataStoreError
 from repro.store.blob import BlobRange, BlobRegion, BlobStore, range_of_bytes
 from repro.store.cache import LRUBlobCache
@@ -152,6 +157,37 @@ class DataAccessLayer:
 
     def dead_letters_count(self) -> int:
         return self._metadata.dead_letters_count()
+
+    # -- families & serving assignments ----------------------------------------
+    #
+    # Serving assignments are registry state like any other record: reads and
+    # the atomic re-point go through the DAL so the registry never touches
+    # the concrete store, and the sharded backend routes by scope.
+
+    def models_in_family(self, family: str) -> list[Model]:
+        return self._metadata.models_in_family(family)
+
+    def instances_in_family(self, family: str) -> list[ModelInstance]:
+        return self._metadata.instances_in_family(family)
+
+    def serving_assignment(self, scope: str) -> ServingAssignment:
+        return self._metadata.serving_assignment(scope)
+
+    def serving_assignments(self) -> list[ServingAssignment]:
+        return self._metadata.serving_assignments()
+
+    def assign_serving(
+        self,
+        scope: str,
+        instance_id: str,
+        *,
+        family: str = "",
+        now: float = 0.0,
+        reason: str = "",
+    ) -> ServingAssignment:
+        return self._metadata.assign_serving(
+            scope, instance_id, family=family, now=now, reason=reason
+        )
 
     # -- write path -----------------------------------------------------------
 
@@ -291,6 +327,7 @@ class DataAccessLayer:
         """Operational snapshot used by scale benchmarks and ``gallery gc``."""
         summary: dict[str, Any] = dict(self._metadata.counts())
         summary["blob_count"] = len(self._blobs.locations())
+        summary["serving_assignments"] = self._metadata.serving_assignment_count()
         if self._cache is not None:
             summary["cache_entries"] = len(self._cache)
             summary["cache_hit_rate"] = self._cache.stats.hit_rate

@@ -41,17 +41,21 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.metadata import INDEXED_FIELDS
-from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.core.records import MetricRecord, Model, ModelInstance, ServingAssignment
 from repro.errors import DuplicateError, MetadataStoreError, NotFoundError
 
 #: Fields allowed to change via replace_* (everything else must match).
+#: ``enabled`` is the PR9 review gate: flipping it is sanctioned bookkeeping
+#: (like deprecation), while ``family`` stays immutable — a record's grouping
+#: is part of its identity.
 _MUTABLE_MODEL_FIELDS = {
     "next_model_id",
     "upstream_model_ids",
     "downstream_model_ids",
     "deprecated",
+    "enabled",
 }
-_MUTABLE_INSTANCE_FIELDS = {"deprecated"}
+_MUTABLE_INSTANCE_FIELDS = {"deprecated", "enabled"}
 
 #: Max ids per SQL ``IN (...)`` clause; SQLite's default host-parameter
 #: limit is 999, so batched lookups chunk below it.
@@ -173,6 +177,60 @@ class MetadataStore(ABC):
     @abstractmethod
     def iter_metrics(self) -> Iterator[MetricRecord]: ...
 
+    # -- families -------------------------------------------------------------
+
+    def models_in_family(self, family: str) -> list[Model]:
+        """Models grouped under *family*, ordered by creation time.
+
+        The default scans :meth:`iter_models` — model corpora are small
+        next to instances; backends with an indexed column override.
+        """
+        hits = [m for m in self.iter_models() if m.family == family]
+        hits.sort(key=lambda m: m.created_time)
+        return hits
+
+    def instances_in_family(self, family: str) -> list[ModelInstance]:
+        """Instances grouped under *family*, ordered by creation time."""
+        hits = [i for i in self.iter_instances() if i.family == family]
+        hits.sort(key=lambda i: i.created_time)
+        return hits
+
+    # -- serving assignments ---------------------------------------------------
+    #
+    # "What is serving right now" is registry state, not process state: the
+    # rows are durable so every replica over a shared store observes a switch
+    # without restart (the PR9 fleet-scale switching requirement).
+
+    @abstractmethod
+    def serving_assignment(self, scope: str) -> ServingAssignment:
+        """The current assignment for *scope*; raises NotFoundError."""
+
+    @abstractmethod
+    def serving_assignments(self) -> list[ServingAssignment]:
+        """Every scope's current assignment, ordered by scope."""
+
+    @abstractmethod
+    def assign_serving(
+        self,
+        scope: str,
+        instance_id: str,
+        *,
+        family: str = "",
+        now: float = 0.0,
+        reason: str = "",
+    ) -> ServingAssignment:
+        """Atomically (re-)point *scope* at *instance_id*.
+
+        Re-assigning the already-serving instance is a no-op that returns
+        the existing row unchanged (no switch-count bump), mirroring the
+        old in-memory switchboard semantics.
+        """
+
+    @abstractmethod
+    def serving_assignment_count(self) -> int:
+        """Number of scopes with an assignment (kept out of :meth:`counts`
+        so existing exact-shape assertions stay valid)."""
+
     # -- misc ---------------------------------------------------------------
 
     @abstractmethod
@@ -197,6 +255,8 @@ class InMemoryMetadataStore(MetadataStore):
         self._instances_by_base: dict[str, list[str]] = {}
         self._metrics_by_instance: dict[str, list[str]] = {}
         self._field_index: dict[tuple[str, Any], list[str]] = {}
+        self._serving: dict[str, ServingAssignment] = {}
+        self._serving_lock = threading.Lock()
 
     def _ordered(self, instance_ids: list[str]) -> list[ModelInstance]:
         instances = [self._instances[i] for i in instance_ids]
@@ -346,6 +406,45 @@ class InMemoryMetadataStore(MetadataStore):
     def iter_metrics(self) -> Iterator[MetricRecord]:
         return iter(list(self._metrics.values()))
 
+    # -- serving assignments ---------------------------------------------------
+
+    def serving_assignment(self, scope: str) -> ServingAssignment:
+        try:
+            return self._serving[scope]
+        except KeyError:
+            raise NotFoundError(f"no serving assignment for scope {scope!r}") from None
+
+    def serving_assignments(self) -> list[ServingAssignment]:
+        return sorted(self._serving.values(), key=lambda a: a.scope)
+
+    def assign_serving(
+        self,
+        scope: str,
+        instance_id: str,
+        *,
+        family: str = "",
+        now: float = 0.0,
+        reason: str = "",
+    ) -> ServingAssignment:
+        with self._serving_lock:
+            current = self._serving.get(scope)
+            if current is not None and current.instance_id == instance_id:
+                return current
+            assignment = ServingAssignment(
+                scope=scope,
+                instance_id=instance_id,
+                family=family,
+                assigned_time=now,
+                previous_instance_id=current.instance_id if current else None,
+                reason=reason,
+                switch_count=(current.switch_count + 1) if current else 1,
+            )
+            self._serving[scope] = assignment
+            return assignment
+
+    def serving_assignment_count(self) -> int:
+        return len(self._serving)
+
     def counts(self) -> dict[str, int]:
         return {
             "models": len(self._models),
@@ -369,6 +468,7 @@ CREATE TABLE IF NOT EXISTS instances (
     city            TEXT,
     team            TEXT,
     serving_environment TEXT,
+    family          TEXT NOT NULL DEFAULT '',
     created_time    REAL NOT NULL,
     record          TEXT NOT NULL
 );
@@ -403,6 +503,13 @@ CREATE TABLE IF NOT EXISTS dead_letters (
     error_type TEXT NOT NULL,
     record     TEXT NOT NULL,
     created_at REAL NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS serving_assignments (
+    scope         TEXT PRIMARY KEY,
+    instance_id   TEXT NOT NULL,
+    family        TEXT NOT NULL DEFAULT '',
+    assigned_time REAL NOT NULL DEFAULT 0,
+    record        TEXT NOT NULL
 );
 """
 
@@ -461,6 +568,27 @@ class SQLiteMetadataStore(MetadataStore):
                 "ALTER TABLE dead_letters"
                 " ADD COLUMN created_at REAL NOT NULL DEFAULT 0"
             )
+        # PR9 families: instance tables created before the promoted ``family``
+        # column gain it with the '' default — correct for every pre-family
+        # row, whose record JSON also lacks the key and loads as ''.  The
+        # serving_assignments table itself is covered by the IF NOT EXISTS
+        # CREATE above; new assignments only ever land via this codebase.
+        instance_columns = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(instances)")
+        }
+        if "family" not in instance_columns:
+            conn.execute(
+                "ALTER TABLE instances"
+                " ADD COLUMN family TEXT NOT NULL DEFAULT ''"
+            )
+        # The family index lives here, not in _SCHEMA: on a legacy file the
+        # schema script runs before the guarded ALTER above, so indexing the
+        # column from _SCHEMA would crash the upgrade.
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_instances_family"
+            " ON instances(family)"
+        )
 
     # -- connection management ----------------------------------------------
 
@@ -607,8 +735,8 @@ class SQLiteMetadataStore(MetadataStore):
     _INSERT_INSTANCE_SQL = (
         "INSERT INTO instances (instance_id, model_id, base_version_id,"
         " model_name, model_type, model_domain, city, team,"
-        " serving_environment, created_time, record)"
-        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+        " serving_environment, family, created_time, record)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
     )
 
     @staticmethod
@@ -624,6 +752,7 @@ class SQLiteMetadataStore(MetadataStore):
             meta.get("city"),
             meta.get("team"),
             meta.get("serving_environment"),
+            instance.family,
             instance.created_time,
             json.dumps(instance.to_dict()),
         )
@@ -764,6 +893,95 @@ class SQLiteMetadataStore(MetadataStore):
     def iter_metrics(self) -> Iterator[MetricRecord]:
         rows = self._read("SELECT record FROM metrics")
         return (MetricRecord.from_dict(json.loads(r[0])) for r in rows)
+
+    # -- families --------------------------------------------------------------
+
+    def instances_in_family(self, family: str) -> list[ModelInstance]:
+        rows = self._read(
+            "SELECT record FROM instances WHERE family = ? ORDER BY created_time",
+            (family,),
+        )
+        return [ModelInstance.from_dict(json.loads(r[0])) for r in rows]
+
+    # -- serving assignments ---------------------------------------------------
+
+    def serving_assignment(self, scope: str) -> ServingAssignment:
+        rows = self._read(
+            "SELECT record FROM serving_assignments WHERE scope = ?", (scope,)
+        )
+        if not rows:
+            raise NotFoundError(f"no serving assignment for scope {scope!r}")
+        return ServingAssignment.from_dict(json.loads(rows[0][0]))
+
+    def serving_assignments(self) -> list[ServingAssignment]:
+        rows = self._read(
+            "SELECT record FROM serving_assignments ORDER BY scope"
+        )
+        return [ServingAssignment.from_dict(json.loads(r[0])) for r in rows]
+
+    def assign_serving(
+        self,
+        scope: str,
+        instance_id: str,
+        *,
+        family: str = "",
+        now: float = 0.0,
+        reason: str = "",
+    ) -> ServingAssignment:
+        # BEGIN IMMEDIATE takes the database write lock before the read, so
+        # the read-modify-write is atomic across *replicas* sharing this
+        # file, not just across this process's threads.
+        with self._write_lock:
+            conn = self._connection()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                rows = conn.execute(
+                    "SELECT record FROM serving_assignments WHERE scope = ?",
+                    (scope,),
+                ).fetchall()
+                current = (
+                    ServingAssignment.from_dict(json.loads(rows[0][0]))
+                    if rows
+                    else None
+                )
+                if current is not None and current.instance_id == instance_id:
+                    conn.commit()
+                    return current
+                assignment = ServingAssignment(
+                    scope=scope,
+                    instance_id=instance_id,
+                    family=family,
+                    assigned_time=now,
+                    previous_instance_id=current.instance_id if current else None,
+                    reason=reason,
+                    switch_count=(current.switch_count + 1) if current else 1,
+                )
+                conn.execute(
+                    "INSERT INTO serving_assignments"
+                    " (scope, instance_id, family, assigned_time, record)"
+                    " VALUES (?, ?, ?, ?, ?)"
+                    " ON CONFLICT(scope) DO UPDATE SET"
+                    " instance_id = excluded.instance_id,"
+                    " family = excluded.family,"
+                    " assigned_time = excluded.assigned_time,"
+                    " record = excluded.record",
+                    (
+                        scope,
+                        instance_id,
+                        family,
+                        now,
+                        json.dumps(assignment.to_dict()),
+                    ),
+                )
+                conn.commit()
+                return assignment
+            except sqlite3.Error as exc:
+                conn.rollback()
+                raise MetadataStoreError(str(exc)) from exc
+
+    def serving_assignment_count(self) -> int:
+        rows = self._read("SELECT COUNT(*) FROM serving_assignments")
+        return int(rows[0][0])
 
     def counts(self) -> dict[str, int]:
         out = {}

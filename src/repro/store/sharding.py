@@ -37,6 +37,10 @@ dedup_entries    ``client_id``          a client's exactly-once claims stay on o
                                         between replicas is still decided by one
                                         SQLite database lock
 dead_letters     ``rule_uuid``          a rule's failure history reads one shard
+serving_         ``scope``              a scope's "what is serving" row (and its
+assignments                             atomic re-point) lives on one file, so
+                                        replicas racing a switch are serialized
+                                        by one SQLite database lock
 ===============  =====================  =========================================
 
 Single-coordinate operations route to exactly one shard.  Operations that
@@ -67,7 +71,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.core.records import MetricRecord, Model, ModelInstance
+from repro.core.records import (
+    MetricRecord,
+    Model,
+    ModelInstance,
+    ServingAssignment,
+)
 from repro.errors import MetadataStoreError, NotFoundError
 from repro.store.metadata_store import (
     MetadataStore,
@@ -557,6 +566,58 @@ class ShardedMetadataStore(MetadataStore):
         for part in self._scatter(lambda shard: list(shard.iter_metrics())):
             yield from part
 
+    # -- families --------------------------------------------------------------
+
+    def models_in_family(self, family: str) -> list[Model]:
+        merged: list[Model] = []
+        for part in self._scatter(lambda shard: shard.models_in_family(family)):
+            merged.extend(part)
+        merged.sort(key=lambda m: (m.created_time, m.model_id))
+        return merged
+
+    def instances_in_family(self, family: str) -> list[ModelInstance]:
+        merged: list[ModelInstance] = []
+        for part in self._scatter(
+            lambda shard: shard.instances_in_family(family)
+        ):
+            merged.extend(part)
+        merged.sort(key=self._instance_sort_key)
+        return merged
+
+    # -- serving assignments ---------------------------------------------------
+    #
+    # Routed by ``scope``: the atomic read-modify-write inside the owning
+    # shard's ``assign_serving`` is serialized by that one file's database
+    # lock, so replicas racing a switch keep single-store semantics.
+
+    def serving_assignment(self, scope: str) -> ServingAssignment:
+        return self._shard_for_key(scope).serving_assignment(scope)
+
+    def serving_assignments(self) -> list[ServingAssignment]:
+        merged: list[ServingAssignment] = []
+        for part in self._scatter(lambda shard: shard.serving_assignments()):
+            merged.extend(part)
+        merged.sort(key=lambda a: a.scope)
+        return merged
+
+    def assign_serving(
+        self,
+        scope: str,
+        instance_id: str,
+        *,
+        family: str = "",
+        now: float = 0.0,
+        reason: str = "",
+    ) -> ServingAssignment:
+        return self._shard_for_key(scope).assign_serving(
+            scope, instance_id, family=family, now=now, reason=reason
+        )
+
+    def serving_assignment_count(self) -> int:
+        return sum(
+            self._scatter(lambda shard: shard.serving_assignment_count())
+        )
+
     # -- misc -----------------------------------------------------------------
 
     def counts(self) -> dict[str, int]:
@@ -828,7 +889,18 @@ _TABLE_SPECS: tuple[
         lambda row: str(row["client_id"]),
     ),
     ("dead_letters", ("letter_id",), lambda row: str(row["rule_uuid"])),
+    ("serving_assignments", ("scope",), lambda row: str(row["scope"])),
 )
+
+
+def _has_table(conn: sqlite3.Connection, table: str) -> bool:
+    """Legacy databases may predate newer tables (e.g. serving_assignments);
+    the offline tools treat a missing table as an empty one."""
+    row = conn.execute(
+        "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table' AND name = ?",
+        (table,),
+    ).fetchone()
+    return bool(row[0])
 
 
 def _table_rows(
@@ -858,6 +930,9 @@ def _migrate_rows(
     *predicate* from *src* into *dst*; returns per-table moved counts."""
     moved: dict[str, int] = {}
     for table, pk_cols, key_fn in _TABLE_SPECS:
+        if not _has_table(src, table):
+            moved[table] = 0
+            continue
         columns, rows = _table_rows(src, table)
         placeholders = ",".join("?" * len(columns))
         insert_sql = (
@@ -890,6 +965,8 @@ def _count_misplaced(
 ) -> dict[str, int]:
     misplaced: dict[str, int] = {}
     for table, _pk, key_fn in _TABLE_SPECS:
+        if not _has_table(conn, table):
+            continue
         columns, rows = _table_rows(conn, table)
         bad = 0
         for row in rows:

@@ -150,3 +150,55 @@ class TestDocumentCacheInvalidation:
         gallery.insert_metric(target, "fresh", 1.23, scope="Production")
         updated = gallery.candidate_documents("production", instance_id=target)
         assert updated[0].document["metrics"]["fresh"] == 1.23
+
+
+class TestEnablementCacheInvalidation:
+    """PR9 regression: enable/disable/assign_serving must drop the cached
+    search document exactly the way deprecate/evolve do — a stale document
+    would keep reporting the pre-flip ``enabled`` to queries and rules."""
+
+    def test_disable_refreshes_cached_document(self, counted):
+        gallery, store = counted
+        victim = gallery.model_query(CITY_QUERY)[0].instance_id
+        gallery.disable_instance(victim)
+        refreshed = next(
+            i for i in gallery.model_query(CITY_QUERY) if i.instance_id == victim
+        )
+        assert refreshed.enabled is False, "query served a stale cached document"
+        gallery.enable_instance(victim)
+        refreshed = next(
+            i for i in gallery.model_query(CITY_QUERY) if i.instance_id == victim
+        )
+        assert refreshed.enabled is True
+
+    def test_enablement_flip_rebuilds_exactly_one_document(self, counted):
+        gallery, store = counted
+        gallery.model_query(CITY_QUERY)  # warm the cache
+        victim = gallery.model_query(CITY_QUERY)[0].instance_id
+        store.reset()
+        gallery.model_query(CITY_QUERY)
+        assert store.count("get_models") == 0, "cache was already warm"
+        gallery.disable_instance(victim)
+        store.reset()
+        gallery.model_query(CITY_QUERY)
+        # only the flipped instance's document was dropped and rebuilt
+        assert store.count("get_models") == 1
+
+    def test_noop_flip_invalidates_nothing(self, counted):
+        gallery, _store = counted
+        gallery.model_query(CITY_QUERY)
+        victim = gallery.model_query(CITY_QUERY)[0].instance_id
+        before = gallery.document_cache_stats()["invalidations"]
+        gallery.enable_instance(victim)  # already enabled
+        assert gallery.document_cache_stats()["invalidations"] == before
+
+    def test_assign_serving_invalidates_target_document(self, counted):
+        gallery, store = counted
+        gallery.model_query(CITY_QUERY)  # warm the cache
+        victim = gallery.model_query(CITY_QUERY)[0].instance_id
+        before = gallery.document_cache_stats()["invalidations"]
+        gallery.assign_serving("sf", victim, reason="cutover")
+        assert gallery.document_cache_stats()["invalidations"] == before + 1
+        store.reset()
+        gallery.model_query(CITY_QUERY)
+        assert store.count("get_models") == 1, "assignment target must rebuild"

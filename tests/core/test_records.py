@@ -4,8 +4,42 @@ import dataclasses
 
 import pytest
 
-from repro.core.records import MetricRecord, MetricScope, Model, ModelInstance
+from repro.core.records import (
+    MetricRecord,
+    MetricScope,
+    Model,
+    ModelInstance,
+    ServingAssignment,
+)
 from repro.errors import ValidationError
+
+#: Documents exactly as pre-PR9 ``to_dict`` produced them: no ``family``,
+#: no ``enabled``.  Old stores and old wire peers still send these.
+PRE_PR9_MODEL_DOC = {
+    "model_id": "m-legacy",
+    "project": "example-project",
+    "base_version_id": "supply_rejection",
+    "owner": "chong",
+    "description": "",
+    "created_time": 1.0,
+    "deprecated": False,
+    "previous_model_id": None,
+    "next_model_id": None,
+    "upstream_model_ids": [],
+    "downstream_model_ids": [],
+    "metadata": {"team": "marketplace"},
+}
+PRE_PR9_INSTANCE_DOC = {
+    "instance_id": "i-legacy",
+    "model_id": "m-legacy",
+    "base_version_id": "supply_rejection",
+    "instance_version": "1.0",
+    "blob_location": "mem://b/1",
+    "parent_instance_id": None,
+    "created_time": 2.0,
+    "deprecated": False,
+    "metadata": {"city": "sf"},
+}
 
 
 def make_model(**overrides):
@@ -107,6 +141,77 @@ class TestModelInstance:
         instance = make_instance(metadata={"city": "sf"})
         assert instance.metadata.get("city") == "sf"
         assert instance.metadata.get("missing") is None
+
+
+class TestPrePR9Compatibility:
+    """Documents written before family/enabled existed must still load."""
+
+    def test_pre_pr9_model_doc_loads_with_defaults(self):
+        model = Model.from_dict(PRE_PR9_MODEL_DOC)
+        assert model.family == ""
+        assert model.enabled is True
+        assert model.metadata["team"] == "marketplace"
+
+    def test_pre_pr9_instance_doc_loads_servable(self):
+        instance = ModelInstance.from_dict(PRE_PR9_INSTANCE_DOC)
+        assert instance.family == ""
+        assert instance.enabled is True, "legacy instances must keep serving"
+        assert not instance.deprecated
+
+    def test_pre_pr9_model_round_trips_stably(self):
+        # Old doc -> record -> doc -> record reaches a fixed point: the
+        # second generation carries the defaulted fields explicitly.
+        first = Model.from_dict(PRE_PR9_MODEL_DOC)
+        second = Model.from_dict(first.to_dict())
+        assert second == first
+        assert first.to_dict()["family"] == ""
+        assert first.to_dict()["enabled"] is True
+
+    def test_pre_pr9_instance_round_trips_stably(self):
+        first = ModelInstance.from_dict(PRE_PR9_INSTANCE_DOC)
+        second = ModelInstance.from_dict(first.to_dict())
+        assert second == first
+
+    def test_new_docs_round_trip_family_and_enablement(self):
+        instance = make_instance(family="sf:ridge_event", enabled=False)
+        restored = ModelInstance.from_dict(instance.to_dict())
+        assert restored.family == "sf:ridge_event"
+        assert restored.enabled is False
+        model = make_model(family="demand_ridge", enabled=False)
+        assert Model.from_dict(model.to_dict()) == model
+
+
+class TestServingAssignment:
+    def make(self, **overrides):
+        defaults = dict(scope="sf", instance_id="i-1")
+        defaults.update(overrides)
+        return ServingAssignment(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            self.make(scope="")
+        with pytest.raises(ValidationError):
+            self.make(instance_id="")
+
+    def test_records_are_frozen(self):
+        assignment = self.make()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            assignment.instance_id = "i-2"  # type: ignore[misc]
+
+    def test_dict_round_trip(self):
+        assignment = self.make(
+            family="sf:ridge_event",
+            assigned_time=3.5,
+            previous_instance_id="i-0",
+            reason="event window",
+            switch_count=2,
+        )
+        assert ServingAssignment.from_dict(assignment.to_dict()) == assignment
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = self.make().to_dict()
+        data["future_field"] = "x"
+        assert ServingAssignment.from_dict(data) == self.make()
 
 
 class TestMetricRecord:

@@ -533,3 +533,153 @@ class TestChunkedStreaming:
                 reassembler.feed(frame)
             except WireFormatError:
                 pass
+
+
+def build_family_service():
+    """A service with one family: an enabled, a disabled, and a serving row."""
+    gallery = build_gallery(clock=ManualClock(), id_factory=SeededIdFactory(11))
+    gallery.create_model("p", "demand", family="demand_rf")
+    enabled = gallery.upload_model("p", "demand", blob=b"a", family="sf:rf")
+    disabled = gallery.upload_model(
+        "p", "demand", blob=b"b", family="sf:rf", enabled=False
+    )
+    gallery.assign_serving("sf", enabled.instance_id, reason="launch")
+    return GalleryService(gallery), enabled, disabled
+
+
+class TestFamilyServingWireFuzz:
+    """PR9 wire methods fuzzed across both dialects.
+
+    familyQuery / servingFor / assignServing must produce identical results
+    (or identical typed errors) whether the request arrives as JSON or
+    binary — dialect parity is what lets mixed-version client fleets share
+    one server.
+    """
+
+    def _call(self, service, method, params, dialect, request_id):
+        frame = wire.encode_request(
+            Request(method=method, params=params, request_id=request_id), dialect
+        )
+        return wire.decode_response(service.handle_frame(frame))
+
+    def _parity(self, service, method, params):
+        json_resp = self._call(service, method, params, DIALECT_JSON, 1)
+        bin_resp = self._call(service, method, params, DIALECT_BINARY, 2)
+        assert json_resp.ok == bin_resp.ok, f"{method} dialect disagreement"
+        if json_resp.ok:
+            assert json_resp.result == bin_resp.result
+        else:
+            assert json_resp.error_type == bin_resp.error_type
+        return json_resp
+
+    @given(
+        family=st.one_of(st.sampled_from(["sf:rf", "", "ghost"]), st.text(max_size=12)),
+        include_disabled=st.booleans(),
+        include_deprecated=st.booleans(),
+        models=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_family_query_parity(
+        self, family, include_disabled, include_deprecated, models
+    ):
+        service, enabled, disabled = build_family_service()
+        response = self._parity(
+            service,
+            "familyQuery",
+            {
+                "family": family,
+                "include_disabled": include_disabled,
+                "include_deprecated": include_deprecated,
+                "models": models,
+            },
+        )
+        assert response.ok
+        assert isinstance(response.result, list)
+        if family == "sf:rf" and not models:
+            ids = {doc["instance_id"] for doc in response.result}
+            assert enabled.instance_id in ids
+            assert (disabled.instance_id in ids) == include_disabled
+
+    @given(scope=st.one_of(st.just("sf"), st.text(max_size=8)))
+    @settings(max_examples=50, deadline=None)
+    def test_serving_for_parity(self, scope):
+        service, enabled, _disabled = build_family_service()
+        response = self._parity(service, "servingFor", {"scope": scope})
+        if scope == "sf":
+            assert response.ok
+            assert response.result["instance_id"] == enabled.instance_id
+            assert response.result["family"] == "sf:rf"
+        else:
+            assert not response.ok
+            assert response.error_type == "NotFoundError"
+
+    @given(
+        scope=st.text(max_size=8),
+        target=st.sampled_from(["enabled", "disabled", "ghost"]),
+        reason=st.text(max_size=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assign_serving_parity(self, scope, target, reason):
+        service, enabled, disabled = build_family_service()
+        instance_id = {
+            "enabled": enabled.instance_id,
+            "disabled": disabled.instance_id,
+            "ghost": "no-such-instance",
+        }[target]
+        response = self._parity(
+            service,
+            "assignServing",
+            {"scope": scope, "instance_id": instance_id, "reason": reason},
+        )
+        if target == "ghost":
+            assert response.error_type == "NotFoundError"
+        elif target == "disabled":
+            assert response.error_type == "ValidationError", "enablement gate"
+        elif not scope:
+            assert response.error_type == "ValidationError"
+        else:
+            assert response.ok
+            assert response.result["scope"] == scope
+            assert response.result["instance_id"] == enabled.instance_id
+
+
+class TestUnknownMethodCompat:
+    """A new client against a pre-PR9 server: typed, fail-fast errors.
+
+    The old server never registered the family methods, so it answers with
+    UnknownMethodError — which must cross the wire typed (not a generic
+    ServiceError) and must NOT be retried: the error is deterministic, so
+    burning the retry budget on it would only delay the caller's fallback.
+    """
+
+    def _old_server(self):
+        service = build_service()
+        for method in ("familyQuery", "servingFor", "assignServing"):
+            service._methods.pop(method, None)  # noqa: SLF001 - simulate pre-PR9
+        return service
+
+    def test_unknown_method_typed_in_both_dialects(self):
+        service = self._old_server()
+        for dialect in (DIALECT_JSON, DIALECT_BINARY):
+            frame = wire.encode_request(
+                Request(method="familyQuery", params={"family": "x"}, request_id=5),
+                dialect,
+            )
+            response = wire.decode_response(service.handle_frame(frame))
+            assert not response.ok
+            assert response.error_type == "UnknownMethodError"
+            assert response.request_id == 5
+
+    def test_new_client_fails_fast_without_retry_burn(self):
+        from repro.errors import UnknownMethodError
+        from repro.service.client import InProcessTransport, RetryingTransport
+
+        transport = RetryingTransport(InProcessTransport(self._old_server()))
+        client = GalleryClient(transport)
+        with pytest.raises(UnknownMethodError):
+            client.family_query("sf:rf")
+        with pytest.raises(UnknownMethodError):
+            client.serving_for("sf")
+        with pytest.raises(UnknownMethodError):
+            client.assign_serving("sf", "i-1")
+        assert transport.retries == 0, "deterministic errors must not be retried"

@@ -1,0 +1,225 @@
+"""Upgrade path: a database written before PR9 must open and serve.
+
+Builds a pre-PR9 SQLite layout by hand — instances table without the
+``family`` column, no ``serving_assignments`` table, record JSON without
+``family``/``enabled`` keys — then opens it with the current code and
+checks that the guarded migration brings the schema forward while every
+legacy row keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro import build_gallery
+from repro.errors import NotFoundError
+from repro.store.blob import FilesystemBlobStore
+from repro.store.metadata_store import SQLiteMetadataStore
+
+#: The metadata schema exactly as PR8 shipped it: no ``family`` column on
+#: instances, no ``idx_instances_family``, no ``serving_assignments``.
+LEGACY_SCHEMA = """
+CREATE TABLE models (
+    model_id TEXT PRIMARY KEY,
+    record   TEXT NOT NULL
+);
+CREATE TABLE instances (
+    instance_id     TEXT PRIMARY KEY,
+    model_id        TEXT NOT NULL,
+    base_version_id TEXT NOT NULL,
+    model_name      TEXT,
+    model_type      TEXT,
+    model_domain    TEXT,
+    city            TEXT,
+    team            TEXT,
+    serving_environment TEXT,
+    created_time    REAL NOT NULL,
+    record          TEXT NOT NULL
+);
+CREATE INDEX idx_instances_model ON instances(model_id);
+CREATE INDEX idx_instances_base ON instances(base_version_id);
+CREATE TABLE metrics (
+    metric_id   TEXT PRIMARY KEY,
+    instance_id TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    value       REAL NOT NULL,
+    record      TEXT NOT NULL
+);
+CREATE TABLE dedup_entries (
+    client_id  TEXT    NOT NULL,
+    request_id INTEGER NOT NULL,
+    status     TEXT    NOT NULL,
+    response   BLOB,
+    updated    REAL    NOT NULL,
+    PRIMARY KEY (client_id, request_id)
+);
+CREATE TABLE dead_letters (
+    letter_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    rule_uuid  TEXT NOT NULL,
+    action     TEXT NOT NULL,
+    error_type TEXT NOT NULL,
+    record     TEXT NOT NULL,
+    created_at REAL NOT NULL DEFAULT 0
+);
+"""
+
+LEGACY_BLOB = b"legacy-model-parameters"
+
+
+def build_legacy_layout(data_dir) -> str:
+    """Write a pre-PR9 data_dir (gallery.sqlite + blobs/); returns blob loc."""
+    blobs = FilesystemBlobStore(data_dir / "blobs")
+    location = blobs.put(LEGACY_BLOB, hint="i-legacy")
+    model_record = {
+        # Pre-PR9 Model.to_dict: no "family", no "enabled".
+        "model_id": "m-legacy",
+        "project": "p",
+        "base_version_id": "demand",
+        "owner": "chong",
+        "description": "",
+        "created_time": 1.0,
+        "previous_model_id": None,
+        "next_model_id": None,
+        "upstream_model_ids": [],
+        "downstream_model_ids": [],
+        "metadata": {},
+        "deprecated": False,
+    }
+    instance_record = {
+        "instance_id": "i-legacy",
+        "model_id": "m-legacy",
+        "base_version_id": "demand",
+        "blob_location": location,
+        "instance_version": "1.0",
+        "parent_instance_id": None,
+        "created_time": 2.0,
+        "metadata": {"model_name": "rf", "city": "sf", "model_domain": "demand"},
+        "deprecated": False,
+    }
+    metric_record = {
+        "metric_id": "mt-legacy",
+        "instance_id": "i-legacy",
+        "name": "mape",
+        "value": 0.2,
+        "scope": "Validation",
+        "created_time": 3.0,
+        "metadata": {},
+    }
+    conn = sqlite3.connect(data_dir / "gallery.sqlite")
+    try:
+        conn.executescript(LEGACY_SCHEMA)
+        conn.execute(
+            "INSERT INTO models VALUES (?, ?)",
+            ("m-legacy", json.dumps(model_record)),
+        )
+        conn.execute(
+            "INSERT INTO instances VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                "i-legacy",
+                "m-legacy",
+                "demand",
+                "rf",
+                None,
+                "demand",
+                "sf",
+                None,
+                None,
+                2.0,
+                json.dumps(instance_record),
+            ),
+        )
+        conn.execute(
+            "INSERT INTO metrics VALUES (?, ?, ?, ?, ?)",
+            ("mt-legacy", "i-legacy", "mape", 0.2, json.dumps(metric_record)),
+        )
+        conn.commit()
+    finally:
+        conn.close()
+    return location
+
+
+class TestLegacyUpgrade:
+    def test_schema_migration_adds_family_and_serving_table(self, tmp_path):
+        build_legacy_layout(tmp_path)
+        store = SQLiteMetadataStore(str(tmp_path / "gallery.sqlite"))
+        try:
+            conn = sqlite3.connect(tmp_path / "gallery.sqlite")
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(instances)")}
+            tables = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            indexes = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='index'"
+                )
+            }
+            conn.close()
+            assert "family" in columns
+            assert "serving_assignments" in tables
+            assert "idx_instances_family" in indexes
+            # The legacy row keeps the column default, matching its JSON.
+            assert store.get_instance("i-legacy").family == ""
+        finally:
+            store.close()
+
+    def test_legacy_rows_load_servable(self, tmp_path):
+        build_legacy_layout(tmp_path)
+        gallery = build_gallery("sqlite", "fs", data_dir=tmp_path)
+        try:
+            instance = gallery.get_instance("i-legacy")
+            assert instance.enabled is True
+            assert instance.family == ""
+            assert not instance.deprecated
+            assert gallery.load_instance_blob("i-legacy") == LEGACY_BLOB
+            assert gallery.latest_metric("i-legacy", "mape") == 0.2
+        finally:
+            gallery.dal.metadata.close()
+
+    def test_upgraded_db_serves_assignments_and_families(self, tmp_path):
+        build_legacy_layout(tmp_path)
+        gallery = build_gallery("sqlite", "fs", data_dir=tmp_path)
+        try:
+            # Legacy instance can be pointed at a scope immediately.
+            gallery.assign_serving("sf", "i-legacy", reason="upgrade cutover")
+            assert gallery.serving_for("sf").instance_id == "i-legacy"
+
+            # New-era uploads join families and switch_family re-points the
+            # scope — all against the upgraded legacy file.
+            fresh = gallery.upload_model(
+                "p",
+                "demand",
+                blob=b"new-era-parameters",
+                metadata={"model_name": "rf", "city": "sf"},
+                family="sf:rf",
+            )
+            members = gallery.instances_in_family("sf:rf")
+            assert [i.instance_id for i in members] == [fresh.instance_id]
+            assignment = gallery.switch_family("sf", "sf:rf")
+            assert assignment.instance_id == fresh.instance_id
+            assert assignment.previous_instance_id == "i-legacy"
+            assert assignment.switch_count == 2
+        finally:
+            gallery.dal.metadata.close()
+
+    def test_reopen_after_upgrade_is_idempotent(self, tmp_path):
+        build_legacy_layout(tmp_path)
+        for _ in range(2):  # migration must be a no-op the second time
+            store = SQLiteMetadataStore(str(tmp_path / "gallery.sqlite"))
+            store.assign_serving("sf", "i-legacy", now=1.0)
+            store.close()
+        store = SQLiteMetadataStore(str(tmp_path / "gallery.sqlite"))
+        try:
+            assignment = store.serving_assignment("sf")
+            assert assignment.instance_id == "i-legacy"
+            assert assignment.switch_count == 1, "re-assign same instance is a no-op"
+            with pytest.raises(NotFoundError):
+                store.serving_assignment("nyc")
+        finally:
+            store.close()

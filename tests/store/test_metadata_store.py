@@ -1,5 +1,7 @@
 """Tests for the relational metadata stores (memory + SQLite parity)."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.records import MetricRecord, Model, ModelInstance
@@ -145,6 +147,95 @@ class TestCounts:
         metadata_store.insert_instance(instance())
         metadata_store.insert_metric(metric())
         assert metadata_store.counts() == {"models": 1, "instances": 1, "metrics": 1}
+
+
+class TestFamilies:
+    def test_family_and_enablement_round_trip(self, metadata_store):
+        record = instance(family="sf:rf", enabled=False)
+        metadata_store.insert_instance(record)
+        stored = metadata_store.get_instance("i1")
+        assert stored.family == "sf:rf"
+        assert stored.enabled is False
+
+    def test_instances_in_family_sorted_by_creation(self, metadata_store):
+        metadata_store.insert_instance(
+            instance("late", family="sf:rf", created_time=9.0)
+        )
+        metadata_store.insert_instance(
+            instance("early", family="sf:rf", created_time=1.0)
+        )
+        metadata_store.insert_instance(instance("other", family="nyc:rf"))
+        members = metadata_store.instances_in_family("sf:rf")
+        assert [i.instance_id for i in members] == ["early", "late"]
+
+    def test_models_in_family(self, metadata_store):
+        metadata_store.insert_model(model("m1", family="demand_rf"))
+        metadata_store.insert_model(
+            model("m2", base_version_id="supply", family="supply_rf")
+        )
+        assert [m.model_id for m in metadata_store.models_in_family("demand_rf")] == [
+            "m1"
+        ]
+        assert metadata_store.models_in_family("ghost-family") == []
+
+    def test_enablement_is_mutable_family_is_not(self, metadata_store):
+        metadata_store.insert_instance(instance(family="sf:rf"))
+        stored = metadata_store.get_instance("i1")
+        metadata_store.replace_instance(stored.with_enablement(False))
+        assert metadata_store.get_instance("i1").enabled is False
+        with pytest.raises(MetadataStoreError):
+            metadata_store.replace_instance(
+                dataclasses.replace(stored, family="moved:family")
+            )
+
+
+class TestServingAssignments:
+    def test_first_assignment_creates_row(self, metadata_store):
+        created = metadata_store.assign_serving(
+            "sf", "i1", family="sf:rf", now=5.0, reason="launch"
+        )
+        assert created.scope == "sf"
+        assert created.instance_id == "i1"
+        assert created.family == "sf:rf"
+        assert created.assigned_time == 5.0
+        assert created.previous_instance_id is None
+        assert created.switch_count == 1
+        assert metadata_store.serving_assignment("sf") == created
+
+    def test_reassignment_links_previous_and_counts(self, metadata_store):
+        metadata_store.assign_serving("sf", "i1", now=1.0)
+        switched = metadata_store.assign_serving(
+            "sf", "i2", family="sf:event", now=2.0, reason="event window"
+        )
+        assert switched.instance_id == "i2"
+        assert switched.previous_instance_id == "i1"
+        assert switched.switch_count == 2
+        assert switched.reason == "event window"
+        assert switched.assigned_time == 2.0
+
+    def test_same_instance_reassign_is_noop(self, metadata_store):
+        first = metadata_store.assign_serving("sf", "i1", now=1.0, reason="launch")
+        again = metadata_store.assign_serving("sf", "i1", now=9.0, reason="replay")
+        assert again == first, "re-pointing at the serving instance must not churn"
+        assert metadata_store.serving_assignment("sf").switch_count == 1
+
+    def test_missing_scope_raises(self, metadata_store):
+        with pytest.raises(NotFoundError):
+            metadata_store.serving_assignment("ghost")
+
+    def test_listing_ordered_by_scope(self, metadata_store):
+        metadata_store.assign_serving("nyc", "i2", now=2.0)
+        metadata_store.assign_serving("sf", "i1", now=1.0)
+        metadata_store.assign_serving("austin", "i3", now=3.0)
+        scopes = [a.scope for a in metadata_store.serving_assignments()]
+        assert scopes == ["austin", "nyc", "sf"]
+        assert metadata_store.serving_assignment_count() == 3
+
+    def test_counts_shape_unchanged_by_assignments(self, metadata_store):
+        # Scale experiments assert the exact counts() dict; serving rows are
+        # surfaced via serving_assignment_count() instead.
+        metadata_store.assign_serving("sf", "i1", now=1.0)
+        assert set(metadata_store.counts()) == {"models", "instances", "metrics"}
 
 
 class TestBatchedReads:
