@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint chaos failover drain scenario bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-all
+.PHONY: test lint chaos failover drain scenario bench bench-pr1 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr10 bench-all
 
 # Default flow: lint, then tier-1 tests.
 test: lint
@@ -36,15 +36,18 @@ drain:
 scenario:
 	PYTHONPATH=src $(PYTHON) examples/family_switch_fleet.py --fast
 
-# The PR5 and PR8 suites run via their pytest gates so `make bench` also
-# *asserts* the acceptance floors (document codec >= 1x JSON, blob codec
-# >= 10x, replica spread >= 1.5x, sendfile egress >= 3x the spread
-# baseline) while writing BENCH_PR5.json and BENCH_PR8.json.
+# The PR5, PR8, and PR10 suites run via their pytest gates so `make
+# bench` also *asserts* the acceptance floors (document codec >= 1x JSON,
+# blob codec >= 10x, replica spread >= 1.5x, sendfile egress >= 3x the
+# spread baseline, duplicate-heavy batching >= 2x with idle p50
+# regression <= 1 ms) while writing BENCH_PR5.json, BENCH_PR8.json, and
+# BENCH_PR10.json.
 bench:
 	$(PYTHON) -m benchmarks.run_bench pr1
 	$(PYTHON) -m benchmarks.run_bench pr3
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_docs.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_blob_fastpath.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_batching.py -q
 
 bench-pr1:
 	$(PYTHON) -m benchmarks.run_bench pr1
@@ -65,6 +68,12 @@ bench-pr6:
 # BENCH_PR8.json) via its gate so the run asserts the fast-path floors.
 bench-pr8:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_blob_fastpath.py -q
+
+# Full PR10 suite (duplicate-heavy batching, idle p50, QoS flood +
+# refusals -> BENCH_PR10.json) via its gate so the run asserts the
+# batching/QoS floors.
+bench-pr10:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_batching.py -q
 
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

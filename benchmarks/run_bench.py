@@ -84,9 +84,10 @@ from repro.core.clock import ManualClock  # noqa: E402
 from repro.core.ids import SeededIdFactory  # noqa: E402
 from repro.core.registry import Gallery  # noqa: E402
 from repro.core.search import ConstraintSet, flatten_instance_document  # noqa: E402
-from repro.errors import NotFoundError  # noqa: E402
+from repro.errors import NotFoundError, RateLimitedError  # noqa: E402
 from repro.service import tcp  # noqa: E402
 from repro.service import wire  # noqa: E402
+from repro.service.batching import BatchConfig  # noqa: E402
 from repro.service.client import GalleryClient  # noqa: E402
 from repro.service.server import GalleryService  # noqa: E402
 from repro.service.tcp import (  # noqa: E402
@@ -115,10 +116,13 @@ OUTPUT_PATH_PR3 = REPO_ROOT / "BENCH_PR3.json"
 OUTPUT_PATH_PR5 = REPO_ROOT / "BENCH_PR5.json"
 OUTPUT_PATH_PR6 = REPO_ROOT / "BENCH_PR6.json"
 OUTPUT_PATH_PR8 = REPO_ROOT / "BENCH_PR8.json"
+OUTPUT_PATH_PR10 = REPO_ROOT / "BENCH_PR10.json"
 
 
 def _env_metadata(
-    shard_topology: dict | None = None, fleet: dict | None = None
+    shard_topology: dict | None = None,
+    fleet: dict | None = None,
+    batching: dict | None = None,
 ) -> dict:
     """Where the numbers came from — stamped into every BENCH JSON.
 
@@ -127,7 +131,11 @@ def _env_metadata(
     degenerate one-shard layout.  Likewise every suite records the fleet
     it served from — size plus the routing policy the clients used —
     since a number measured against 1 replica under round-robin is not
-    comparable to one measured against 3 under p2c.
+    comparable to one measured against 3 under p2c.  Since PR10, every
+    block also records the server-side batching/QoS config the replicas
+    ran with: suites that build a plain ``GalleryService`` inherit the
+    default :class:`BatchConfig`, so that default is what gets stamped
+    unless the suite overrode it.
     """
     return {
         "python": platform.python_version(),
@@ -139,6 +147,7 @@ def _env_metadata(
         "shard_topology": shard_topology
         or {"epoch": 0, "num_shards": 1, "ranges": [[0, 1 << 32, 0]]},
         "fleet": fleet or {"size": 1, "routing": "p2c"},
+        "batching": batching or BatchConfig().to_dict(),
     }
 
 
@@ -1785,12 +1794,338 @@ def format_pr8_report(results: dict) -> list[str]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# PR10 suite: adaptive micro-batching + multi-tenant QoS on the read path
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pr10BenchConfig:
+    """Knobs for the PR10 batching/QoS suite.
+
+    Three scenarios over one sharded, file-backed store:
+
+    * **duplicate-heavy fan-in** — 32 clients cycling through a small set
+      of identical ``modelQuery`` constraint variants, so at any instant
+      many in-flight requests share a coordinate.  Batched vs. unbatched
+      (``batch_window_ms=0``) on the same corpus; the coalescer should
+      collapse each window's duplicates into one execution.
+    * **single-client p50** — the no-regression check: an idle batcher
+      must dispatch immediately, adding (well) under a millisecond.
+    * **QoS** — ten bulk-lane flooders vs. one interactive prober (the
+      starvation bound), then a token-bucket run counting typed
+      ``RateLimitedError`` refusals.
+    """
+
+    models: int = 8
+    instances_per_model: int = 60
+    cities: int = 6
+    metrics_per_instance: int = 4
+    shards: int = 4
+    #: duplicate-heavy fan-in
+    clients: int = 32
+    queries_per_client: int = 12
+    variants: int = 3
+    #: single-client latency floor
+    single_ops: int = 200
+    #: QoS starvation scenario
+    flooders: int = 10
+    probes: int = 80
+    qos_p95_bound_ms: float = 250.0
+    #: token-bucket refusal scenario
+    refusal_rate_limit: float = 50.0
+    refusal_burst: float = 10.0
+    refusal_calls: int = 150
+    #: server-side window under test
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+
+
+def _pr10_batch_config(cfg: Pr10BenchConfig, enabled: bool, **extra) -> BatchConfig:
+    return BatchConfig(
+        batch_window_ms=cfg.batch_window_ms if enabled else 0.0,
+        max_batch=cfg.max_batch,
+        **extra,
+    )
+
+
+@contextmanager
+def _pr10_stack(data_dir: str, cfg: Pr10BenchConfig):
+    """One populated sharded gallery reused by every PR10 scenario.
+
+    Reads only, so batched and unbatched modes can share the corpus —
+    identical data, identical shard layout, adjacent measurement.
+    """
+    store = open_sharded_store(os.path.join(data_dir, "shards"), cfg.shards)
+    try:
+        gallery = Gallery(
+            DataAccessLayer(store, InMemoryBlobStore(), LRUBlobCache(8 * 1024 * 1024)),
+            clock=ManualClock(),
+            id_factory=SeededIdFactory(1010),
+        )
+        populate(
+            gallery,
+            BenchConfig(
+                models=cfg.models,
+                instances_per_model=cfg.instances_per_model,
+                cities=cfg.cities,
+                metrics_per_instance=cfg.metrics_per_instance,
+                blob_bytes=256,
+            ),
+        )
+        yield gallery
+    finally:
+        store.close()
+
+
+def _pr10_duplicate_constraints(variant: int, cfg: Pr10BenchConfig) -> list[dict]:
+    return [
+        {"field": "city", "operator": "equal", "value": f"city-{variant % cfg.cities:03d}"},
+        {"field": "metricName", "operator": "equal", "value": "mape"},
+        {"field": "metricValue", "operator": "smaller_than", "value": 0.2},
+    ]
+
+
+def run_duplicate_heavy_bench(gallery: Gallery, cfg: Pr10BenchConfig) -> dict:
+    """32 clients, overlapping coordinates, batched vs. window=0."""
+    out: dict = {}
+    for mode, enabled in (("unbatched", False), ("batched", True)):
+        service = GalleryService(gallery, batching=_pr10_batch_config(cfg, enabled))
+        with GalleryTcpServer(service) as server:
+            # warm the document cache identically in both modes so the
+            # comparison isolates coalescing, not cache fill.
+            host, port = server.address
+            warm = GalleryClient(TcpTransport(host, port))
+            for variant in range(cfg.variants):
+                warm.model_query(_pr10_duplicate_constraints(variant, cfg))
+            warm.close()
+
+            def duplicate_ops(client, index, record):
+                for i in range(cfg.queries_per_client):
+                    constraints = _pr10_duplicate_constraints(i % cfg.variants, cfg)
+                    record(_timed(lambda: client.model_query(constraints)))
+
+            latencies, wall = _run_clients(
+                server, cfg.clients, duplicate_ops, dialect=wire.DIALECT_BINARY
+            )
+        stats = service.read_batcher.stats_snapshot()
+        out[mode] = {
+            **_summary(latencies, wall),
+            "batches": stats["batches"],
+            "batched_requests": stats["batched_requests"],
+            "coalesced": stats["coalesced"],
+            "coalesce_ratio": stats["coalesce_ratio"],
+            "batch_size_histogram": stats["batch_size_histogram"],
+        }
+        service.read_batcher.close()
+    out["throughput_speedup"] = round(
+        out["batched"]["throughput_ops_s"]
+        / max(out["unbatched"]["throughput_ops_s"], 1e-9),
+        2,
+    )
+    return out
+
+
+def run_single_client_bench(gallery: Gallery, cfg: Pr10BenchConfig) -> dict:
+    """Idle-batcher p50: the adaptive window must not tax a lone client."""
+    model_id = gallery.models()[0].model_id
+    out: dict = {}
+    for mode, enabled in (("unbatched", False), ("batched", True)):
+        service = GalleryService(gallery, batching=_pr10_batch_config(cfg, enabled))
+        with GalleryTcpServer(service) as server:
+
+            def single_ops(client, index, record):
+                for _ in range(cfg.single_ops):
+                    record(_timed(lambda: client.call("getModel", model_id=model_id)))
+
+            latencies, wall = _run_clients(
+                server, 1, single_ops, dialect=wire.DIALECT_BINARY
+            )
+        out[mode] = _summary(latencies, wall)
+        service.read_batcher.close()
+    out["p50_delta_ms"] = round(
+        out["batched"]["p50_ms"] - out["unbatched"]["p50_ms"], 3
+    )
+    return out
+
+
+def run_qos_bench(gallery: Gallery, cfg: Pr10BenchConfig) -> dict:
+    """Starvation bound + typed token-bucket refusals."""
+    model_ids = [m.model_id for m in gallery.models()]
+
+    # -- starvation: 10 bulk flooders vs. one interactive prober ----------
+    service = GalleryService(gallery, batching=_pr10_batch_config(cfg, True))
+    out: dict = {}
+    with GalleryTcpServer(service) as server:
+        host, port = server.address
+        stop = threading.Event()
+        flood_ops = [0] * cfg.flooders
+
+        def flood(worker: int) -> None:
+            transport = PipelinedTcpTransport(host, port)
+            client = GalleryClient(
+                transport, client_id=f"bulk-{worker}", lane=wire.LANE_BULK
+            )
+            try:
+                while not stop.is_set():
+                    client.call("getModel", model_id=model_ids[worker % len(model_ids)])
+                    flood_ops[worker] += 1
+            except Exception:  # noqa: BLE001 - server teardown races are fine
+                pass
+            finally:
+                transport.close()
+
+        flooders = [
+            threading.Thread(target=flood, args=(w,), daemon=True)
+            for w in range(cfg.flooders)
+        ]
+        for thread in flooders:
+            thread.start()
+        time.sleep(0.2)  # let the flood reach steady state
+        probe_transport = TcpTransport(host, port)
+        prober = GalleryClient(probe_transport, client_id="interactive-probe")
+        probe_latencies = []
+        started = time.perf_counter()
+        for i in range(cfg.probes):
+            probe_latencies.append(
+                _timed(lambda: prober.call("getModel", model_id=model_ids[i % len(model_ids)]))
+            )
+        probe_wall = time.perf_counter() - started
+        probe_transport.close()
+        stop.set()
+        for thread in flooders:
+            thread.join(timeout=10)
+        stats = service.read_batcher.stats_snapshot()
+    service.read_batcher.close()
+    out["starvation"] = {
+        "interactive": _summary(probe_latencies, probe_wall),
+        "bulk_ops": sum(flood_ops),
+        "bulk_to_interactive_offered_ratio": round(
+            sum(flood_ops) / max(cfg.probes, 1), 1
+        ),
+        "p95_bound_ms": cfg.qos_p95_bound_ms,
+        "admitted": stats["admitted"],
+        "lane_weights": stats["config"]["lane_weights"],
+    }
+
+    # -- token-bucket refusals: typed, retryable, with retry_after --------
+    service = GalleryService(
+        gallery,
+        batching=_pr10_batch_config(
+            cfg, True, rate_limit=cfg.refusal_rate_limit, burst=cfg.refusal_burst
+        ),
+    )
+    refused = 0
+    retry_afters: list[float] = []
+    with GalleryTcpServer(service) as server:
+        host, port = server.address
+        transport = TcpTransport(host, port)
+        client = GalleryClient(transport, client_id="hot-tenant")
+        for i in range(cfg.refusal_calls):
+            try:
+                client.call("getModel", model_id=model_ids[0])
+            except RateLimitedError as exc:
+                refused += 1
+                retry_afters.append(exc.retry_after)
+        transport.close()
+        stats = service.read_batcher.stats_snapshot()
+    service.read_batcher.close()
+    out["rate_limiting"] = {
+        "calls": cfg.refusal_calls,
+        "refused": refused,
+        "server_refusals": stats["refusals"],
+        "retry_after_ms_median": round(
+            statistics.median(retry_afters) * 1e3, 3
+        )
+        if retry_afters
+        else None,
+        "rate_limit": cfg.refusal_rate_limit,
+        "burst": cfg.refusal_burst,
+    }
+    return out
+
+
+def run_pr10(cfg: Pr10BenchConfig | None = None) -> dict:
+    cfg = cfg or Pr10BenchConfig()
+    with tempfile.TemporaryDirectory(prefix="bench-pr10-") as data_dir:
+        with _pr10_stack(data_dir, cfg) as gallery:
+            duplicate = run_duplicate_heavy_bench(gallery, cfg)
+            single = run_single_client_bench(gallery, cfg)
+            qos = run_qos_bench(gallery, cfg)
+            topology = gallery.dal.metadata.shard_topology()
+    return {
+        "benchmark": "PERF-PR10 adaptive micro-batching + multi-tenant QoS",
+        "harness": "benchmarks/run_bench.py",
+        "config": asdict(cfg),
+        "duplicate_heavy": duplicate,
+        "single_client": single,
+        "qos": qos,
+        "speedup": {
+            "duplicate_heavy_throughput": duplicate["throughput_speedup"],
+            "single_client_p50_delta_ms": single["p50_delta_ms"],
+            "interactive_p95_ms_under_flood": qos["starvation"]["interactive"]["p95_ms"],
+        },
+        "topology": topology,
+    }
+
+
+def write_results_pr10(results: dict, path: Path = OUTPUT_PATH_PR10) -> Path:
+    batching = _pr10_batch_config(
+        Pr10BenchConfig(**results["config"]), enabled=True
+    ).to_dict()
+    results.setdefault(
+        "environment",
+        _env_metadata(shard_topology=results.get("topology"), batching=batching),
+    )
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def format_pr10_report(results: dict) -> list[str]:
+    cfg = results["config"]
+    dup = results["duplicate_heavy"]
+    single = results["single_client"]
+    qos = results["qos"]
+    starve = qos["starvation"]
+    limits = qos["rate_limiting"]
+    return [
+        f"duplicate-heavy modelQuery, {cfg['clients']} clients x "
+        f"{cfg['queries_per_client']} queries over {cfg['variants']} variants "
+        f"({cfg['shards']}-shard store):",
+        f"  unbatched {dup['unbatched']['throughput_ops_s']:>9.1f} ops/s"
+        f"   (p95 {dup['unbatched']['p95_ms']:.1f} ms)",
+        f"  batched   {dup['batched']['throughput_ops_s']:>9.1f} ops/s"
+        f"   (p95 {dup['batched']['p95_ms']:.1f} ms)"
+        f"   -> {dup['throughput_speedup']:.2f}x",
+        f"  coalesce ratio {dup['batched']['coalesce_ratio']:.2f} over "
+        f"{dup['batched']['batches']} batches",
+        "",
+        f"single idle client, {cfg['single_ops']} getModel calls:",
+        f"  unbatched p50 {single['unbatched']['p50_ms']:.3f} ms, "
+        f"batched p50 {single['batched']['p50_ms']:.3f} ms"
+        f"   -> delta {single['p50_delta_ms']:+.3f} ms (floor: <= 1 ms)",
+        "",
+        f"QoS: {cfg['flooders']} bulk flooders vs. 1 interactive prober "
+        f"(~{starve['bulk_to_interactive_offered_ratio']:.0f}x offered load):",
+        f"  interactive p95 {starve['interactive']['p95_ms']:.1f} ms"
+        f"   (bound {starve['p95_bound_ms']:.0f} ms)",
+        f"  token bucket @ {limits['rate_limit']:.0f}/s: "
+        f"{limits['refused']}/{limits['calls']} calls refused typed+retryable"
+        + (
+            f", median retry_after {limits['retry_after_ms_median']:.1f} ms"
+            if limits["retry_after_ms_median"] is not None
+            else ""
+        ),
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     suite = argv[0] if argv else "all"
-    if suite not in ("pr1", "pr3", "pr5", "pr6", "pr8", "all"):
+    if suite not in ("pr1", "pr3", "pr5", "pr6", "pr8", "pr10", "all"):
         print(
-            f"unknown suite {suite!r}; expected pr1, pr3, pr5, pr6, pr8, or all"
+            f"unknown suite {suite!r}; expected pr1, pr3, pr5, pr6, pr8, "
+            "pr10, or all"
         )
         return 2
     if suite in ("pr1", "all"):
@@ -1817,6 +2152,11 @@ def main(argv: list[str] | None = None) -> int:
         results = run_pr8()
         path = write_results_pr8(results)
         print("\n".join(format_pr8_report(results)))
+        print(f"\nwrote {path}\n")
+    if suite in ("pr10", "all"):
+        results = run_pr10()
+        path = write_results_pr10(results)
+        print("\n".join(format_pr10_report(results)))
         print(f"\nwrote {path}")
     return 0
 

@@ -213,6 +213,20 @@ def _cmd_gc(gallery: Gallery, args: argparse.Namespace) -> Any:
     if durable:
         report["dedup_entries_after"] = gallery.dal.dedup_count()
         report["dead_letters_after"] = gallery.dal.dead_letters_count()
+    if args.replica:
+        # Pointed at a live replica, gc also surfaces that replica's
+        # batcher/QoS counters so operators can read the coalesce ratio
+        # without a bench run.
+        client = _fleet_client(args.replica)
+        try:
+            stats = client.server_stats()
+        finally:
+            client.close()
+        report["replica"] = {
+            "address": args.replica,
+            "batching": stats.get("batching", {}),
+            "request_dedup": stats.get("request_dedup", {}),
+        }
     return report
 
 
@@ -391,6 +405,16 @@ def _cmd_fleet_undrain(gallery: None, args: argparse.Namespace) -> Any:
         client.close()
 
 
+def _cmd_server_stats(gallery: None, args: argparse.Namespace) -> Any:
+    client = _fleet_client(args.address)
+    try:
+        stats = client.server_stats()
+        stats["address"] = args.address
+        return stats
+    finally:
+        client.close()
+
+
 # -- parser ---------------------------------------------------------------
 
 
@@ -500,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="also delete dead letters older than this",
+    )
+    gc.add_argument(
+        "--replica",
+        default=None,
+        metavar="HOST:PORT",
+        help="also fetch live batcher/QoS counters from this serving replica",
     )
     gc.set_defaults(handler=_cmd_gc)
 
@@ -655,6 +685,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_undrain.add_argument("address", help="replica host:port")
     fleet_undrain.set_defaults(handler=_cmd_fleet_undrain, offline=True)
+
+    server = commands.add_parser(
+        "server", help="observe one serving replica over the wire"
+    )
+    server_commands = server.add_subparsers(dest="server_command", required=True)
+
+    server_stats = server_commands.add_parser(
+        "stats",
+        help="live micro-batcher, QoS, and request-dedup counters",
+    )
+    server_stats.add_argument("address", help="replica host:port")
+    server_stats.set_defaults(handler=_cmd_server_stats, offline=True)
 
     return parser
 

@@ -6,6 +6,11 @@ URL into a ready :class:`GalleryClient` over a breaker-aware
 tests and custom stacks.
 """
 
+from repro.service.batching import (
+    BATCHABLE_METHODS,
+    BatchConfig,
+    ReadBatcher,
+)
 from repro.service.client import (
     ClientPipeline,
     GalleryClient,
@@ -33,6 +38,8 @@ from repro.service.server import GalleryService
 from repro.service.wire import (
     DIALECT_BINARY,
     DIALECT_JSON,
+    LANE_BULK,
+    LANE_INTERACTIVE,
     Request,
     Response,
     decode_blob,
@@ -45,6 +52,8 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "BATCHABLE_METHODS",
+    "BatchConfig",
     "ClientPipeline",
     "DIALECT_BINARY",
     "DIALECT_JSON",
@@ -57,8 +66,11 @@ __all__ = [
     "GalleryService",
     "HttpRegistrySource",
     "InProcessTransport",
+    "LANE_BULK",
+    "LANE_INTERACTIVE",
     "MethodRetryPolicies",
     "PipelineHandle",
+    "ReadBatcher",
     "Request",
     "Response",
     "RetryingTransport",

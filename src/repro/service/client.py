@@ -70,6 +70,7 @@ IDEMPOTENT_METHODS = frozenset(
         "fleetStatus",
         "fleetDrain",
         "fleetUndrain",
+        "serverStats",
     }
 )
 
@@ -292,14 +293,18 @@ class GalleryClient:
         transport: Transport,
         client_id: str | None = None,
         dialect: str = wire.DIALECT_BINARY,
+        lane: str = wire.LANE_INTERACTIVE,
     ) -> None:
         if dialect not in (wire.DIALECT_BINARY, wire.DIALECT_JSON):
             raise ValueError(f"unknown wire dialect: {dialect!r}")
+        if lane not in (wire.LANE_INTERACTIVE, wire.LANE_BULK):
+            raise ValueError(f"unknown QoS lane: {lane!r}")
         self._transport = transport
         self._id_lock = threading.Lock()
         self._next_request_id = 1
         self._client_id = client_id if client_id is not None else random_uuid()
         self._dialect = dialect
+        self._lane = lane
 
     @property
     def client_id(self) -> str:
@@ -308,6 +313,16 @@ class GalleryClient:
     @property
     def dialect(self) -> str:
         return self._dialect
+
+    @property
+    def lane(self) -> str:
+        """QoS lane stamped on every request this client sends.
+
+        ``interactive`` (default) gets the lion's share of the server's
+        batch budget; ``bulk`` marks backfills and sweeps that tolerate
+        queueing behind interactive reads.
+        """
+        return self._lane
 
     def _allocate_request_id(self) -> int:
         with self._id_lock:
@@ -321,6 +336,7 @@ class GalleryClient:
             params=params,
             request_id=self._allocate_request_id(),
             client_id=self._client_id,
+            lane=self._lane,
             dialect=self._dialect,
         )
         return wire.encode_request(request, self._dialect)
@@ -637,6 +653,10 @@ class GalleryClient:
     def fleet_undrain(self) -> dict[str, Any]:
         """Return the answering replica to service (idempotent)."""
         return self.call("fleetUndrain")
+
+    def server_stats(self) -> dict[str, Any]:
+        """The answering replica's live batcher/QoS/dedup counters."""
+        return self.call("serverStats")
 
     def collect_orphans(self) -> list[str]:
         return self.call("collectOrphans")

@@ -53,7 +53,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from repro.errors import CircuitOpenError, ServiceError, ValidationError
+from repro.errors import (
+    CircuitOpenError,
+    RateLimitedError,
+    ServiceError,
+    ValidationError,
+)
 from repro.reliability.breaker import BreakerState, CircuitBreaker
 from repro.service import wire
 from repro.store.sharding import ShardMap
@@ -76,6 +81,7 @@ SCHEME = "gallery"
 _DIALECTS = {"binary": wire.DIALECT_BINARY, "json": wire.DIALECT_JSON}
 _TRANSPORTS = ("pipelined", "serial")
 _ROUTINGS = ("p2c", "roundrobin", "shard")
+_LANES = (wire.LANE_INTERACTIVE, wire.LANE_BULK)
 
 #: EWMA smoothing factor for per-endpoint latency (higher = snappier).
 _EWMA_ALPHA = 0.2
@@ -151,6 +157,12 @@ def parse_endpoint_options(query: str) -> dict[str, Any]:
                     f"unknown routing {value!r} (p2c, roundrobin, or shard)"
                 )
             options["routing"] = value
+        elif key == "lane":
+            if value not in _LANES:
+                raise ValidationError(
+                    f"unknown lane {value!r} (interactive or bulk)"
+                )
+            options["lane"] = value
         else:
             raise ValidationError(f"unknown query parameter {key!r}")
     return options
@@ -170,10 +182,12 @@ class EndpointSet:
     connections), and ``routing`` (``p2c``, the default — latency-EWMA ×
     in-flight power-of-two-choices; ``roundrobin`` for the blind
     rotation; ``shard`` to additionally prefer the replica owning a
-    read's model coordinate — see :class:`FailoverTransport`).  Unknown
-    parameters, malformed ports, and duplicate hosts are rejected
-    loudly — a silently dropped replica is an outage waiting to be
-    discovered.
+    read's model coordinate — see :class:`FailoverTransport`), and
+    ``lane`` (``interactive``, the default, or ``bulk`` — the QoS lane
+    stamped on every request, weighting how the server's read batcher
+    schedules this client against others).  Unknown parameters,
+    malformed ports, and duplicate hosts are rejected loudly — a
+    silently dropped replica is an outage waiting to be discovered.
 
     Application code should not construct this directly (ruff TID251
     enforces it): go through :func:`connect` or a
@@ -186,6 +200,7 @@ class EndpointSet:
     timeout: float = 10.0
     transport: str = "pipelined"
     routing: str = "p2c"
+    lane: str = wire.LANE_INTERACTIVE
 
     def __post_init__(self) -> None:
         if not self.endpoints:
@@ -388,6 +403,14 @@ class FailoverTransport:
       replica rejoins with no push notification needed).  Only when every
       replica reports draining does the typed error surface to the
       caller, who can retry later.
+    * **Rate-limit reroutes**: a replica answering
+      :class:`~repro.errors.RateLimitedError` likewise *never executed
+      the request* — its QoS layer refused this tenant — so the call is
+      re-sent to a different replica with no breaker penalty and no
+      retry-budget charge.  When *every* replica refuses, the transport
+      honours the smallest advertised ``retry_after`` once before one
+      more sweep; if the fleet is still refusing, the typed retryable
+      error surfaces to the caller.
     * **Transport errors** (connection refused/reset, wire breakage) count
       against that endpoint's breaker, drop its connection, and fail the
       call over to the next endpoint immediately — no backoff, because a
@@ -485,6 +508,8 @@ class FailoverTransport:
         self.failovers = 0
         #: calls transparently re-routed off a draining replica
         self.drain_reroutes = 0
+        #: calls transparently re-routed off a rate-limiting replica
+        self.rate_limit_reroutes = 0
 
     def _new_state(self, endpoint: Endpoint) -> _EndpointState:
         return _EndpointState(
@@ -816,6 +841,14 @@ class FailoverTransport:
         transient_raw: bytes | None = None
         draining_raw: bytes | None = None
         drained: set[_EndpointState] = set()
+        # Endpoints whose QoS layer refused this tenant *this call*.  Like
+        # draining, a refusal means the request was never executed, so the
+        # pick simply avoids them; unlike draining the endpoint stays in
+        # rotation for the *next* call (buckets refill in milliseconds).
+        limited: set[_EndpointState] = set()
+        limited_raw: bytes | None = None
+        limited_retry_after: float | None = None
+        limited_sweeps = 0
         # Endpoints that already failed *this call* at the transport level.
         # Without this exclusion the load-aware pick re-selects a freshly
         # dead replica every attempt — it has no EWMA measurement, so it
@@ -838,14 +871,36 @@ class FailoverTransport:
             # Only the first attempt honours shard preference: a failed
             # owner should not be re-picked over healthy fallbacks.
             state = self._admit(
-                preferred if attempt == 0 else None, drained | failed
+                preferred if attempt == 0 else None, drained | failed | limited
             )
             if state is None and failed:
                 # Every non-excluded endpoint is out; give already-failed
                 # ones another chance rather than faking a full outage.
                 failed.clear()
-                state = self._admit(None, drained)
+                state = self._admit(None, drained | limited)
             if state is None:
+                if limited and limited_raw is not None and limited_sweeps < 1:
+                    # Every pickable replica refused on QoS this call:
+                    # honour the smallest advertised retry_after, then give
+                    # the whole fleet one more sweep — token buckets refill
+                    # on exactly that horizon.  No retry-budget charge.
+                    delay = (
+                        limited_retry_after
+                        if limited_retry_after is not None
+                        else RateLimitedError.DEFAULT_RETRY_AFTER
+                    )
+                    if deadline is not None:
+                        delay = min(delay, max(0.0, deadline - self._clock()))
+                    if delay > 0:
+                        self._sleep(delay)
+                    limited.clear()
+                    limited_retry_after = None
+                    limited_sweeps += 1
+                    continue
+                if limited_raw is not None and not drained:
+                    # Still refused after the backoff sweep: surface the
+                    # typed retryable error for the caller to pace itself.
+                    return limited_raw
                 if draining_raw is not None:
                     # Every reachable replica is draining: surface the
                     # typed retryable error instead of faking an outage.
@@ -899,6 +954,19 @@ class FailoverTransport:
                 draining_raw = raw
                 self.drain_reroutes += 1
                 continue
+            if not response.ok and response.error_type == "RateLimitedError":
+                # QoS refusal: also a routing signal — the request was
+                # never executed, so another replica (whose token buckets
+                # are independent) can serve it for free.  No breaker
+                # penalty, no retry-budget charge, and the endpoint stays
+                # in rotation for future calls.
+                limited.add(state)
+                limited_raw = raw
+                hint = RateLimitedError(response.error_message).retry_after
+                if limited_retry_after is None or hint < limited_retry_after:
+                    limited_retry_after = hint
+                self.rate_limit_reroutes += 1
+                continue
             state.observe(self._clock() - started)
             if (
                 retryable
@@ -918,6 +986,8 @@ class FailoverTransport:
             return transient_raw  # retries exhausted: surface the real error
         if draining_raw is not None and last_error is None:
             return draining_raw
+        if limited_raw is not None and last_error is None:
+            return limited_raw
         if isinstance(last_error, CircuitOpenError):
             raise last_error
         raise ServiceError(
@@ -1071,6 +1141,7 @@ def connect(
     url: str | EndpointSet,
     *,
     client_id: str | None = None,
+    lane: str | None = None,
     policies: MethodRetryPolicies | None = None,
     transport_factory: Callable[[Endpoint], Transport] | None = None,
     failure_threshold: int = 3,
@@ -1101,6 +1172,14 @@ def connect(
     is swapped into the transport live — replicas are added, drained, and
     removed without the client restarting.  Closing the client stops the
     poller along with every replica connection.
+
+    ``lane`` picks the QoS lane the server's read batcher schedules this
+    client in: ``"interactive"`` (the default) or ``"bulk"`` for
+    backfills and sweeps — equivalently ``?lane=bulk`` on the URL.  A
+    bulk client's reads queue behind interactive ones under load, and a
+    rate-limited tenant sees a typed retryable
+    :class:`~repro.errors.RateLimitedError` that the failover transport
+    reroutes (and paces via ``retry_after``) without breaker penalty.
     """
     registry = None
     if isinstance(url, str) and url.partition("://")[0].startswith(
@@ -1123,5 +1202,8 @@ def connect(
         transport.attach_registry(registry)
         registry.start()
     return GalleryClient(
-        transport, client_id=client_id, dialect=endpoint_set.dialect
+        transport,
+        client_id=client_id,
+        dialect=endpoint_set.dialect,
+        lane=lane if lane is not None else endpoint_set.lane,
     )

@@ -29,6 +29,7 @@ from repro.errors import (
 from repro.rules.engine import RuleEngine
 from repro.rules.rule import Rule
 from repro.service import wire
+from repro.service.batching import BatchConfig, ReadBatcher
 from repro.service.wire import Request, Response
 
 #: Methods with side effects: their *successful* responses are cached per
@@ -60,7 +61,7 @@ MUTATING_METHODS = frozenset(
 #: excluded from the in-flight count a drain waits on, so a
 #: ``fleet drain --wait`` issued over the wire cannot deadlock on itself.
 ADMIN_METHODS = frozenset(
-    {"fleetStatus", "fleetDrain", "fleetUndrain", "shardTopology"}
+    {"fleetStatus", "fleetDrain", "fleetUndrain", "shardTopology", "serverStats"}
 )
 
 
@@ -202,9 +203,15 @@ class GalleryService:
         engine: RuleEngine | None = None,
         dedup_capacity: int = 4096,
         durable_dedup: bool | None = None,
+        batching: BatchConfig | None = None,
     ) -> None:
         self._gallery = gallery
         self._engine = engine
+        # The read-path micro-batcher + QoS front.  Only the event-loop
+        # server feeds it (via ReadBatcher.offer); handle_frame and the
+        # threaded server dispatch directly and stay unbatched.  Pass
+        # BatchConfig(batch_window_ms=0) to disable batching entirely.
+        self.read_batcher = ReadBatcher(self, batching or BatchConfig())
         if durable_dedup is None:
             durable_dedup = bool(
                 getattr(gallery.dal, "supports_durable_state", False)
@@ -258,6 +265,7 @@ class GalleryService:
             "fleetStatus": self._fleet_status,
             "fleetDrain": self._fleet_drain,
             "fleetUndrain": self._fleet_undrain,
+            "serverStats": self._server_stats,
             # rule engine
             "selectModel": self._select_model,
             "triggerRule": self._trigger_rule,
@@ -359,6 +367,22 @@ class GalleryService:
     def _fleet_undrain(self) -> dict[str, Any]:
         self.undrain()
         return self._fleet_status()
+
+    def _server_stats(self) -> dict[str, Any]:
+        """Live batcher/QoS/dedup counters for this replica.
+
+        An admin method (answers during a drain) so operators can watch
+        coalesce ratio and per-tenant tokens while shedding load.
+        """
+        return {
+            "fleet": self._fleet_status(),
+            "batching": self.read_batcher.stats_snapshot(),
+            "request_dedup": {
+                "entries": len(self.dedup),
+                "hits": self.dedup.hits,
+                "misses": self.dedup.misses,
+            },
+        }
 
     # -- dispatch -------------------------------------------------------------
 
@@ -750,6 +774,7 @@ class GalleryService:
             "hits": self.dedup.hits,
             "misses": self.dedup.misses,
         }
+        summary["batching"] = self.read_batcher.stats_snapshot()
         return {
             "consistent": audit.consistent,
             "orphan_blobs": list(audit.orphan_blobs),

@@ -436,6 +436,16 @@ class _EventLoopCore:
         the connection's in-flight accounting can never leak."""
         response: bytes | wire.ResponseStream
         try:
+            # Read-class frames go to the micro-batcher first: if it takes
+            # ownership, the collector thread answers via _complete (which
+            # is safe from any thread) and this worker is done.  Everything
+            # else — mutations, blobs, admin, refused/undecodable frames —
+            # falls through to the normal dispatch path.
+            batcher = getattr(self._service, "read_batcher", None)
+            if batcher is not None and batcher.offer(
+                frame, lambda encoded, c=conn: self._complete(c, encoded)
+            ):
+                return
             response = self._service.handle_frame_stream(
                 frame, self._chunk_size
             )
@@ -744,6 +754,14 @@ class ThreadedGalleryTcpServer:
     server's wins are measured against the stack that actually shipped,
     and as a fallback should the event loop ever misbehave on an exotic
     platform.  Public surface is identical to :class:`GalleryTcpServer`.
+
+    Deliberately **unbatched**: each connection thread calls
+    ``service.handle_frame`` directly and never offers frames to the
+    service's :class:`~repro.service.batching.ReadBatcher`, so the
+    threaded baseline cannot block on (or deadlock against) a collector
+    thread that only the event-loop server drives.  Reads served here
+    skip coalescing and QoS — this server is a baseline and escape
+    hatch, not the production path.
     """
 
     def __init__(self, service: GalleryService, host: str = "127.0.0.1", port: int = 0) -> None:

@@ -81,6 +81,7 @@ _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 _U32 = struct.Struct(">I")
 _U16 = struct.Struct(">H")
+_U8 = struct.Struct(">B")
 _TAG_I64 = struct.Struct(">Bq")
 _TAG_F64 = struct.Struct(">Bd")
 _TAG_U32 = struct.Struct(">BI")
@@ -99,6 +100,16 @@ _JSON_ENCODER = json.JSONEncoder(separators=(",", ":"))
 _json_encode = _JSON_ENCODER.encode
 _json_loads = json.loads
 
+#: QoS lanes a request can travel in.  ``interactive`` is the default and
+#: gets the lion's share of the batch scheduler's weight; ``bulk`` marks
+#: backfills/sweeps that tolerate extra queueing.  On the binary wire the
+#: lane is one byte (0 = interactive, 1 = bulk); unknown values decode to
+#: interactive so old frames and future lanes degrade to the safe default.
+LANE_INTERACTIVE = "interactive"
+LANE_BULK = "bulk"
+_LANE_CODES = {LANE_INTERACTIVE: 0, LANE_BULK: 1}
+_LANE_NAMES = {1: LANE_BULK}
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,6 +122,11 @@ class Request:
     instead of executing the mutation twice.  An empty ``client_id`` opts
     out of deduplication (the pre-reliability wire format).
 
+    ``lane`` is the QoS lane the sender asked for (``interactive`` by
+    default, ``bulk`` for throughput work); the server's batch scheduler
+    uses it to weight queue draining so bulk tenants cannot starve
+    interactive reads.
+
     ``dialect`` records which encoding the frame used (set by
     :func:`decode_request`); the server answers in the same dialect.  It
     is carried alongside the request, not on the wire, and excluded from
@@ -121,11 +137,14 @@ class Request:
     params: Mapping[str, Any] = field(default_factory=dict)
     request_id: int = 0
     client_id: str = ""
+    lane: str = LANE_INTERACTIVE
     dialect: str = field(default=DIALECT_JSON, compare=False)
 
     def __post_init__(self) -> None:
         if not self.method:
             raise WireFormatError("request method must be non-empty")
+        if self.lane not in _LANE_CODES:
+            raise WireFormatError(f"unknown QoS lane {self.lane!r}")
         object.__setattr__(self, "params", dict(self.params))
 
 
@@ -203,6 +222,8 @@ def encode_request(request: Request, dialect: str = DIALECT_JSON) -> bytes:
     }
     if request.client_id:
         body["client_id"] = request.client_id
+    if request.lane != LANE_INTERACTIVE:
+        body["lane"] = request.lane
     return _frame(body)
 
 
@@ -211,12 +232,16 @@ def decode_request(data: bytes) -> Request:
     if _dialect_of(body) == DIALECT_BINARY:
         return _decode_request_binary(body)
     parsed = _parse_json(body)
+    lane = parsed.get("lane", LANE_INTERACTIVE)
+    if lane not in _LANE_CODES:
+        lane = LANE_INTERACTIVE  # future lanes degrade to the safe default
     try:
         return Request(
             method=parsed["method"],
             params=parsed.get("params", {}),
             request_id=parsed.get("request_id", 0),
             client_id=parsed.get("client_id", ""),
+            lane=lane,
             dialect=DIALECT_JSON,
         )
     except KeyError as exc:
@@ -688,6 +713,7 @@ def _encode_request_binary(request: Request) -> bytes:
     writer.raw_small(method)
     writer.pack(_U16, len(client_id))
     writer.raw_small(client_id)
+    writer.pack(_U8, _LANE_CODES[request.lane])
     if not _encode_document(request.params, writer):
         _encode_value(request.params, writer)
     return _assemble(writer.parts())
@@ -702,6 +728,7 @@ def _decode_request_binary(body: memoryview) -> Request:
         raise WireFormatError("expected a request frame")
     method = cur.text(_U16)
     client_id = cur.text(_U16)
+    (lane_code,) = cur.unpack(_U8)
     params = _decode_value(cur)
     if not isinstance(params, dict):
         raise WireFormatError("request params must decode to a map")
@@ -712,6 +739,7 @@ def _decode_request_binary(body: memoryview) -> Request:
         params=params,
         request_id=request_id,
         client_id=client_id,
+        lane=_LANE_NAMES.get(lane_code, LANE_INTERACTIVE),
         dialect=DIALECT_BINARY,
     )
 

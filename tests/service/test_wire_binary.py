@@ -74,15 +74,69 @@ class TestRoundTrips:
         wire_params,
         st.integers(0, 2**64 - 1),
         st.text(max_size=16),
+        st.sampled_from([wire.LANE_INTERACTIVE, wire.LANE_BULK]),
     )
     @settings(max_examples=200)
-    def test_request_round_trip(self, method, params, request_id, client_id):
+    def test_request_round_trip(self, method, params, request_id, client_id, lane):
         request = Request(
-            method=method, params=params, request_id=request_id, client_id=client_id
+            method=method,
+            params=params,
+            request_id=request_id,
+            client_id=client_id,
+            lane=lane,
         )
         restored = wire.decode_request(wire.encode_request(request, DIALECT_BINARY))
         assert restored == request
+        assert restored.client_id == client_id  # read-path QoS keys on this
+        assert restored.lane == lane
         assert restored.dialect == DIALECT_BINARY
+
+    @given(
+        st.text(min_size=1, max_size=20),
+        st.dictionaries(  # JSON-safe subset: parity crosses both dialects
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**50), max_value=2**50),
+                st.text(max_size=12),
+            ),
+            max_size=4,
+        ),
+        st.text(max_size=16),
+        st.sampled_from([wire.LANE_INTERACTIVE, wire.LANE_BULK]),
+    )
+    @settings(max_examples=100)
+    def test_request_dialect_parity_on_identity_fields(
+        self, method, params, client_id, lane
+    ):
+        """client_id and lane survive both dialects identically — the
+        token buckets and lane scheduler must see the same tenant no
+        matter which encoding the frame arrived in."""
+        request = Request(
+            method=method, params=params, request_id=7,
+            client_id=client_id, lane=lane,
+        )
+        via_json = wire.decode_request(
+            wire.encode_request(request, wire.DIALECT_JSON)
+        )
+        via_binary = wire.decode_request(
+            wire.encode_request(request, DIALECT_BINARY)
+        )
+        assert (via_json.client_id, via_json.lane) == (client_id, lane)
+        assert (via_binary.client_id, via_binary.lane) == (client_id, lane)
+
+    def test_unknown_json_lane_degrades_to_interactive(self):
+        frame = wire.encode_request(Request(method="getModel"))
+        # splice a future lane name into the JSON body
+        body = frame[_PREFIX.size :].decode("utf-8")
+        import json as _json
+
+        parsed = _json.loads(body)
+        parsed["lane"] = "express"
+        rebuilt = _json.dumps(parsed).encode("utf-8")
+        reframed = _PREFIX.pack(len(rebuilt)) + rebuilt
+        assert wire.decode_request(reframed).lane == wire.LANE_INTERACTIVE
 
     @given(wire_values, st.integers(0, 2**64 - 1))
     @settings(max_examples=200)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.registry import Gallery
 from repro.cli import main
+from repro.service.batching import BatchConfig
 from repro.service.server import GalleryService
 from repro.service.tcp import GalleryTcpServer
 from repro.store.blob import InMemoryBlobStore
@@ -88,3 +89,31 @@ def test_fleet_status_empty_registry_is_loud(capsys, tmp_path):
     code, result = run(capsys, "fleet", "status", f"gallery+file://{registry}")
     assert code == 1
     assert result["error"] == "FleetRegistryError"
+
+
+def test_server_stats_reports_batching_counters(capsys, replicas):
+    target = address(replicas[0])
+    code, stats = run(capsys, "server", "stats", target)
+    assert code == 0
+    assert stats["fleet"]["status"] == "serving"
+    batching = stats["batching"]
+    # the replica runs the session-default BatchConfig, whatever that is
+    assert batching["config"]["enabled"] == BatchConfig().enabled
+    assert set(batching["queue_depth"]) == {"interactive", "bulk"}
+    assert "coalesce_ratio" in batching
+    assert "batch_size_histogram" in batching
+    assert "request_dedup" in stats
+
+
+def test_gc_with_replica_surfaces_live_counters(capsys, tmp_path, replicas):
+    data_dir = tmp_path / "gallery"
+    run(capsys, "--data-dir", data_dir, "create-model", "p", "demand")
+    target = address(replicas[0])
+    code, report = run(
+        capsys, "--data-dir", data_dir, "gc", "--replica", target
+    )
+    assert code == 0
+    assert report["replica"]["address"] == target
+    assert report["replica"]["batching"]["config"]["enabled"] == BatchConfig().enabled
+    assert "refusals" in report["replica"]["batching"]
+    assert "request_dedup" in report["replica"]
